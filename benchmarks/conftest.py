@@ -1,0 +1,48 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+One simulation (scale 0.25, fixed seed) is built per session; the EBRC is
+trained once on its NDR corpus.  Every bench prints the rows/series its
+paper table or figure reports, so the benchmark run doubles as the
+reproduction artifact (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SimulationConfig, run_simulation
+from repro.analysis.label import EBRCLabeler, LabeledDataset
+
+BENCH_SCALE = 0.25
+BENCH_SEED = 2024
+
+
+@pytest.fixture(scope="session")
+def sim():
+    return run_simulation(SimulationConfig(scale=BENCH_SCALE, seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def world(sim):
+    return sim.world
+
+
+@pytest.fixture(scope="session")
+def dataset(sim):
+    return sim.dataset
+
+
+@pytest.fixture(scope="session")
+def labeled(sim):
+    """EBRC-labeled dataset — the paper's own pipeline end to end."""
+    return LabeledDataset(sim.dataset, EBRCLabeler())
+
+
+@pytest.fixture(scope="session")
+def probe_time(world):
+    return world.clock.end_ts + 30 * 86_400
+
+
+def run_once(benchmark, fn):
+    """Benchmark a (possibly expensive) analysis exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

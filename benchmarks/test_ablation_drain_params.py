@@ -1,0 +1,73 @@
+"""Ablation — Drain parameters vs template quality.
+
+Sweeps the similarity threshold and tree depth, measuring template count
+and purity (fraction of a template's messages sharing the majority ground
+truth type).  Low thresholds under-split (impure templates); very high
+thresholds over-split (template explosion, approaching one template per
+distinct wording).
+"""
+
+from collections import Counter, defaultdict
+
+from conftest import run_once
+
+from repro.analysis.report import pct, render_table
+from repro.core.drain import Drain
+
+
+def _corpus(dataset, limit=12_000):
+    out = []
+    for record in dataset:
+        for a in record.attempts:
+            if not a.succeeded and a.truth_type and not a.ambiguous:
+                out.append((a.result, a.truth_type))
+                if len(out) >= limit:
+                    return out
+    return out
+
+
+def _purity(assignments):
+    """Message-weighted purity over templates."""
+    by_template = defaultdict(Counter)
+    for template_id, truth in assignments:
+        by_template[template_id][truth] += 1
+    pure = total = 0
+    for counter in by_template.values():
+        n = sum(counter.values())
+        pure += counter.most_common(1)[0][1]
+        total += n
+    return pure / total if total else 0.0
+
+
+def test_ablation_drain_parameters(benchmark, dataset):
+    corpus = _corpus(dataset)
+
+    def sweep():
+        out = []
+        for sim_threshold in (0.25, 0.45, 0.75):
+            for depth in (3, 4, 6):
+                drain = Drain(depth=depth, sim_threshold=sim_threshold)
+                assignments = [
+                    (drain.add(m).template_id, t) for m, t in corpus
+                ]
+                out.append(
+                    (sim_threshold, depth, len(drain.templates), _purity(assignments))
+                )
+        return out
+
+    results = run_once(benchmark, sweep)
+
+    print()
+    print(render_table(
+        "Ablation: Drain parameters",
+        ["sim threshold", "depth", "templates", "purity"],
+        [[s, d, n, pct(p)] for s, d, n, p in results],
+    ))
+
+    by_key = {(s, d): (n, p) for s, d, n, p in results}
+    # More permissive merging -> fewer templates.
+    assert by_key[(0.25, 4)][0] <= by_key[(0.75, 4)][0]
+    # The default operating point is already very pure.
+    assert by_key[(0.45, 4)][1] > 0.9
+    # Template counts stay far below message counts (that's the point).
+    assert all(n < len(corpus) / 10 for _, _, n, _ in results)

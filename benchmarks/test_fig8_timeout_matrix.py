@@ -1,0 +1,45 @@
+"""Figure 8 — the poor degree of email infrastructure by country pair.
+
+Paper shape: the top-20 worst receiver countries include eight African
+ones; Hong Kong's sender row is anomalous (HK→NA 35.11%, HK→RW 51.35%,
+yet HK→BZ 0.34%); Singapore/India proxies are excluded for low volume.
+"""
+
+from conftest import run_once
+
+from repro.analysis.infrastructure import continent_of, timeout_matrix
+from repro.analysis.report import render_table
+
+PAPER_TOP20 = ["NA", "RW", "SV", "BZ", "DO", "NP", "SK", "SY", "KE", "PS",
+               "EG", "LI", "KG", "NG", "MA", "CI", "GE", "PR", "MN", "ZA"]
+SENDERS = ("US", "DE", "GB", "HK")
+
+
+def test_fig8_timeout_ratio_matrix(benchmark, labeled, world):
+    matrix = run_once(benchmark, lambda: timeout_matrix(labeled, world.geo, SENDERS))
+    worst = matrix.worst_countries(top=20, min_emails=80)
+
+    rows = []
+    for country, ratio in worst:
+        cells = []
+        for sender in SENDERS:
+            cell = matrix.ratio(sender, country)
+            cells.append("-" if cell is None else f"{100 * cell:.1f}")
+        rows.append([country, continent_of(country), f"{100 * ratio:.1f}"] + cells)
+    print()
+    print(render_table(
+        "Fig 8: worst-20 receiver countries by timeout ratio (%)",
+        ["country", "continent", "overall"] + [f"from {s}" for s in SENDERS],
+        rows,
+    ))
+    print(f"paper top-20: {PAPER_TOP20} (8 African)")
+
+    assert len(worst) >= 10
+    codes = [c for c, _ in worst]
+    african = sum(1 for c in codes if continent_of(c) == "Africa")
+    print(f"African countries in our top-20: {african}")
+    assert african >= 4
+    assert len(set(codes) & set(PAPER_TOP20)) >= 5
+    assert "US" not in codes and "DE" not in codes
+    # Ratios live in the paper's 5-50% band at the top of the list.
+    assert 0.05 < worst[0][1] < 0.6

@@ -1,0 +1,29 @@
+"""The headline scorecard: every paper constant vs its measurement.
+
+A machine-checkable rollup of EXPERIMENTS.md — each row is a paper
+number, the measured value on the bench dataset, and a multiplicative
+"same regime" tolerance.  The bench requires a large majority of rows in
+regime; individual tables/figures have their own dedicated benches.
+"""
+
+from conftest import run_once
+
+from repro.analysis.comparison import compare_to_paper, scorecard
+
+
+def test_paper_scorecard(benchmark, labeled, world):
+    comparisons = run_once(benchmark, lambda: compare_to_paper(labeled, world))
+
+    print()
+    for comparison in comparisons:
+        print(comparison.render())
+    hits, total = scorecard(comparisons)
+    print(f"\nin regime: {hits}/{total}")
+
+    assert total >= 14
+    assert hits / total >= 0.75
+    # The defining numbers must always hold.
+    by_name = {c.name: c for c in comparisons}
+    assert by_name["non-bounced share"].in_regime
+    assert by_name["T5 (blocklist) share of bounces"].in_regime
+    assert by_name["blocklist recovery after proxy change"].in_regime

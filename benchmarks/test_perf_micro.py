@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the core data structures.
+
+Unlike the reproduction benches (one-shot, pedantic), these measure
+steady-state throughput of the hot components: Drain insertion, EBRC
+classification, TF-IDF transform, the receiver gauntlet, and the
+delivery engine end to end.
+"""
+
+import pytest
+
+from repro.core.drain import Drain
+from repro.core.ebrc import EBRC
+from repro.core.features import TfidfVectorizer
+from repro.delivery.engine import DeliveryEngine
+from repro.util.rng import RandomSource
+from repro.workload.spec import EmailSpec
+
+
+@pytest.fixture(scope="module")
+def ndr_corpus(dataset):
+    return dataset.ndr_messages()[:4000]
+
+
+def test_perf_drain_insert(benchmark, ndr_corpus):
+    def insert_all():
+        drain = Drain()
+        for m in ndr_corpus:
+            drain.add(m)
+        return len(drain.templates)
+
+    templates = benchmark(insert_all)
+    assert templates > 5
+
+
+def test_perf_drain_match(benchmark, ndr_corpus):
+    drain = Drain()
+    drain.fit(ndr_corpus)
+    probe = ndr_corpus[: 500]
+
+    def match_all():
+        return sum(1 for m in probe if drain.match(m) is not None)
+
+    matched = benchmark(match_all)
+    assert matched > 400
+
+
+def test_perf_tfidf_transform(benchmark, ndr_corpus):
+    vec = TfidfVectorizer()
+    vec.fit(ndr_corpus[:2000])
+    probe = ndr_corpus[:300]
+    X = benchmark(lambda: vec.transform(probe))
+    assert X.shape[0] == len(probe)
+
+
+def test_perf_ebrc_classify(benchmark, ndr_corpus):
+    ebrc = EBRC().fit(ndr_corpus)
+    probe = ndr_corpus[:400]
+
+    def classify_all():
+        return sum(1 for m in probe if ebrc.classify(m) is not None)
+
+    classified = benchmark(classify_all)
+    assert classified > 100
+
+
+def test_perf_delivery_engine(benchmark, world):
+    sender = world.benign_sender_domains()[0].users[0].address
+    gmail = world.receiver_domains["gmail.com"]
+    username = next(iter(gmail.mailboxes))
+    specs = [
+        EmailSpec(
+            t=world.clock.start_ts + 40 * 86_400 + i * 60,
+            sender=sender,
+            receiver=f"{username}@gmail.com",
+            spamminess=0.05,
+            size_bytes=20_000,
+            recipient_count=1,
+        )
+        for i in range(200)
+    ]
+
+    def deliver_all():
+        engine = DeliveryEngine(world, RandomSource(123))
+        return sum(1 for _ in engine.deliver_all(specs))
+
+    delivered = benchmark(deliver_all)
+    assert delivered == 200

@@ -1,0 +1,33 @@
+"""Extension — where in the SMTP dialogue the ecosystem says no.
+
+Not a paper table, but directly supported by its data: the distribution
+of rejection stages.  Early (pre-DATA) rejections are cheap reputation
+checks; DATA-stage rejections (content filtering) mean the whole message
+crossed the wire first.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import pct, render_table
+from repro.analysis.stages import early_rejection_share, rejection_stages
+
+
+def test_rejection_stage_distribution(benchmark, labeled):
+    report = run_once(benchmark, lambda: rejection_stages(labeled))
+
+    print()
+    print(render_table(
+        "Rejection stages across all failed attempts",
+        ["stage", "rejections", "share"],
+        [
+            [stage.value, count, pct(count / report.total)]
+            for stage, count in report.ranked()
+        ],
+    ))
+    early = early_rejection_share(report)
+    print(f"rejected before any message data: {pct(early)}")
+    wasted = sum(report.wasted_bytes.values())
+    print(f"estimated bytes wasted by post-DATA rejections: {wasted:,}")
+
+    assert report.total > 1000
+    assert early > 0.5

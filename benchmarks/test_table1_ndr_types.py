@@ -1,0 +1,46 @@
+"""Table 1 — distribution of NDR types over classified bounced emails.
+
+Paper: T5 31.10%, T2 20.06%, T14 15.04%, T13 9.31%, T8 7.46% lead; T16
+holds 4.26%; 6M ambiguous NDRs are excluded before classification.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import pct, render_table
+from repro.core.taxonomy import BounceType
+
+PAPER_SHARES = {
+    "T1": 0.0179, "T2": 0.2006, "T3": 0.0265, "T4": 0.0186, "T5": 0.3110,
+    "T6": 0.0263, "T7": 0.0254, "T8": 0.0746, "T9": 0.0206, "T10": 0.0078,
+    "T11": 0.0187, "T12": 0.0053, "T13": 0.0931, "T14": 0.1504, "T15": 0.0651,
+    "T16": 0.0426,
+}
+
+
+def test_table1_ndr_type_distribution(benchmark, labeled):
+    distribution = run_once(benchmark, labeled.type_distribution)
+    total = sum(distribution.values())
+
+    rows = []
+    for t in BounceType:
+        count = distribution.get(t, 0)
+        rows.append([t.value, count, pct(count / total), pct(PAPER_SHARES[t.value])])
+    print()
+    print(render_table(
+        "Table 1: NDR types over classified bounced emails",
+        ["type", "count", "measured", "paper"],
+        rows,
+    ))
+    print(f"classified: {total}; ambiguous excluded: {labeled.n_ambiguous()}")
+
+    # Shape assertions: the winner and the heavy types match the paper.
+    top = max(distribution, key=distribution.get)
+    assert top in (BounceType.T5, BounceType.T2)
+    assert distribution[BounceType.T5] / total > 0.15
+    top6 = {t for t, _ in distribution.most_common(6)}
+    assert {BounceType.T5, BounceType.T2, BounceType.T14} <= top6
+    # Light types stay light.
+    for t in (BounceType.T10, BounceType.T12):
+        assert distribution.get(t, 0) / total < 0.03
+    # A meaningful ambiguous slice is excluded (paper: 6M of 38M).
+    assert labeled.n_ambiguous() / labeled.n_bounced() > 0.05

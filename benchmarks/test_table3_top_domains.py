@@ -1,0 +1,54 @@
+"""Table 3 — bounce rates of the top-10 receiver domains (InEmailRank).
+
+Paper shape: gmail.com leads volume; webmail giants (gmail/hotmail/yahoo/
+outlook) show high hard ratios (spam magnets); hotmail/outlook show high
+soft ratios (Spamhaus users); corporate majors fronted by Proofpoint/
+Ironport (bbva, cma-cgm, dbschenker, dhl, amazon) bounce very little.
+"""
+
+from conftest import run_once
+
+from repro.analysis.rankings import table3_top_domains
+from repro.analysis.report import pct, render_table
+
+PAPER = {
+    "gmail.com": (21.37, 3.95),
+    "hotmail.com": (18.24, 9.63),
+    "yahoo.com": (26.28, 4.41),
+    "apple.com": (7.39, 3.45),
+    "bbva.com": (2.13, 0.35),
+    "cma-cgm.com": (0.81, 2.57),
+    "outlook.com": (19.41, 12.99),
+    "dbschenker.com": (7.53, 3.38),
+    "dhl.com": (6.24, 3.46),
+    "amazon.com": (1.70, 2.63),
+}
+
+
+def test_table3_top_domains(benchmark, labeled):
+    rows = run_once(benchmark, lambda: table3_top_domains(labeled, top=10))
+
+    printable = []
+    for r in rows:
+        paper = PAPER.get(r.key)
+        paper_str = f"{paper[0]}%/{paper[1]}%" if paper else "-"
+        printable.append(
+            [r.key, r.email_volume, pct(r.hard_fraction), pct(r.soft_fraction), paper_str]
+        )
+    print()
+    print(render_table(
+        "Table 3: top-10 receiver domains",
+        ["domain", "emails", "hard", "soft", "paper hard/soft"],
+        printable,
+    ))
+
+    by_key = {r.key: r for r in rows}
+    assert rows[0].key == "gmail.com"
+    # Most of the paper's top-10 should surface in ours.
+    assert len(set(by_key) & set(PAPER)) >= 6
+    # Webmail bounce character: hotmail/outlook soft-heavy vs corporates.
+    if "hotmail.com" in by_key and "bbva.com" in by_key:
+        assert by_key["hotmail.com"].soft_fraction > by_key["bbva.com"].soft_fraction
+    for name in ("bbva.com", "cma-cgm.com", "dbschenker.com", "amazon.com"):
+        if name in by_key:
+            assert by_key[name].bounce_fraction < 0.30

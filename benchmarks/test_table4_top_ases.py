@@ -1,0 +1,37 @@
+"""Table 4 — bounce rates of the top-10 receiver ASes.
+
+Paper shape: Microsoft (AS8075) receives by far the most mail, Google
+second; Proofpoint/Ironport security-vendor ASes show very low bounce
+ratios (~2-4%); most ASes sit around 10% total bounce.
+"""
+
+from conftest import run_once
+
+from repro.analysis.rankings import table4_top_ases
+from repro.analysis.report import pct, render_table
+
+
+def test_table4_top_ases(benchmark, labeled, world):
+    rows = run_once(benchmark, lambda: table4_top_ases(labeled, world.geo, top=10))
+
+    print()
+    print(render_table(
+        "Table 4: top-10 receiver ASes",
+        ["AS", "emails", "hard", "soft"],
+        [[r.key, r.email_volume, pct(r.hard_fraction), pct(r.soft_fraction)] for r in rows],
+    ))
+
+    assert len(rows) == 10
+    labels = [r.key for r in rows]
+    # Microsoft and Google at the top (Microsoft hosts the long corporate
+    # tail, Google hosts gmail + Google-Workspace domains).
+    assert any("Microsoft" in l for l in labels[:3])
+    assert any("Google" in l for l in labels[:3])
+    # Security vendors bounce little.
+    vendor_rows = [r for r in rows if "Proofpoint" in r.key or "Ironport" in r.key]
+    webmail_rows = [r for r in rows if "Microsoft" in r.key or "Google" in r.key]
+    if vendor_rows and webmail_rows:
+        mean = lambda rs, f: sum(f(r) for r in rs) / len(rs)
+        assert mean(vendor_rows, lambda r: r.bounce_fraction) < mean(
+            webmail_rows, lambda r: r.bounce_fraction
+        ) + 0.05

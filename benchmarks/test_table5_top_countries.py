@@ -1,0 +1,69 @@
+"""Table 5 — top-10 countries by hard / soft bounce ratio.
+
+Paper shape: the hard list is driven by dead servers (Venezuela, Belize →
+T14), attacker targeting and stale mailing lists (Tajikistan, Qatar, Iran,
+Myanmar → T8); the soft list by greylisting-heavy countries (Montenegro,
+Zimbabwe, Madagascar, Brunei → T6) and poor infrastructure (Namibia,
+Rwanda, Syria → T14).
+"""
+
+from conftest import run_once
+
+from repro.analysis.rankings import table5_countries, top_hard_countries, top_soft_countries
+from repro.analysis.report import pct, render_table
+
+PAPER_HARD = ["VE", "TJ", "BZ", "QA", "RO", "KG", "NZ", "LV", "IR", "MM"]
+PAPER_SOFT = ["ME", "ZW", "BZ", "NA", "MG", "SY", "RW", "TJ", "SK", "BN"]
+
+
+def test_table5_top_countries(benchmark, labeled, world):
+    rows = run_once(
+        benchmark, lambda: table5_countries(labeled, world.geo, min_emails=40)
+    )
+    hard = top_hard_countries(rows, top=10)
+    soft = top_soft_countries(rows, top=10)
+
+    def fmt(rs):
+        return [
+            [
+                r.country,
+                r.email_volume,
+                pct(r.hard_fraction),
+                pct(r.soft_fraction),
+                r.major_type.value if r.major_type else "-",
+                pct(r.major_type_share),
+            ]
+            for r in rs
+        ]
+
+    print()
+    print(render_table(
+        "Table 5a: top-10 hard-bounce countries",
+        ["country", "emails", "hard", "soft", "major type", "share"],
+        fmt(hard),
+    ))
+    print()
+    print(render_table(
+        "Table 5b: top-10 soft-bounce countries",
+        ["country", "emails", "hard", "soft", "major type", "share"],
+        fmt(soft),
+    ))
+    print(f"paper hard top-10: {PAPER_HARD}")
+    print(f"paper soft top-10: {PAPER_SOFT}")
+
+    hard_codes = {r.country for r in hard}
+    soft_codes = {r.country for r in soft}
+    # Overlap with the paper's lists (the pathologies are country-seeded,
+    # so several names should recur).
+    assert len(hard_codes & set(PAPER_HARD)) >= 2
+    assert len(soft_codes & set(PAPER_SOFT)) >= 2
+    # Venezuela's dead servers put it at/near the top of the hard list.
+    if any(r.country == "VE" for r in rows):
+        assert "VE" in {r.country for r in hard[:5]}
+    # The majors' home countries are not pathological.
+    assert "US" not in hard_codes
+    # Hard leaders are well above the global hard rate.
+    global_hard = sum(r.hard_fraction * r.email_volume for r in rows) / sum(
+        r.email_volume for r in rows
+    )
+    assert hard[0].hard_fraction > 2 * global_hard

@@ -1,0 +1,74 @@
+"""Section 4.3.2 — typo detection and morphology.
+
+Paper: 2K typo receiver domains (omission 37.14% > replacement 15.02% >
+bitsquatting 12.34%); 28K username typos (omission 43.92% > bitsquatting
+12.83% > replacement 10.58%); username typos are far more common than
+domain typos (2M vs 89K bounced emails).
+"""
+
+from collections import Counter
+
+from conftest import run_once
+
+from repro.analysis.report import pct, render_table
+from repro.analysis.typos import (
+    detect_domain_typos,
+    detect_username_typos,
+    typo_kind_distribution,
+)
+from repro.typosquat.generate import TypoKind
+
+
+def test_typo_detection_and_morphology(benchmark, labeled, world, probe_time):
+    def compute():
+        return (
+            detect_domain_typos(labeled, world.resolver, probe_time),
+            detect_username_typos(labeled),
+        )
+
+    domain_findings, username_findings = run_once(benchmark, compute)
+
+    def kind_rows(findings):
+        kinds = typo_kind_distribution(findings)
+        total = sum(kinds.values()) or 1
+        return [[k.value, n, pct(n / total)] for k, n in kinds.most_common()]
+
+    print()
+    print(render_table(
+        "Domain-typo morphology",
+        ["kind", "count", "share"],
+        kind_rows(domain_findings),
+    ))
+    print("paper: omission 37.14% > replacement 15.02% > bitsquatting 12.34%")
+    print()
+    print(render_table(
+        "Username-typo morphology",
+        ["kind", "count", "share"],
+        kind_rows(username_findings),
+    ))
+    print("paper: omission 43.92% > bitsquatting 12.83% > replacement 10.58%")
+
+    domain_emails = sum(f.n_emails for f in domain_findings)
+    username_emails = sum(f.n_emails for f in username_findings)
+    print(f"typo domains: {len(domain_findings)} ({domain_emails} emails); "
+          f"typo usernames: {len(username_findings)} ({username_emails} emails)")
+    print("paper: 2K typo domains (89K emails) vs 28K typo usernames (2M emails)")
+
+    assert domain_findings and username_findings
+    # Username typos dominate domain typos in email volume (paper: 22x).
+    assert username_emails > domain_emails
+    # Omission is the leading class overall.
+    combined = Counter()
+    combined.update(typo_kind_distribution(domain_findings))
+    combined.update(typo_kind_distribution(username_findings))
+    assert combined.most_common(1)[0][0] is TypoKind.OMISSION
+    # Detections are real injected typos (ground-truth check).
+    tagged = {
+        r.receiver.lower()
+        for r in labeled.dataset
+        if "username_typo" in r.truth_tags
+    }
+    detected = {f.typo_address for f in username_findings}
+    precision = len(detected & tagged) / len(detected)
+    print(f"username-typo detection precision vs ground truth: {pct(precision)}")
+    assert precision > 0.6

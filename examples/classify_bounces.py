@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Bounce-reason analytics: the paper's EBRC pipeline end to end.
+
+The scenario: an ESP postmaster wants to know *why* mail bounces.  The
+script trains the EBRC on the trace's NDR corpus (Drain clustering →
+expert labelling of head templates → classifier training → template
+majority voting), classifies every bounced email, and prints the Table 1
+type distribution and the Table 2 root-cause attribution.
+
+Run:  python examples/classify_bounces.py
+"""
+
+from repro import SimulationConfig, run_simulation
+from repro.analysis.label import EBRCLabeler, LabeledDataset
+from repro.analysis.report import pct, render_table
+from repro.analysis.rootcause import attribute_root_causes
+from repro.core.taxonomy import BounceType
+
+
+def main() -> None:
+    result = run_simulation(SimulationConfig(scale=0.08, seed=11))
+    world, dataset = result.world, result.dataset
+
+    print(f"training the EBRC on {len(dataset.ndr_messages()):,} NDR lines ...")
+    labeled = LabeledDataset(dataset, EBRCLabeler())
+    ebrc = labeled.labeler.ebrc
+    print(f"Drain mined {ebrc.n_templates} templates; "
+          f"{len(ebrc.expert_labeled_ids)} head templates expert-labelled; "
+          f"{len(ebrc.ambiguous_template_ids)} flagged ambiguous")
+
+    distribution = labeled.type_distribution()
+    total = sum(distribution.values())
+    print()
+    print(render_table(
+        "Bounce types (Table 1 shape)",
+        ["type", "meaning", "count", "share"],
+        [
+            [t.value, t.description[:48], distribution.get(t, 0),
+             pct(distribution.get(t, 0) / total)]
+            for t in BounceType
+        ],
+    ))
+    print(f"ambiguous NDRs excluded: {labeled.n_ambiguous()} "
+          f"of {labeled.n_bounced()} bounced emails")
+
+    print("\nattributing root causes (Table 2 shape) ...")
+    report = attribute_root_causes(
+        labeled, world.breach, world.resolver, world.clock.end_ts + 30 * 86_400
+    )
+    print(render_table(
+        "Root causes",
+        ["root cause", "type", "reason", "count", "share"],
+        [
+            [r.root_cause.value, r.bounce_type, r.reason, r.count,
+             pct(r.share_of(report.n_classified))]
+            for r in report.rows
+        ],
+    ))
+    active = report.active_protective_count()
+    passive = report.passive_accidental_count()
+    print(f"\nactive protective bounces:  {pct(active / report.n_classified)} "
+          f"(paper: 51.84%)")
+    print(f"passive accidental bounces: {pct(passive / report.n_classified)} "
+          f"(paper: 34.73%)")
+
+
+if __name__ == "__main__":
+    main()

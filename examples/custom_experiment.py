@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Design-your-own experiment: pluggable workloads + counterfactuals.
+
+The scenario: a researcher wants to test a hypothesis the paper doesn't
+cover — "how would a *targeted* spear-phishing campaign against one
+organisation fare, with and without blocklists?"  The script injects a
+custom attack flow via ``extra_workloads`` and runs it in the baseline
+world and in a no-blocklist counterfactual.
+
+Run:  python examples/custom_experiment.py
+"""
+
+from dataclasses import replace
+
+from repro import SimulationConfig, run_simulation
+from repro.workload.spec import EmailSpec
+
+BASE = SimulationConfig(scale=0.05, seed=88)
+
+
+def spear_phish_campaign(world, rng):
+    """200 spear-phishing emails at real mailboxes of one tail domain."""
+    target = next(
+        d for d in world.top_domains(80)
+        if not d.is_named_major and d.n_mailboxes >= 10 and not d.dead_server
+    )
+    attacker = world.attacker_domains()[0].users[0].address
+    usernames = list(target.mailboxes)
+    specs = []
+    for i in range(200):
+        username = rng.choice(usernames)
+        specs.append(EmailSpec(
+            t=world.clock.start_ts + rng.uniform(0.2, 0.8)
+            * (world.clock.end_ts - world.clock.start_ts),
+            sender=attacker,
+            receiver=f"{username}@{target.name}",
+            spamminess=min(max(rng.gauss(0.55, 0.15), 0.0), 1.0),
+            size_bytes=rng.randint(4_000, 30_000),
+            recipient_count=1,
+            tags=("spear_phish",),
+        ))
+    return specs
+
+
+def run(config):
+    result = run_simulation(config, extra_workloads=[spear_phish_campaign])
+    phish = [r for r in result.dataset if "spear_phish" in r.truth_tags]
+    delivered = sum(r.delivered for r in phish)
+    return len(phish), delivered
+
+
+def main() -> None:
+    print("injecting a 200-email spear-phishing campaign ...")
+    n, delivered = run(BASE)
+    print(f"baseline world:      {delivered}/{n} phishing emails delivered "
+          f"({delivered / n:.0%})")
+
+    n2, delivered2 = run(replace(BASE, disable_dnsbl=True))
+    print(f"no-blocklist world:  {delivered2}/{n2} delivered "
+          f"({delivered2 / n2:.0%})")
+
+    print("\nspear phishing mostly evades source-reputation defences: the "
+          "content is borderline (not bulk spam), the targets are real, and "
+          "only content filters and the sender's own flagging stand in the "
+          "way — consistent with the paper's §4.2.1 finding that guessed "
+          "addresses received 536 malicious emails.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Outgoing-reputation monitor (the paper's Section 4.2.2 + §6.2 advice).
+
+The scenario: the sender ESP monitors its proxy fleet's reputation and
+the cost of its delivery policies — blocklist listings per day, how much
+*normal* mail blocklists eat, how well proxy rotation recovers, and how
+much the spam-once policy costs given cross-ESP filter divergence.
+
+Run:  python examples/deliverability_monitor.py
+"""
+
+from repro import SimulationConfig, run_simulation
+from repro.analysis.blocklist import (
+    blocklist_recovery_rate,
+    chronically_listed_proxies,
+    filter_divergence,
+    greylisting_domains,
+    spamhaus_impact,
+)
+from repro.analysis.label import LabeledDataset, RuleLabeler
+from repro.analysis.report import pct
+
+
+def main() -> None:
+    result = run_simulation(SimulationConfig(scale=0.08, seed=31))
+    world, dataset = result.world, result.dataset
+    labeled = LabeledDataset(dataset, RuleLabeler())
+    clock = world.clock
+
+    impact = spamhaus_impact(labeled, world.dnsbl, world.fleet.ips, clock)
+    chronic = chronically_listed_proxies(world.dnsbl, world.fleet.ips, clock)
+    print("== proxy fleet reputation ==")
+    print(f"proxies: {len(world.fleet)}; listed on an average day: "
+          f"{impact.mean_listed_proxies:.1f} (paper: ~half of 34)")
+    print(f"chronically listed (>70% of days): {len(chronic)} proxies "
+          f"(paper: 5)")
+    for ip in chronic:
+        share = world.dnsbl.listed_fraction_of_days(ip, clock)
+        print(f"  {ip}: listed {pct(share)} of days  <- prioritise delisting")
+
+    print("\n== blocklist damage ==")
+    print(f"emails bounced by blocklists: {impact.total_blocked}")
+    print(f"of which flagged Normal by our own filter: "
+          f"{pct(impact.normal_blocked_fraction)} (paper: 78.06%)")
+    print(f"recovered by switching proxies: "
+          f"{pct(blocklist_recovery_rate(labeled))} (paper: 80.71%)")
+
+    print("\n== greylisting friction ==")
+    grey = greylisting_domains(labeled)
+    print(f"receiver domains that explicitly greylisted us: {len(grey)} "
+          f"(paper: 783)")
+    print("random per-retry proxies violate greylisting; consider sticky "
+          "retries toward greylisting domains (paper §6.2)")
+
+    print("\n== cross-ESP filter divergence ==")
+    divergence = filter_divergence(labeled)
+    print(f"our Spam that receivers accepted anyway: "
+          f"{pct(divergence.spam_accepted_fraction)} (paper: 46.49%)")
+    print(f"receiver-rejected spam we had flagged Normal: "
+          f"{pct(divergence.normal_rejected_fraction)} (paper: 39.46%)")
+    print("the spam-once policy forfeits deliverable mail; the redelivery "
+          "of receiver-rejected mail burns reputation (paper §4.2.2)")
+
+
+if __name__ == "__main__":
+    main()

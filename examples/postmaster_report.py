@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Postmaster report: recommendations + a real bounce DSN.
+
+The scenario: a weekly postmaster review.  The script runs the
+recommendation engine (the paper's Section 6.2 advice, grounded in the
+trace), then shows what one affected user actually experiences — the
+RFC 3464 bounce message for a hard-bounced email and the SMTP dialogue
+behind it.
+
+Run:  python examples/postmaster_report.py
+"""
+
+from repro import SimulationConfig, run_simulation
+from repro.analysis.label import LabeledDataset, RuleLabeler
+from repro.analysis.recommendations import build_recommendations
+from repro.core.taxonomy import BounceDegree
+from repro.smtp.dsn import dsn_for_record, render_dsn
+from repro.smtp.session import transcript_for_attempt
+
+
+def main() -> None:
+    result = run_simulation(SimulationConfig(scale=0.08, seed=47))
+    world, dataset = result.world, result.dataset
+    labeled = LabeledDataset(dataset, RuleLabeler())
+
+    print("== recommendations (paper §6.2) ==\n")
+    for rec in build_recommendations(labeled, world):
+        print(rec.render())
+        print()
+
+    hard = next(
+        r for r in dataset
+        if r.bounce_degree is BounceDegree.HARD_BOUNCED and not r.attempts[0].ambiguous
+    )
+    print("== what the sender receives (RFC 3464 DSN) ==\n")
+    print(render_dsn(dsn_for_record(hard)))
+
+    print("== what actually happened on the wire (final attempt) ==\n")
+    transcript = transcript_for_attempt(
+        hard.final_attempt(), hard.sender, hard.receiver,
+        mx_host=f"mx1.{hard.receiver_domain}",
+    )
+    print(transcript.render())
+    print(f"\noutcome: {transcript.outcome} at stage "
+          f"{transcript.reject_stage.value if transcript.reject_stage else '-'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Email-address squatting audit (the paper's Section 5 pipeline).
+
+The scenario: a security team audits an outgoing-mail trace for residual
+trust that squatters could capture — expired domains still receiving
+mail, typo domains users keep mistyping, and deleted webmail usernames
+that are open for re-registration.
+
+Run:  python examples/squatting_audit.py
+"""
+
+from repro import SimulationConfig, run_simulation
+from repro.analysis.label import LabeledDataset, RuleLabeler
+from repro.analysis.report import render_table
+from repro.analysis.squatting import squatting_report, weekly_vulnerable_series
+from repro.analysis.typos import detect_domain_typos, typo_kind_distribution
+
+
+def main() -> None:
+    result = run_simulation(SimulationConfig(scale=0.08, seed=23))
+    world, dataset = result.world, result.dataset
+    labeled = LabeledDataset(dataset, RuleLabeler())
+    probe_time = world.clock.end_ts + 30 * 86_400
+
+    print("identifying exploitable resources ...")
+    report = squatting_report(labeled, world, probe_time)
+
+    print()
+    print(render_table(
+        "Vulnerable (registrable) domains",
+        ["domain", "senders", "emails", "received mail before", "re-registered"],
+        [
+            [d.domain, d.n_senders, d.n_emails,
+             "yes" if d.historically_received else "no",
+             "yes" if d.reregistered else "no"]
+            for d in report.domains[:12]
+        ],
+    ))
+    rereg = report.reregistered_domains()
+    changed = [d for d in rereg if d.registrant_changed]
+    live_mail = [d for d in rereg if d.serves_mail]
+    print(f"\n{report.n_vulnerable_domains} vulnerable domains received "
+          f"{report.total_domain_emails()} emails from "
+          f"{report.total_domain_senders()} senders")
+    print(f"re-registered since: {len(rereg)}; with a NEW registrant: "
+          f"{len(changed)}; now serving mail: {len(live_mail)}")
+
+    print()
+    print(render_table(
+        "Vulnerable usernames at webmail providers",
+        ["address", "emails", "once worked", "third-party accounts"],
+        [
+            [u.address, u.n_emails,
+             "yes" if u.historically_received else "no",
+             ", ".join(u.website_accounts) or "-"]
+            for u in report.usernames[:12]
+        ],
+    ))
+
+    typos = detect_domain_typos(labeled, world.resolver, probe_time)
+    kinds = typo_kind_distribution(typos)
+    print("\ndomain-typo morphology:",
+          ", ".join(f"{k.value}={n}" for k, n in kinds.most_common()))
+
+    series = weekly_vulnerable_series(labeled, report, world.clock)
+    busy = sum(1 for e in series.emails if e > 0)
+    print(f"vulnerable traffic seen in {busy} of {series.n_weeks} weeks "
+          f"(paper: persistent across all 64 weeks)")
+    print("\nrecommendation (paper §6.2): protectively register high-traffic "
+          "typo domains; notify senders still mailing expired domains.")
+
+
+if __name__ == "__main__":
+    main()

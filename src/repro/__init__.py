@@ -1,0 +1,50 @@
+"""repro — a reproduction of "Bounce in the Wild" (IMC 2024).
+
+The package has three layers:
+
+1. **Substrates** (:mod:`repro.dnssim`, :mod:`repro.smtp`,
+   :mod:`repro.dnsbl`, :mod:`repro.mta`, :mod:`repro.netsim`,
+   :mod:`repro.geo`) — the mechanistic email world.
+2. **Simulator** (:mod:`repro.world`, :mod:`repro.workload`,
+   :mod:`repro.delivery`, :func:`repro.simulate.run_simulation`) — builds
+   a synthetic 15-month delivery log in the paper's Figure 3 format.
+3. **Methodology + analysis** (:mod:`repro.core`, :mod:`repro.analysis`)
+   — the paper's EBRC pipeline (Drain clustering, template labelling,
+   classifier, majority-vote prediction) and every measurement analysis
+   behind its tables and figures.
+
+Quickstart::
+
+    from repro import SimulationConfig, run_simulation
+    result = run_simulation(SimulationConfig(scale=0.1, seed=7))
+    print(result.dataset.summary())
+"""
+
+from repro.simulate import SimulationResult, run_simulation
+from repro.world.config import SimulationConfig
+from repro.delivery.dataset import DeliveryDataset
+from repro.delivery.records import AttemptRecord, DeliveryRecord
+from repro.core.taxonomy import (
+    BounceCategory,
+    BounceDegree,
+    BounceType,
+    CausativeEntity,
+    RootCause,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "run_simulation",
+    "DeliveryDataset",
+    "DeliveryRecord",
+    "AttemptRecord",
+    "BounceType",
+    "BounceCategory",
+    "BounceDegree",
+    "CausativeEntity",
+    "RootCause",
+    "__version__",
+]

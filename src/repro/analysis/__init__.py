@@ -1,0 +1,46 @@
+"""Measurement analyses: every table and figure of the paper.
+
+All analyses operate on the *observable* dataset (NDR text, attempt
+traces, IPs) plus the external services the paper also used (DNS, the
+registrar, the breach corpus, the DNSBL, geolocation).  Simulator ground
+truth (``truth_*`` fields) is only touched by evaluation benches.
+
+Module map (see DESIGN.md §3 for the experiment index):
+
+* :mod:`~repro.analysis.label` — attach bounce types to records (EBRC or
+  the fast rule labeler).
+* :mod:`~repro.analysis.degrees` — bounce degrees, daily/monthly series
+  (Fig 5).
+* :mod:`~repro.analysis.rootcause` — root-cause attribution (Tables 1–2).
+* :mod:`~repro.analysis.blocklist` — Spamhaus impact (Fig 6), greylisting,
+  filter divergence.
+* :mod:`~repro.analysis.misconfig` — error-duration estimation (Fig 7).
+* :mod:`~repro.analysis.infrastructure` — timeout matrix (Fig 8), latency
+  (Fig 10, Appendix C).
+* :mod:`~repro.analysis.typos` — domain/username typo detection (§4.3.2).
+* :mod:`~repro.analysis.squatting` — squatting risk (§5, Fig 9).
+* :mod:`~repro.analysis.malicious` — attacker detection (§4.2.1).
+* :mod:`~repro.analysis.rankings` — per-ESP/AS/country tables (Tables 3–5).
+* :mod:`~repro.analysis.ambiguous` — ambiguous NDR templates (Table 6).
+"""
+
+from repro.analysis.label import LabeledDataset, RuleLabeler, EBRCLabeler
+from repro.analysis.degrees import degree_breakdown
+from repro.analysis.rootcause import attribute_root_causes
+from repro.analysis.comparison import compare_to_paper, scorecard
+from repro.analysis.fullreport import full_report
+from repro.analysis.recommendations import build_recommendations
+from repro.analysis.squatting import squatting_report
+
+__all__ = [
+    "LabeledDataset",
+    "RuleLabeler",
+    "EBRCLabeler",
+    "degree_breakdown",
+    "attribute_root_causes",
+    "compare_to_paper",
+    "scorecard",
+    "full_report",
+    "build_recommendations",
+    "squatting_report",
+]

@@ -1,0 +1,184 @@
+"""Blocklist, greylisting, and spam-filter analyses (Section 4.2.2, Fig 6)."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.label import LabeledDataset
+from repro.core.taxonomy import BounceType
+from repro.dnsbl.service import DNSBLService
+from repro.util.clock import DAY_SECONDS, SimClock
+
+
+@dataclass
+class SpamhausImpact:
+    """Figure 6's two series plus the headline statistics."""
+
+    #: Per day: number of proxy MTAs listed at noon.
+    listed_proxies_per_day: list[int]
+    #: Per day: emails whose first failure was a blocklist rejection,
+    #: split by Coremail's own flag.
+    blocked_normal_per_day: list[int]
+    blocked_spam_per_day: list[int]
+
+    @property
+    def mean_listed_proxies(self) -> float:
+        if not self.listed_proxies_per_day:
+            return 0.0
+        return sum(self.listed_proxies_per_day) / len(self.listed_proxies_per_day)
+
+    @property
+    def total_blocked(self) -> int:
+        return sum(self.blocked_normal_per_day) + sum(self.blocked_spam_per_day)
+
+    @property
+    def normal_blocked_fraction(self) -> float:
+        """The paper's damning 78.06%: blocked emails that were Normal."""
+        total = self.total_blocked
+        return sum(self.blocked_normal_per_day) / total if total else 0.0
+
+    def blocked_in_range(self, day_lo: int, day_hi: int) -> float:
+        """Mean daily blocked volume in [day_lo, day_hi)."""
+        days = range(max(0, day_lo), min(len(self.blocked_normal_per_day), day_hi))
+        if not days:
+            return 0.0
+        return sum(
+            self.blocked_normal_per_day[d] + self.blocked_spam_per_day[d] for d in days
+        ) / len(days)
+
+
+def spamhaus_impact(
+    labeled: LabeledDataset,
+    dnsbl: DNSBLService,
+    proxy_ips: list[str],
+    clock: SimClock,
+) -> SpamhausImpact:
+    n_days = clock.n_days
+    listed = [
+        sum(1 for ip in proxy_ips if dnsbl.is_listed(ip, clock.day_start(d) + DAY_SECONDS / 2))
+        for d in range(n_days)
+    ]
+    normal = [0] * n_days
+    spam = [0] * n_days
+    for record, bounce_type in labeled.classified_records():
+        if bounce_type is not BounceType.T5:
+            continue
+        day = clock.day_index(record.start_time)
+        if not 0 <= day < n_days:
+            continue
+        if record.email_flag == "Spam":
+            spam[day] += 1
+        else:
+            normal[day] += 1
+    return SpamhausImpact(listed, normal, spam)
+
+
+def chronically_listed_proxies(
+    dnsbl: DNSBLService, proxy_ips: list[str], clock: SimClock, threshold: float = 0.7
+) -> list[str]:
+    """Proxies listed on more than ``threshold`` of window days (paper:
+    five proxies above 70%)."""
+    return [
+        ip for ip in proxy_ips if dnsbl.listed_fraction_of_days(ip, clock) > threshold
+    ]
+
+
+def blocklist_recovery_rate(labeled: LabeledDataset) -> float:
+    """Of emails whose first failure was T5, the share eventually
+    delivered after changing proxies (paper: 80.71%)."""
+    total = recovered = 0
+    for record, bounce_type in labeled.classified_records():
+        if bounce_type is not BounceType.T5:
+            continue
+        total += 1
+        if record.delivered:
+            recovered += 1
+    return recovered / total if total else 0.0
+
+
+def greylisting_domains(labeled: LabeledDataset) -> set[str]:
+    """Receiver domains that explicitly advertise greylisting in NDRs."""
+    domains: set[str] = set()
+    for record, bounce_type in labeled.classified_records():
+        if bounce_type is BounceType.T6:
+            domains.add(record.receiver_domain)
+    return domains
+
+
+@dataclass
+class FilterDivergence:
+    """Cross-ESP spam-filter disagreement (Section 4.2.2)."""
+
+    #: Coremail said Spam; receivers accepted anyway.
+    coremail_spam_receiver_accepts: int
+    coremail_spam_total: int
+    #: Receiver rejected as spam (T13); Coremail had flagged Normal.
+    receiver_spam_coremail_normal: int
+    receiver_spam_total: int
+
+    @property
+    def spam_accepted_fraction(self) -> float:
+        """Paper: 46.49% of Coremail-Spam is not spam to receivers."""
+        if not self.coremail_spam_total:
+            return 0.0
+        return self.coremail_spam_receiver_accepts / self.coremail_spam_total
+
+    @property
+    def normal_rejected_fraction(self) -> float:
+        """Paper: 39.46% of receiver-rejected spam was Normal to Coremail."""
+        if not self.receiver_spam_total:
+            return 0.0
+        return self.receiver_spam_coremail_normal / self.receiver_spam_total
+
+
+def filter_divergence(labeled: LabeledDataset) -> FilterDivergence:
+    coremail_spam_total = 0
+    coremail_spam_accepted = 0
+    receiver_spam_total = 0
+    receiver_spam_normal = 0
+
+    t13_records = {id(r) for r, t in labeled.classified_records() if t is BounceType.T13}
+    for record in labeled.dataset:
+        if record.email_flag == "Spam":
+            coremail_spam_total += 1
+            if record.delivered:
+                coremail_spam_accepted += 1
+        if id(record) in t13_records:
+            receiver_spam_total += 1
+            if record.email_flag == "Normal":
+                receiver_spam_normal += 1
+
+    return FilterDivergence(
+        coremail_spam_receiver_accepts=coremail_spam_accepted,
+        coremail_spam_total=coremail_spam_total,
+        receiver_spam_coremail_normal=receiver_spam_normal,
+        receiver_spam_total=receiver_spam_total,
+    )
+
+
+def dnsbl_adoption_counts(labeled: LabeledDataset, clock: SimClock) -> Counter:
+    """Receiver domains first observed rejecting via the blocklist, by
+    month (reveals the February-2023 adoption step of Fig 6)."""
+    first_seen: dict[str, float] = {}
+    for record, bounce_type in labeled.classified_records():
+        if bounce_type is not BounceType.T5:
+            continue
+        domain = record.receiver_domain
+        t = record.start_time
+        if domain not in first_seen or t < first_seen[domain]:
+            first_seen[domain] = t
+    return Counter(clock.month_key(t) for t in first_seen.values())
+
+
+def greylist_pass_delays(labeled: LabeledDataset) -> list[float]:
+    """Observed delays (seconds) between a greylist deferral and the
+    eventual acceptance of the same email — the latency cost greylisting
+    imposes on legitimate senders."""
+    delays: list[float] = []
+    for record, bounce_type in labeled.classified_records():
+        if bounce_type is not BounceType.T6 or not record.delivered:
+            continue
+        success = next(a for a in record.attempts if a.succeeded)
+        delays.append(success.t - record.start_time)
+    return sorted(delays)

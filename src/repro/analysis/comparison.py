@@ -1,0 +1,105 @@
+"""Paper-vs-measured comparison.
+
+A machine-checkable version of EXPERIMENTS.md: every headline constant
+the paper reports, the matching measurement over a labeled dataset, and
+a tolerance band expressing "same regime".  The CLI's ``compare``
+subcommand and the summary bench print the scorecard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.blocklist import (
+    blocklist_recovery_rate,
+    filter_divergence,
+    spamhaus_impact,
+)
+from repro.analysis.degrees import degree_breakdown, mean_attempts_soft_bounced
+from repro.analysis.label import LabeledDataset
+from repro.core.taxonomy import BounceType
+from repro.world.model import WorldModel
+
+
+@dataclass(frozen=True)
+class Comparison:
+    name: str
+    paper_value: float
+    measured: float
+    #: Multiplicative tolerance: measured within [paper/f, paper*f].
+    factor: float
+    unit: str = "%"
+
+    @property
+    def in_regime(self) -> bool:
+        lo = self.paper_value / self.factor
+        hi = self.paper_value * self.factor
+        return lo <= self.measured <= hi
+
+    def render(self) -> str:
+        flag = "ok " if self.in_regime else "OFF"
+        return (
+            f"[{flag}] {self.name}: paper {self.paper_value:g}{self.unit}, "
+            f"measured {self.measured:.2f}{self.unit} (tolerance x{self.factor:g})"
+        )
+
+
+def _type_share(labeled: LabeledDataset, bounce_type: BounceType) -> float:
+    distribution = labeled.type_distribution()
+    total = sum(distribution.values()) or 1
+    return 100.0 * distribution.get(bounce_type, 0) / total
+
+
+def compare_to_paper(labeled: LabeledDataset, world: WorldModel) -> list[Comparison]:
+    """The headline scorecard (percent units unless noted)."""
+    dataset = labeled.dataset
+    breakdown = degree_breakdown(dataset)
+    impact = spamhaus_impact(labeled, world.dnsbl, world.fleet.ips, world.clock)
+    divergence = filter_divergence(labeled)
+
+    out = [
+        Comparison("non-bounced share", 87.07, 100 * breakdown.non_fraction, 1.25),
+        Comparison("soft-bounced share", 4.82, 100 * breakdown.soft_fraction, 3.0),
+        Comparison("hard-bounced share", 8.11, 100 * breakdown.hard_fraction, 2.2),
+        Comparison(
+            "failures recovered by retrying", 33.0,
+            100 * breakdown.recovered_fraction, 1.8,
+        ),
+        Comparison(
+            "mean attempts of soft-bounced", 3.0,
+            mean_attempts_soft_bounced(dataset), 1.5, unit="",
+        ),
+        Comparison("T5 (blocklist) share of bounces", 31.10, _type_share(labeled, BounceType.T5), 1.8),
+        Comparison("T2 (DNS) share of bounces", 20.06, _type_share(labeled, BounceType.T2), 2.5),
+        Comparison("T14 (timeout) share of bounces", 15.04, _type_share(labeled, BounceType.T14), 1.8),
+        Comparison("T13 (spam) share of bounces", 9.31, _type_share(labeled, BounceType.T13), 2.0),
+        Comparison("T8 (no-user) share of bounces", 7.46, _type_share(labeled, BounceType.T8), 2.0),
+        Comparison("T16 (unknown) share of bounces", 4.26, _type_share(labeled, BounceType.T16), 2.2),
+        Comparison(
+            "proxies listed per day", 17.0, impact.mean_listed_proxies, 1.6, unit="",
+        ),
+        Comparison(
+            "blocklist recovery after proxy change", 80.71,
+            100 * blocklist_recovery_rate(labeled), 1.35,
+        ),
+        Comparison(
+            "blocked emails flagged Normal", 78.06,
+            100 * impact.normal_blocked_fraction, 1.35,
+        ),
+        Comparison(
+            "own-Spam accepted by receivers", 46.49,
+            100 * divergence.spam_accepted_fraction, 1.7,
+        ),
+        Comparison(
+            "receiver-spam flagged Normal by us", 39.46,
+            100 * divergence.normal_rejected_fraction, 1.7,
+        ),
+    ]
+    return out
+
+
+def scorecard(comparisons: list[Comparison]) -> tuple[int, int]:
+    """(in-regime, total)."""
+    hits = sum(1 for c in comparisons if c.in_regime)
+    return hits, len(comparisons)

@@ -1,0 +1,151 @@
+"""Bounce-degree statistics and temporal series (Section 4.1, Figure 5)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.taxonomy import BounceDegree
+from repro.delivery.dataset import DeliveryDataset
+from repro.util.clock import SimClock
+
+
+@dataclass(frozen=True)
+class DegreeBreakdown:
+    n_emails: int
+    n_non: int
+    n_soft: int
+    n_hard: int
+
+    @property
+    def non_fraction(self) -> float:
+        return self.n_non / self.n_emails if self.n_emails else 0.0
+
+    @property
+    def soft_fraction(self) -> float:
+        return self.n_soft / self.n_emails if self.n_emails else 0.0
+
+    @property
+    def hard_fraction(self) -> float:
+        return self.n_hard / self.n_emails if self.n_emails else 0.0
+
+    @property
+    def first_attempt_failure_fraction(self) -> float:
+        return (self.n_soft + self.n_hard) / self.n_emails if self.n_emails else 0.0
+
+    @property
+    def recovered_fraction(self) -> float:
+        """Of first-attempt failures, the share eventually delivered
+        (the paper: ~one-third)."""
+        bounced = self.n_soft + self.n_hard
+        return self.n_soft / bounced if bounced else 0.0
+
+
+def degree_breakdown(dataset: DeliveryDataset) -> DegreeBreakdown:
+    counts = Counter(r.bounce_degree for r in dataset)
+    return DegreeBreakdown(
+        n_emails=len(dataset),
+        n_non=counts.get(BounceDegree.NON_BOUNCED, 0),
+        n_soft=counts.get(BounceDegree.SOFT_BOUNCED, 0),
+        n_hard=counts.get(BounceDegree.HARD_BOUNCED, 0),
+    )
+
+
+@dataclass
+class DailySeries:
+    """Per-day email counts by degree (the bar chart of Fig 5)."""
+
+    days: list[int]
+    non_bounced: list[int]
+    soft_bounced: list[int]
+    hard_bounced: list[int]
+
+    def total(self, day_index: int) -> int:
+        i = self.days.index(day_index)
+        return self.non_bounced[i] + self.soft_bounced[i] + self.hard_bounced[i]
+
+
+def daily_series(dataset: DeliveryDataset, clock: SimClock) -> DailySeries:
+    n_days = clock.n_days
+    non = [0] * n_days
+    soft = [0] * n_days
+    hard = [0] * n_days
+    for record in dataset:
+        day = clock.day_index(record.start_time)
+        if not 0 <= day < n_days:
+            continue
+        degree = record.bounce_degree
+        if degree is BounceDegree.NON_BOUNCED:
+            non[day] += 1
+        elif degree is BounceDegree.SOFT_BOUNCED:
+            soft[day] += 1
+        else:
+            hard[day] += 1
+    return DailySeries(list(range(n_days)), non, soft, hard)
+
+
+def monthly_series(dataset: DeliveryDataset, clock: SimClock) -> dict[str, int]:
+    """Emails per calendar month (the line chart of Fig 5)."""
+    counts: Counter = Counter()
+    for record in dataset:
+        counts[clock.month_key(record.start_time)] += 1
+    return {k: counts.get(k, 0) for k in clock.month_keys()}
+
+
+def weekday_weekend_ratio(dataset: DeliveryDataset, clock: SimClock) -> float:
+    """Mean weekend daily volume over mean weekday daily volume (the paper
+    observes a clear weekend dip)."""
+    series = daily_series(dataset, clock)
+    weekday_totals: list[int] = []
+    weekend_totals: list[int] = []
+    for day in series.days:
+        total = series.non_bounced[day] + series.soft_bounced[day] + series.hard_bounced[day]
+        if clock.is_weekend(clock.day_start(day) + 1):
+            weekend_totals.append(total)
+        else:
+            weekday_totals.append(total)
+    if not weekday_totals or not weekend_totals:
+        return 1.0
+    weekday_mean = sum(weekday_totals) / len(weekday_totals)
+    weekend_mean = sum(weekend_totals) / len(weekend_totals)
+    return weekend_mean / weekday_mean if weekday_mean else 1.0
+
+
+def mean_attempts_soft_bounced(dataset: DeliveryDataset) -> float:
+    """Average deliveries for soft-bounced emails (paper: three)."""
+    soft = dataset.soft_bounced()
+    if not len(soft):
+        return 0.0
+    return sum(r.n_attempts for r in soft) / len(soft)
+
+
+@dataclass(frozen=True)
+class RecoveryTiming:
+    """How long soft-bounced emails took to finally deliver."""
+
+    n_recovered: int
+    mean_hours: float
+    median_hours: float
+    p90_hours: float
+
+
+def recovery_timing(dataset: DeliveryDataset) -> RecoveryTiming:
+    """Time-to-recovery of soft-bounced emails (first attempt to final
+    acceptance) — the timeliness cost of retry-based recovery the paper
+    highlights for blocklist bounces."""
+    delays = []
+    for record in dataset:
+        if record.bounce_degree is not BounceDegree.SOFT_BOUNCED:
+            continue
+        success = next(a for a in record.attempts if a.succeeded)
+        delays.append((success.t - record.start_time) / 3600.0)
+    if not delays:
+        return RecoveryTiming(0, 0.0, 0.0, 0.0)
+    delays.sort()
+    n = len(delays)
+    return RecoveryTiming(
+        n_recovered=n,
+        mean_hours=sum(delays) / n,
+        median_hours=delays[n // 2],
+        p90_hours=delays[min(n - 1, int(n * 0.9))],
+    )

@@ -1,0 +1,125 @@
+"""NDR dialect fingerprinting.
+
+Receiver domains that share mail infrastructure answer in the same
+vendor voice: every Exchange-fronted domain produces the same template
+family, every Postfix shop the same ``Recipient address rejected``
+phrasing.  This analysis clusters each receiver domain's NDR corpus into
+Drain templates and groups domains by fingerprint overlap — recovering
+hosting relationships from text alone (the trick behind the paper's
+identification of Microsoft's ambiguous template as one vendor's voice).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.label import LabeledDataset
+from repro.core.drain import Drain
+
+
+@dataclass(frozen=True)
+class DomainFingerprint:
+    domain: str
+    n_messages: int
+    template_ids: frozenset[int]
+    dominant_template: int
+
+
+@dataclass
+class DialectReport:
+    fingerprints: dict[str, DomainFingerprint]
+    #: cluster id -> member domains (clusters of shared infrastructure)
+    clusters: dict[int, list[str]]
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.clusters)
+
+    def cluster_of(self, domain: str) -> int | None:
+        for cid, members in self.clusters.items():
+            if domain in members:
+                return cid
+        return None
+
+    def largest_clusters(self, top: int = 5) -> list[list[str]]:
+        ordered = sorted(self.clusters.values(), key=len, reverse=True)
+        return ordered[:top]
+
+
+def fingerprint_domains(
+    labeled: LabeledDataset,
+    min_messages: int = 8,
+    drain: Drain | None = None,
+) -> dict[str, DomainFingerprint]:
+    """Template-set fingerprint per receiver domain (receiver-side NDRs
+    only — sender-generated T2/T14/T15 text is Coremail's own voice)."""
+    drain = drain or Drain(sim_threshold=0.45)
+    per_domain: dict[str, Counter] = defaultdict(Counter)
+    for record in labeled.dataset:
+        for attempt in record.attempts:
+            if attempt.succeeded or not attempt.to_ip:
+                continue
+            template = drain.add(attempt.result)
+            per_domain[record.receiver_domain][template.template_id] += 1
+
+    out: dict[str, DomainFingerprint] = {}
+    for domain, counter in per_domain.items():
+        total = sum(counter.values())
+        if total < min_messages:
+            continue
+        out[domain] = DomainFingerprint(
+            domain=domain,
+            n_messages=total,
+            template_ids=frozenset(counter),
+            dominant_template=counter.most_common(1)[0][0],
+        )
+    return out
+
+
+def _jaccard(a: frozenset[int], b: frozenset[int]) -> float:
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+def cluster_by_dialect(
+    fingerprints: dict[str, DomainFingerprint],
+    similarity_threshold: float = 0.5,
+) -> dict[int, list[str]]:
+    """Greedy single-link clustering of fingerprints by Jaccard overlap."""
+    domains = sorted(fingerprints)
+    parent = {d: d for d in domains}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for i, a in enumerate(domains):
+        fa = fingerprints[a]
+        for b in domains[i + 1:]:
+            fb = fingerprints[b]
+            if _jaccard(fa.template_ids, fb.template_ids) >= similarity_threshold:
+                union(a, b)
+
+    groups: dict[str, list[str]] = defaultdict(list)
+    for d in domains:
+        groups[find(d)].append(d)
+    return {i: members for i, (_, members) in enumerate(sorted(groups.items()))}
+
+
+def dialect_report(
+    labeled: LabeledDataset,
+    min_messages: int = 8,
+    similarity_threshold: float = 0.5,
+) -> DialectReport:
+    fingerprints = fingerprint_domains(labeled, min_messages=min_messages)
+    clusters = cluster_by_dialect(fingerprints, similarity_threshold)
+    return DialectReport(fingerprints=fingerprints, clusters=clusters)

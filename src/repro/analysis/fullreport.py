@@ -1,0 +1,161 @@
+"""One-call analysis suite.
+
+``full_report(result)`` runs every analysis the paper reports and renders
+a single text document — the programmatic equivalent of reading Sections
+4–5 of the paper for your own trace.  Used by ``repro-bounce report
+--full`` and by downstream users who just want the whole picture.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.analysis.ambiguous import ambiguous_template_report, enhanced_code_coverage
+from repro.analysis.blocklist import (
+    blocklist_recovery_rate,
+    chronically_listed_proxies,
+    filter_divergence,
+    greylisting_domains,
+    spamhaus_impact,
+)
+from repro.analysis.degrees import (
+    degree_breakdown,
+    mean_attempts_soft_bounced,
+    recovery_timing,
+)
+from repro.analysis.infrastructure import latency_report, timeout_matrix, continent_of
+from repro.analysis.label import LabeledDataset, NDRLabeler, RuleLabeler
+from repro.analysis.malicious import detect_bulk_spammers, detect_guessing_campaigns
+from repro.analysis.misconfig import (
+    auth_error_durations,
+    mx_error_durations,
+    quota_error_durations,
+)
+from repro.analysis.rankings import table3_top_domains
+from repro.analysis.report import pct, render_table
+from repro.analysis.rootcause import attribute_root_causes
+from repro.analysis.squatting import squatting_report
+from repro.analysis.stages import early_rejection_share, rejection_stages
+from repro.core.taxonomy import BounceType
+from repro.simulate import SimulationResult
+
+
+def full_report(
+    result: SimulationResult,
+    labeler: NDRLabeler | None = None,
+    top: int = 10,
+) -> str:
+    """Render the complete analysis suite for a simulation result."""
+    world = result.world
+    dataset = result.dataset
+    labeled = LabeledDataset(dataset, labeler or RuleLabeler())
+    out = StringIO()
+    w = out.write
+
+    # -- overview ------------------------------------------------------------
+    breakdown = degree_breakdown(dataset)
+    timing = recovery_timing(dataset)
+    w("==== Overview (Section 4.1) ====\n")
+    w(f"emails: {len(dataset):,}; non/soft/hard: "
+      f"{pct(breakdown.non_fraction)} / {pct(breakdown.soft_fraction)} / "
+      f"{pct(breakdown.hard_fraction)}\n")
+    w(f"recovered after retries: {pct(breakdown.recovered_fraction)}; "
+      f"mean attempts of soft-bounced: "
+      f"{mean_attempts_soft_bounced(dataset):.2f}; median recovery "
+      f"{timing.median_hours:.1f} h\n\n")
+
+    # -- types + root causes -----------------------------------------------------
+    distribution = labeled.type_distribution()
+    total = sum(distribution.values()) or 1
+    w(render_table(
+        "Bounce types (Table 1)",
+        ["type", "count", "share"],
+        [[t.value, n, pct(n / total)] for t, n in distribution.most_common()],
+    ))
+    w(f"\nambiguous NDRs excluded: {labeled.n_ambiguous()}\n\n")
+
+    causes = attribute_root_causes(
+        labeled, world.breach, world.resolver, world.clock.end_ts + 30 * 86_400
+    )
+    w(render_table(
+        "Root causes (Table 2)",
+        ["cause", "type", "reason", "count"],
+        [[r.root_cause.value, r.bounce_type, r.reason, r.count] for r in causes.rows],
+    ))
+    w(f"\nactive protective {pct(causes.active_protective_count() / total)} vs "
+      f"passive accidental {pct(causes.passive_accidental_count() / total)}\n\n")
+
+    # -- blocklists -------------------------------------------------------------------
+    impact = spamhaus_impact(labeled, world.dnsbl, world.fleet.ips, world.clock)
+    divergence = filter_divergence(labeled)
+    w("==== Blocklists and filters (Section 4.2.2) ====\n")
+    w(f"proxies listed/day: {impact.mean_listed_proxies:.1f} of "
+      f"{len(world.fleet)}; chronic: "
+      f"{len(chronically_listed_proxies(world.dnsbl, world.fleet.ips, world.clock))}\n")
+    w(f"blocked emails: {impact.total_blocked} "
+      f"({pct(impact.normal_blocked_fraction)} Normal); recovery by proxy "
+      f"rotation: {pct(blocklist_recovery_rate(labeled))}\n")
+    w(f"greylisting domains: {len(greylisting_domains(labeled))}\n")
+    w(f"filter divergence: {pct(divergence.spam_accepted_fraction)} of our "
+      f"Spam accepted; {pct(divergence.normal_rejected_fraction)} of their "
+      f"rejections were our Normal\n\n")
+
+    # -- misconfiguration -----------------------------------------------------------------
+    auth = auth_error_durations(labeled, world.clock)
+    mx = mx_error_durations(labeled, world.clock)
+    quota = quota_error_durations(labeled, world.clock)
+    w("==== Misconfiguration durations (Fig 7) ====\n")
+    w(f"DKIM/SPF: {auth.n_entities} domains, mean {auth.mean_days:.1f} d; "
+      f"MX: {mx.n_entities} domains, median {mx.median_days:.1f} d; "
+      f"quota: {quota.n_entities} mailboxes, >30 d: "
+      f"{pct(quota.fraction_over(30.0))}\n\n")
+
+    # -- infrastructure -----------------------------------------------------------------------
+    matrix = timeout_matrix(labeled, world.geo)
+    worst = matrix.worst_countries(top=10, min_emails=30)
+    latency = latency_report(labeled, world.geo)
+    w("==== Infrastructure (Fig 8 / Fig 10) ====\n")
+    w("worst countries by timeout ratio: "
+      + ", ".join(f"{c} {100 * r:.0f}% ({continent_of(c)[:2]})" for c, r in worst[:8])
+      + "\n")
+    w(f"global latency mean/median: {latency.global_mean():.1f}s / "
+      f"{latency.global_median():.1f}s\n\n")
+
+    # -- attackers --------------------------------------------------------------------------------
+    campaigns = detect_guessing_campaigns(labeled)
+    spam = detect_bulk_spammers(
+        dataset, world.breach, dnsbl=world.dnsbl,
+        probe_time=world.clock.end_ts - 1,
+    )
+    w("==== Malicious delivery (Section 4.2.1) ====\n")
+    w(f"guessing campaigns: {len(campaigns)}; bulk spammers: {len(spam)} "
+      f"({sum(1 for r in spam if r.spamhaus_flagged)} Spamhaus-flagged)\n\n")
+
+    # -- squatting ---------------------------------------------------------------------------------
+    squat = squatting_report(labeled, world)
+    w("==== Squatting (Section 5) ====\n")
+    w(f"vulnerable domains: {squat.n_vulnerable_domains} "
+      f"({squat.total_domain_emails()} emails); usernames: "
+      f"{squat.n_vulnerable_usernames}; re-registered: "
+      f"{len(squat.reregistered_domains())}\n\n")
+
+    # -- ambiguity + stages ----------------------------------------------------------------------------
+    messages = dataset.ndr_messages()
+    ambiguity = ambiguous_template_report(messages[:30_000])
+    stages = rejection_stages(labeled)
+    w("==== NDR quality (Appendix B) ====\n")
+    w(f"ambiguous NDR share: {pct(ambiguity.ambiguous_fraction)}; "
+      f"enhanced-code coverage: {pct(enhanced_code_coverage(messages))}\n")
+    w(f"rejections before message data: {pct(early_rejection_share(stages))}\n\n")
+
+    # -- top receivers --------------------------------------------------------------------------------------
+    w(render_table(
+        f"Top-{top} receiver domains (Table 3)",
+        ["domain", "emails", "hard", "soft"],
+        [
+            [r.key, r.email_volume, pct(r.hard_fraction), pct(r.soft_fraction)]
+            for r in table3_top_domains(labeled, top=top)
+        ],
+    ))
+    w("\n")
+    return out.getvalue()

@@ -1,0 +1,277 @@
+"""Email-infrastructure quality (Section 4.3.3, Figure 8; Appendix C,
+Figure 10).
+
+The "poor degree" of a country is N2/N1 where N1 is the number of emails
+sent there and N2 the number soft-bounced by SMTP session timeout.  The
+receiver country comes from geolocating the attempt's destination IP (the
+ip-api role → :class:`~repro.geo.ipaddr.GeoLookup`).  Latency analyses use
+only successful deliveries, as the paper does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.label import LabeledDataset
+from repro.core.taxonomy import BounceDegree, BounceType
+from repro.geo.countries import FAST_INTERNET_THRESHOLD_MBPS, country_by_code
+from repro.geo.ipaddr import GeoLookup
+
+
+def _receiver_country(geo: GeoLookup, record) -> str | None:
+    for attempt in record.attempts:
+        if attempt.to_ip:
+            try:
+                return geo.country(attempt.to_ip)
+            except KeyError:
+                return None
+    return None
+
+
+def _sender_country(geo: GeoLookup, attempt) -> str | None:
+    try:
+        return geo.country(attempt.from_ip)
+    except KeyError:
+        return None
+
+
+@dataclass
+class TimeoutMatrix:
+    """Timeout ratio per (sender country, receiver country)."""
+
+    #: (sender, receiver) -> (emails, timeout-bounced emails)
+    cells: dict[tuple[str, str], tuple[int, int]]
+    #: receiver country -> total emails (for the exclusion threshold)
+    volume: Counter
+
+    def ratio(self, sender: str, receiver: str) -> float | None:
+        cell = self.cells.get((sender, receiver))
+        if cell is None or cell[0] == 0:
+            return None
+        return cell[1] / cell[0]
+
+    def country_ratio(self, receiver: str) -> float | None:
+        total = timeouts = 0
+        for (s, r), (n, k) in self.cells.items():
+            if r == receiver:
+                total += n
+                timeouts += k
+        if total == 0:
+            return None
+        return timeouts / total
+
+    def receiver_countries(self) -> list[str]:
+        return sorted(self.volume)
+
+    def worst_countries(self, top: int, min_emails: int) -> list[tuple[str, float]]:
+        """Top-N poorest-infrastructure countries above the volume
+        threshold (the paper excludes countries with <1000 emails)."""
+        ranked = []
+        for country in self.receiver_countries():
+            if self.volume[country] < min_emails:
+                continue
+            ratio = self.country_ratio(country)
+            if ratio is not None:
+                ranked.append((country, ratio))
+        ranked.sort(key=lambda cr: cr[1], reverse=True)
+        return ranked[:top]
+
+
+def timeout_matrix(
+    labeled: LabeledDataset,
+    geo: GeoLookup,
+    sender_countries: tuple[str, ...] = ("US", "DE", "GB", "HK"),
+) -> TimeoutMatrix:
+    """Fig 8: the paper drops Singapore/India proxies (too little volume)."""
+    counts: dict[tuple[str, str], list[int]] = defaultdict(lambda: [0, 0])
+    volume: Counter = Counter()
+    labeled_types = labeled.record_types
+    for i, record in enumerate(labeled.dataset):
+        receiver = _receiver_country(geo, record)
+        if receiver is None:
+            continue
+        first = record.attempts[0]
+        sender = _sender_country(geo, first)
+        if sender is None or sender not in sender_countries:
+            continue
+        volume[receiver] += 1
+        cell = counts[(sender, receiver)]
+        cell[0] += 1
+        bounce_type = labeled_types.get(i)
+        if (
+            bounce_type is BounceType.T14
+            and record.bounce_degree is BounceDegree.SOFT_BOUNCED
+        ):
+            cell[1] += 1
+    return TimeoutMatrix(
+        cells={k: (v[0], v[1]) for k, v in counts.items()}, volume=volume
+    )
+
+
+def continent_of(country_code: str) -> str:
+    return country_by_code(country_code).continent
+
+
+# ---------------------------------------------------------------------------
+# latency (Fig 10 / Appendix C)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LatencyReport:
+    #: receiver country -> sorted successful latencies (seconds)
+    by_country: dict[str, list[float]]
+
+    def median(self, country: str) -> float | None:
+        values = self.by_country.get(country)
+        if not values:
+            return None
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return (values[mid - 1] + values[mid]) / 2
+
+    def global_mean(self) -> float:
+        values = [v for vs in self.by_country.values() for v in vs]
+        return sum(values) / len(values) if values else 0.0
+
+    def global_median(self) -> float:
+        values = sorted(v for vs in self.by_country.values() for v in vs)
+        if not values:
+            return 0.0
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return (values[mid - 1] + values[mid]) / 2
+
+    def medians(self, min_samples: int = 30) -> dict[str, float]:
+        out = {}
+        for country, values in self.by_country.items():
+            if len(values) >= min_samples:
+                median = self.median(country)
+                if median is not None:
+                    out[country] = median
+        return out
+
+    def fraction_under(self, seconds: float, min_samples: int = 30) -> float:
+        """Share of countries with median latency below ``seconds``
+        (paper: 85.82% of countries under 30 s)."""
+        medians = self.medians(min_samples)
+        if not medians:
+            return 0.0
+        return sum(1 for m in medians.values() if m < seconds) / len(medians)
+
+    def speed_tier_stats(self, min_samples: int = 30) -> dict[str, tuple[float, float]]:
+        """mean/median latency for fast- vs slow-internet countries."""
+        fast: list[float] = []
+        slow: list[float] = []
+        for country, values in self.by_country.items():
+            if len(values) < min_samples:
+                continue
+            try:
+                info = country_by_code(country)
+            except KeyError:
+                continue
+            bucket = fast if info.speed_mbps >= FAST_INTERNET_THRESHOLD_MBPS else slow
+            bucket.extend(values)
+        def stats(values: list[float]) -> tuple[float, float]:
+            if not values:
+                return (0.0, 0.0)
+            ordered = sorted(values)
+            mid = len(ordered) // 2
+            median = ordered[mid] if len(ordered) % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+            return (sum(ordered) / len(ordered), median)
+        return {"fast": stats(fast), "slow": stats(slow)}
+
+
+def latency_report(labeled: LabeledDataset, geo: GeoLookup) -> LatencyReport:
+    by_country: dict[str, list[float]] = defaultdict(list)
+    for record in labeled.dataset:
+        latency = record.successful_latency_ms()
+        if latency is None:
+            continue
+        receiver = _receiver_country(geo, record)
+        if receiver is None:
+            continue
+        by_country[receiver].append(latency / 1000.0)
+    for values in by_country.values():
+        values.sort()
+    return LatencyReport(dict(by_country))
+
+
+def pair_median_latency(
+    labeled: LabeledDataset, geo: GeoLookup
+) -> dict[tuple[str, str], float]:
+    """Median successful latency per (sender country, receiver country) —
+    the Appendix C observation that Cambodia is served far better from
+    Hong Kong than from any other proxy."""
+    values: dict[tuple[str, str], list[float]] = defaultdict(list)
+    for record in labeled.dataset:
+        for attempt in record.attempts:
+            if not attempt.succeeded or not attempt.to_ip:
+                continue
+            sender = _sender_country(geo, attempt)
+            try:
+                receiver = geo.country(attempt.to_ip)
+            except KeyError:
+                continue
+            if sender is not None:
+                values[(sender, receiver)].append(attempt.latency_ms / 1000.0)
+    out: dict[tuple[str, str], float] = {}
+    for key, vs in values.items():
+        vs.sort()
+        mid = len(vs) // 2
+        out[key] = vs[mid] if len(vs) % 2 else (vs[mid - 1] + vs[mid]) / 2
+    return out
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def latency_percentiles(
+    report: LatencyReport, country: str
+) -> dict[str, float] | None:
+    """p25/p50/p75/p95 of successful-delivery latency for one country."""
+    values = report.by_country.get(country)
+    if not values:
+        return None
+    return {
+        "p25": _percentile(values, 0.25),
+        "p50": _percentile(values, 0.50),
+        "p75": _percentile(values, 0.75),
+        "p95": _percentile(values, 0.95),
+    }
+
+
+def sender_location_spread(
+    labeled: LabeledDataset, geo: GeoLookup, min_samples: int = 15
+) -> dict[str, float]:
+    """Appendix C: per receiver country, the spread (max − min) of median
+    latency across sender proxy locations.  The paper finds an average
+    difference of 3.77 s, with Cambodia/Angola/Bolivia extreme."""
+    pairs = pair_median_latency(labeled, geo)
+    counts: dict[tuple[str, str], int] = defaultdict(int)
+    for record in labeled.dataset:
+        for attempt in record.attempts:
+            if attempt.succeeded and attempt.to_ip:
+                sender = _sender_country(geo, attempt)
+                try:
+                    receiver = geo.country(attempt.to_ip)
+                except KeyError:
+                    continue
+                if sender is not None:
+                    counts[(sender, receiver)] += 1
+    by_receiver: dict[str, list[float]] = defaultdict(list)
+    for (sender, receiver), median in pairs.items():
+        if counts[(sender, receiver)] >= min_samples:
+            by_receiver[receiver].append(median)
+    return {
+        receiver: max(values) - min(values)
+        for receiver, values in by_receiver.items()
+        if len(values) >= 2
+    }

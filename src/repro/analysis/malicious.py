@@ -1,0 +1,168 @@
+"""Detecting malicious email delivery (Section 4.2.1).
+
+* **Username-guessing**: a sender domain that hits one receiver domain
+  with many *distinct* non-existent usernames is guessing.  The detector
+  reports the candidate count, how many guesses reached real accounts, and
+  the success rate (paper: 4,273 candidates, 39 hits, 0.91%).
+* **Leaked-list bulk spam**: the paper's HaveIBeenPwned criterion — flag a
+  sender domain when >80% of its distinct recipients appear in the breach
+  corpus.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.analysis.label import LabeledDataset
+from repro.core.taxonomy import BounceDegree, BounceType
+from repro.delivery.dataset import DeliveryDataset
+from repro.world.breach import BreachCorpus
+
+
+@dataclass
+class GuessingCampaign:
+    sender_domain: str
+    target_domain: str
+    candidates: set[str] = field(default_factory=set)
+    hits: set[str] = field(default_factory=set)
+    n_emails: int = 0
+    n_bounced: int = 0
+    n_delivered_to_hits: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        return len(self.hits) / len(self.candidates) if self.candidates else 0.0
+
+
+def detect_guessing_campaigns(
+    labeled: LabeledDataset,
+    min_distinct_nonexistent: int = 15,
+    min_target_share: float = 0.6,
+) -> list[GuessingCampaign]:
+    """Find sender domains probing usernames at a single receiver domain.
+
+    A sender qualifies when it produced at least ``min_distinct_nonexistent``
+    distinct T8-bounced usernames and at least ``min_target_share`` of its
+    traffic went to one receiver domain.
+    """
+    # sender domain -> receiver domain -> distinct T8 usernames.  The
+    # final failed attempt is the authoritative one: a guess probe may be
+    # deflected by a blocklist on its first attempt and only reach the
+    # "user unknown" check on a retry.
+    nonexistent: dict[str, dict[str, set[str]]] = defaultdict(lambda: defaultdict(set))
+    traffic: dict[str, Counter] = defaultdict(Counter)
+    for record in labeled.dataset:
+        traffic[record.sender_domain][record.receiver_domain] += 1
+        if record.delivered:
+            continue
+        final = labeled.labeler.classify(record.final_attempt().result)
+        if final is BounceType.T8:
+            nonexistent[record.sender_domain][record.receiver_domain].add(
+                record.receiver_user.lower()
+            )
+
+    campaigns: list[GuessingCampaign] = []
+    for sender_domain, per_target in nonexistent.items():
+        sender_traffic = traffic[sender_domain]
+        total = sum(sender_traffic.values())
+        for target, users in per_target.items():
+            if len(users) < min_distinct_nonexistent:
+                continue
+            if sender_traffic[target] / total < min_target_share:
+                continue
+            campaign = GuessingCampaign(sender_domain=sender_domain, target_domain=target)
+            campaign.candidates |= users
+            campaigns.append(campaign)
+
+    # Second pass: fill in delivered traffic (hits) for flagged campaigns.
+    by_key = {(c.sender_domain, c.target_domain): c for c in campaigns}
+    for record in labeled.dataset:
+        campaign = by_key.get((record.sender_domain, record.receiver_domain))
+        if campaign is None:
+            continue
+        campaign.n_emails += 1
+        username = record.receiver_user.lower()
+        if record.delivered:
+            campaign.hits.add(username)
+            campaign.candidates.add(username)
+            campaign.n_delivered_to_hits += 1
+        else:
+            campaign.n_bounced += 1
+    return campaigns
+
+
+@dataclass
+class BulkSpamReport:
+    sender_domain: str
+    n_recipients: int
+    pwned_fraction: float
+    n_emails: int
+    n_hard: int
+    n_soft: int
+    #: Whether the DNSBL's domain blocklist also flags this sender
+    #: (paper: 23 of 31 flagged by Spamhaus).
+    spamhaus_flagged: bool = False
+
+    @property
+    def hard_fraction(self) -> float:
+        return self.n_hard / self.n_emails if self.n_emails else 0.0
+
+    @property
+    def soft_fraction(self) -> float:
+        return self.n_soft / self.n_emails if self.n_emails else 0.0
+
+
+def detect_bulk_spammers(
+    dataset: DeliveryDataset,
+    breach: BreachCorpus,
+    pwned_threshold: float = 0.8,
+    min_recipients: int = 30,
+    dnsbl=None,
+    probe_time: float | None = None,
+) -> list[BulkSpamReport]:
+    """The paper's HaveIBeenPwned flagging criterion over sender domains."""
+    recipients: dict[str, set[str]] = defaultdict(set)
+    for record in dataset:
+        recipients[record.sender_domain].add(record.receiver.lower())
+
+    reports: list[BulkSpamReport] = []
+    for sender_domain, addresses in recipients.items():
+        if len(addresses) < min_recipients:
+            continue
+        fraction = breach.pwned_fraction(sorted(addresses))
+        if fraction <= pwned_threshold:
+            continue
+        n_emails = n_hard = n_soft = 0
+        for record in dataset:
+            if record.sender_domain != sender_domain:
+                continue
+            n_emails += 1
+            degree = record.bounce_degree
+            if degree is BounceDegree.HARD_BOUNCED:
+                n_hard += 1
+            elif degree is BounceDegree.SOFT_BOUNCED:
+                n_soft += 1
+        flagged = False
+        if dnsbl is not None and probe_time is not None:
+            flagged = dnsbl.is_domain_listed(sender_domain, probe_time)
+        reports.append(
+            BulkSpamReport(
+                sender_domain=sender_domain,
+                n_recipients=len(addresses),
+                pwned_fraction=fraction,
+                n_emails=n_emails,
+                n_hard=n_hard,
+                n_soft=n_soft,
+                spamhaus_flagged=flagged,
+            )
+        )
+    reports.sort(key=lambda r: r.n_emails, reverse=True)
+    return reports
+
+
+def malicious_sender_domains(labeled: LabeledDataset, breach: BreachCorpus) -> set[str]:
+    """Union of senders flagged by either detector (feeds Table 2)."""
+    flagged = {c.sender_domain for c in detect_guessing_campaigns(labeled)}
+    flagged |= {r.sender_domain for r in detect_bulk_spammers(labeled.dataset, breach)}
+    return flagged

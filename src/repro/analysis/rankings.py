@@ -1,0 +1,149 @@
+"""Per-ESP, per-AS, and per-country bounce breakdowns (Appendix A,
+Tables 3-5) plus the InEmailRank popularity list."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.label import LabeledDataset
+from repro.core.taxonomy import BounceCategory, BounceDegree, BounceType
+from repro.geo.ipaddr import GeoLookup
+
+
+def in_email_rank(labeled: LabeledDataset) -> list[tuple[str, int]]:
+    """Receiver domains ranked by incoming email volume (InEmailRank)."""
+    return labeled.dataset.receiver_domain_volume().most_common()
+
+
+@dataclass
+class BounceRateRow:
+    key: str
+    email_volume: int
+    hard_fraction: float
+    soft_fraction: float
+    #: Most common bounce type among this key's bounced emails.
+    major_type: BounceType | None = None
+    major_type_share: float = 0.0
+
+    @property
+    def bounce_fraction(self) -> float:
+        return self.hard_fraction + self.soft_fraction
+
+
+def _rows_by_key(labeled: LabeledDataset, key_of) -> list[BounceRateRow]:
+    volume: Counter = Counter()
+    hard: Counter = Counter()
+    soft: Counter = Counter()
+    types: dict[str, Counter] = defaultdict(Counter)
+    labeled_types = labeled.record_types
+    for i, record in enumerate(labeled.dataset):
+        key = key_of(record)
+        if key is None:
+            continue
+        volume[key] += 1
+        degree = record.bounce_degree
+        if degree is BounceDegree.HARD_BOUNCED:
+            hard[key] += 1
+        elif degree is BounceDegree.SOFT_BOUNCED:
+            soft[key] += 1
+        if degree is not BounceDegree.NON_BOUNCED:
+            t = labeled_types.get(i)
+            if t is not None:
+                types[key][t] += 1
+    rows = []
+    for key, n in volume.items():
+        type_counter = types.get(key)
+        major = None
+        share = 0.0
+        if type_counter:
+            major, count = type_counter.most_common(1)[0]
+            share = count / sum(type_counter.values())
+        rows.append(
+            BounceRateRow(
+                key=key,
+                email_volume=n,
+                hard_fraction=hard[key] / n,
+                soft_fraction=soft[key] / n,
+                major_type=major,
+                major_type_share=share,
+            )
+        )
+    rows.sort(key=lambda r: r.email_volume, reverse=True)
+    return rows
+
+
+def table3_top_domains(labeled: LabeledDataset, top: int = 10) -> list[BounceRateRow]:
+    """Table 3: the top receiver domains by volume with bounce rates."""
+    return _rows_by_key(labeled, lambda r: r.receiver_domain)[:top]
+
+
+def table4_top_ases(labeled: LabeledDataset, geo: GeoLookup, top: int = 10) -> list[BounceRateRow]:
+    """Table 4: top ASes by received volume."""
+
+    def as_of(record) -> str | None:
+        for attempt in record.attempts:
+            if attempt.to_ip:
+                try:
+                    return geo.asn(attempt.to_ip).label
+                except KeyError:
+                    return None
+        return None
+
+    return _rows_by_key(labeled, as_of)[:top]
+
+
+@dataclass
+class CountryRow:
+    country: str
+    email_volume: int
+    hard_fraction: float
+    soft_fraction: float
+    major_type: BounceType | None
+    major_type_share: float
+
+    @property
+    def major_category(self) -> BounceCategory | None:
+        return self.major_type.category if self.major_type else None
+
+
+def table5_countries(
+    labeled: LabeledDataset,
+    geo: GeoLookup,
+    min_emails: int = 50,
+) -> list[CountryRow]:
+    """Per-country bounce rates, excluding countries below the volume
+    threshold (the paper excludes <1000 emails; the default threshold
+    here is scaled to synthetic volumes)."""
+
+    def country_of(record) -> str | None:
+        for attempt in record.attempts:
+            if attempt.to_ip:
+                try:
+                    return geo.country(attempt.to_ip)
+                except KeyError:
+                    return None
+        return None
+
+    rows = _rows_by_key(labeled, country_of)
+    out = [
+        CountryRow(
+            country=r.key,
+            email_volume=r.email_volume,
+            hard_fraction=r.hard_fraction,
+            soft_fraction=r.soft_fraction,
+            major_type=r.major_type,
+            major_type_share=r.major_type_share,
+        )
+        for r in rows
+        if r.email_volume >= min_emails
+    ]
+    return out
+
+
+def top_hard_countries(rows: list[CountryRow], top: int = 10) -> list[CountryRow]:
+    return sorted(rows, key=lambda r: r.hard_fraction, reverse=True)[:top]
+
+
+def top_soft_countries(rows: list[CountryRow], top: int = 10) -> list[CountryRow]:
+    return sorted(rows, key=lambda r: r.soft_fraction, reverse=True)[:top]

@@ -1,0 +1,173 @@
+"""Recommendation engine (Section 6.2).
+
+Turns the measurement analyses into the concrete, prioritised advice the
+paper gives each ecosystem role:
+
+* **sender ESP** — delist chronically-listed proxies, honour greylisting,
+  reconsider the spam-once policy;
+* **domain managers** — fix long-broken DKIM/SPF and MX records;
+* **receiver ESPs** — weigh blocklists against the normal mail they eat;
+* **users** — clean full mailboxes, fix recurring typos, stop mailing
+  expired domains.
+
+Each recommendation carries the evidence that produced it, so a report is
+auditable against the underlying trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.analysis.blocklist import (
+    blocklist_recovery_rate,
+    chronically_listed_proxies,
+    filter_divergence,
+    greylisting_domains,
+    spamhaus_impact,
+)
+from repro.analysis.label import LabeledDataset
+from repro.analysis.misconfig import (
+    auth_error_durations,
+    mx_error_durations,
+    quota_error_durations,
+)
+from repro.analysis.squatting import squatting_report
+from repro.analysis.typos import detect_username_typos
+from repro.world.model import WorldModel
+
+
+class Audience(str, Enum):
+    SENDER_ESP = "sender ESP"
+    RECEIVER_ESP = "receiver ESP"
+    DOMAIN_MANAGER = "domain manager"
+    USER = "email user"
+    COMMUNITY = "email community"
+
+
+class Severity(str, Enum):
+    HIGH = "high"
+    MEDIUM = "medium"
+    LOW = "low"
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    audience: Audience
+    severity: Severity
+    title: str
+    evidence: str
+
+    def render(self) -> str:
+        return f"[{self.severity.value:>6}] ({self.audience.value}) {self.title}\n" \
+               f"         evidence: {self.evidence}"
+
+
+def build_recommendations(
+    labeled: LabeledDataset, world: WorldModel
+) -> list[Recommendation]:
+    out: list[Recommendation] = []
+    clock = world.clock
+
+    # -- proxy reputation ------------------------------------------------------
+    chronic = chronically_listed_proxies(world.dnsbl, world.fleet.ips, clock)
+    if chronic:
+        out.append(Recommendation(
+            Audience.SENDER_ESP, Severity.HIGH,
+            f"Delist and rest {len(chronic)} chronically-blocklisted proxies",
+            f"{len(chronic)} of {len(world.fleet)} proxies listed on >70% of days",
+        ))
+    impact = spamhaus_impact(labeled, world.dnsbl, world.fleet.ips, clock)
+    if impact.total_blocked and impact.normal_blocked_fraction > 0.5:
+        out.append(Recommendation(
+            Audience.RECEIVER_ESP, Severity.HIGH,
+            "Re-evaluate DNSBL usage: it mostly blocks legitimate mail",
+            f"{impact.normal_blocked_fraction:.0%} of {impact.total_blocked} "
+            f"blocklist-bounced emails were flagged Normal by the sender",
+        ))
+    recovery = blocklist_recovery_rate(labeled)
+    if recovery > 0.5:
+        out.append(Recommendation(
+            Audience.SENDER_ESP, Severity.MEDIUM,
+            "Keep rotating proxies after blocklist rejections",
+            f"{recovery:.0%} of blocklist-bounced emails were eventually "
+            f"delivered from a different proxy",
+        ))
+
+    # -- greylisting ---------------------------------------------------------------
+    grey = greylisting_domains(labeled)
+    if grey:
+        out.append(Recommendation(
+            Audience.SENDER_ESP, Severity.MEDIUM,
+            "Use sticky retries toward greylisting destinations",
+            f"{len(grey)} receiver domains explicitly greylisted retries; "
+            f"random per-retry proxies present a fresh tuple every time",
+        ))
+
+    # -- filter divergence -------------------------------------------------------------
+    divergence = filter_divergence(labeled)
+    if divergence.coremail_spam_total and divergence.spam_accepted_fraction > 0.3:
+        out.append(Recommendation(
+            Audience.SENDER_ESP, Severity.MEDIUM,
+            "Reconsider the spam-once policy",
+            f"{divergence.spam_accepted_fraction:.0%} of self-flagged Spam "
+            f"was accepted by receivers; one attempt forfeits deliverable mail",
+        ))
+
+    # -- sender-side misconfiguration ------------------------------------------------------
+    auth = auth_error_durations(labeled, clock)
+    slow_auth = [e for e in auth.episodes if e.duration_days > 30]
+    if slow_auth:
+        domains = sorted({e.entity for e in slow_auth})
+        out.append(Recommendation(
+            Audience.DOMAIN_MANAGER, Severity.HIGH,
+            f"Fix DKIM/SPF records broken for over a month at "
+            f"{len(domains)} domains",
+            f"e.g. {', '.join(domains[:3])}",
+        ))
+    mx = mx_error_durations(labeled, clock)
+    slow_mx = [e for e in mx.episodes if e.duration_days > 7]
+    if slow_mx:
+        out.append(Recommendation(
+            Audience.DOMAIN_MANAGER, Severity.HIGH,
+            f"Repair MX records broken for over a week "
+            f"({len({e.entity for e in slow_mx})} domains)",
+            f"longest observed outage: {max(e.duration_days for e in slow_mx):.0f} days",
+        ))
+
+    # -- user hygiene ------------------------------------------------------------------------
+    quota = quota_error_durations(labeled, clock)
+    if quota.episodes and quota.fraction_over(30.0) > 0.3:
+        out.append(Recommendation(
+            Audience.USER, Severity.MEDIUM,
+            "Notify owners of long-full mailboxes out of band",
+            f"{quota.fraction_over(30.0):.0%} of full-mailbox episodes lasted "
+            f"over 30 days (mean {quota.mean_days:.0f} d)",
+        ))
+    typos = detect_username_typos(labeled)
+    heavy = [f for f in typos if f.n_emails >= 5]
+    if heavy:
+        out.append(Recommendation(
+            Audience.USER, Severity.MEDIUM,
+            f"Fix {len(heavy)} recurring misspelled recipients "
+            f"(likely automation with baked-in typos)",
+            f"worst: {heavy[0].typo_address} received {heavy[0].n_emails} "
+            f"emails (correct: {heavy[0].candidate_address})",
+        ))
+
+    # -- squatting -------------------------------------------------------------------------------
+    squat = squatting_report(labeled, world)
+    risky = [d for d in squat.domains if d.n_emails >= 5]
+    if risky:
+        out.append(Recommendation(
+            Audience.COMMUNITY, Severity.HIGH,
+            f"Protectively register {min(len(risky), 30)} high-traffic "
+            f"vulnerable domains",
+            f"{squat.n_vulnerable_domains} registrable domains received "
+            f"{squat.total_domain_emails()} emails; "
+            f"{len(squat.reregistered_domains())} already re-registered",
+        ))
+
+    order = {Severity.HIGH: 0, Severity.MEDIUM: 1, Severity.LOW: 2}
+    out.sort(key=lambda r: order[r.severity])
+    return out

@@ -1,0 +1,98 @@
+"""Plain-text renderers shared by the benchmark harness.
+
+Every bench prints the same rows/series the paper's table or figure
+reports, through these helpers, so `pytest benchmarks/ --benchmark-only`
+output doubles as the reproduction artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def pct(value: float, digits: int = 2) -> str:
+    return f"{100 * value:.{digits}f}%"
+
+
+def render_series(
+    title: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    max_points: int = 24,
+) -> str:
+    """Downsampled textual rendering of a figure's line/bar series."""
+    n = len(xs)
+    if n == 0:
+        return f"{title}\n(empty)"
+    step = max(1, n // max_points)
+    headers = ["x"] + list(series)
+    rows = []
+    for i in range(0, n, step):
+        rows.append([xs[i]] + [f"{series[name][i]:.6g}" for name in series])
+    return render_table(title, headers, rows)
+
+
+def render_cdf(title: str, grid: Sequence[float], cdf: Sequence[float]) -> str:
+    rows = [[f"{g:g}", f"{v:.3f}"] for g, v in zip(grid, cdf)]
+    return render_table(title, ["days <=", "CDF"], rows)
+
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Unicode sparkline of a series, downsampled to ``width`` buckets."""
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket):max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(values[int(i * bucket):max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_CHARS[1] * len(values)
+    out = []
+    for v in values:
+        idx = 1 + int((v - lo) / span * (len(_SPARK_CHARS) - 2))
+        out.append(_SPARK_CHARS[min(idx, len(_SPARK_CHARS) - 1)])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str], values: Sequence[float], width: int = 40
+) -> str:
+    """Horizontal ASCII bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not labels:
+        return ""
+    peak = max(values) or 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(value / peak * width))
+        lines.append(f"{str(label).ljust(label_width)}  {bar} {value:g}")
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Outgoing-proxy reputation inference.
+
+The paper recommends sender ESPs "monitor the reputation of outgoing
+servers through various means, such as public DNSBLs, NDR messages, and
+user feedback".  This analysis implements the NDR-messages channel: for
+each proxy (``from_ip``) it tracks daily blocklist rejections and infers
+the days the proxy was listed — without querying the DNSBL.  Tests score
+the inference against the DNSBL's ground-truth listing windows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.analysis.label import LabeledDataset, NDRLabeler, RuleLabeler
+from repro.core.taxonomy import BounceType
+from repro.util.clock import DAY_SECONDS, SimClock
+
+
+@dataclass
+class ProxyReputation:
+    ip: str
+    #: Per day: attempts sent / blocklist rejections observed.
+    attempts_per_day: list[int]
+    t5_per_day: list[int]
+
+    def inferred_listed_days(
+        self, min_attempts: int = 3, min_t5_rate: float = 0.15
+    ) -> set[int]:
+        """Days this proxy looked blocklisted from its own bounce stream."""
+        out = set()
+        for day, (n, k) in enumerate(zip(self.attempts_per_day, self.t5_per_day)):
+            if n >= min_attempts and k / n >= min_t5_rate:
+                out.add(day)
+        return out
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(self.attempts_per_day)
+
+    @property
+    def total_t5(self) -> int:
+        return sum(self.t5_per_day)
+
+    @property
+    def t5_rate(self) -> float:
+        return self.total_t5 / self.total_attempts if self.total_attempts else 0.0
+
+
+def proxy_reputations(
+    labeled: LabeledDataset,
+    clock: SimClock,
+    labeler: NDRLabeler | None = None,
+) -> dict[str, ProxyReputation]:
+    """Per-proxy daily attempt/T5 series from the delivery trace.
+
+    Works at *attempt* granularity: every attempt is attributed to the
+    proxy that made it, and its result line is classified independently
+    (a record's later attempts may come from different proxies).
+    """
+    labeler = labeler or RuleLabeler()
+    n_days = clock.n_days
+    attempts: dict[str, list[int]] = defaultdict(lambda: [0] * n_days)
+    t5: dict[str, list[int]] = defaultdict(lambda: [0] * n_days)
+    for record in labeled.dataset:
+        for attempt in record.attempts:
+            day = clock.day_index(attempt.t)
+            if not 0 <= day < n_days:
+                continue
+            attempts[attempt.from_ip][day] += 1
+            if not attempt.succeeded and labeler.classify(attempt.result) is BounceType.T5:
+                t5[attempt.from_ip][day] += 1
+    return {
+        ip: ProxyReputation(ip=ip, attempts_per_day=attempts[ip], t5_per_day=t5[ip])
+        for ip in attempts
+    }
+
+
+@dataclass
+class ReputationScore:
+    """Agreement between NDR-inferred listings and DNSBL ground truth."""
+
+    precision: float
+    recall: float
+    n_inferred_days: int
+    n_true_days: int
+
+
+def score_inference(
+    reputation: ProxyReputation,
+    dnsbl,
+    clock: SimClock,
+    min_attempts: int = 3,
+    min_t5_rate: float = 0.15,
+) -> ReputationScore:
+    inferred = reputation.inferred_listed_days(min_attempts, min_t5_rate)
+    # Ground truth restricted to days with enough traffic to observe.
+    observable = {
+        d
+        for d in range(clock.n_days)
+        if reputation.attempts_per_day[d] >= min_attempts
+    }
+    true_days = {
+        d
+        for d in observable
+        if dnsbl.is_listed(reputation.ip, clock.day_start(d) + DAY_SECONDS / 2)
+    }
+    tp = len(inferred & true_days)
+    precision = tp / len(inferred) if inferred else 0.0
+    recall = tp / len(true_days) if true_days else 0.0
+    return ReputationScore(
+        precision=precision,
+        recall=recall,
+        n_inferred_days=len(inferred),
+        n_true_days=len(true_days),
+    )

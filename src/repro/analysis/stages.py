@@ -1,0 +1,74 @@
+"""Rejection-stage analysis.
+
+Reconstructs the SMTP stage at which each failed attempt was rejected
+(via the session model) and aggregates the distribution — an extension
+the paper's data would support: *where* in the protocol the ecosystem
+says no.  Connect-stage rejections are reputation checks that waste the
+least resources; DATA-stage rejections mean the full message crossed the
+wire before being discarded.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.label import LabeledDataset
+from repro.smtp.session import REJECTION_STAGE, SmtpStage
+from repro.core.taxonomy import BounceType
+
+
+@dataclass
+class StageReport:
+    #: stage -> rejected attempt count
+    counts: Counter
+    #: stage -> estimated wasted bytes (message transferred then refused)
+    wasted_bytes: dict[SmtpStage, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def share(self, stage: SmtpStage) -> float:
+        return self.counts.get(stage, 0) / self.total if self.total else 0.0
+
+    def ranked(self) -> list[tuple[SmtpStage, int]]:
+        return self.counts.most_common()
+
+
+def rejection_stages(labeled: LabeledDataset, assumed_size: int = 20_000) -> StageReport:
+    """Stage distribution over all failed attempts.
+
+    ``assumed_size`` estimates bytes wasted by post-DATA rejections (the
+    dataset does not carry per-message sizes once rendered)."""
+    counts: Counter = Counter()
+    wasted: dict[SmtpStage, int] = defaultdict(int)
+    labeler = labeled.labeler
+    for record in labeled.dataset:
+        for attempt in record.attempts:
+            if attempt.succeeded:
+                continue
+            bounce_type = labeler.classify(attempt.result)
+            if bounce_type is None:
+                bounce_type = BounceType.T16
+            stage = REJECTION_STAGE.get(bounce_type, SmtpStage.DATA)
+            counts[stage] += 1
+            if stage is SmtpStage.DATA:
+                wasted[stage] += assumed_size
+    return StageReport(counts=counts, wasted_bytes=dict(wasted))
+
+
+def early_rejection_share(report: StageReport) -> float:
+    """Share of rejections that happen before any message data flows
+    (connect / EHLO / MAIL FROM / RCPT TO)."""
+    early = sum(
+        report.counts.get(stage, 0)
+        for stage in (
+            SmtpStage.CONNECT,
+            SmtpStage.EHLO,
+            SmtpStage.STARTTLS,
+            SmtpStage.MAIL_FROM,
+            SmtpStage.RCPT_TO,
+        )
+    )
+    return early / report.total if report.total else 0.0

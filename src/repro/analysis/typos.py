@@ -1,0 +1,168 @@
+"""Typo detection pipelines (Section 4.3.2).
+
+**Domain typos** — the paper's three-step pipeline:
+
+1. generate candidate typo domains for the top-K InEmailRank domains
+   (dnstwist role → :mod:`repro.typosquat`),
+2. select receiver domains from the dataset that never resolved (every
+   attempt failed with a domain-lookup NDR, confirmed by an active DNS
+   query),
+3. intersect.
+
+**Username typos** — the paper's similarity pipeline:
+
+1. collect addresses the receiver MTA reported as non-existent (T8),
+2. for the same sender, find successfully-delivered recipient addresses
+   with >90% username similarity at the same domain,
+3. verify the non-existent username is in the candidate's generated typo
+   set.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.analysis.label import LabeledDataset
+from repro.core.taxonomy import BounceType
+from repro.dnssim.records import RecordType, ResolveStatus
+from repro.dnssim.resolver import Resolver
+from repro.typosquat.generate import TypoKind, classify_typo, domain_typos
+from repro.util.text import similarity_ratio, split_address
+
+
+@dataclass(frozen=True)
+class DomainTypoFinding:
+    typo_domain: str
+    original_domain: str
+    kind: TypoKind
+    n_senders: int
+    n_emails: int
+
+
+def _never_resolved_domains(labeled: LabeledDataset) -> Counter:
+    """Receiver domains whose every delivery failed with T2 NDRs; value is
+    the email count."""
+    failures: Counter = Counter()
+    successes: set[str] = set()
+    for record in labeled.dataset:
+        if record.delivered:
+            successes.add(record.receiver_domain)
+    for record, bounce_type in labeled.classified_records():
+        if bounce_type is BounceType.T2 and record.receiver_domain not in successes:
+            failures[record.receiver_domain] += 1
+    return failures
+
+
+def detect_domain_typos(
+    labeled: LabeledDataset,
+    resolver: Resolver,
+    probe_time: float,
+    top_k: int = 100,
+) -> list[DomainTypoFinding]:
+    """The full domain-typo pipeline; ``probe_time`` is when the active
+    confirmation queries run (the paper probed after the window)."""
+    volume = labeled.dataset.receiver_domain_volume()
+    top_domains = [d for d, _ in volume.most_common(top_k)]
+
+    candidates: dict[str, tuple[str, TypoKind]] = {}
+    for original in top_domains:
+        for cand in domain_typos(original):
+            candidates.setdefault(cand.text, (original, cand.kind))
+
+    sender_sets: dict[str, set[str]] = defaultdict(set)
+    for record in labeled.dataset:
+        sender_sets[record.receiver_domain].add(record.sender)
+
+    findings: list[DomainTypoFinding] = []
+    for domain, n_emails in _never_resolved_domains(labeled).items():
+        # Active confirmation: the domain (still) does not resolve.
+        result = resolver.query(domain, RecordType.A, probe_time)
+        if result.status is not ResolveStatus.NXDOMAIN:
+            continue
+        hit = candidates.get(domain)
+        if hit is None:
+            continue
+        original, kind = hit
+        findings.append(
+            DomainTypoFinding(
+                typo_domain=domain,
+                original_domain=original,
+                kind=kind,
+                n_senders=len(sender_sets[domain]),
+                n_emails=n_emails,
+            )
+        )
+    findings.sort(key=lambda f: f.n_emails, reverse=True)
+    return findings
+
+
+@dataclass(frozen=True)
+class UsernameTypoFinding:
+    typo_address: str
+    candidate_address: str
+    kind: TypoKind
+    n_senders: int
+    n_emails: int
+
+
+def detect_username_typos(
+    labeled: LabeledDataset,
+    similarity_threshold: float = 0.9,
+) -> list[UsernameTypoFinding]:
+    """The paper's (non-existent, candidate) username-pair pipeline."""
+    # Step 1: non-existent addresses, with their senders and counts.
+    nonexistent_senders: dict[str, set[str]] = defaultdict(set)
+    nonexistent_counts: Counter = Counter()
+    for record, bounce_type in labeled.classified_records():
+        if bounce_type is BounceType.T8 and not labeled.ndr_mentions_inactive(record):
+            nonexistent_senders[record.receiver.lower()].add(record.sender)
+            nonexistent_counts[record.receiver.lower()] += 1
+
+    # Step 2: per sender, successfully-delivered recipients by domain.
+    delivered: dict[tuple[str, str], set[str]] = defaultdict(set)
+    for record in labeled.dataset:
+        if record.delivered:
+            user, domain = split_address(record.receiver)
+            delivered[(record.sender, domain)].add(user.lower())
+
+    findings: dict[str, UsernameTypoFinding] = {}
+    for address, senders in nonexistent_senders.items():
+        try:
+            bad_user, domain = split_address(address)
+        except ValueError:
+            continue
+        for sender in senders:
+            for candidate in delivered.get((sender, domain), ()):
+                if similarity_ratio(bad_user, candidate) <= similarity_threshold:
+                    continue
+                # Step 3: dnstwist verification.
+                kind = classify_typo(bad_user, candidate)
+                if kind is None:
+                    continue
+                findings[address] = UsernameTypoFinding(
+                    typo_address=address,
+                    candidate_address=f"{candidate}@{domain}",
+                    kind=kind,
+                    n_senders=len(senders),
+                    n_emails=nonexistent_counts[address],
+                )
+                break
+            if address in findings:
+                break
+    out = list(findings.values())
+    out.sort(key=lambda f: f.n_emails, reverse=True)
+    return out
+
+
+def typo_kind_distribution(findings) -> Counter:
+    """Morphology shares (paper: omission > replacement > bitsquatting)."""
+    return Counter(f.kind for f in findings)
+
+
+def typo_addresses(findings) -> set[str]:
+    return {f.typo_address for f in findings if hasattr(f, "typo_address")}
+
+
+def typo_domains(findings) -> set[str]:
+    return {f.typo_domain for f in findings if hasattr(f, "typo_domain")}

@@ -1,0 +1,28 @@
+"""Sender-authentication substrate: SPF, DKIM, DMARC.
+
+Receiver MTAs that enforce authentication evaluate the sender domain's
+published records mechanistically: the SPF evaluator parses the ``v=spf1``
+record and checks the connecting proxy IP against its mechanisms; the
+DKIM check verifies a selector key is resolvable; DMARC combines the two
+under the published policy.  Misconfiguration windows in the sender's
+zone make the corresponding records unresolvable, which is exactly how
+the paper's 9K broken sender domains manifest.
+"""
+
+from repro.auth.spf import SpfRecord, evaluate_spf, parse_spf
+from repro.auth.dkim import evaluate_dkim
+from repro.auth.dmarc import DmarcPolicy, evaluate_dmarc, parse_dmarc
+from repro.auth.evaluator import AuthEvaluator, AuthResult, AuthFailureMode
+
+__all__ = [
+    "SpfRecord",
+    "parse_spf",
+    "evaluate_spf",
+    "evaluate_dkim",
+    "DmarcPolicy",
+    "parse_dmarc",
+    "evaluate_dmarc",
+    "AuthEvaluator",
+    "AuthResult",
+    "AuthFailureMode",
+]

@@ -1,0 +1,43 @@
+"""DKIM (RFC 6376) — verification as the receiver experiences it.
+
+Full cryptographic verification is out of scope (and out of signal): a
+receiver's DKIM check fails in practice when the selector's public-key
+TXT record cannot be fetched or is malformed — exactly the failure mode
+the paper's misconfiguration windows create.  ``evaluate_dkim`` resolves
+the sender's DKIM TXT record at the given time and validates its shape.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.dnssim.records import RecordType
+from repro.dnssim.resolver import Resolver
+
+
+class DkimVerdict(str, Enum):
+    PASS = "pass"
+    FAIL = "fail"  # record malformed / key mismatch
+    NONE = "none"  # no record resolvable
+
+
+def parse_dkim_record(text: str) -> bool:
+    """Shape validation of a ``v=DKIM1`` key record."""
+    parts = [p.strip() for p in text.strip().split(";") if p.strip()]
+    if not parts or not parts[0].lower().replace(" ", "") == "v=dkim1":
+        return False
+    tags = {}
+    for part in parts[1:]:
+        key, _, value = part.partition("=")
+        tags[key.strip().lower()] = value.strip()
+    # A key record must carry public-key material.
+    return bool(tags.get("p"))
+
+
+def evaluate_dkim(domain: str, resolver: Resolver, t: float) -> DkimVerdict:
+    result = resolver.query(domain, RecordType.TXT_DKIM, t)
+    if not result.ok:
+        return DkimVerdict.NONE
+    if parse_dkim_record(result.records[0].value):
+        return DkimVerdict.PASS
+    return DkimVerdict.FAIL

@@ -1,0 +1,72 @@
+"""DMARC (RFC 7489) — policy lookup and disposition.
+
+DMARC passes when SPF *or* DKIM passes (identifier alignment is implied
+in the simulator: senders sign/publish for their own domain).  When both
+fail, the published policy decides the disposition: ``none`` (deliver),
+``quarantine``/``reject`` (the receiver may bounce — the paper's
+"not accepted due to domain's DMARC policy" NDRs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.auth.dkim import DkimVerdict
+from repro.auth.spf import SpfVerdict
+from repro.dnssim.records import RecordType
+from repro.dnssim.resolver import Resolver
+
+
+class DmarcDisposition(str, Enum):
+    PASS = "pass"
+    NONE_POLICY = "none"  # failed, but policy p=none → deliver
+    QUARANTINE = "quarantine"
+    REJECT = "reject"
+    NO_POLICY = "no_policy"  # no DMARC record published
+
+
+@dataclass(frozen=True)
+class DmarcPolicy:
+    policy: str  # "none" | "quarantine" | "reject"
+
+    @classmethod
+    def default(cls) -> "DmarcPolicy":
+        return cls(policy="none")
+
+
+def parse_dmarc(text: str) -> DmarcPolicy | None:
+    parts = [p.strip() for p in text.strip().split(";") if p.strip()]
+    if not parts or parts[0].lower().replace(" ", "") != "v=dmarc1":
+        return None
+    policy = "none"
+    for part in parts[1:]:
+        key, _, value = part.partition("=")
+        if key.strip().lower() == "p":
+            value = value.strip().lower()
+            if value not in ("none", "quarantine", "reject"):
+                return None
+            policy = value
+    return DmarcPolicy(policy=policy)
+
+
+def evaluate_dmarc(
+    domain: str,
+    spf: SpfVerdict,
+    dkim: DkimVerdict,
+    resolver: Resolver,
+    t: float,
+) -> DmarcDisposition:
+    result = resolver.query(domain, RecordType.TXT_DMARC, t)
+    if not result.ok:
+        return DmarcDisposition.NO_POLICY
+    policy = parse_dmarc(result.records[0].value)
+    if policy is None:
+        return DmarcDisposition.NO_POLICY
+    if spf is SpfVerdict.PASS or dkim is DkimVerdict.PASS:
+        return DmarcDisposition.PASS
+    if policy.policy == "reject":
+        return DmarcDisposition.REJECT
+    if policy.policy == "quarantine":
+        return DmarcDisposition.QUARANTINE
+    return DmarcDisposition.NONE_POLICY

@@ -1,0 +1,64 @@
+"""Combined SPF + DKIM + DMARC evaluation, as a receiving MTA runs it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.auth.dkim import DkimVerdict, evaluate_dkim
+from repro.auth.dmarc import DmarcDisposition, evaluate_dmarc
+from repro.auth.spf import SpfVerdict, evaluate_spf
+from repro.dnssim.resolver import Resolver
+
+
+class AuthFailureMode(str, Enum):
+    NONE = "none"  # authenticated fine
+    BOTH = "both"  # SPF and DKIM both fail
+    SPF_ONLY = "spf"
+    DKIM_ONLY = "dkim"
+    DMARC = "dmarc"  # both fail under an explicit p=reject policy
+
+
+@dataclass(frozen=True)
+class AuthResult:
+    spf: SpfVerdict
+    dkim: DkimVerdict
+    dmarc: DmarcDisposition
+
+    @property
+    def spf_pass(self) -> bool:
+        return self.spf is SpfVerdict.PASS
+
+    @property
+    def dkim_pass(self) -> bool:
+        return self.dkim is DkimVerdict.PASS
+
+    @property
+    def failure_mode(self) -> AuthFailureMode:
+        if self.spf_pass or self.dkim_pass:
+            return AuthFailureMode.NONE
+        if self.dmarc is DmarcDisposition.REJECT:
+            return AuthFailureMode.DMARC
+        if not self.spf_pass and not self.dkim_pass:
+            return AuthFailureMode.BOTH
+        if not self.spf_pass:
+            return AuthFailureMode.SPF_ONLY
+        return AuthFailureMode.DKIM_ONLY
+
+    @property
+    def authenticated(self) -> bool:
+        """RFC 7489 semantics: one passing aligned mechanism suffices."""
+        return self.spf_pass or self.dkim_pass
+
+
+class AuthEvaluator:
+    """Evaluates a sender domain's authentication at a point in time."""
+
+    def __init__(self, resolver: Resolver) -> None:
+        self._resolver = resolver
+
+    def evaluate(self, sender_domain: str, client_ip: str, t: float) -> AuthResult:
+        spf = evaluate_spf(sender_domain, client_ip, self._resolver, t)
+        dkim = evaluate_dkim(sender_domain, self._resolver, t)
+        dmarc = evaluate_dmarc(sender_domain, spf, dkim, self._resolver, t)
+        return AuthResult(spf=spf, dkim=dkim, dmarc=dmarc)

@@ -1,0 +1,134 @@
+"""SPF (RFC 7208) — the subset real outgoing-mail checks exercise.
+
+Supported mechanisms: ``ip4`` (exact address or prefix), ``include``
+(recursive evaluation of another domain's record), ``a``/``mx``
+(membership in the domain's A records), and ``all``.  Qualifiers ``+``
+(pass), ``-`` (fail), ``~`` (softfail), ``?`` (neutral).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.dnssim.records import RecordType
+from repro.dnssim.resolver import Resolver
+
+
+class SpfVerdict(str, Enum):
+    PASS = "pass"
+    FAIL = "fail"
+    SOFTFAIL = "softfail"
+    NEUTRAL = "neutral"
+    NONE = "none"  # no record published / unresolvable
+    PERMERROR = "permerror"
+
+
+_QUALIFIERS = {"+": SpfVerdict.PASS, "-": SpfVerdict.FAIL,
+               "~": SpfVerdict.SOFTFAIL, "?": SpfVerdict.NEUTRAL}
+
+
+@dataclass(frozen=True)
+class SpfMechanism:
+    qualifier: SpfVerdict
+    kind: str  # "ip4" | "include" | "a" | "mx" | "all"
+    value: str = ""
+
+
+@dataclass(frozen=True)
+class SpfRecord:
+    mechanisms: tuple[SpfMechanism, ...]
+
+    @property
+    def has_all(self) -> bool:
+        return any(m.kind == "all" for m in self.mechanisms)
+
+
+def parse_spf(text: str) -> SpfRecord | None:
+    """Parse a ``v=spf1 ...`` TXT record; None when malformed."""
+    parts = text.strip().split()
+    if not parts or parts[0].lower() != "v=spf1":
+        return None
+    mechanisms: list[SpfMechanism] = []
+    for token in parts[1:]:
+        qualifier = SpfVerdict.PASS
+        if token and token[0] in _QUALIFIERS:
+            qualifier = _QUALIFIERS[token[0]]
+            token = token[1:]
+        if not token:
+            return None
+        kind, _, value = token.partition(":")
+        kind = kind.lower()
+        if kind not in ("ip4", "include", "a", "mx", "all"):
+            return None
+        if kind in ("ip4", "include") and not value:
+            return None
+        mechanisms.append(SpfMechanism(qualifier, kind, value))
+    return SpfRecord(tuple(mechanisms))
+
+
+def _ip_matches(ip: str, spec: str) -> bool:
+    """Exact IPv4 or prefix match (``10.1.2.3`` or ``10.1.0.0/16``)."""
+    if "/" not in spec:
+        return ip == spec
+    network, _, bits_s = spec.partition("/")
+    try:
+        bits = int(bits_s)
+        ip_v = _ipv4_int(ip)
+        net_v = _ipv4_int(network)
+    except ValueError:
+        return False
+    if not 0 <= bits <= 32:
+        return False
+    if bits == 0:
+        return True
+    mask = ((1 << bits) - 1) << (32 - bits)
+    return (ip_v & mask) == (net_v & mask)
+
+
+def _ipv4_int(ip: str) -> int:
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise ValueError(ip)
+    value = 0
+    for p in parts:
+        octet = int(p)
+        if not 0 <= octet <= 255:
+            raise ValueError(ip)
+        value = (value << 8) | octet
+    return value
+
+
+def evaluate_spf(
+    domain: str,
+    client_ip: str,
+    resolver: Resolver,
+    t: float,
+    _depth: int = 0,
+) -> SpfVerdict:
+    """Evaluate the sender domain's SPF record for ``client_ip`` at ``t``."""
+    if _depth > 10:  # RFC 7208 lookup limit → permerror
+        return SpfVerdict.PERMERROR
+    result = resolver.query(domain, RecordType.TXT_SPF, t)
+    if not result.ok:
+        return SpfVerdict.NONE
+    record = parse_spf(result.records[0].value)
+    if record is None:
+        return SpfVerdict.PERMERROR
+
+    for mechanism in record.mechanisms:
+        matched = False
+        if mechanism.kind == "ip4":
+            matched = _ip_matches(client_ip, mechanism.value)
+        elif mechanism.kind == "include":
+            inner = evaluate_spf(mechanism.value, client_ip, resolver, t, _depth + 1)
+            matched = inner is SpfVerdict.PASS
+        elif mechanism.kind in ("a", "mx"):
+            rtype = RecordType.A if mechanism.kind == "a" else RecordType.MX
+            answer = resolver.query(domain, rtype, t)
+            matched = any(r.value == client_ip for r in answer.records)
+        elif mechanism.kind == "all":
+            matched = True
+        if matched:
+            return mechanism.qualifier
+    return SpfVerdict.NEUTRAL

@@ -1,0 +1,258 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``simulate`` — run a simulation and write the delivery log as JSONL
+  (the paper's Figure 3 record format).
+* ``report``   — bounce-degree and bounce-type report over a saved log.
+* ``classify`` — classify NDR lines with an EBRC trained on a saved log.
+* ``explain``  — reconstruct the SMTP dialogue behind one email's attempts.
+* ``squat``    — run the squatting audit on a fresh simulation.
+
+Entry point: ``repro-bounce`` (or ``python -m repro.cli``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import SimulationConfig, run_simulation
+from repro.analysis.degrees import degree_breakdown, mean_attempts_soft_bounced
+from repro.analysis.label import EBRCLabeler, LabeledDataset, RuleLabeler
+from repro.analysis.rankings import table3_top_domains
+from repro.analysis.report import pct, render_table
+from repro.core.taxonomy import BounceType
+from repro.delivery.dataset import DeliveryDataset
+from repro.smtp.session import transcript_for_attempt
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bounce",
+        description="Bounce-in-the-Wild reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run a simulation, write JSONL")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", default="delivery_log.jsonl")
+
+    p = sub.add_parser("report", help="summarise a saved delivery log")
+    p.add_argument("dataset")
+    p.add_argument("--labeler", choices=("rules", "ebrc"), default="rules")
+    p.add_argument("--top", type=int, default=10)
+
+    p = sub.add_parser("classify", help="classify NDR lines (EBRC)")
+    p.add_argument("dataset", help="training corpus (saved delivery log)")
+    p.add_argument("--message", action="append", default=[],
+                   help="NDR line to classify (repeatable); stdin otherwise")
+
+    p = sub.add_parser("explain", help="show the SMTP dialogue of one email")
+    p.add_argument("dataset")
+    p.add_argument("--index", type=int, default=None,
+                   help="record index (default: first bounced record)")
+
+    p = sub.add_parser("squat", help="squatting audit on a fresh simulation")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("recommend", help="postmaster recommendations (§6.2)")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("world-info", help="summarise the synthetic world")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("compare", help="paper-vs-measured scorecard")
+    p.add_argument("--scale", type=float, default=0.15)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("full-report", help="run every analysis on a fresh simulation")
+    p.add_argument("--scale", type=float, default=0.12)
+    p.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    config = SimulationConfig(scale=args.scale, seed=args.seed)
+    result = run_simulation(config)
+    result.dataset.write_jsonl(args.out)
+    breakdown = degree_breakdown(result.dataset)
+    print(f"simulated {len(result.dataset):,} emails "
+          f"(scale={args.scale}, seed={args.seed})")
+    print(f"non/soft/hard: {pct(breakdown.non_fraction)} / "
+          f"{pct(breakdown.soft_fraction)} / {pct(breakdown.hard_fraction)}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    dataset = DeliveryDataset.read_jsonl(args.dataset)
+    if not len(dataset):
+        print("empty dataset", file=sys.stderr)
+        return 1
+    labeler = RuleLabeler() if args.labeler == "rules" else EBRCLabeler()
+    labeled = LabeledDataset(dataset, labeler)
+
+    breakdown = degree_breakdown(dataset)
+    print(f"emails: {len(dataset):,}")
+    print(f"non/soft/hard: {pct(breakdown.non_fraction)} / "
+          f"{pct(breakdown.soft_fraction)} / {pct(breakdown.hard_fraction)}")
+    print(f"mean attempts of soft-bounced: "
+          f"{mean_attempts_soft_bounced(dataset):.2f}")
+
+    distribution = labeled.type_distribution()
+    total = sum(distribution.values()) or 1
+    print()
+    print(render_table(
+        "Bounce types",
+        ["type", "meaning", "count", "share"],
+        [
+            [t.value, t.description[:44], n, pct(n / total)]
+            for t, n in distribution.most_common()
+        ],
+    ))
+    print(f"ambiguous NDRs excluded: {labeled.n_ambiguous()}")
+    print()
+    print(render_table(
+        f"Top-{args.top} receiver domains",
+        ["domain", "emails", "hard", "soft"],
+        [
+            [r.key, r.email_volume, pct(r.hard_fraction), pct(r.soft_fraction)]
+            for r in table3_top_domains(labeled, top=args.top)
+        ],
+    ))
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    dataset = DeliveryDataset.read_jsonl(args.dataset)
+    corpus = dataset.ndr_messages()
+    if not corpus:
+        print("dataset has no NDR messages to train on", file=sys.stderr)
+        return 1
+    labeler = EBRCLabeler().fit(corpus)
+    lines = args.message or [l.strip() for l in sys.stdin if l.strip()]
+    for line in lines:
+        result = labeler.classify(line)
+        if result is None:
+            print(f"AMBIGUOUS\t{line}")
+        else:
+            print(f"{result.value}\t{result.description}\t{line}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    dataset = DeliveryDataset.read_jsonl(args.dataset)
+    if args.index is None:
+        index = next((i for i, r in enumerate(dataset) if r.bounced), 0)
+    else:
+        index = args.index
+    if not 0 <= index < len(dataset):
+        print(f"index {index} out of range (0..{len(dataset) - 1})", file=sys.stderr)
+        return 1
+    record = dataset[index]
+    print(f"record #{index}: {record.sender} -> {record.receiver} "
+          f"[{record.bounce_degree.value}] flag={record.email_flag}")
+    for i, attempt in enumerate(record.attempts, 1):
+        print(f"\n--- attempt {i} (proxy {attempt.from_ip}) ---")
+        transcript = transcript_for_attempt(
+            attempt, record.sender, record.receiver,
+            mx_host=f"mx1.{record.receiver_domain}",
+        )
+        print(transcript.render())
+        print(f"outcome: {transcript.outcome}")
+    return 0
+
+
+def _cmd_squat(args) -> int:
+    from repro.analysis.squatting import squatting_report
+
+    result = run_simulation(SimulationConfig(scale=args.scale, seed=args.seed))
+    labeled = LabeledDataset(result.dataset, RuleLabeler())
+    report = squatting_report(labeled, result.world)
+    print(f"vulnerable domains: {report.n_vulnerable_domains} "
+          f"({report.total_domain_emails()} emails, "
+          f"{report.total_domain_senders()} senders)")
+    print(f"with receive history: {len(report.domains_with_history())}; "
+          f"re-registered: {len(report.reregistered_domains())}")
+    print(f"vulnerable usernames: {report.n_vulnerable_usernames}")
+    for domain in report.domains[:10]:
+        flags = []
+        if domain.historically_received:
+            flags.append("history")
+        if domain.reregistered:
+            flags.append("re-registered")
+        if domain.registrant_changed:
+            flags.append("new-owner")
+        print(f"  {domain.domain}  emails={domain.n_emails} "
+              f"senders={domain.n_senders} {' '.join(flags)}")
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    from repro.analysis.recommendations import build_recommendations
+
+    result = run_simulation(SimulationConfig(scale=args.scale, seed=args.seed))
+    labeled = LabeledDataset(result.dataset, RuleLabeler())
+    for rec in build_recommendations(labeled, result.world):
+        print(rec.render())
+        print()
+    return 0
+
+
+def _cmd_world_info(args) -> int:
+    from repro.world.model import build_world
+    from repro.world.inspect import country_distribution, summarize_world
+
+    world = build_world(SimulationConfig(scale=args.scale, seed=args.seed))
+    print(summarize_world(world).render())
+    top = country_distribution(world).most_common(8)
+    print("top MTA countries: " + ", ".join(f"{c}={n}" for c, n in top))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.analysis.comparison import compare_to_paper, scorecard
+
+    result = run_simulation(SimulationConfig(scale=args.scale, seed=args.seed))
+    labeled = LabeledDataset(result.dataset, RuleLabeler())
+    comparisons = compare_to_paper(labeled, result.world)
+    for c in comparisons:
+        print(c.render())
+    hits, total = scorecard(comparisons)
+    print(f"\nin regime: {hits}/{total}")
+    return 0
+
+
+def _cmd_full_report(args) -> int:
+    from repro.analysis.fullreport import full_report
+
+    result = run_simulation(SimulationConfig(scale=args.scale, seed=args.seed))
+    print(full_report(result))
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "report": _cmd_report,
+    "classify": _cmd_classify,
+    "explain": _cmd_explain,
+    "squat": _cmd_squat,
+    "recommend": _cmd_recommend,
+    "world-info": _cmd_world_info,
+    "compare": _cmd_compare,
+    "full-report": _cmd_full_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,208 @@
+"""Drain: fixed-depth-tree online log template mining (He et al., ICWS'17).
+
+This is a from-scratch implementation of the algorithm the paper uses to
+cluster 190M NDR messages into ~10K templates:
+
+1. messages are tokenised and obvious variables (emails, IPs, numbers,
+   hex ids, URLs) are masked to ``<*>``,
+2. a fixed-depth prefix tree routes each message by token count and its
+   first ``depth`` tokens (tokens containing digits route through a
+   ``<*>`` child),
+3. within a leaf, the message joins the most similar template cluster if
+   the token-wise similarity exceeds ``sim_threshold``; otherwise it
+   founds a new cluster,
+4. joining a cluster generalises the template: positions that disagree
+   become ``<*>``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+WILDCARD = "<*>"
+
+_MASKS = [
+    (re.compile(r"[\w.+-]+@[\w.-]+\.[a-zA-Z]{2,}"), WILDCARD),  # emails
+    (re.compile(r"\b\d{1,3}(?:\.\d{1,3}){3}\b"), WILDCARD),  # IPv4
+    (re.compile(r"https?://\S+"), WILDCARD),  # URLs
+    (re.compile(r"\b[0-9A-Fa-f]{8,}\b"), WILDCARD),  # hex queue ids
+    (re.compile(r"\b[a-z0-9.-]+\.(?:com|net|org|edu|gov|cn|de|uk|io|fr)\b"), WILDCARD),  # hostnames
+    (re.compile(r"\b\d+\b"), WILDCARD),  # bare numbers
+]
+
+
+def mask_message(message: str) -> str:
+    """Replace variable-looking substrings with the wildcard token."""
+    for pattern, repl in _MASKS:
+        message = pattern.sub(repl, message)
+    return message
+
+
+def tokenize_message(message: str, mask: bool = True) -> list[str]:
+    if mask:
+        message = mask_message(message)
+    return message.split()
+
+
+@dataclass
+class LogTemplate:
+    """One mined template (cluster of structurally-identical messages)."""
+
+    template_id: int
+    tokens: list[str]
+    count: int = 0
+    #: A few example raw messages (bounded) for labelling UIs.
+    examples: list[str] = field(default_factory=list)
+
+    MAX_EXAMPLES = 5
+
+    @property
+    def pattern(self) -> str:
+        return " ".join(self.tokens)
+
+    @property
+    def n_wildcards(self) -> int:
+        return sum(1 for t in self.tokens if t == WILDCARD)
+
+    def add_example(self, raw: str) -> None:
+        if len(self.examples) < self.MAX_EXAMPLES:
+            self.examples.append(raw)
+
+    def matches(self, tokens: list[str]) -> bool:
+        if len(tokens) != len(self.tokens):
+            return False
+        return all(t == WILDCARD or t == tok for t, tok in zip(self.tokens, tokens))
+
+
+class _Node:
+    __slots__ = ("children", "clusters")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _Node] = {}
+        self.clusters: list[LogTemplate] = []
+
+
+class Drain:
+    """The miner.  ``add`` routes a message and returns its template."""
+
+    def __init__(
+        self,
+        depth: int = 4,
+        sim_threshold: float = 0.5,
+        max_children: int = 100,
+        mask: bool = True,
+    ) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if not 0.0 < sim_threshold <= 1.0:
+            raise ValueError("sim_threshold must be in (0, 1]")
+        self.depth = depth
+        self.sim_threshold = sim_threshold
+        self.max_children = max_children
+        self.mask = mask
+        self._root = _Node()
+        self._templates: list[LogTemplate] = []
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def templates(self) -> list[LogTemplate]:
+        return list(self._templates)
+
+    def add(self, message: str) -> LogTemplate:
+        """Insert one message; returns the (possibly new) template."""
+        tokens = tokenize_message(message, mask=self.mask)
+        if not tokens:
+            tokens = ["<empty>"]
+        leaf = self._route(tokens, create=True)
+        template = self._best_match(leaf, tokens)
+        if template is None:
+            template = LogTemplate(template_id=len(self._templates), tokens=list(tokens))
+            self._templates.append(template)
+            leaf.clusters.append(template)
+        else:
+            self._generalize(template, tokens)
+        template.count += 1
+        template.add_example(message)
+        return template
+
+    def fit(self, messages: list[str]) -> list[LogTemplate]:
+        """Cluster a batch; returns the template of each message."""
+        return [self.add(m) for m in messages]
+
+    def match(self, message: str) -> LogTemplate | None:
+        """Find the template a message would join, without mutating state."""
+        tokens = tokenize_message(message, mask=self.mask)
+        if not tokens:
+            tokens = ["<empty>"]
+        leaf = self._route(tokens, create=False)
+        if leaf is None:
+            return None
+        return self._best_match(leaf, tokens)
+
+    def templates_by_count(self) -> list[LogTemplate]:
+        return sorted(self._templates, key=lambda t: t.count, reverse=True)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _route(self, tokens: list[str], create: bool) -> _Node | None:
+        node = self._root
+        keys = [str(len(tokens))] + [
+            self._route_key(tokens[i]) for i in range(min(self.depth - 1, len(tokens)))
+        ]
+        for key in keys:
+            child = node.children.get(key)
+            if child is None:
+                if not create:
+                    return None
+                if len(node.children) >= self.max_children and key != WILDCARD:
+                    key = WILDCARD
+                    child = node.children.get(key)
+                    if child is None:
+                        child = _Node()
+                        node.children[key] = child
+                else:
+                    child = _Node()
+                    node.children[key] = child
+            node = child
+        return node
+
+    @staticmethod
+    def _route_key(token: str) -> str:
+        """Digit-bearing tokens route through the wildcard child (they are
+        probably parameters)."""
+        if token == WILDCARD or any(ch.isdigit() for ch in token):
+            return WILDCARD
+        return token
+
+    def _best_match(self, leaf: _Node, tokens: list[str]) -> LogTemplate | None:
+        best: LogTemplate | None = None
+        best_sim = -1.0
+        for template in leaf.clusters:
+            sim = self._similarity(template.tokens, tokens)
+            if sim > best_sim:
+                best = template
+                best_sim = sim
+        if best is not None and best_sim >= self.sim_threshold:
+            return best
+        return None
+
+    @staticmethod
+    def _similarity(template_tokens: list[str], tokens: list[str]) -> float:
+        if len(template_tokens) != len(tokens):
+            return 0.0
+        if not tokens:
+            return 1.0
+        same = sum(
+            1
+            for a, b in zip(template_tokens, tokens)
+            if a == b or a == WILDCARD
+        )
+        return same / len(tokens)
+
+    @staticmethod
+    def _generalize(template: LogTemplate, tokens: list[str]) -> None:
+        for i, (a, b) in enumerate(zip(template.tokens, tokens)):
+            if a != b and a != WILDCARD:
+                template.tokens[i] = WILDCARD

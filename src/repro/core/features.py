@@ -1,0 +1,100 @@
+"""TF-IDF n-gram vectorizer (pure numpy).
+
+Word unigrams/bigrams over the normalised NDR tokens plus character
+trigrams over the normalised text.  Fitted vocabulary maps features to
+columns; transform produces dense float32 matrices (vocabulary sizes here
+are small enough — a few thousand features — that sparsity machinery
+would be overhead).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tokenize import normalize_ndr
+
+
+def _word_ngrams(tokens: list[str], n_min: int, n_max: int) -> list[str]:
+    out: list[str] = []
+    for n in range(n_min, n_max + 1):
+        for i in range(len(tokens) - n + 1):
+            out.append("w:" + " ".join(tokens[i : i + n]))
+    return out
+
+
+def _char_ngrams(text: str, n: int) -> list[str]:
+    padded = f" {text} "
+    return ["c:" + padded[i : i + n] for i in range(max(0, len(padded) - n + 1))]
+
+
+@dataclass
+class TfidfVectorizer:
+    word_ngram_range: tuple[int, int] = (1, 2)
+    char_ngram: int = 3
+    use_chars: bool = True
+    min_df: int = 2
+    max_features: int = 20_000
+    sublinear_tf: bool = True
+
+    vocabulary_: dict[str, int] = field(default_factory=dict, repr=False)
+    idf_: np.ndarray | None = field(default=None, repr=False)
+
+    # -- fitting -------------------------------------------------------------
+
+    def _features_of(self, text: str) -> list[str]:
+        norm = normalize_ndr(text)
+        tokens = norm.split()
+        feats = _word_ngrams(tokens, *self.word_ngram_range)
+        if self.use_chars:
+            feats.extend(_char_ngrams(norm, self.char_ngram))
+        return feats
+
+    def fit(self, texts: list[str]) -> "TfidfVectorizer":
+        if not texts:
+            raise ValueError("cannot fit on an empty corpus")
+        df: dict[str, int] = {}
+        for text in texts:
+            for feat in set(self._features_of(text)):
+                df[feat] = df.get(feat, 0) + 1
+        kept = [(f, c) for f, c in df.items() if c >= self.min_df]
+        # Highest-df features first, then lexicographic for determinism.
+        kept.sort(key=lambda fc: (-fc[1], fc[0]))
+        kept = kept[: self.max_features]
+        self.vocabulary_ = {f: i for i, (f, _) in enumerate(kept)}
+        n_docs = len(texts)
+        idf = np.zeros(len(kept), dtype=np.float32)
+        for f, c in kept:
+            idf[self.vocabulary_[f]] = math.log((1.0 + n_docs) / (1.0 + c)) + 1.0
+        self.idf_ = idf
+        return self
+
+    def transform(self, texts: list[str]) -> np.ndarray:
+        if self.idf_ is None:
+            raise RuntimeError("vectorizer is not fitted")
+        X = np.zeros((len(texts), len(self.vocabulary_)), dtype=np.float32)
+        for row, text in enumerate(texts):
+            counts: dict[int, float] = {}
+            for feat in self._features_of(text):
+                col = self.vocabulary_.get(feat)
+                if col is not None:
+                    counts[col] = counts.get(col, 0.0) + 1.0
+            if not counts:
+                continue
+            for col, tf in counts.items():
+                if self.sublinear_tf:
+                    tf = 1.0 + math.log(tf)
+                X[row, col] = tf * self.idf_[col]
+            norm = np.linalg.norm(X[row])
+            if norm > 0:
+                X[row] /= norm
+        return X
+
+    def fit_transform(self, texts: list[str]) -> np.ndarray:
+        return self.fit(texts).transform(texts)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.vocabulary_)

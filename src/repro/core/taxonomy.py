@@ -1,0 +1,232 @@
+"""Bounce-reason taxonomy (Section 3.2 and Table 2 of the paper).
+
+The paper defines six categories and 16 types (T1–T16) of bounce reasons,
+three bounce degrees, six causative entities (plus the attacker), and five
+root causes.  These enums and the mapping tables below are shared by the
+simulator (which decides *why* an attempt fails), the NDR template bank
+(which renders the matching text), and the analysis layer (which must
+re-derive all of this from the rendered text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class BounceCategory(str, Enum):
+    """The six high-level categories of Section 3.2."""
+
+    DNS_QUERY_FAILURE = "DNS query failure"
+    VIOLATE_PROTOCOL_STANDARD = "Violate protocol standard"
+    RESTRICT_EMAIL_SOURCE = "Restrict email source"
+    REFUSE_EMAIL_RECEPTION = "Refuse email reception"
+    SMTP_CONNECTION_ERROR = "SMTP connection error"
+    UNKNOWN_OTHER = "Unknown/other"
+
+
+class BounceType(str, Enum):
+    """The 16 bounce-reason types T1–T16."""
+
+    T1 = "T1"  # sender domain DNS resolution failure
+    T2 = "T2"  # receiver domain DNS resolution failure (MX error / typo)
+    T3 = "T3"  # sender authentication failure (DKIM/SPF/DMARC)
+    T4 = "T4"  # STARTTLS incorrectly implemented / unsupported
+    T5 = "T5"  # sender MTA listed in blocklists
+    T6 = "T6"  # blocked by greylisting
+    T7 = "T7"  # delivering too fast (rate limited at source granularity)
+    T8 = "T8"  # receiver address does not exist
+    T9 = "T9"  # receiver mailbox full
+    T10 = "T10"  # excessive (invalid) recipient count
+    T11 = "T11"  # incoming volume/rate limit exceeded for the recipient
+    T12 = "T12"  # message too large
+    T13 = "T13"  # content classified as spam
+    T14 = "T14"  # SMTP session timeout
+    T15 = "T15"  # SMTP session interrupted
+    T16 = "T16"  # unknown / other
+
+    @property
+    def category(self) -> BounceCategory:
+        return TYPE_CATEGORY[self]
+
+    @property
+    def description(self) -> str:
+        return TYPE_DESCRIPTION[self]
+
+    @property
+    def index(self) -> int:
+        """Numeric index 1..16 (handy for confusion matrices)."""
+        return int(self.value[1:])
+
+
+TYPE_CATEGORY: dict[BounceType, BounceCategory] = {
+    BounceType.T1: BounceCategory.DNS_QUERY_FAILURE,
+    BounceType.T2: BounceCategory.DNS_QUERY_FAILURE,
+    BounceType.T3: BounceCategory.VIOLATE_PROTOCOL_STANDARD,
+    BounceType.T4: BounceCategory.VIOLATE_PROTOCOL_STANDARD,
+    BounceType.T5: BounceCategory.RESTRICT_EMAIL_SOURCE,
+    BounceType.T6: BounceCategory.RESTRICT_EMAIL_SOURCE,
+    BounceType.T7: BounceCategory.RESTRICT_EMAIL_SOURCE,
+    BounceType.T8: BounceCategory.REFUSE_EMAIL_RECEPTION,
+    BounceType.T9: BounceCategory.REFUSE_EMAIL_RECEPTION,
+    BounceType.T10: BounceCategory.REFUSE_EMAIL_RECEPTION,
+    BounceType.T11: BounceCategory.REFUSE_EMAIL_RECEPTION,
+    BounceType.T12: BounceCategory.REFUSE_EMAIL_RECEPTION,
+    BounceType.T13: BounceCategory.REFUSE_EMAIL_RECEPTION,
+    BounceType.T14: BounceCategory.SMTP_CONNECTION_ERROR,
+    BounceType.T15: BounceCategory.SMTP_CONNECTION_ERROR,
+    BounceType.T16: BounceCategory.UNKNOWN_OTHER,
+}
+
+TYPE_DESCRIPTION: dict[BounceType, str] = {
+    BounceType.T1: "Sender domain DNS record failed to resolve",
+    BounceType.T2: "Receiver domain DNS record failed to resolve",
+    BounceType.T3: "Sender violates authentication mechanisms (DKIM/SPF/DMARC)",
+    BounceType.T4: "Sender MTA incorrectly implements STARTTLS",
+    BounceType.T5: "Sender MTA listed in blocklists",
+    BounceType.T6: "Sender MTA blocked by greylisting",
+    BounceType.T7: "Sender MTA delivers too fast",
+    BounceType.T8: "Receiver email address does not exist",
+    BounceType.T9: "Receiver mailbox is full",
+    BounceType.T10: "Excessive (invalid) recipient count",
+    BounceType.T11: "Incoming email number or rate exceeds the limit",
+    BounceType.T12: "Email is too large",
+    BounceType.T13: "Email content considered spam",
+    BounceType.T14: "SMTP session timeout",
+    BounceType.T15: "SMTP session interruption",
+    BounceType.T16: "Unknown / other",
+}
+
+
+class BounceDegree(str, Enum):
+    """Delivery status of a whole email (Section 2.2)."""
+
+    NON_BOUNCED = "non-bounced"
+    SOFT_BOUNCED = "soft-bounced"
+    HARD_BOUNCED = "hard-bounced"
+
+
+class CausativeEntity(str, Enum):
+    """The entity responsible for the bounce (Table 2)."""
+
+    ATTACKER = "Attacker"
+    SENDER = "Sender"
+    RECEIVER = "Receiver"
+    SENDER_MAIL_SERVER = "Sender mail server"
+    RECEIVER_MAIL_SERVER = "Receiver mail server"
+    SENDER_NAME_SERVER = "Sender name server"
+    RECEIVER_NAME_SERVER = "Receiver name server"
+    UNATTRIBUTED = "/"
+
+
+class RootCause(str, Enum):
+    """The five root causes of Table 2."""
+
+    MALICIOUS_EMAIL_DELIVERY = "Malicious Email Delivery"
+    SPAM_BLOCKING_POLICY = "Spam Blocking Policy"
+    SERVER_MANAGER_MISCONFIGURATION = "Server Manager Misconfiguration"
+    IMPROPER_USER_OPERATION = "Improper User Operation"
+    POOR_EMAIL_INFRASTRUCTURE = "Poor Email Infrastructure"
+
+    @property
+    def is_active_protective(self) -> bool:
+        """Active protective bounces (Section 4.2) vs passive accidental."""
+        return self in (
+            RootCause.MALICIOUS_EMAIL_DELIVERY,
+            RootCause.SPAM_BLOCKING_POLICY,
+        )
+
+
+@dataclass(frozen=True)
+class BounceReasonRow:
+    """One row of Table 2: a (root cause, type, reason) combination."""
+
+    root_cause: RootCause
+    bounce_type: BounceType
+    reason: str
+    degrees: tuple[BounceDegree, ...]
+    entity: CausativeEntity
+
+
+#: Table 2 structure, verbatim from the paper (numbers live in the
+#: benchmarks, not here — the simulator must *produce* them).
+TABLE2_ROWS: list[BounceReasonRow] = [
+    BounceReasonRow(
+        RootCause.MALICIOUS_EMAIL_DELIVERY, BounceType.T8,
+        "Guess victim email addresses",
+        (BounceDegree.HARD_BOUNCED,), CausativeEntity.ATTACKER),
+    BounceReasonRow(
+        RootCause.MALICIOUS_EMAIL_DELIVERY, BounceType.T13,
+        "Delivering large amounts of spam",
+        (BounceDegree.HARD_BOUNCED,), CausativeEntity.ATTACKER),
+    BounceReasonRow(
+        RootCause.SPAM_BLOCKING_POLICY, BounceType.T5,
+        "Sender MTA listed in blocklists",
+        (BounceDegree.HARD_BOUNCED, BounceDegree.SOFT_BOUNCED),
+        CausativeEntity.RECEIVER_MAIL_SERVER),
+    BounceReasonRow(
+        RootCause.SPAM_BLOCKING_POLICY, BounceType.T6,
+        "Sender MTA blocked by greylisting",
+        (BounceDegree.HARD_BOUNCED, BounceDegree.SOFT_BOUNCED),
+        CausativeEntity.RECEIVER_MAIL_SERVER),
+    BounceReasonRow(
+        RootCause.SPAM_BLOCKING_POLICY, BounceType.T7,
+        "Sender MTA delivers too fast",
+        (BounceDegree.SOFT_BOUNCED,), CausativeEntity.RECEIVER_MAIL_SERVER),
+    BounceReasonRow(
+        RootCause.SPAM_BLOCKING_POLICY, BounceType.T13,
+        "Email detected as spam",
+        (BounceDegree.HARD_BOUNCED,), CausativeEntity.RECEIVER_MAIL_SERVER),
+    BounceReasonRow(
+        RootCause.SPAM_BLOCKING_POLICY, BounceType.T11,
+        "User gets too much email",
+        (BounceDegree.HARD_BOUNCED,), CausativeEntity.RECEIVER_MAIL_SERVER),
+    BounceReasonRow(
+        RootCause.SERVER_MANAGER_MISCONFIGURATION, BounceType.T3,
+        "Sender authentication failure",
+        (BounceDegree.HARD_BOUNCED,), CausativeEntity.SENDER_NAME_SERVER),
+    BounceReasonRow(
+        RootCause.SERVER_MANAGER_MISCONFIGURATION, BounceType.T4,
+        "Server does not support STARTTLS",
+        (BounceDegree.SOFT_BOUNCED,), CausativeEntity.SENDER_MAIL_SERVER),
+    BounceReasonRow(
+        RootCause.SERVER_MANAGER_MISCONFIGURATION, BounceType.T2,
+        "Error MX record for receiver domain",
+        (BounceDegree.HARD_BOUNCED,), CausativeEntity.RECEIVER_NAME_SERVER),
+    BounceReasonRow(
+        RootCause.IMPROPER_USER_OPERATION, BounceType.T2,
+        "Receiver domain name typo",
+        (BounceDegree.HARD_BOUNCED,), CausativeEntity.SENDER),
+    BounceReasonRow(
+        RootCause.IMPROPER_USER_OPERATION, BounceType.T8,
+        "Receiver username typo",
+        (BounceDegree.HARD_BOUNCED,), CausativeEntity.SENDER),
+    BounceReasonRow(
+        RootCause.IMPROPER_USER_OPERATION, BounceType.T8,
+        "Receiver email address is inactive",
+        (BounceDegree.HARD_BOUNCED,), CausativeEntity.RECEIVER),
+    BounceReasonRow(
+        RootCause.IMPROPER_USER_OPERATION, BounceType.T9,
+        "Receiver mailbox is full",
+        (BounceDegree.HARD_BOUNCED,), CausativeEntity.RECEIVER),
+    BounceReasonRow(
+        RootCause.POOR_EMAIL_INFRASTRUCTURE, BounceType.T14,
+        "SMTP session timeout",
+        (BounceDegree.SOFT_BOUNCED,), CausativeEntity.UNATTRIBUTED),
+]
+
+
+ALL_TYPES: tuple[BounceType, ...] = tuple(BounceType)
+
+#: Types the classifier is trained on (T16 is the catch-all).
+CLASSIFIED_TYPES: tuple[BounceType, ...] = tuple(
+    t for t in BounceType if t is not BounceType.T16
+)
+
+
+def rows_for_cause(cause: RootCause) -> list[BounceReasonRow]:
+    return [row for row in TABLE2_ROWS if row.root_cause is cause]
+
+
+def types_for_category(category: BounceCategory) -> list[BounceType]:
+    return [t for t, c in TYPE_CATEGORY.items() if c is category]

@@ -1,0 +1,56 @@
+"""NDR text normalisation for the classifier feature pipeline.
+
+Distinct from Drain's masking: the classifier wants *semantic* tokens
+(keywords like "quota", "blocked", "greylisting") and abstracted entity
+placeholders, not positional structure.
+"""
+
+from __future__ import annotations
+
+import re
+
+_EMAIL = re.compile(r"[\w.+-]+@[\w.-]+\.[a-zA-Z]{2,}")
+_IPV4 = re.compile(r"\b\d{1,3}(?:\.\d{1,3}){3}\b")
+_URL = re.compile(r"https?://\S+")
+_HEX = re.compile(r"\b[0-9A-Fa-f]{8,}\b")
+_HOST = re.compile(r"\b[a-z0-9-]+(?:\.[a-z0-9-]+)+\b")
+_ENHANCED = re.compile(r"\b([245])\.(\d{1,3})\.(\d{1,3})\b")
+_REPLY = re.compile(r"^\s*(\d{3})[ \-]")
+_NUM = re.compile(r"\b\d+\b")
+_NON_WORD = re.compile(r"[^a-z0-9_<>\.]+")
+
+
+def normalize_ndr(text: str) -> str:
+    """Normalise one NDR line into a token string for vectorisation.
+
+    Reply and enhanced codes are kept as dedicated tokens (``rc_550``,
+    ``ec_5.1.1``) because they carry real signal; free entities (emails,
+    IPs, hosts, hex ids) collapse to placeholder tokens.
+    """
+    text = text.strip()
+    tokens: list[str] = []
+
+    m = _REPLY.match(text)
+    if m:
+        tokens.append(f"rc_{m.group(1)}")
+    m = _ENHANCED.search(text)
+    if m:
+        tokens.append(f"ec_{m.group(1)}.{m.group(2)}.{m.group(3)}")
+        tokens.append(f"ecc_{m.group(1)}")  # class alone is also useful
+
+    body = text.lower()
+    body = _URL.sub(" <url> ", body)
+    body = _EMAIL.sub(" <email> ", body)
+    body = _IPV4.sub(" <ip> ", body)
+    body = _HEX.sub(" <id> ", body)
+    body = _ENHANCED.sub(" ", body)
+    body = _HOST.sub(" <host> ", body)
+    body = _NUM.sub(" <num> ", body)
+    body = _NON_WORD.sub(" ", body)
+
+    tokens.extend(tok for tok in body.split() if tok)
+    return " ".join(tokens)
+
+
+def ndr_tokens(text: str) -> list[str]:
+    return normalize_ndr(text).split()

@@ -1,0 +1,25 @@
+"""The sender side: Coremail-style distributed proxy delivery.
+
+:class:`~repro.delivery.engine.DeliveryEngine` implements the strategy of
+Figure 2 of the paper: pick a proxy MTA, resolve the receiver's MX, run the
+SMTP session (network permitting) through the receiver's policy gauntlet,
+and on failure retry from a (by default randomly) re-chosen proxy — at most
+once for mail Coremail itself flagged as Spam.  Each email yields one
+:class:`~repro.delivery.records.DeliveryRecord` in the dataset format of
+Figure 3.
+"""
+
+from repro.delivery.proxies import ProxyMTA, ProxyFleet, PROXY_DISTRIBUTION
+from repro.delivery.records import AttemptRecord, DeliveryRecord
+from repro.delivery.dataset import DeliveryDataset
+from repro.delivery.engine import DeliveryEngine
+
+__all__ = [
+    "ProxyMTA",
+    "ProxyFleet",
+    "PROXY_DISTRIBUTION",
+    "AttemptRecord",
+    "DeliveryRecord",
+    "DeliveryDataset",
+    "DeliveryEngine",
+]

@@ -1,0 +1,267 @@
+"""The delivery engine: Coremail's distributed proxy strategy (Figure 2).
+
+For each email the engine
+
+1. applies Coremail's outgoing spam filter (the dataset's ``email_flag``;
+   mail flagged Spam gets exactly one attempt),
+2. picks a proxy MTA (randomly by default; ``sticky`` keeps the first
+   proxy — the ablation of DESIGN.md),
+3. resolves the receiver's MX (typo domains and broken MX configurations
+   fail here, producing sender-side T2 NDRs),
+4. runs the network leg (dead servers and poor routes yield T14/T15),
+5. hands the session to the receiver-MTA policy gauntlet,
+6. on failure, retries from a re-chosen proxy with an exponential gap —
+   full budget for source-level failures, a short confirmation budget for
+   recipient-level ones.
+
+The engine learns per-(proxy, domain) TLS requirements the way Coremail
+does: the first plaintext attempt at a mandatory-TLS domain bounces T4,
+and that proxy remembers to use STARTTLS next time.
+"""
+
+from __future__ import annotations
+
+from repro.auth.evaluator import AuthEvaluator
+from repro.core.taxonomy import BounceType
+from repro.delivery.proxies import ProxyMTA
+from repro.delivery.records import AttemptRecord, DeliveryRecord
+from repro.mta.filters import SpamVerdict
+from repro.mta.receiver import AttemptContext, RecipientStatus
+from repro.smtp.ndr import render_success
+from repro.smtp.templates import TemplateDialect
+from repro.util.rng import RandomSource
+from repro.util.text import split_address
+from repro.workload.spec import EmailSpec
+from repro.world.model import WorldModel
+
+#: Dialect of sender-side (Coremail proxy) generated error text.
+_SENDER_DIALECT = TemplateDialect.POSTFIX
+
+
+class DeliveryEngine:
+    def __init__(self, world: WorldModel, rng: RandomSource) -> None:
+        self.world = world
+        self.rng = rng
+        self._auth = AuthEvaluator(world.resolver)
+        #: (proxy index, domain) pairs known to require STARTTLS.
+        self._tls_learned: set[tuple[int, str]] = set()
+
+    # -- public API ---------------------------------------------------------------
+
+    def deliver(self, spec: EmailSpec) -> DeliveryRecord:
+        world = self.world
+        config = world.config
+        rng = self.rng
+
+        coremail_verdict = world.coremail_filter.classify(spec.spamminess, rng)
+        email_flag = coremail_verdict.value
+        if coremail_verdict is SpamVerdict.SPAM:
+            budget = config.spam_attempts
+        else:
+            budget = config.max_attempts
+
+        attempts: list[AttemptRecord] = []
+        t = spec.t
+        proxy: ProxyMTA | None = None
+        nonretryable_seen = 0
+
+        while len(attempts) < budget:
+            proxy = self._pick_proxy(proxy)
+            attempt = self._attempt(spec, proxy, t)
+            attempts.append(attempt)
+            if attempt.succeeded:
+                break
+            if attempt.truth_type == BounceType.T4.value:
+                # Learned: this domain requires STARTTLS from this proxy.
+                self._tls_learned.add((proxy.index, spec.receiver_domain))
+            if not self._retryable(attempt):
+                nonretryable_seen += 1
+                if nonretryable_seen >= config.nonretryable_attempts:
+                    break
+            gap_mean = config.retry_gap_mean_s * (
+                config.retry_backoff_multiplier ** (len(attempts) - 1)
+            )
+            t = attempt.t + rng.expovariate(1.0 / gap_mean)
+
+        return DeliveryRecord(
+            sender=spec.sender,
+            receiver=spec.receiver,
+            start_time=spec.t,
+            end_time=attempts[-1].t + attempts[-1].latency_ms / 1000.0,
+            email_flag=email_flag,
+            attempts=attempts,
+            truth_tags=spec.tags,
+            truth_spamminess=spec.spamminess,
+        )
+
+    def deliver_all(self, specs: list[EmailSpec]):
+        """Deliver a whole workload; yields records in input order."""
+        for spec in specs:
+            yield self.deliver(spec)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _pick_proxy(self, previous: ProxyMTA | None) -> ProxyMTA:
+        fleet = self.world.fleet
+        if previous is None:
+            return fleet.pick_random()
+        if self.world.config.proxy_policy == "sticky":
+            return previous
+        return fleet.pick_different(previous)
+
+    def _attempt(self, spec: EmailSpec, proxy: ProxyMTA, t: float) -> AttemptRecord:
+        world = self.world
+        rng = self.rng
+        receiver_domain = spec.receiver_domain
+
+        # 1. route: resolve the receiver's MX.
+        mx_host = world.resolver.resolve_mx_host(receiver_domain, t, rng)
+        if mx_host is None:
+            ndr = world.bank.render(
+                BounceType.T2,
+                _SENDER_DIALECT,
+                rng,
+                context=self._context(spec, proxy, f"mx1.{receiver_domain}"),
+            )
+            return AttemptRecord(
+                t=t,
+                from_ip=proxy.ip,
+                to_ip="",
+                result=ndr.text,
+                latency_ms=int(rng.uniform(400, 4_000)),
+                truth_type=ndr.truth_type,
+                ambiguous=ndr.ambiguous,
+            )
+
+        rdomain = world.receiver_domains.get(receiver_domain)
+        if rdomain is None:
+            # Registered domain without a mail service we model (e.g. a
+            # re-registered squat without mailboxes): treat as unknown user.
+            return self._reject_unknown_service(spec, proxy, t, mx_host)
+
+        to_ip = rng.choice(rdomain.ips)
+
+        # 2. network leg.
+        timeout_p = world.network.timeout_probability(proxy.country, rdomain.mta_country)
+        if rdomain.dead_server or rng.chance(timeout_p):
+            ndr = world.bank.render(
+                BounceType.T14,
+                _SENDER_DIALECT,
+                rng,
+                context=self._context(spec, proxy, mx_host),
+            )
+            return AttemptRecord(
+                t=t,
+                from_ip=proxy.ip,
+                to_ip=to_ip,
+                result=ndr.text,
+                latency_ms=world.network.timeout_latency_ms(rng),
+                truth_type=ndr.truth_type,
+                ambiguous=ndr.ambiguous,
+            )
+        interrupt_p = world.network.interrupt_probability(proxy.country, rdomain.mta_country)
+        if rng.chance(interrupt_p):
+            ndr = world.bank.render(
+                BounceType.T15,
+                _SENDER_DIALECT,
+                rng,
+                context=self._context(spec, proxy, mx_host),
+            )
+            return AttemptRecord(
+                t=t,
+                from_ip=proxy.ip,
+                to_ip=to_ip,
+                result=ndr.text,
+                latency_ms=world.network.interrupt_latency_ms(rng),
+                truth_type=ndr.truth_type,
+                ambiguous=ndr.ambiguous,
+            )
+
+        # 3. the receiver's policy gauntlet.
+        sender_domain = spec.sender_domain
+        mta = world.receiver_mtas[receiver_domain]
+        auth_result = None
+        if mta.policy.enforces_auth:
+            auth_result = self._auth.evaluate(sender_domain, proxy.ip, t)
+        ctx = AttemptContext(
+            t=t,
+            proxy_ip=proxy.ip,
+            sender_address=spec.sender,
+            receiver_address=spec.receiver,
+            uses_tls=(proxy.index, receiver_domain) in self._tls_learned,
+            spamminess=spec.spamminess,
+            size_bytes=spec.size_bytes,
+            recipient_count=spec.recipient_count,
+            sender_domain_unresolvable=world.sender_dns_broken(sender_domain, t),
+            auth_result=auth_result,
+            recipient_status=world.recipient_status(spec.receiver, t),
+            mx_host=mx_host,
+        )
+        decision = mta.evaluate(ctx, rng)
+
+        if decision.accepted:
+            latency = world.network.latency_ms(proxy.country, rdomain.mta_country, rng)
+            return AttemptRecord(
+                t=t,
+                from_ip=proxy.ip,
+                to_ip=to_ip,
+                result=render_success(),
+                latency_ms=latency,
+                truth_type=None,
+            )
+
+        assert decision.ndr is not None
+        return AttemptRecord(
+            t=t,
+            from_ip=proxy.ip,
+            to_ip=to_ip,
+            result=decision.ndr.text,
+            latency_ms=int(rng.uniform(800, 12_000)),
+            truth_type=decision.ndr.truth_type,
+            ambiguous=decision.ndr.ambiguous,
+        )
+
+    def _reject_unknown_service(
+        self, spec: EmailSpec, proxy: ProxyMTA, t: float, mx_host: str
+    ) -> AttemptRecord:
+        ndr = self.world.bank.render(
+            BounceType.T8,
+            TemplateDialect.GENERIC,
+            self.rng,
+            context=self._context(spec, proxy, mx_host),
+        )
+        return AttemptRecord(
+            t=t,
+            from_ip=proxy.ip,
+            to_ip="",
+            result=ndr.text,
+            latency_ms=int(self.rng.uniform(900, 9_000)),
+            truth_type=ndr.truth_type,
+            ambiguous=ndr.ambiguous,
+        )
+
+    def _context(self, spec: EmailSpec, proxy: ProxyMTA, mx_host: str) -> dict[str, str]:
+        user, domain = split_address(spec.receiver)
+        return {
+            "address": spec.receiver,
+            "user": user,
+            "domain": domain,
+            "sender_domain": spec.sender_domain,
+            "ip": proxy.ip,
+            "mx": mx_host,
+        }
+
+    @staticmethod
+    def _retryable(attempt: AttemptRecord) -> bool:
+        """Source-level and transport failures justify a full retry budget;
+        recipient-level rejections only get a confirmation retry."""
+        retryable = {
+            BounceType.T4.value,
+            BounceType.T5.value,
+            BounceType.T6.value,
+            BounceType.T7.value,
+            BounceType.T11.value,
+            BounceType.T14.value,
+            BounceType.T15.value,
+        }
+        return attempt.truth_type in retryable

@@ -1,0 +1,97 @@
+"""Coremail's proxy-MTA fleet.
+
+34 proxies across six countries/regions (US, Hong Kong, Germany,
+Singapore, United Kingdom, India).  Singapore and India carry little
+volume (the paper excludes them from Figure 8 for that reason), which the
+selection weights reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.ipaddr import IPAllocator
+from repro.geo.asn import AutonomousSystem, make_generic_as
+from repro.util.rng import RandomSource, WeightedSampler
+
+#: (country, proxy count, per-proxy selection weight).
+PROXY_DISTRIBUTION: list[tuple[str, int, float]] = [
+    ("US", 10, 1.00),
+    ("HK", 8, 1.00),
+    ("DE", 6, 0.95),
+    ("GB", 5, 0.90),
+    ("SG", 3, 0.12),
+    ("IN", 2, 0.10),
+]
+
+
+@dataclass(frozen=True)
+class ProxyMTA:
+    index: int
+    ip: str
+    country: str
+
+    @property
+    def name(self) -> str:
+        return f"proxy{self.index}.coremail-out.net"
+
+
+class ProxyFleet:
+    """The proxy pool plus the selection policies the engine can use."""
+
+    def __init__(self, proxies: list[ProxyMTA], rng: RandomSource, weights: list[float]) -> None:
+        if len(proxies) != len(weights):
+            raise ValueError("one weight per proxy required")
+        self.proxies = proxies
+        self._sampler: WeightedSampler[ProxyMTA] = rng.sampler(proxies, weights)
+
+    @classmethod
+    def build(
+        cls,
+        allocator: IPAllocator,
+        rng: RandomSource,
+        n_proxies: int = 34,
+        distribution: list[tuple[str, int, float]] | None = None,
+    ) -> "ProxyFleet":
+        distribution = distribution or PROXY_DISTRIBUTION
+        total = sum(count for _, count, _ in distribution)
+        proxies: list[ProxyMTA] = []
+        weights: list[float] = []
+        index = 0
+        for country, count, weight in distribution:
+            # Rescale each country's count to the requested fleet size.
+            scaled = max(1, round(count * n_proxies / total))
+            asn = make_generic_as(900 + index, country)
+            for _ in range(scaled):
+                ip = allocator.allocate(country, asn)
+                proxies.append(ProxyMTA(index=index, ip=ip, country=country))
+                weights.append(weight)
+                index += 1
+        return cls(proxies, rng, weights)
+
+    def pick_random(self) -> ProxyMTA:
+        """Coremail's policy: a fresh weighted-random proxy per attempt."""
+        return self._sampler.draw()
+
+    def pick_different(self, previous: ProxyMTA) -> ProxyMTA:
+        """Random proxy other than ``previous`` (retry behaviour)."""
+        if len(self.proxies) == 1:
+            return previous
+        for _ in range(8):
+            candidate = self._sampler.draw()
+            if candidate.index != previous.index:
+                return candidate
+        return previous
+
+    @property
+    def ips(self) -> list[str]:
+        return [p.ip for p in self.proxies]
+
+    def by_country(self) -> dict[str, list[ProxyMTA]]:
+        out: dict[str, list[ProxyMTA]] = {}
+        for p in self.proxies:
+            out.setdefault(p.country, []).append(p)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.proxies)

@@ -1,0 +1,166 @@
+"""Delivery records: the dataset format of the paper's Figure 3.
+
+One :class:`DeliveryRecord` per email, with parallel per-attempt arrays
+(``from_ip``, ``to_ip``, ``delivery_result``, ``delivery_latency``) exactly
+as the paper's JSON example shows, plus Coremail's content verdict
+(``email_flag``).
+
+Simulator-side ground truth (the true bounce type per attempt, scenario
+tags such as ``username_typo``) is carried in clearly-marked ``truth_*``
+fields.  Analysis code must not read them; they exist so the EBRC and the
+detection pipelines can be *scored*.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.taxonomy import BounceDegree
+from repro.smtp.ndr import is_success
+
+
+@dataclass(slots=True)
+class AttemptRecord:
+    t: float
+    from_ip: str
+    to_ip: str
+    result: str
+    latency_ms: int
+    #: Ground truth: the bounce type the policy engine decided (None for
+    #: accepted attempts).
+    truth_type: str | None = None
+    #: Whether the rendered NDR came from the ambiguous pool.
+    ambiguous: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return is_success(self.result)
+
+
+@dataclass(slots=True)
+class DeliveryRecord:
+    sender: str
+    receiver: str
+    start_time: float
+    end_time: float
+    email_flag: str
+    attempts: list[AttemptRecord]
+    #: Scenario tags: how the workload generator produced this email
+    #: (ground truth for evaluation only).
+    truth_tags: tuple[str, ...] = ()
+    #: Latent content spamminess (ground truth).
+    truth_spamminess: float = 0.0
+
+    # -- identity helpers -----------------------------------------------------
+
+    @property
+    def sender_domain(self) -> str:
+        return self.sender.rsplit("@", 1)[-1]
+
+    @property
+    def receiver_domain(self) -> str:
+        return self.receiver.rsplit("@", 1)[-1]
+
+    @property
+    def receiver_user(self) -> str:
+        return self.receiver.split("@", 1)[0]
+
+    # -- outcome helpers ---------------------------------------------------------
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def delivered(self) -> bool:
+        return any(a.succeeded for a in self.attempts)
+
+    @property
+    def bounce_degree(self) -> BounceDegree:
+        if not self.attempts:
+            raise ValueError("record has no attempts")
+        if self.attempts[0].succeeded:
+            return BounceDegree.NON_BOUNCED
+        if self.delivered:
+            return BounceDegree.SOFT_BOUNCED
+        return BounceDegree.HARD_BOUNCED
+
+    @property
+    def bounced(self) -> bool:
+        return self.bounce_degree is not BounceDegree.NON_BOUNCED
+
+    def failed_attempts(self) -> list[AttemptRecord]:
+        return [a for a in self.attempts if not a.succeeded]
+
+    def final_attempt(self) -> AttemptRecord:
+        return self.attempts[-1]
+
+    def first_failure(self) -> AttemptRecord | None:
+        for a in self.attempts:
+            if not a.succeeded:
+                return a
+        return None
+
+    def successful_latency_ms(self) -> int | None:
+        for a in self.attempts:
+            if a.succeeded:
+                return a.latency_ms
+        return None
+
+    # -- serialisation -------------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """The Figure 3 format plus ``truth_*`` extension fields."""
+        return {
+            "from": self.sender,
+            "to": self.receiver,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "from_ip": [a.from_ip for a in self.attempts],
+            "to_ip": [a.to_ip for a in self.attempts],
+            "delivery_result": [a.result for a in self.attempts],
+            "delivery_latency": [a.latency_ms for a in self.attempts],
+            "email_flag": self.email_flag,
+            "truth_types": [a.truth_type for a in self.attempts],
+            "truth_ambiguous": [a.ambiguous for a in self.attempts],
+            "truth_tags": list(self.truth_tags),
+            "truth_spamminess": self.truth_spamminess,
+            "attempt_times": [a.t for a in self.attempts],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_json_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "DeliveryRecord":
+        n = len(data["delivery_result"])
+        times = data.get("attempt_times") or [data["start_time"]] * n
+        truth_types = data.get("truth_types") or [None] * n
+        truth_ambiguous = data.get("truth_ambiguous") or [False] * n
+        attempts = [
+            AttemptRecord(
+                t=times[i],
+                from_ip=data["from_ip"][i],
+                to_ip=data["to_ip"][i],
+                result=data["delivery_result"][i],
+                latency_ms=data["delivery_latency"][i],
+                truth_type=truth_types[i],
+                ambiguous=bool(truth_ambiguous[i]),
+            )
+            for i in range(n)
+        ]
+        return cls(
+            sender=data["from"],
+            receiver=data["to"],
+            start_time=data["start_time"],
+            end_time=data["end_time"],
+            email_flag=data["email_flag"],
+            attempts=attempts,
+            truth_tags=tuple(data.get("truth_tags", ())),
+            truth_spamminess=float(data.get("truth_spamminess", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "DeliveryRecord":
+        return cls.from_json_dict(json.loads(line))

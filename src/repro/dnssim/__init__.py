@@ -1,0 +1,25 @@
+"""DNS substrate.
+
+Models exactly as much of DNS as email delivery exercises: zone existence
+(registration lifecycle, NXDOMAIN for expired/typo domains), MX/A records,
+and the TXT records carrying SPF/DKIM/DMARC — plus *time-varying
+misconfiguration windows*, which are what the paper's Figure 7 measures
+(DKIM/SPF errors fixed in 12 days on average, MX errors mostly within a
+day).
+"""
+
+from repro.dnssim.records import RecordType, DnsRecord, ResolveStatus, ResolveResult
+from repro.dnssim.zone import Zone
+from repro.dnssim.resolver import Resolver
+from repro.dnssim.misconfig import MisconfigModel, MisconfigProfile
+
+__all__ = [
+    "RecordType",
+    "DnsRecord",
+    "ResolveStatus",
+    "ResolveResult",
+    "Zone",
+    "Resolver",
+    "MisconfigModel",
+    "MisconfigProfile",
+]

@@ -1,0 +1,53 @@
+"""DNS record and resolution-result types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class RecordType(str, Enum):
+    A = "A"
+    NS = "NS"
+    MX = "MX"
+    TXT_SPF = "TXT_SPF"
+    TXT_DKIM = "TXT_DKIM"
+    TXT_DMARC = "TXT_DMARC"
+
+
+@dataclass(frozen=True)
+class DnsRecord:
+    """A single resource record.
+
+    ``value`` is the record payload: an IP for A, a hostname for MX/NS, the
+    policy text for TXT records.  ``priority`` only applies to MX.
+    """
+
+    name: str
+    rtype: RecordType
+    value: str
+    priority: int = 0
+
+
+class ResolveStatus(str, Enum):
+    OK = "OK"
+    NXDOMAIN = "NXDOMAIN"
+    NO_DATA = "NO_DATA"  # domain exists, no record of the requested type
+    SERVFAIL = "SERVFAIL"  # transient server failure / broken delegation
+
+
+@dataclass(frozen=True)
+class ResolveResult:
+    status: ResolveStatus
+    records: tuple[DnsRecord, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ResolveStatus.OK and bool(self.records)
+
+    def best_mx(self) -> DnsRecord | None:
+        """Lowest-priority (most preferred) MX record, if any."""
+        mx = [r for r in self.records if r.rtype is RecordType.MX]
+        if not mx:
+            return None
+        return min(mx, key=lambda r: r.priority)

@@ -1,0 +1,85 @@
+"""Time-aware resolver over the zone registry."""
+
+from __future__ import annotations
+
+from repro.dnssim.records import RecordType, ResolveResult, ResolveStatus
+from repro.dnssim.zone import Zone
+from repro.util.rng import RandomSource
+
+
+class Resolver:
+    """Answers queries against the registered zones at a point in time.
+
+    * Unknown or unregistered-at-``t`` domains → NXDOMAIN.
+    * MX queries during an MX-misconfiguration window → SERVFAIL/NO_DATA
+      (the manager has published a broken delegation or deleted the
+      record), which is what produces the paper's T2 hard bounces.
+    * Auth (SPF/DKIM/DMARC TXT) queries during an auth-misconfiguration
+      window → NO_DATA, which receiver MTAs turn into T3 rejections.
+
+    A small transient-failure probability models flaky resolution; callers
+    that retry see it heal, unlike misconfiguration windows.
+    """
+
+    def __init__(self, transient_failure_rate: float = 0.0005) -> None:
+        self._zones: dict[str, Zone] = {}
+        self.transient_failure_rate = transient_failure_rate
+
+    def register_zone(self, zone: Zone) -> None:
+        key = zone.domain.lower()
+        if key in self._zones:
+            raise ValueError(f"zone already registered: {zone.domain}")
+        self._zones[key] = zone
+
+    def zone(self, domain: str) -> Zone | None:
+        return self._zones.get(domain.lower())
+
+    def __contains__(self, domain: str) -> bool:
+        return domain.lower() in self._zones
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def all_zones(self) -> list[Zone]:
+        return list(self._zones.values())
+
+    def query(
+        self,
+        domain: str,
+        rtype: RecordType,
+        t: float,
+        rng: RandomSource | None = None,
+    ) -> ResolveResult:
+        zone = self._zones.get(domain.lower())
+        if zone is None or not zone.registered_at(t):
+            return ResolveResult(ResolveStatus.NXDOMAIN)
+
+        if rng is not None and rng.chance(self.transient_failure_rate):
+            return ResolveResult(ResolveStatus.SERVFAIL)
+
+        if rtype is RecordType.MX and zone.mx_broken_at(t):
+            # Broken delegations surface as SERVFAIL about as often as an
+            # empty answer; both are fatal for routing.
+            if rng is not None and rng.chance(0.5):
+                return ResolveResult(ResolveStatus.SERVFAIL)
+            return ResolveResult(ResolveStatus.NO_DATA)
+
+        if rtype is RecordType.TXT_SPF and zone.spf_broken_at(t):
+            return ResolveResult(ResolveStatus.NO_DATA)
+        if rtype is RecordType.TXT_DKIM and zone.dkim_broken_at(t):
+            return ResolveResult(ResolveStatus.NO_DATA)
+        if rtype is RecordType.TXT_DMARC and zone.dmarc_broken_at(t):
+            return ResolveResult(ResolveStatus.NO_DATA)
+
+        records = tuple(zone.records_of(rtype))
+        if not records:
+            return ResolveResult(ResolveStatus.NO_DATA)
+        return ResolveResult(ResolveStatus.OK, records)
+
+    def resolve_mx_host(self, domain: str, t: float, rng: RandomSource | None = None) -> str | None:
+        """Convenience: preferred MX hostname, or None when unroutable."""
+        result = self.query(domain, RecordType.MX, t, rng)
+        if not result.ok:
+            return None
+        best = result.best_mx()
+        return best.value if best else None

@@ -1,0 +1,93 @@
+"""Zones: the unit of DNS state for one domain.
+
+A zone carries its static records plus the *dynamic* state the paper
+measures: a registration lifetime (expired domains answer NXDOMAIN — the
+raw material of the squatting analysis) and misconfiguration windows
+during which MX resolution or sender-authentication records are broken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dnssim.records import DnsRecord, RecordType
+from repro.util.clock import Window
+
+
+@dataclass
+class Zone:
+    domain: str
+    records: list[DnsRecord] = field(default_factory=list)
+    #: When the domain is registered.  ``None`` means "never existed"
+    #: (e.g. typo domains).  Expired-then-reregistered domains have a
+    #: second registration window.
+    registrations: list[Window] = field(default_factory=list)
+    #: Windows during which the zone's MX configuration is broken
+    #: (resolves to nothing / to a dangling host).
+    mx_error_windows: list[Window] = field(default_factory=list)
+    #: Windows during which SPF/DKIM records are broken (sender side).
+    #: ``auth_error_windows`` breaks both mechanisms at once; the
+    #: mechanism-specific lists break one record each.
+    auth_error_windows: list[Window] = field(default_factory=list)
+    spf_error_windows: list[Window] = field(default_factory=list)
+    dkim_error_windows: list[Window] = field(default_factory=list)
+    dmarc_error_windows: list[Window] = field(default_factory=list)
+    #: Windows during which the whole zone fails to resolve (sender-side
+    #: DNS outages; receivers answer T1 "sender domain does not resolve").
+    dns_error_windows: list[Window] = field(default_factory=list)
+    #: Registrant identifier per registration window (for the WHOIS
+    #: substrate; same length as ``registrations``).
+    registrants: list[str] = field(default_factory=list)
+    #: From this time on, MX records are not served (a new owner who
+    #: deploys no mail service).  ``None`` = records always served.
+    mx_disabled_from: float | None = None
+
+    def registered_at(self, t: float) -> bool:
+        return any(w.contains(t) for w in self.registrations)
+
+    def ever_registered_before(self, t: float) -> bool:
+        return any(w.start < t for w in self.registrations)
+
+    def mx_broken_at(self, t: float) -> bool:
+        if self.mx_disabled_from is not None and t >= self.mx_disabled_from:
+            return True
+        return any(w.contains(t) for w in self.mx_error_windows)
+
+    def auth_broken_at(self, t: float) -> bool:
+        """Any authentication mechanism broken at ``t``."""
+        return (
+            any(w.contains(t) for w in self.auth_error_windows)
+            or self.spf_broken_at(t)
+            or self.dkim_broken_at(t)
+        )
+
+    def spf_broken_at(self, t: float) -> bool:
+        return any(w.contains(t) for w in self.spf_error_windows) or any(
+            w.contains(t) for w in self.auth_error_windows
+        )
+
+    def dkim_broken_at(self, t: float) -> bool:
+        return any(w.contains(t) for w in self.dkim_error_windows) or any(
+            w.contains(t) for w in self.auth_error_windows
+        )
+
+    def dmarc_broken_at(self, t: float) -> bool:
+        return any(w.contains(t) for w in self.dmarc_error_windows)
+
+    def dns_broken_at(self, t: float) -> bool:
+        return any(w.contains(t) for w in self.dns_error_windows)
+
+    def registrant_at(self, t: float) -> str | None:
+        for window, registrant in zip(self.registrations, self.registrants):
+            if window.contains(t):
+                return registrant
+        return None
+
+    def records_of(self, rtype: RecordType) -> list[DnsRecord]:
+        return [r for r in self.records if r.rtype is rtype]
+
+    def add_record(self, rtype: RecordType, value: str, priority: int = 0) -> None:
+        self.records.append(DnsRecord(self.domain, rtype, value, priority))
+
+    def has_record(self, rtype: RecordType) -> bool:
+        return any(r.rtype is rtype for r in self.records)

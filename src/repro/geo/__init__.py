@@ -1,0 +1,31 @@
+"""Geography substrate: countries, autonomous systems, and IP allocation.
+
+The paper geolocates 574K receiver-MTA IPs across 169 countries and 22K
+ASes via ip-api.  Here the world model carries ground-truth geography, and
+:class:`~repro.geo.ipaddr.IPAllocator` plays the role of the geolocation
+API: it hands out deterministic addresses tagged with country and AS, and
+:class:`~repro.geo.ipaddr.GeoLookup` resolves them back.
+"""
+
+from repro.geo.countries import (
+    Country,
+    COUNTRIES,
+    country_by_code,
+    PROXY_COUNTRIES,
+    FAST_INTERNET_THRESHOLD_MBPS,
+)
+from repro.geo.asn import AutonomousSystem, AS_REGISTRY, as_by_number
+from repro.geo.ipaddr import IPAllocator, GeoLookup
+
+__all__ = [
+    "Country",
+    "COUNTRIES",
+    "country_by_code",
+    "PROXY_COUNTRIES",
+    "FAST_INTERNET_THRESHOLD_MBPS",
+    "AutonomousSystem",
+    "AS_REGISTRY",
+    "as_by_number",
+    "IPAllocator",
+    "GeoLookup",
+]

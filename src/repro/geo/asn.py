@@ -1,0 +1,63 @@
+"""Autonomous-system registry.
+
+Table 4 of the paper breaks bounces down by receiver AS.  The named entries
+below are the paper's top-10 ASes; the world model additionally allocates
+generic per-country ASes for the long tail (22K ASes in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    number: int
+    org: str
+    #: Hosting share among receiver MTAs of the *named* ASes (relative).
+    weight: float
+    #: Primary country of the AS's mail infrastructure.
+    country: str
+    #: True for mail-security vendors that front many customer domains
+    #: (Proofpoint, Cisco Ironport) — these show low bounce ratios in the
+    #: paper because they sit in front of well-run corporate mail.
+    security_vendor: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"AS{self.number} {self.org}"
+
+
+#: The paper's Table 4 ASes, with relative receiver-volume weights shaped
+#: like the reported email volumes (Microsoft ~97.7M, Google ~40.8M, ...).
+AS_REGISTRY: list[AutonomousSystem] = [
+    AutonomousSystem(8075, "Microsoft Corporation", 97.7, "US"),
+    AutonomousSystem(15169, "Google LLC", 40.8, "US"),
+    AutonomousSystem(16509, "Amazon.com, Inc.", 15.2, "US"),
+    AutonomousSystem(52129, "Proofpoint, Inc.", 9.1, "US", security_vendor=True),
+    AutonomousSystem(22843, "Proofpoint, Inc.", 6.9, "US", security_vendor=True),
+    AutonomousSystem(26211, "Proofpoint, Inc.", 5.7, "US", security_vendor=True),
+    AutonomousSystem(3462, "Data Communication Business Group", 5.4, "TW"),
+    AutonomousSystem(714, "Apple Inc.", 3.8, "US"),
+    AutonomousSystem(16417, "Cisco Systems Ironport Division", 3.3, "US", security_vendor=True),
+    AutonomousSystem(30238, "Cisco Systems Ironport Division", 3.2, "US", security_vendor=True),
+]
+
+_BY_NUMBER = {a.number: a for a in AS_REGISTRY}
+
+#: First AS number handed out for generic (long-tail) per-country ASes.
+GENERIC_AS_BASE = 60000
+
+
+def as_by_number(number: int) -> AutonomousSystem:
+    return _BY_NUMBER[number]
+
+
+def make_generic_as(index: int, country: str) -> AutonomousSystem:
+    """Create a long-tail AS for ``country`` with a synthetic number."""
+    return AutonomousSystem(
+        number=GENERIC_AS_BASE + index,
+        org=f"{country} Network {index}",
+        weight=0.0,
+        country=country,
+    )

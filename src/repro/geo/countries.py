@@ -1,0 +1,224 @@
+"""Country registry.
+
+Each country carries the ground-truth attributes the simulator needs:
+
+* ``receiver_weight`` — share of receiver mail servers hosted there (the
+  paper: US 28.53%, DE 10.59%, CA 5.42%, long tail over 169 countries);
+* ``speed_mbps`` — national average bandwidth, used to classify fast/slow
+  internet countries (threshold 25 Mbps per the FCC guide the paper cites);
+* ``infra_timeout`` — baseline probability that an SMTP session to a server
+  in this country times out (the paper's "poor degree of email
+  infrastructure", dominated by African countries);
+* ``latency_median_s`` — median successful-delivery latency to servers in
+  this country (Fig 10: Singapore 5.96 s best, Cambodia 83.81 s worst);
+* ``greylist_prevalence`` — fraction of the country's receiver domains that
+  deploy greylisting (drives the Table 5 soft-bounce ranking, e.g.
+  Montenegro at 96.6% T6).
+
+The registry is not the full ISO table; it covers every country named in
+the paper's tables/figures plus enough filler to exercise the 169-country
+breadth of the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+FAST_INTERNET_THRESHOLD_MBPS = 25.0
+
+#: Countries hosting Coremail's 34 proxy MTAs (six countries/regions).
+PROXY_COUNTRIES = ("US", "HK", "DE", "SG", "GB", "IN")
+
+
+@dataclass(frozen=True)
+class Country:
+    code: str
+    name: str
+    continent: str
+    receiver_weight: float
+    speed_mbps: float
+    infra_timeout: float
+    latency_median_s: float
+    greylist_prevalence: float = 0.0065
+
+    @property
+    def fast_internet(self) -> bool:
+        return self.speed_mbps >= FAST_INTERNET_THRESHOLD_MBPS
+
+
+def _c(
+    code: str,
+    name: str,
+    continent: str,
+    weight: float,
+    mbps: float,
+    timeout: float,
+    latency: float,
+    greylist: float = 0.0065,
+) -> Country:
+    return Country(code, name, continent, weight, mbps, timeout, latency, greylist)
+
+
+COUNTRIES: list[Country] = [
+    # -- majors ------------------------------------------------------------
+    _c("US", "United States", "North America", 28.53, 200.0, 0.010, 9.5),
+    _c("DE", "Germany", "Europe", 10.59, 90.0, 0.012, 10.2),
+    _c("CA", "Canada", "North America", 5.42, 150.0, 0.011, 10.8),
+    _c("GB", "United Kingdom", "Europe", 4.10, 110.0, 0.012, 10.5),
+    _c("FR", "France", "Europe", 3.20, 120.0, 0.013, 11.0),
+    _c("NL", "Netherlands", "Europe", 2.80, 160.0, 0.010, 9.8),
+    _c("JP", "Japan", "Asia", 2.60, 140.0, 0.012, 11.5),
+    _c("AU", "Australia", "Oceania", 2.10, 60.0, 0.016, 14.0),
+    _c("SG", "Singapore", "Asia", 1.90, 250.0, 0.008, 5.96),
+    _c("HK", "Hong Kong", "Asia", 1.80, 230.0, 0.009, 7.2),
+    _c("KR", "South Korea", "Asia", 1.60, 180.0, 0.010, 10.1),
+    _c("IN", "India", "Asia", 1.90, 48.0, 0.030, 18.5),
+    _c("BR", "Brazil", "South America", 1.70, 80.0, 0.028, 21.0),
+    _c("IT", "Italy", "Europe", 1.60, 70.0, 0.016, 12.6),
+    _c("ES", "Spain", "Europe", 1.50, 100.0, 0.014, 11.9),
+    _c("CH", "Switzerland", "Europe", 1.20, 130.0, 0.010, 10.0),
+    _c("SE", "Sweden", "Europe", 1.00, 150.0, 0.010, 9.9),
+    _c("RU", "Russia", "Europe", 1.40, 55.0, 0.030, 17.8),
+    _c("CN", "China", "Asia", 1.30, 110.0, 0.020, 15.2),
+    _c("TW", "Taiwan", "Asia", 1.10, 135.0, 0.012, 10.9),
+    _c("PL", "Poland", "Europe", 0.90, 85.0, 0.015, 12.1),
+    _c("MX", "Mexico", "North America", 0.80, 45.0, 0.030, 22.4),
+    _c("TR", "Turkey", "Asia", 0.70, 35.0, 0.035, 24.0),
+    _c("AE", "United Arab Emirates", "Asia", 0.60, 120.0, 0.015, 13.3),
+    _c("ZA", "South Africa", "Africa", 0.55, 40.0, 0.075, 29.0),
+    _c("AR", "Argentina", "South America", 0.50, 50.0, 0.030, 23.7),
+    _c("TH", "Thailand", "Asia", 0.50, 130.0, 0.020, 16.0),
+    _c("MY", "Malaysia", "Asia", 0.50, 90.0, 0.020, 15.0),
+    _c("ID", "Indonesia", "Asia", 0.55, 25.0, 0.040, 26.0),
+    _c("VN", "Vietnam", "Asia", 0.45, 60.0, 0.030, 21.0),
+    _c("PH", "Philippines", "Asia", 0.40, 55.0, 0.035, 23.0),
+    _c("IL", "Israel", "Asia", 0.40, 110.0, 0.014, 12.2),
+    _c("BE", "Belgium", "Europe", 0.45, 95.0, 0.012, 10.7),
+    _c("AT", "Austria", "Europe", 0.40, 85.0, 0.012, 10.9),
+    _c("DK", "Denmark", "Europe", 0.35, 160.0, 0.010, 9.7),
+    _c("NO", "Norway", "Europe", 0.35, 140.0, 0.010, 10.0),
+    _c("FI", "Finland", "Europe", 0.35, 120.0, 0.010, 10.2),
+    _c("IE", "Ireland", "Europe", 0.35, 100.0, 0.011, 10.4),
+    _c("PT", "Portugal", "Europe", 0.30, 105.0, 0.013, 11.5),
+    _c("CZ", "Czechia", "Europe", 0.30, 70.0, 0.014, 12.0),
+    _c("GR", "Greece", "Europe", 0.25, 40.0, 0.022, 16.4),
+    _c("HU", "Hungary", "Europe", 0.25, 90.0, 0.014, 12.2),
+    _c("UA", "Ukraine", "Europe", 0.25, 50.0, 0.035, 19.5),
+    _c("SA", "Saudi Arabia", "Asia", 0.30, 90.0, 0.020, 16.1),
+    _c("NZ", "New Zealand", "Oceania", 0.30, 95.0, 0.014, 13.8),
+    _c("CL", "Chile", "South America", 0.25, 150.0, 0.035, 76.29),
+    _c("CO", "Colombia", "South America", 0.25, 60.0, 0.030, 24.5),
+    _c("PE", "Peru", "South America", 0.20, 45.0, 0.035, 27.0),
+    # -- Table 5 hard-bounce countries --------------------------------------
+    _c("VE", "Venezuela", "South America", 0.020, 15.0, 0.120, 38.0),
+    _c("TJ", "Tajikistan", "Asia", 0.012, 12.0, 0.090, 34.0, greylist=0.30),
+    _c("BZ", "Belize", "North America", 0.004, 18.0, 0.190, 41.0),
+    _c("QA", "Qatar", "Asia", 0.180, 120.0, 0.020, 14.9),
+    _c("RO", "Romania", "Europe", 0.200, 130.0, 0.030, 13.5),
+    _c("KG", "Kyrgyzstan", "Asia", 0.015, 20.0, 0.095, 31.0),
+    _c("LV", "Latvia", "Europe", 0.090, 95.0, 0.016, 12.4),
+    _c("IR", "Iran", "Asia", 0.350, 22.0, 0.050, 27.5),
+    _c("MM", "Myanmar", "Asia", 0.050, 14.0, 0.060, 30.5),
+    # -- Table 5 soft-bounce / greylisting-heavy countries -------------------
+    _c("ME", "Montenegro", "Europe", 0.004, 45.0, 0.040, 18.0, greylist=0.65),
+    _c("ZW", "Zimbabwe", "Africa", 0.006, 10.0, 0.110, 36.0, greylist=0.45),
+    _c("MG", "Madagascar", "Africa", 0.009, 12.0, 0.100, 35.0, greylist=0.45),
+    _c("BN", "Brunei", "Asia", 0.004, 60.0, 0.035, 19.0, greylist=0.55),
+    _c("SK", "Slovakia", "Europe", 0.085, 75.0, 0.120, 15.5),
+    # -- Fig 8 poor-infrastructure countries ---------------------------------
+    _c("NA", "Namibia", "Africa", 0.006, 11.0, 0.230, 44.0),
+    _c("RW", "Rwanda", "Africa", 0.005, 9.0, 0.180, 42.0),
+    _c("SV", "El Salvador", "North America", 0.006, 17.0, 0.175, 39.0),
+    _c("DO", "Dominican Republic", "North America", 0.015, 22.0, 0.140, 33.0),
+    _c("NP", "Nepal", "Asia", 0.012, 18.0, 0.130, 34.5),
+    _c("SY", "Syria", "Asia", 0.010, 7.0, 0.125, 40.0),
+    _c("KE", "Kenya", "Africa", 0.020, 15.0, 0.120, 32.0),
+    _c("PS", "Palestine", "Asia", 0.008, 16.0, 0.118, 33.5),
+    _c("EG", "Egypt", "Africa", 0.050, 25.0, 0.110, 30.0),
+    _c("LI", "Liechtenstein", "Europe", 0.004, 85.0, 0.105, 20.0),
+    _c("NG", "Nigeria", "Africa", 0.030, 12.0, 0.100, 31.5),
+    _c("MA", "Morocco", "Africa", 0.025, 20.0, 0.092, 28.5),
+    _c("CI", "Cote d'Ivoire", "Africa", 0.008, 13.0, 0.088, 30.0),
+    _c("GE", "Georgia", "Asia", 0.012, 28.0, 0.082, 26.0),
+    _c("PR", "Puerto Rico", "North America", 0.010, 70.0, 0.080, 22.0),
+    _c("MN", "Mongolia", "Asia", 0.008, 24.0, 0.078, 27.5),
+    # -- Fig 10 high-latency countries ---------------------------------------
+    _c("KH", "Cambodia", "Asia", 0.012, 21.0, 0.070, 83.81),
+    _c("TZ", "Tanzania", "Africa", 0.010, 11.0, 0.090, 77.49),
+    _c("GL", "Greenland", "North America", 0.003, 30.0, 0.060, 66.85),
+    _c("AO", "Angola", "Africa", 0.008, 9.0, 0.095, 64.92),
+    _c("BO", "Bolivia", "South America", 0.008, 16.0, 0.080, 58.0),
+    # -- long-tail coverage (the dataset spans 169 countries/regions) --------
+    _c("AD", "Andorra", "Europe", 0.002, 60.0, 0.030, 18.0),
+    _c("LT", "Lithuania", "Europe", 0.060, 90.0, 0.014, 12.0),
+    _c("EE", "Estonia", "Europe", 0.050, 95.0, 0.012, 11.2),
+    _c("SI", "Slovenia", "Europe", 0.045, 80.0, 0.014, 12.1),
+    _c("HR", "Croatia", "Europe", 0.045, 60.0, 0.018, 13.4),
+    _c("BG", "Bulgaria", "Europe", 0.060, 70.0, 0.020, 13.9),
+    _c("RS", "Serbia", "Europe", 0.040, 55.0, 0.024, 15.0),
+    _c("BA", "Bosnia", "Europe", 0.015, 35.0, 0.035, 18.5),
+    _c("AL", "Albania", "Europe", 0.012, 30.0, 0.040, 19.8),
+    _c("MK", "North Macedonia", "Europe", 0.010, 35.0, 0.038, 19.0),
+    _c("MD", "Moldova", "Europe", 0.012, 40.0, 0.035, 18.2),
+    _c("BY", "Belarus", "Europe", 0.030, 45.0, 0.030, 16.9),
+    _c("IS", "Iceland", "Europe", 0.010, 150.0, 0.010, 11.0),
+    _c("LU", "Luxembourg", "Europe", 0.020, 140.0, 0.010, 10.3),
+    _c("MT", "Malta", "Europe", 0.010, 85.0, 0.014, 12.6),
+    _c("CY", "Cyprus", "Europe", 0.015, 60.0, 0.018, 13.8),
+    _c("KZ", "Kazakhstan", "Asia", 0.030, 35.0, 0.040, 20.5),
+    _c("UZ", "Uzbekistan", "Asia", 0.015, 25.0, 0.055, 24.0),
+    _c("AM", "Armenia", "Asia", 0.012, 30.0, 0.045, 21.5),
+    _c("AZ", "Azerbaijan", "Asia", 0.015, 28.0, 0.045, 21.0),
+    _c("LK", "Sri Lanka", "Asia", 0.020, 22.0, 0.055, 25.0),
+    _c("BD", "Bangladesh", "Asia", 0.030, 20.0, 0.050, 26.5),
+    _c("PK", "Pakistan", "Asia", 0.040, 18.0, 0.050, 27.0),
+    _c("JO", "Jordan", "Asia", 0.020, 40.0, 0.030, 18.0),
+    _c("LB", "Lebanon", "Asia", 0.015, 15.0, 0.055, 28.0),
+    _c("KW", "Kuwait", "Asia", 0.025, 90.0, 0.018, 14.5),
+    _c("BH", "Bahrain", "Asia", 0.015, 85.0, 0.018, 14.2),
+    _c("OM", "Oman", "Asia", 0.018, 60.0, 0.025, 16.8),
+    _c("IQ", "Iraq", "Asia", 0.015, 14.0, 0.055, 29.5),
+    _c("LA", "Laos", "Asia", 0.006, 18.0, 0.052, 28.0),
+    _c("MO", "Macao", "Asia", 0.010, 150.0, 0.012, 9.8),
+    _c("GH", "Ghana", "Africa", 0.015, 16.0, 0.055, 29.0),
+    _c("SN", "Senegal", "Africa", 0.010, 15.0, 0.055, 29.5),
+    _c("CM", "Cameroon", "Africa", 0.010, 10.0, 0.060, 33.0),
+    _c("UG", "Uganda", "Africa", 0.008, 11.0, 0.060, 32.5),
+    _c("ET", "Ethiopia", "Africa", 0.010, 8.0, 0.062, 36.0),
+    _c("DZ", "Algeria", "Africa", 0.018, 14.0, 0.055, 28.5),
+    _c("TN", "Tunisia", "Africa", 0.015, 18.0, 0.070, 26.0),
+    _c("MZ", "Mozambique", "Africa", 0.006, 9.0, 0.060, 35.5),
+    _c("ZM", "Zambia", "Africa", 0.006, 10.0, 0.058, 34.0),
+    _c("BW", "Botswana", "Africa", 0.006, 20.0, 0.080, 28.0),
+    _c("MU", "Mauritius", "Africa", 0.008, 40.0, 0.040, 19.5),
+    _c("CR", "Costa Rica", "North America", 0.020, 50.0, 0.030, 17.5),
+    _c("PA", "Panama", "North America", 0.018, 60.0, 0.028, 16.8),
+    _c("GT", "Guatemala", "North America", 0.012, 25.0, 0.050, 22.5),
+    _c("HN", "Honduras", "North America", 0.008, 18.0, 0.050, 26.0),
+    _c("NI", "Nicaragua", "North America", 0.006, 15.0, 0.052, 27.0),
+    _c("JM", "Jamaica", "North America", 0.008, 30.0, 0.045, 21.0),
+    _c("TT", "Trinidad", "North America", 0.008, 55.0, 0.030, 17.0),
+    _c("EC", "Ecuador", "South America", 0.015, 40.0, 0.038, 20.0),
+    _c("UY", "Uruguay", "South America", 0.015, 80.0, 0.022, 15.0),
+    _c("PY", "Paraguay", "South America", 0.008, 30.0, 0.045, 22.0),
+    _c("FJ", "Fiji", "Oceania", 0.004, 25.0, 0.050, 24.0),
+    _c("PG", "Papua New Guinea", "Oceania", 0.004, 9.0, 0.064, 36.5),
+]
+
+_BY_CODE = {c.code: c for c in COUNTRIES}
+
+if len(_BY_CODE) != len(COUNTRIES):  # pragma: no cover - registry sanity
+    raise RuntimeError("duplicate country code in registry")
+
+
+def country_by_code(code: str) -> Country:
+    """Look up a country; raises ``KeyError`` for unknown codes."""
+    return _BY_CODE[code]
+
+
+def all_codes() -> list[str]:
+    return [c.code for c in COUNTRIES]
+
+
+def total_receiver_weight() -> float:
+    return sum(c.receiver_weight for c in COUNTRIES)

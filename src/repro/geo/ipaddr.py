@@ -1,0 +1,63 @@
+"""Deterministic IP allocation and reverse geolocation.
+
+:class:`IPAllocator` hands out unique IPv4 addresses tagged with a country
+and AS.  :class:`GeoLookup` is the stand-in for the ip-api geolocation
+service the paper uses: given an address it returns the (ground-truth)
+country and AS it was allocated under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.asn import AutonomousSystem
+
+
+@dataclass(frozen=True)
+class IPInfo:
+    address: str
+    country: str
+    asn: AutonomousSystem
+
+
+class IPAllocator:
+    """Allocates unique synthetic IPv4 addresses.
+
+    Addresses are carved from 10.0.0.0/8-style sequential space; uniqueness
+    and determinism matter, realism of the literal octets does not.
+    """
+
+    def __init__(self) -> None:
+        self._next = 1
+        self._by_address: dict[str, IPInfo] = {}
+
+    def allocate(self, country: str, asn: AutonomousSystem) -> str:
+        value = self._next
+        self._next += 1
+        if value >= (1 << 24):
+            raise RuntimeError("IP space exhausted (16M addresses)")
+        address = f"10.{(value >> 16) & 0xFF}.{(value >> 8) & 0xFF}.{value & 0xFF}"
+        self._by_address[address] = IPInfo(address, country, asn)
+        return address
+
+    def info(self, address: str) -> IPInfo:
+        return self._by_address[address]
+
+    def __len__(self) -> int:
+        return len(self._by_address)
+
+
+class GeoLookup:
+    """ip-api facade: resolves an allocated address to country / AS."""
+
+    def __init__(self, allocator: IPAllocator) -> None:
+        self._allocator = allocator
+
+    def country(self, address: str) -> str:
+        return self._allocator.info(address).country
+
+    def asn(self, address: str) -> AutonomousSystem:
+        return self._allocator.info(address).asn
+
+    def lookup(self, address: str) -> IPInfo:
+        return self._allocator.info(address)

@@ -1,0 +1,26 @@
+"""Receiver-MTA policy engine.
+
+Each receiver domain runs a :class:`~repro.mta.receiver.ReceiverMTA`
+configured by a :class:`~repro.mta.policies.ReceiverPolicy`.  Evaluating a
+delivery attempt walks the same gauntlet a real MTA imposes — TLS
+requirement, greylisting, DNSBL reputation, source rate limits, sender
+authentication, recipient existence/quota/rate, message size, and content
+filtering — and yields either acceptance or a bounce decision with a
+rendered NDR.
+"""
+
+from repro.mta.policies import ReceiverPolicy, TLSRequirement
+from repro.mta.greylist import Greylist
+from repro.mta.filters import SpamFilter, SpamVerdict
+from repro.mta.receiver import ReceiverMTA, AttemptContext, Decision
+
+__all__ = [
+    "ReceiverPolicy",
+    "TLSRequirement",
+    "Greylist",
+    "SpamFilter",
+    "SpamVerdict",
+    "ReceiverMTA",
+    "AttemptContext",
+    "Decision",
+]

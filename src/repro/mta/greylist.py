@@ -1,0 +1,64 @@
+"""Greylisting state machine.
+
+Greylisting (Harris 2003) tracks the tuple *(client IP, envelope sender,
+envelope recipient)*.  The first attempt for an unknown tuple is deferred;
+a retry of the *same* tuple after the configured delay is accepted (and
+the tuple is then whitelisted for a retention period).
+
+This is exactly the mechanism Coremail's random-proxy retry strategy
+violates: every retry arrives from a different IP, so every retry looks
+like a first attempt (Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+GREYLIST_RETENTION_S = 35 * 86_400.0
+
+
+@dataclass
+class _TupleState:
+    first_seen: float
+    passed: bool = False
+
+
+@dataclass
+class Greylist:
+    delay_s: float = 300.0
+    retention_s: float = GREYLIST_RETENTION_S
+    #: Client-address granularity: 32 keys on the exact IP; 24 keys on the
+    #: /24 network (postgrey's default), which tolerates retries from a
+    #: neighbouring MTA in the same rack.
+    network_prefix: int = 32
+    _tuples: dict[tuple[str, str, str], _TupleState] = field(default_factory=dict)
+
+    def _client_key(self, client_ip: str) -> str:
+        if self.network_prefix >= 32:
+            return client_ip
+        octets = client_ip.split(".")
+        if len(octets) == 4 and self.network_prefix == 24:
+            return ".".join(octets[:3]) + ".0/24"
+        return client_ip
+
+    def check(self, client_ip: str, sender: str, recipient: str, t: float) -> bool:
+        """Process an attempt; returns True when the attempt is accepted.
+
+        Deferred attempts are recorded so that a later retry of the same
+        tuple (after ``delay_s``) passes.
+        """
+        key = (self._client_key(client_ip), sender, recipient)
+        state = self._tuples.get(key)
+        if state is None:
+            self._tuples[key] = _TupleState(first_seen=t)
+            return False
+        if state.passed and t - state.first_seen <= self.retention_s:
+            return True
+        if t - state.first_seen >= self.delay_s:
+            state.passed = True
+            return True
+        # Retried too quickly: still deferred.
+        return False
+
+    def known_tuples(self) -> int:
+        return len(self._tuples)

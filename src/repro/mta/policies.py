@@ -1,0 +1,83 @@
+"""Receiver-domain policy configuration.
+
+A policy captures every protection strategy the paper attributes bounces
+to: DNSBL adoption (with an adoption *date* — the paper's Fig 6 shows 63K
+domains adopting Spamhaus in February 2023), greylisting, source rate
+limits, sender-authentication enforcement, TLS requirements, recipient
+limits, size limits, and content-filter strictness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class TLSRequirement(str, Enum):
+    """The three STARTTLS strength levels of Section 4.3.1."""
+
+    NONE = "none"  # does not support TLS
+    SUPPORTED = "supported"  # TLS and plaintext both accepted
+    MANDATORY = "mandatory"  # plaintext sessions are rejected
+
+
+@dataclass
+class ReceiverPolicy:
+    """Per-domain protection configuration."""
+
+    # -- source reputation ---------------------------------------------------
+    uses_dnsbl: bool = False
+    #: POSIX timestamp from which the DNSBL is consulted (0 = always).
+    dnsbl_adoption_ts: float = 0.0
+    #: Probability a DNSBL rejection is issued as a permanent 5xx rather
+    #: than a transient 4xx (some sites hard-fail listed sources).
+    dnsbl_permanent_fraction: float = 0.35
+    #: Probability a listed source is actually rejected.  Big providers
+    #: feed the blocklist into a reputation score instead of hard-failing
+    #: every listed connection.
+    dnsbl_reject_probability: float = 1.0
+
+    # -- greylisting -----------------------------------------------------------
+    greylisting: bool = False
+    #: Seconds after which a repeated (ip, sender, rcpt) tuple is accepted.
+    greylist_delay_s: float = 300.0
+    #: Client-address granularity of the greylist tuple (32 = exact IP,
+    #: 24 = postgrey-style /24 network matching).
+    greylist_network_prefix: int = 32
+
+    # -- source rate limiting ----------------------------------------------------
+    #: Probability a given attempt trips the per-source rate limiter; a
+    #: stand-in for token-bucket state the simulator does not track
+    #: per-connection.  Elevated for very-high-volume destinations.
+    rate_limit_probability: float = 0.0
+
+    # -- sender authentication ------------------------------------------------
+    #: Whether SPF/DKIM/DMARC results are enforced (reject on fail).
+    enforces_auth: bool = False
+
+    # -- TLS ---------------------------------------------------------------------
+    tls: TLSRequirement = TLSRequirement.SUPPORTED
+
+    # -- recipient handling -----------------------------------------------------
+    max_recipients: int = 100
+    #: Size limit in bytes (Gmail-like 25 MiB default).
+    max_message_bytes: int = 26_214_400
+    #: Probability an attempt to a very-popular recipient trips the
+    #: per-recipient incoming rate limit (T11).
+    recipient_rate_probability: float = 0.0
+
+    # -- content filtering ---------------------------------------------------------
+    #: Spam-score threshold in [0, 1]; lower = stricter filter.
+    spam_threshold: float = 0.8
+
+    # -- NDR style -------------------------------------------------------------------
+    #: Probability that any rejection is rendered as an ambiguous NDR
+    #: (Table 6) instead of an informative one.
+    ambiguity: float = 0.0
+    #: Probability a rejection is rendered as an uninformative-but-
+    #: classifiable oddball ("not RFC 5322 compliant", ...), which the
+    #: classifier can only file under T16.
+    unknown_render: float = 0.05
+
+    def dnsbl_active_at(self, t: float) -> bool:
+        return self.uses_dnsbl and t >= self.dnsbl_adoption_ts

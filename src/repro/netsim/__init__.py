@@ -1,0 +1,10 @@
+"""Network-quality substrate.
+
+Drives the paper's infrastructure analyses: per-country SMTP timeout
+probability (Fig 8), per-country delivery latency (Fig 10 / Appendix C),
+and sender-location effects (the Hong-Kong anomalies in both figures).
+"""
+
+from repro.netsim.quality import NetworkModel, PAIR_TIMEOUT_MULTIPLIERS
+
+__all__ = ["NetworkModel", "PAIR_TIMEOUT_MULTIPLIERS"]

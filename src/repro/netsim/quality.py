@@ -1,0 +1,131 @@
+"""Country-pair network quality: timeouts, interruptions, latency.
+
+The receiver country's ``infra_timeout`` sets the base SMTP-timeout
+probability; the sender proxy's location modulates it via the pair table
+below.  The paper's Figure 8 shows Hong Kong as the anomalous sender row —
+much worse than other proxies into several African destinations (HK→NA
+35.11%, HK→RW 51.35%) yet far *better* into a few others (HK→BZ 0.34%,
+HK→NP 0.87%), reflecting peering idiosyncrasies.  Latency (Fig 10) is
+log-normal around the receiver country's median with a sender-pair factor;
+Cambodia/Angola/Bolivia are served dramatically better from Hong Kong than
+from other proxies (paper: HK→KH median 8.93 s vs ~79 s from elsewhere).
+"""
+
+from __future__ import annotations
+
+from repro.geo.countries import Country, country_by_code
+from repro.util.rng import RandomSource
+
+#: Multiplier applied to the receiver country's base timeout probability
+#: for a given (sender country, receiver country) pair.
+PAIR_TIMEOUT_MULTIPLIERS: dict[tuple[str, str], float] = {
+    # Hong Kong's spiky row of Figure 8.
+    ("HK", "NA"): 1.55,
+    ("HK", "RW"): 2.90,
+    ("HK", "SV"): 1.05,
+    ("HK", "BZ"): 0.02,
+    ("HK", "DO"): 1.70,
+    ("HK", "NP"): 0.07,
+    ("HK", "SK"): 0.65,
+    ("HK", "SY"): 0.95,
+    ("HK", "KE"): 0.90,
+    ("HK", "PS"): 1.10,
+    ("HK", "EG"): 0.75,
+    ("HK", "LI"): 0.70,
+    ("HK", "KG"): 0.04,
+    ("HK", "NG"): 0.65,
+    ("HK", "MA"): 0.35,
+    ("HK", "CI"): 1.35,
+    ("HK", "GE"): 0.60,
+    ("HK", "PR"): 0.20,
+    ("HK", "MN"): 0.10,
+    ("HK", "ZA"): 0.02,
+    # Germany reaches Belize and Mongolia through unusually clean paths.
+    ("DE", "BZ"): 0.02,
+    ("DE", "MN"): 0.20,
+    # Great-Britain→El-Salvador is lossier than average.
+    ("GB", "SV"): 1.25,
+}
+
+#: Per-sender-country baseline multiplier (mild row effects in Fig 8:
+#: the US row runs slightly hot everywhere).
+SENDER_BASE_MULTIPLIERS: dict[str, float] = {
+    "US": 1.10,
+    "DE": 0.95,
+    "GB": 1.02,
+    "HK": 1.00,
+    "SG": 0.90,
+    "IN": 1.15,
+}
+
+#: (sender, receiver) latency factors; <1 means that proxy reaches the
+#: destination on a much faster path than the global median.
+PAIR_LATENCY_FACTORS: dict[tuple[str, str], float] = {
+    ("HK", "KH"): 0.11,  # 8.93 s vs ~79 s from elsewhere (Appendix C)
+    ("SG", "KH"): 1.00,
+    ("HK", "AO"): 0.35,
+    ("HK", "BO"): 0.40,
+    ("SG", "SG"): 0.70,
+    ("HK", "HK"): 0.70,
+    ("DE", "DE"): 0.80,
+    ("US", "US"): 0.80,
+    ("GB", "GB"): 0.80,
+}
+
+
+class NetworkModel:
+    """Samples per-attempt network outcomes for a sender/receiver pair."""
+
+    def __init__(
+        self,
+        timeout_scale: float = 1.0,
+        interrupt_ratio: float = 0.62,
+        latency_sigma: float = 0.55,
+    ) -> None:
+        """``interrupt_ratio`` sets T15 volume relative to T14 (the paper
+        sees 6.51% interruptions vs 15.04% timeouts among bounces)."""
+        self.timeout_scale = timeout_scale
+        self.interrupt_ratio = interrupt_ratio
+        self.latency_sigma = latency_sigma
+
+    # -- probabilities -------------------------------------------------------
+
+    def timeout_probability(self, sender_country: str, receiver_country: str) -> float:
+        receiver = country_by_code(receiver_country)
+        base = receiver.infra_timeout * self.timeout_scale
+        base *= SENDER_BASE_MULTIPLIERS.get(sender_country, 1.0)
+        base *= PAIR_TIMEOUT_MULTIPLIERS.get((sender_country, receiver_country), 1.0)
+        return min(base, 0.95)
+
+    def interrupt_probability(self, sender_country: str, receiver_country: str) -> float:
+        return min(
+            self.timeout_probability(sender_country, receiver_country) * self.interrupt_ratio,
+            0.5,
+        )
+
+    # -- latency --------------------------------------------------------------
+
+    def latency_ms(
+        self,
+        sender_country: str,
+        receiver_country: str,
+        rng: RandomSource,
+        retry_penalty: float = 1.0,
+    ) -> int:
+        """Successful-attempt delivery latency in milliseconds."""
+        receiver = country_by_code(receiver_country)
+        median_ms = receiver.latency_median_s * 1000.0
+        median_ms *= PAIR_LATENCY_FACTORS.get((sender_country, receiver_country), 1.0)
+        median_ms *= retry_penalty
+        value = rng.lognormal(median_ms, self.latency_sigma, cap=median_ms * 40.0)
+        return max(int(value), 200)
+
+    def timeout_latency_ms(self, rng: RandomSource) -> int:
+        """Latency recorded for an attempt that timed out (the SMTP
+        timeout budget plus jitter; Coremail-style MTAs give up around
+        5 minutes)."""
+        return int(rng.uniform(290_000, 330_000))
+
+    def interrupt_latency_ms(self, rng: RandomSource) -> int:
+        """Interrupted sessions die mid-transfer, earlier than timeouts."""
+        return int(rng.uniform(8_000, 120_000))

@@ -1,0 +1,33 @@
+"""SMTP substrate: reply codes, enhanced status codes, and the NDR bank.
+
+The receiver-MTA policy engine decides *why* an attempt fails; this package
+renders that decision into the messy textual reality of non-delivery
+reports.  The template bank deliberately reproduces the pathologies the
+paper documents: per-ESP dialects for the same failure, ~29% of messages
+missing the RFC 3463 enhanced status code, overloaded use of 550-5.7.1, and
+the ambiguous templates of Table 6.
+"""
+
+from repro.smtp.codes import (
+    ReplyCode,
+    EnhancedCode,
+    parse_reply_code,
+    parse_enhanced_code,
+    is_permanent_code,
+    is_transient_code,
+)
+from repro.smtp.ndr import NDR, render_success
+from repro.smtp.templates import NDRTemplateBank, TemplateDialect
+
+__all__ = [
+    "ReplyCode",
+    "EnhancedCode",
+    "parse_reply_code",
+    "parse_enhanced_code",
+    "is_permanent_code",
+    "is_transient_code",
+    "NDR",
+    "render_success",
+    "NDRTemplateBank",
+    "TemplateDialect",
+]

@@ -1,0 +1,124 @@
+"""SMTP reply codes (RFC 5321) and enhanced mail system status codes (RFC 3463).
+
+The paper observes that reply codes and even enhanced codes are too coarse
+and too inconsistently used to identify bounce reasons (28.79% of NDRs lack
+an enhanced code at all; 550-5.7.1 is overloaded for unrelated failures).
+This module provides the code vocabulary and parsers; it intentionally does
+*not* provide a code→reason mapping, because the paper shows one cannot
+exist.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class ReplyCode(IntEnum):
+    """Common SMTP reply codes seen in delivery results."""
+
+    OK = 250
+    SERVICE_NOT_AVAILABLE = 421
+    MAILBOX_BUSY = 450
+    LOCAL_ERROR = 451
+    INSUFFICIENT_STORAGE = 452
+    SYNTAX_ERROR = 500
+    NOT_IMPLEMENTED = 502
+    BAD_SEQUENCE = 503
+    PARAMETER_ERROR = 501
+    MAILBOX_UNAVAILABLE = 550
+    USER_NOT_LOCAL = 551
+    EXCEEDED_STORAGE = 552
+    MAILBOX_NAME_INVALID = 553
+    TRANSACTION_FAILED = 554
+
+    @property
+    def permanent(self) -> bool:
+        return 500 <= int(self) <= 599
+
+    @property
+    def transient(self) -> bool:
+        return 400 <= int(self) <= 499
+
+
+@dataclass(frozen=True)
+class EnhancedCode:
+    """An RFC 3463 enhanced status code ``class.subject.detail``."""
+
+    klass: int
+    subject: int
+    detail: int
+
+    def __post_init__(self) -> None:
+        if self.klass not in (2, 4, 5):
+            raise ValueError(f"invalid enhanced-code class {self.klass}")
+        if not (0 <= self.subject <= 999 and 0 <= self.detail <= 999):
+            raise ValueError("subject/detail out of range")
+
+    def __str__(self) -> str:
+        return f"{self.klass}.{self.subject}.{self.detail}"
+
+    @property
+    def permanent(self) -> bool:
+        return self.klass == 5
+
+    @property
+    def transient(self) -> bool:
+        return self.klass == 4
+
+
+#: RFC 3463 subject categories (for documentation / validation).
+ENHANCED_SUBJECTS = {
+    0: "Other or Undefined Status",
+    1: "Addressing Status",
+    2: "Mailbox Status",
+    3: "Mail System Status",
+    4: "Network and Routing Status",
+    5: "Mail Delivery Protocol Status",
+    6: "Message Content or Media Status",
+    7: "Security or Policy Status",
+}
+
+_REPLY_RE = re.compile(r"^\s*(\d{3})[ \-]")
+_ENHANCED_RE = re.compile(r"\b([245])\.(\d{1,3})\.(\d{1,3})\b")
+
+
+def parse_reply_code(text: str) -> int | None:
+    """Extract the leading 3-digit SMTP reply code, if present."""
+    m = _REPLY_RE.match(text)
+    if not m:
+        return None
+    return int(m.group(1))
+
+
+def parse_enhanced_code(text: str) -> EnhancedCode | None:
+    """Extract the first RFC 3463 enhanced code, if present."""
+    m = _ENHANCED_RE.search(text)
+    if not m:
+        return None
+    return EnhancedCode(int(m.group(1)), int(m.group(2)), int(m.group(3)))
+
+
+def is_permanent_code(text: str) -> bool | None:
+    """Best-effort permanence judgement from codes alone.
+
+    Returns ``True``/``False`` when a reply or enhanced code is present,
+    ``None`` when the text carries no code (the paper's point: this is
+    common).  Enhanced code wins over reply code when both are present and
+    disagree, as it is the more specific signal.
+    """
+    enhanced = parse_enhanced_code(text)
+    if enhanced is not None:
+        return enhanced.permanent
+    reply = parse_reply_code(text)
+    if reply is None:
+        return None
+    return 500 <= reply <= 599
+
+
+def is_transient_code(text: str) -> bool | None:
+    permanent = is_permanent_code(text)
+    if permanent is None:
+        return None
+    return not permanent

@@ -1,0 +1,209 @@
+"""Delivery Status Notifications (RFC 3464).
+
+When an email hard-bounces, the sending MTA mails the author a
+``multipart/report`` DSN.  This module renders that message for a
+:class:`~repro.delivery.records.DeliveryRecord` — a human-readable part
+plus the machine-readable ``message/delivery-status`` part with
+Reporting-MTA, Final-Recipient, Action, Status, and Diagnostic-Code
+fields — and parses it back.  Round-tripping is tested; the CLI's
+``explain`` output and the quickstart use the renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+from repro.core.taxonomy import BounceDegree
+from repro.delivery.records import DeliveryRecord
+from repro.smtp.codes import parse_enhanced_code, parse_reply_code
+
+REPORTING_MTA = "coremail-out.net"
+
+_BOUNDARY = "=_repro_dsn_boundary"
+
+
+@dataclass(frozen=True)
+class DsnRecipientStatus:
+    """One per-recipient block of the delivery-status part."""
+
+    final_recipient: str
+    action: str  # "failed" | "delayed" | "delivered"
+    status: str  # RFC 3463 code, e.g. "5.1.1"
+    diagnostic_code: str
+    will_retry_until: str | None = None
+
+
+@dataclass
+class Dsn:
+    reporting_mta: str
+    arrival_date: str
+    original_sender: str
+    recipients: list[DsnRecipientStatus] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return any(r.action == "failed" for r in self.recipients)
+
+
+def _status_of(result: str) -> str:
+    enhanced = parse_enhanced_code(result)
+    if enhanced is not None:
+        return str(enhanced)
+    reply = parse_reply_code(result)
+    if reply is not None:
+        klass = 5 if 500 <= reply <= 599 else 4
+        return f"{klass}.0.0"
+    return "4.0.0"  # timeouts etc.: transient, unknown detail
+
+
+def _format_ts(ts: float) -> str:
+    return datetime.fromtimestamp(ts, tz=timezone.utc).strftime(
+        "%a, %d %b %Y %H:%M:%S +0000"
+    )
+
+
+def dsn_for_record(record: DeliveryRecord) -> Dsn | None:
+    """Build the DSN for a record; None when the email was delivered on
+    the first attempt (no report owed)."""
+    degree = record.bounce_degree
+    if degree is BounceDegree.NON_BOUNCED:
+        return None
+    final = record.final_attempt()
+    if degree is BounceDegree.SOFT_BOUNCED:
+        # Delivered eventually: relay notification (some MTAs send a
+        # "delayed" DSN for the interim failures).
+        action = "delivered"
+        diagnostic = record.attempts[0].result
+        status = _status_of(diagnostic)
+    else:
+        action = "failed"
+        diagnostic = final.result
+        status = _status_of(diagnostic)
+    recipient = DsnRecipientStatus(
+        final_recipient=record.receiver,
+        action=action,
+        status=status,
+        diagnostic_code=diagnostic,
+    )
+    return Dsn(
+        reporting_mta=REPORTING_MTA,
+        arrival_date=_format_ts(record.start_time),
+        original_sender=record.sender,
+        recipients=[recipient],
+    )
+
+
+def render_dsn(dsn: Dsn) -> str:
+    """Render the multipart/report message as RFC-822-ish text."""
+    human_lines = [
+        "This is the mail system at host %s." % dsn.reporting_mta,
+        "",
+    ]
+    for r in dsn.recipients:
+        if r.action == "failed":
+            human_lines += [
+                f"I'm sorry to have to inform you that your message could not",
+                f"be delivered to one or more recipients.",
+                "",
+                f"<{r.final_recipient}>: {r.diagnostic_code}",
+            ]
+        else:
+            human_lines += [
+                f"Your message was successfully delivered to "
+                f"<{r.final_recipient}> after earlier attempts were deferred:",
+                "",
+                f"  {r.diagnostic_code}",
+            ]
+
+    status_lines = [
+        f"Reporting-MTA: dns; {dsn.reporting_mta}",
+        f"Arrival-Date: {dsn.arrival_date}",
+        "",
+    ]
+    for r in dsn.recipients:
+        status_lines += [
+            f"Final-Recipient: rfc822; {r.final_recipient}",
+            f"Action: {r.action}",
+            f"Status: {r.status}",
+            f"Diagnostic-Code: smtp; {r.diagnostic_code}",
+            "",
+        ]
+
+    subject = (
+        "Undelivered Mail Returned to Sender"
+        if dsn.failed
+        else "Delayed Mail Notification"
+    )
+    parts = [
+        f"From: MAILER-DAEMON@{dsn.reporting_mta}",
+        f"To: {dsn.original_sender}",
+        f"Subject: {subject}",
+        f'Content-Type: multipart/report; report-type=delivery-status; '
+        f'boundary="{_BOUNDARY}"',
+        "MIME-Version: 1.0",
+        "",
+        f"--{_BOUNDARY}",
+        "Content-Type: text/plain; charset=utf-8",
+        "",
+        *human_lines,
+        "",
+        f"--{_BOUNDARY}",
+        "Content-Type: message/delivery-status",
+        "",
+        *status_lines,
+        f"--{_BOUNDARY}--",
+        "",
+    ]
+    return "\n".join(parts)
+
+
+def parse_dsn(text: str) -> Dsn:
+    """Parse a rendered DSN back to structured form."""
+    lines = text.splitlines()
+    reporting_mta = ""
+    arrival = ""
+    sender = ""
+    recipients: list[DsnRecipientStatus] = []
+    current: dict[str, str] = {}
+
+    def flush() -> None:
+        if current.get("Final-Recipient"):
+            recipients.append(
+                DsnRecipientStatus(
+                    final_recipient=current["Final-Recipient"],
+                    action=current.get("Action", ""),
+                    status=current.get("Status", ""),
+                    diagnostic_code=current.get("Diagnostic-Code", ""),
+                )
+            )
+        current.clear()
+
+    for line in lines:
+        if line.startswith("To: ") and not sender:
+            sender = line[4:].strip()
+        for key in ("Reporting-MTA", "Arrival-Date", "Final-Recipient",
+                    "Action", "Status", "Diagnostic-Code"):
+            prefix = f"{key}: "
+            if line.startswith(prefix):
+                value = line[len(prefix):].strip()
+                if key in ("Reporting-MTA", "Final-Recipient", "Diagnostic-Code"):
+                    # Strip the type token ("dns;", "rfc822;", "smtp;").
+                    _, _, rest = value.partition(";")
+                    value = rest.strip() if rest else value
+                if key == "Reporting-MTA":
+                    reporting_mta = value
+                elif key == "Arrival-Date":
+                    arrival = value
+                elif key == "Final-Recipient":
+                    flush()
+                    current["Final-Recipient"] = value
+                else:
+                    current[key] = value
+    flush()
+    return Dsn(
+        reporting_mta=reporting_mta,
+        arrival_date=arrival,
+        original_sender=sender,
+        recipients=recipients,
+    )

@@ -1,0 +1,63 @@
+"""Non-delivery report (NDR) model.
+
+A delivery attempt's result is ultimately a single line of text (the
+``delivery_result`` field of the dataset).  :class:`NDR` is the structured
+view the simulator works with before rendering; the analysis layer only
+ever sees the rendered string and must parse codes back out with
+:mod:`repro.smtp.codes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.smtp.codes import parse_enhanced_code, parse_reply_code
+
+SUCCESS_RESULT = "250 OK"
+
+
+@dataclass(frozen=True)
+class NDR:
+    """A rendered non-delivery report plus simulator-side ground truth.
+
+    ``text`` is what lands in the dataset.  ``truth_type`` is the bounce
+    type the receiver-MTA policy engine actually decided on — the hidden
+    label used only for evaluating the EBRC, never as an analysis input.
+    ``ambiguous`` marks renderings drawn from the Table 6 ambiguous-template
+    pool, whose text does not reveal the true reason.
+    """
+
+    text: str
+    truth_type: str
+    ambiguous: bool = False
+
+    @property
+    def reply_code(self) -> int | None:
+        return parse_reply_code(self.text)
+
+    @property
+    def enhanced_code(self):
+        return parse_enhanced_code(self.text)
+
+    @property
+    def permanent(self) -> bool | None:
+        code = self.enhanced_code
+        if code is not None:
+            return code.permanent
+        reply = self.reply_code
+        if reply is None:
+            return None
+        return 500 <= reply <= 599
+
+
+def render_success(latency_note: str | None = None) -> str:
+    """The accepting reply line; a few servers add a queue id suffix."""
+    if latency_note:
+        return f"{SUCCESS_RESULT} {latency_note}"
+    return SUCCESS_RESULT
+
+
+def is_success(text: str) -> bool:
+    """True when the delivery-result line indicates acceptance."""
+    code = parse_reply_code(text)
+    return code is not None and 200 <= code <= 299

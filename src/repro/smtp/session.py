@@ -1,0 +1,189 @@
+"""SMTP session transcripts.
+
+Turns a delivery-attempt outcome into the protocol dialogue a packet
+capture would show: greeting, EHLO, optional STARTTLS, MAIL FROM,
+RCPT TO, DATA, and the stage-appropriate rejection.  Each bounce type
+rejects at the stage where real MTAs reject it — blocklists at connect,
+authentication at MAIL FROM, recipient checks at RCPT TO, content filters
+after DATA, timeouts and interruptions mid-session.
+
+The engine does not store transcripts (memory); they are generated on
+demand from an :class:`~repro.delivery.records.AttemptRecord` for debug
+tooling, the CLI's ``explain`` command, and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.taxonomy import BounceType
+from repro.smtp.ndr import is_success
+
+
+class SmtpStage(str, Enum):
+    CONNECT = "connect"
+    EHLO = "ehlo"
+    STARTTLS = "starttls"
+    MAIL_FROM = "mail_from"
+    RCPT_TO = "rcpt_to"
+    DATA = "data"
+    DONE = "done"
+
+
+#: Where each bounce type manifests in a real SMTP conversation.
+REJECTION_STAGE: dict[BounceType, SmtpStage] = {
+    BounceType.T1: SmtpStage.MAIL_FROM,
+    BounceType.T2: SmtpStage.CONNECT,  # never connected (routing failed)
+    BounceType.T3: SmtpStage.MAIL_FROM,
+    BounceType.T4: SmtpStage.STARTTLS,
+    BounceType.T5: SmtpStage.CONNECT,
+    BounceType.T6: SmtpStage.RCPT_TO,
+    BounceType.T7: SmtpStage.CONNECT,
+    BounceType.T8: SmtpStage.RCPT_TO,
+    BounceType.T9: SmtpStage.RCPT_TO,
+    BounceType.T10: SmtpStage.RCPT_TO,
+    BounceType.T11: SmtpStage.RCPT_TO,
+    BounceType.T12: SmtpStage.MAIL_FROM,  # SIZE= declared in MAIL FROM
+    BounceType.T13: SmtpStage.DATA,
+    BounceType.T14: SmtpStage.CONNECT,
+    BounceType.T15: SmtpStage.DATA,
+    BounceType.T16: SmtpStage.DATA,
+}
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    actor: str  # "C" (client/proxy) or "S" (server) or "*" (transport note)
+    text: str
+
+    def __str__(self) -> str:
+        return f"{self.actor}: {self.text}"
+
+
+@dataclass
+class SessionTranscript:
+    events: list[SessionEvent] = field(default_factory=list)
+    outcome: str = "accepted"  # accepted | rejected | timeout | interrupted
+    reject_stage: SmtpStage | None = None
+
+    def add(self, actor: str, text: str) -> None:
+        self.events.append(SessionEvent(actor, text))
+
+    def render(self) -> str:
+        return "\n".join(str(e) for e in self.events)
+
+    @property
+    def commands_sent(self) -> list[str]:
+        return [e.text for e in self.events if e.actor == "C"]
+
+
+def simulate_session(
+    result_line: str,
+    truth_type: str | None,
+    sender: str,
+    receiver: str,
+    mx_host: str = "mx1.example.com",
+    client_name: str = "proxy1.coremail-out.net",
+    uses_tls: bool = False,
+    size_bytes: int = 20_000,
+) -> SessionTranscript:
+    """Reconstruct the SMTP dialogue behind one attempt result line."""
+    transcript = SessionTranscript()
+    accepted = is_success(result_line)
+    bounce_type = None
+    if not accepted and truth_type is not None:
+        try:
+            bounce_type = BounceType(truth_type)
+        except ValueError:
+            bounce_type = BounceType.T16
+    stage = REJECTION_STAGE.get(bounce_type, SmtpStage.DATA) if bounce_type else SmtpStage.DONE
+
+    # -- connect ---------------------------------------------------------------
+    if bounce_type is BounceType.T14:
+        transcript.add("*", f"connect {mx_host}:25 ...")
+        transcript.add("*", f"timeout: {result_line}")
+        transcript.outcome = "timeout"
+        transcript.reject_stage = SmtpStage.CONNECT
+        return transcript
+    if bounce_type is BounceType.T2:
+        transcript.add("*", f"MX resolution failed for {receiver.rsplit('@', 1)[-1]}")
+        transcript.add("*", result_line)
+        transcript.outcome = "rejected"
+        transcript.reject_stage = SmtpStage.CONNECT
+        return transcript
+
+    transcript.add("S", f"220 {mx_host} ESMTP ready")
+    if stage is SmtpStage.CONNECT:
+        # Post-greeting rejection (blocklist / connection rate).
+        transcript.add("S", result_line)
+        transcript.add("C", "QUIT")
+        transcript.outcome = "rejected"
+        transcript.reject_stage = SmtpStage.CONNECT
+        return transcript
+
+    # -- EHLO / STARTTLS --------------------------------------------------------
+    transcript.add("C", f"EHLO {client_name}")
+    extensions = "250-SIZE 52428800\n250-STARTTLS\n250 8BITMIME"
+    transcript.add("S", f"250-{mx_host}\n{extensions}")
+    if uses_tls:
+        transcript.add("C", "STARTTLS")
+        transcript.add("S", "220 2.0.0 Ready to start TLS")
+        transcript.add("*", "TLS handshake OK; session re-issued EHLO")
+    if stage is SmtpStage.STARTTLS:
+        transcript.add("C", f"MAIL FROM:<{sender}>")
+        transcript.add("S", result_line)
+        transcript.add("C", "QUIT")
+        transcript.outcome = "rejected"
+        transcript.reject_stage = SmtpStage.STARTTLS
+        return transcript
+
+    # -- MAIL FROM -----------------------------------------------------------------
+    transcript.add("C", f"MAIL FROM:<{sender}> SIZE={size_bytes}")
+    if stage is SmtpStage.MAIL_FROM:
+        transcript.add("S", result_line)
+        transcript.add("C", "QUIT")
+        transcript.outcome = "rejected"
+        transcript.reject_stage = SmtpStage.MAIL_FROM
+        return transcript
+    transcript.add("S", "250 2.1.0 Ok")
+
+    # -- RCPT TO ----------------------------------------------------------------------
+    transcript.add("C", f"RCPT TO:<{receiver}>")
+    if stage is SmtpStage.RCPT_TO:
+        transcript.add("S", result_line)
+        transcript.add("C", "QUIT")
+        transcript.outcome = "rejected"
+        transcript.reject_stage = SmtpStage.RCPT_TO
+        return transcript
+    transcript.add("S", "250 2.1.5 Ok")
+
+    # -- DATA --------------------------------------------------------------------------
+    transcript.add("C", "DATA")
+    transcript.add("S", "354 End data with <CR><LF>.<CR><LF>")
+    transcript.add("C", f"(message body, {size_bytes} bytes)")
+    if bounce_type is BounceType.T15:
+        transcript.add("*", f"connection lost mid-transfer: {result_line}")
+        transcript.outcome = "interrupted"
+        transcript.reject_stage = SmtpStage.DATA
+        return transcript
+    if stage is SmtpStage.DATA and bounce_type is not None:
+        transcript.add("S", result_line)
+        transcript.add("C", "QUIT")
+        transcript.outcome = "rejected"
+        transcript.reject_stage = SmtpStage.DATA
+        return transcript
+
+    transcript.add("S", result_line if accepted else "250 OK")
+    transcript.add("C", "QUIT")
+    transcript.add("S", "221 2.0.0 Bye")
+    transcript.outcome = "accepted"
+    transcript.reject_stage = None
+    return transcript
+
+
+def transcript_for_attempt(attempt, sender: str, receiver: str, **kw) -> SessionTranscript:
+    """Convenience wrapper over an AttemptRecord."""
+    return simulate_session(
+        attempt.result, attempt.truth_type, sender, receiver, **kw
+    )

@@ -1,0 +1,443 @@
+"""The NDR template bank.
+
+Real receiver MTAs answer the same failure in wildly different dialects:
+Gmail's prose differs from Exchange's, Postfix's, Exim's, and from ad-hoc
+corporate appliances; many answers omit the RFC 3463 enhanced code; 550
+5.7.1 is overloaded for unrelated reasons; and a sizeable slice of answers
+(Table 6) are so vague that no reason can be recovered from them at all.
+
+This bank encodes that mess.  Each receiver domain is assigned a
+:class:`TemplateDialect`; rendering a bounce picks one of the dialect's
+templates for the true bounce type and fills the placeholders.  A
+domain-specific ``ambiguity`` probability replaces the informative answer
+with one of the Table 6 ambiguous templates — exactly the adversarial
+condition the paper's classifier pipeline has to detect and exclude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.taxonomy import BounceType
+from repro.smtp.ndr import NDR
+from repro.util.rng import RandomSource
+
+
+class TemplateDialect(str, Enum):
+    GMAIL = "gmail"
+    EXCHANGE = "exchange"  # outlook.com / hotmail.com / on-prem Exchange
+    YAHOO = "yahoo"
+    POSTFIX = "postfix"
+    EXIM = "exim"
+    QMAIL = "qmail"
+    IRONPORT = "ironport"
+    PROOFPOINT = "proofpoint"
+    CORPORATE = "corporate"  # ad-hoc appliance text
+    GENERIC = "generic"
+
+
+@dataclass(frozen=True)
+class TemplateSpec:
+    """One NDR wording: a format string plus the dialects that use it.
+
+    ``tag`` distinguishes sub-reasons that share a type: T8 covers both
+    "no such user" (untagged) and "inactive account" (tag ``inactive``).
+    """
+
+    bounce_type: BounceType
+    text: str
+    dialects: tuple[TemplateDialect, ...]
+    weight: float = 1.0
+    tag: str = ""
+
+
+_ALL = tuple(TemplateDialect)
+_G = (TemplateDialect.GENERIC,)
+
+
+def _t(
+    bounce_type: BounceType,
+    text: str,
+    dialects: tuple[TemplateDialect, ...] = _G,
+    weight: float = 1.0,
+    tag: str = "",
+) -> TemplateSpec:
+    return TemplateSpec(bounce_type, text, dialects, weight, tag)
+
+
+# ---------------------------------------------------------------------------
+# Informative templates, T1-T15.  Placeholders: {address} {user} {domain}
+# {sender_domain} {ip} {mx} {qid} {vendor} {size} {limit} {seconds} {count}
+# ---------------------------------------------------------------------------
+
+TEMPLATES: list[TemplateSpec] = [
+    # -- T1: sender domain DNS failure --------------------------------------
+    _t(BounceType.T1, "450 4.1.8 <{address}>: Sender address rejected: Domain not found",
+       (TemplateDialect.POSTFIX,), 3.0),
+    _t(BounceType.T1, "550 5.1.8 {sender_domain}: Sender domain must resolve",
+       (TemplateDialect.EXIM,)),
+    _t(BounceType.T1, "451 4.1.8 Unable to verify sender domain {sender_domain} (DNS lookup failure)",
+       (TemplateDialect.CORPORATE,)),
+    _t(BounceType.T1, "550 Sender domain {sender_domain} does not exist", _G),
+    _t(BounceType.T1, "553 5.1.8 Domain of sender address {address} does not resolve",
+       (TemplateDialect.QMAIL,)),
+    # -- T2: receiver domain DNS failure (no MX / NXDOMAIN) ------------------
+    _t(BounceType.T2, "554 5.4.4 [internal] domain lookup failed for {domain}: Host not found",
+       (TemplateDialect.POSTFIX,), 3.0),
+    _t(BounceType.T2, "550 5.4.4 DNS lookup for {domain} returned NXDOMAIN", _G, 2.0),
+    _t(BounceType.T2, "512 5.1.2 Host unknown: no MX or A record for {domain}",
+       (TemplateDialect.EXIM,)),
+    _t(BounceType.T2, "554 5.4.4 Unable to route: no mail hosts for domain {domain}",
+       (TemplateDialect.EXCHANGE,), 2.0),
+    _t(BounceType.T2, "Name service error for name={mx} type=MX: Host found but no data record of requested type",
+       (TemplateDialect.POSTFIX,), 2.0),
+    _t(BounceType.T2, "550 Invalid MX record configuration for {domain}", _G),
+    # -- T3: authentication failure ------------------------------------------
+    _t(BounceType.T3, "421-4.7.0 This message does not pass authentication checks (SPF and DKIM both do not pass)",
+       (TemplateDialect.GMAIL,), 2.4, tag="both"),
+    _t(BounceType.T3, "554 5.7.1 Rejected: SPF and DKIM authentication both failed for {sender_domain}",
+       (TemplateDialect.CORPORATE,), 1.0, tag="both"),
+    _t(BounceType.T3, "550-5.7.26 This message does not have authentication information or fails to pass authentication checks (SPF or DKIM)",
+       (TemplateDialect.GMAIL,), 3.2, tag="either"),
+    _t(BounceType.T3, "550-5.7.26 Unauthenticated email from {sender_domain} is not accepted due to domain's DMARC policy",
+       (TemplateDialect.GMAIL, TemplateDialect.YAHOO), 0.36, tag="dmarc"),
+    _t(BounceType.T3, "550 5.7.1 Email rejected due to DMARC policy (p=reject) of {sender_domain}",
+       (TemplateDialect.POSTFIX,), 0.2, tag="dmarc"),
+    _t(BounceType.T3, "550 5.7.1 Email rejected per SPF policy of {sender_domain}: {ip} is not an allowed sender",
+       (TemplateDialect.POSTFIX, TemplateDialect.CORPORATE), 1.0, tag="either"),
+    _t(BounceType.T3, "550 5.7.9 DKIM verification failed for message from {sender_domain}",
+       (TemplateDialect.EXIM,), 1.0, tag="either"),
+    _t(BounceType.T3, "550 SPF check failed: domain of {sender_domain} does not designate {ip} as permitted sender", _G, 1.0, tag="either"),
+    # -- T4: STARTTLS required / broken ---------------------------------------
+    _t(BounceType.T4, "530 5.7.0 Must issue a STARTTLS command first", (TemplateDialect.GMAIL, TemplateDialect.POSTFIX), 3.0),
+    _t(BounceType.T4, "451 4.7.5 Server requires TLS; STARTTLS not offered by client", _G),
+    _t(BounceType.T4, "554 5.7.3 Unable to initialize security subsystem: TLS required for {domain}",
+       (TemplateDialect.EXCHANGE,)),
+    _t(BounceType.T4, "550 Encryption required for requested authentication mechanism", _G),
+    # -- T5: blocklisted ------------------------------------------------------
+    _t(BounceType.T5, "554 5.7.1 Service unavailable; Client host [{ip}] blocked using zen.spamhaus.org",
+       (TemplateDialect.POSTFIX, TemplateDialect.EXCHANGE), 4.0),
+    _t(BounceType.T5, "550 5.7.1 This email was rejected because it violates our security policy. Remotehost is listed in the following RBL lists: SpamCop",
+       (TemplateDialect.CORPORATE,)),
+    _t(BounceType.T5, "553 5.3.0 Mail from {ip} refused - see https://www.spamhaus.org/query/ip/{ip}",
+       (TemplateDialect.EXIM,), 2.0),
+    _t(BounceType.T5, "554 Your access to this mail system has been rejected due to the sending MTA's poor reputation",
+       (TemplateDialect.IRONPORT,), 2.0),
+    _t(BounceType.T5, "550 5.7.606 Access denied, banned sending IP [{ip}]; visit https://sender.office.com to delist",
+       (TemplateDialect.EXCHANGE,), 3.0),
+    _t(BounceType.T5, "521 5.2.1 blocked by rbl.{domain}, Mail from {ip} rejected", _G),
+    _t(BounceType.T5, "554 5.7.1 Connection refused. IP {ip} is listed on the blocklist. AUP#In-1310",
+       (TemplateDialect.PROOFPOINT,), 2.0),
+    # -- T6: greylisting -------------------------------------------------------
+    _t(BounceType.T6, "451 4.7.1 Greylisting in action, please come back later",
+       (TemplateDialect.POSTFIX, TemplateDialect.CORPORATE), 3.0),
+    _t(BounceType.T6, "450 4.2.0 <{address}>: Recipient address rejected: Greylisted, see http://postgrey.schweikert.ch/help/{domain}.html",
+       (TemplateDialect.POSTFIX,), 2.0),
+    _t(BounceType.T6, "451 4.7.1 Temporarily deferred due to greylisting. Retry in {seconds} seconds", _G),
+    _t(BounceType.T6, "421 {domain} has greylisted this connection; retry will be accepted",
+       (TemplateDialect.EXIM,)),
+    # -- T7: sending too fast ---------------------------------------------------
+    _t(BounceType.T7, "450 4.2.1 The user you are trying to contact is receiving mail at a rate that prevents additional messages from being delivered",
+       (TemplateDialect.GMAIL,), 2.0),
+    _t(BounceType.T7, "421 4.7.0 [{ip}] Messages from this IP temporarily deferred due to unexpected volume or user complaints",
+       (TemplateDialect.YAHOO,), 2.0),
+    _t(BounceType.T7, "450 Too many connections from your host {ip}, slow down", _G),
+    _t(BounceType.T7, "452 4.3.2 Connection rate limit exceeded", (TemplateDialect.POSTFIX,)),
+    # -- T8: no such user --------------------------------------------------------
+    _t(BounceType.T8, "550-5.1.1 The email account that you tried to reach does not exist. Please try double-checking the recipient's email address for typos or unnecessary spaces.",
+       (TemplateDialect.GMAIL,), 4.0),
+    _t(BounceType.T8, "550 5.1.1 <{address}>: Recipient address rejected: User unknown in virtual mailbox table",
+       (TemplateDialect.POSTFIX,), 3.0),
+    _t(BounceType.T8, "550 5.7.1 Recipient address rejected: user {address} does not exist",
+       (TemplateDialect.CORPORATE,), 2.0),
+    _t(BounceType.T8, "550 Requested action not taken: mailbox unavailable. 5.1.1 {address}... User unknown",
+       (TemplateDialect.QMAIL,)),
+    _t(BounceType.T8, "550 5.1.10 RESOLVER.ADR.RecipientNotFound; Recipient {address} not found by SMTP address lookup",
+       (TemplateDialect.EXCHANGE,), 3.0),
+    _t(BounceType.T8, "554 delivery error: dd This user doesn't have a {domain} account ({address})",
+       (TemplateDialect.YAHOO,), 2.0),
+    _t(BounceType.T8, "550 No such user {user} here", _G),
+    _t(BounceType.T8, "550 5.1.1 Email address could not be found, or was misspelled (G-{vendor})", _G),
+    # -- T8 (inactive variant) ----------------------------------------------------
+    _t(BounceType.T8, "550 5.2.1 The email account that you tried to reach is disabled ({address})",
+       (TemplateDialect.GMAIL,), 0.4, tag="inactive"),
+    _t(BounceType.T8, "554 5.7.1 Account {address} is inactive and cannot receive email",
+       (TemplateDialect.CORPORATE,), 0.3, tag="inactive"),
+    _t(BounceType.T8, "550 {user}: inactive user", _G, 0.3, tag="inactive"),
+    # -- T9: mailbox full ------------------------------------------------------------
+    _t(BounceType.T9, "452-4.2.2 The email account that you tried to reach is over quota",
+       (TemplateDialect.GMAIL,), 2.5),
+    _t(BounceType.T9, "452 4.2.2 <{address}>: Recipient address rejected: Mailbox full",
+       (TemplateDialect.POSTFIX,), 2.0),
+    _t(BounceType.T9, "552-5.2.2 The email account that you tried to reach is over quota and inactive",
+       (TemplateDialect.GMAIL,)),
+    _t(BounceType.T9, "501-5.0.1 {address} has exceeded his/her disk space limit.",
+       (TemplateDialect.CORPORATE,)),
+    _t(BounceType.T9, "552 5.2.2 Mailbox size limit exceeded for {address}", (TemplateDialect.EXCHANGE,), 2.0),
+    _t(BounceType.T9, "452 4.1.1 {address} mailbox full", _G),
+    # -- T10: too many recipients -----------------------------------------------------
+    _t(BounceType.T10, "452 4.5.3 Too many recipients; message not accepted", (TemplateDialect.POSTFIX,), 2.0),
+    _t(BounceType.T10, "550 5.5.3 Too many invalid recipients in this message ({count})",
+       (TemplateDialect.EXCHANGE,), 2.0),
+    _t(BounceType.T10, "452 Too many recipients received this hour from your host", _G),
+    # -- T11: recipient rate/volume limit -----------------------------------------------
+    _t(BounceType.T11, "452 4.2.2 The email account that you tried to reach is receiving mail too quickly ({address})",
+       (TemplateDialect.GMAIL,), 2.0),
+    _t(BounceType.T11, "421 4.7.28 Our system has detected an unusual rate of unsolicited mail destined for {address}",
+       (TemplateDialect.GMAIL,)),
+    _t(BounceType.T11, "554 5.7.1 Daily message quota exceeded for recipient {address}",
+       (TemplateDialect.CORPORATE,), 2.0),
+    _t(BounceType.T11, "550 Message rejected: recipient {user} exceeded incoming message limit", _G),
+    # -- T12: message too large -----------------------------------------------------------
+    _t(BounceType.T12, "552 5.3.4 Message size exceeds fixed maximum message size ({limit} bytes)",
+       (TemplateDialect.POSTFIX, TemplateDialect.EXCHANGE), 3.0),
+    _t(BounceType.T12, "552-5.2.3 Your message exceeded our message size limits ({size} > {limit})",
+       (TemplateDialect.GMAIL,), 2.0),
+    _t(BounceType.T12, "523 the message size {size} exceeds the limit {limit} for {domain}", _G),
+    _t(BounceType.T12, "552 Message too large - psmtp", (TemplateDialect.CORPORATE,)),
+    # -- T13: content spam -------------------------------------------------------------------
+    _t(BounceType.T13, "550-5.7.1 Our system has detected that this message is likely unsolicited mail. To reduce the amount of spam sent to {domain}, this message has been blocked.",
+       (TemplateDialect.GMAIL,), 3.0),
+    _t(BounceType.T13, "554 5.7.1 Message rejected as spam by Content Filtering",
+       (TemplateDialect.EXCHANGE,), 2.5),
+    _t(BounceType.T13, "550 5.7.1 Message contains spam or virus. ({qid})",
+       (TemplateDialect.CORPORATE,), 2.0),
+    _t(BounceType.T13, "554 5.7.1 The message from <{address}> with the subject of (redacted) matches a profile the Internet community may consider spam",
+       (TemplateDialect.IRONPORT,), 2.0),
+    _t(BounceType.T13, "550 High probability of spam detected by heuristic scanner, score {count}", _G),
+    _t(BounceType.T13, "571 5.7.1 Message refused by DataPower content rule set", (TemplateDialect.PROOFPOINT,)),
+    # -- T14: timeout -----------------------------------------------------------------------------
+    _t(BounceType.T14, "conversation with {mx}[{ip}] timed out while receiving the initial server greeting",
+       (TemplateDialect.POSTFIX,), 3.0),
+    _t(BounceType.T14, "421 4.4.2 Connection timed out waiting for response from {mx}", _G, 2.0),
+    _t(BounceType.T14, "timeout after DATA command from {mx}[{ip}]", (TemplateDialect.POSTFIX,), 2.0),
+    _t(BounceType.T14, "SMTP session timeout: no response from host {ip} port 25 after {seconds} seconds", _G, 2.0),
+    _t(BounceType.T14, "451 4.4.1 Remote server {mx} did not respond within the required time interval", (TemplateDialect.EXCHANGE,)),
+    # -- T15: session interrupted --------------------------------------------------------------------
+    _t(BounceType.T15, "lost connection with {mx}[{ip}] while sending message body",
+       (TemplateDialect.POSTFIX,), 3.0),
+    _t(BounceType.T15, "421 4.4.0 Connection dropped by remote host {ip} during transaction", _G, 2.0),
+    _t(BounceType.T15, "451 4.3.0 Remote server {mx} closed connection unexpectedly (broken pipe)", _G),
+    _t(BounceType.T15, "connection reset by peer while performing TLS handshake with {mx}", (TemplateDialect.EXIM,)),
+    # -- additional vendor wordings (long-tail realism) -----------------------------------------------
+    _t(BounceType.T5, "550 JunkMail rejected - {mx}[{ip}] is in an RBL, see http://njabl.org/lookup?{ip}",
+       (TemplateDialect.QMAIL,)),
+    _t(BounceType.T5, "554 ({qid}) Your message was rejected: sending MTA's poor reputation score",
+       (TemplateDialect.GENERIC,), 0.6),
+    _t(BounceType.T5, "571 Email from {ip} is currently blocked by Verizon Online's anti-spam system (blocklist)",
+       (TemplateDialect.CORPORATE,), 0.5),
+    _t(BounceType.T6, "450 4.7.1 <{address}>: Recipient address rejected: Policy Rejection- Greylisted, try again later",
+       (TemplateDialect.QMAIL,), 0.8),
+    _t(BounceType.T8, "550 5.1.1 <{address}> User doesn't exist: {user}",
+       (TemplateDialect.EXIM,), 1.2),
+    _t(BounceType.T8, "511 sorry, no mailbox here by that name ({user}) - #5.1.1",
+       (TemplateDialect.QMAIL,), 1.0),
+    _t(BounceType.T8, "550 RCPT TO:<{address}> User unknown; rejecting",
+       (TemplateDialect.GENERIC,), 0.8),
+    _t(BounceType.T9, "554 5.2.2 mailbox full; connection refused for {address}",
+       (TemplateDialect.EXIM,), 0.8),
+    _t(BounceType.T9, "422 The recipient's mailbox is over its storage limit, try again later",
+       (TemplateDialect.CORPORATE,), 0.6),
+    _t(BounceType.T13, "550 Message scored too high on spam scale ({count} points); rejected",
+       (TemplateDialect.QMAIL,), 0.8),
+    _t(BounceType.T13, "554 5.7.1 [P4] Message blocked: considered spam due to content analysis by SpamAssassin",
+       (TemplateDialect.EXIM,), 0.8),
+    _t(BounceType.T12, "554 5.3.4 Error: message file too big (size {size} exceeds the limit {limit})",
+       (TemplateDialect.QMAIL,), 0.5),
+    _t(BounceType.T14, "451 4.4.3 timed out while waiting for the 354 response from {mx}",
+       (TemplateDialect.EXIM,), 0.8),
+    _t(BounceType.T7, "450 4.7.1 Error: too much mail from {ip}; connection rate limit reached, slow down",
+       (TemplateDialect.QMAIL,), 0.6),
+    _t(BounceType.T4, "523 5.7.10 Encryption Needed: STARTTLS is required to send mail to {domain}",
+       (TemplateDialect.GENERIC,), 0.5),
+    _t(BounceType.T3, "550 5.7.23 The message was rejected: SPF validation failed for {sender_domain}",
+       (TemplateDialect.EXCHANGE,), 0.6, tag="either"),
+    _t(BounceType.T10, "421 4.5.3 Error: too many recipients in a single delivery; try again splitting the list",
+       (TemplateDialect.EXIM,), 0.5),
+    _t(BounceType.T11, "450 4.2.1 The email account that you tried to reach is receiving mail too quickly; daily message quota reached",
+       (TemplateDialect.CORPORATE,), 0.5),
+    _t(BounceType.T2, "550 Domain {domain} has no valid MX record configuration; invalid MX",
+       (TemplateDialect.GENERIC,), 0.5),
+    _t(BounceType.T1, "450 4.1.8 Cannot verify sender domain: {sender_domain} domain not found; greeting rejected",
+       (TemplateDialect.GENERIC,), 0.4),
+]
+
+
+# ---------------------------------------------------------------------------
+# Ambiguous templates (Table 6) and odd unknown/other texts (T16-ish).  The
+# rendered text reveals nothing about the true reason; the simulator records
+# the true type in NDR.truth_type, but the analysis pipeline must treat
+# these messages as unclassifiable.
+# ---------------------------------------------------------------------------
+
+AMBIGUOUS_TEMPLATES: list[tuple[str, float]] = [
+    ("{qid} 5.4.1 Recipient address rejected: Access denied. AS(201806281) [{mx}]", 76.99),
+    ("554 5.7.1 {qid} Message rejected due to local policy. Please visit the postmaster page of {domain}", 8.79),
+    ("550 {qid} Mail is rejected by recipients {address}", 7.16),
+    ("{ip} Not allowed.(CONNECT)", 5.18),
+    ("454 Relay access denied {qid}", 4.26),
+]
+
+#: The Exchange "Access denied. AS(201806281)" template dominates the
+#: ambiguous pool (76.99% in Table 6); it is emitted by Exchange-dialect
+#: receivers for a mix of true reasons.
+UNKNOWN_TEMPLATES: list[str] = [
+    "550 {qid} This message is not RFC 5322 compliant",
+    "421 {domain} Intrusion prevention active for [{ip}]",
+    "554 Transaction failed: unexpected condition, contact postmaster of {domain}",
+    "550 Administrative prohibition - unable to validate message",
+]
+
+#: The paper's §6.2 proposal: one standard, unambiguous template per
+#: bounce reason (e.g. "550-5.7.26 Email from <IP> violates the SPF
+#: policy of <domain>").  Rendering with these simulates a world where
+#: the IETF standardised NDR wording.
+STANDARD_TEMPLATES: dict[BounceType, str] = {
+    BounceType.T1: "550-5.1.8 Sender domain {sender_domain} does not resolve",
+    BounceType.T2: "550-5.4.4 Receiver domain {domain} does not resolve",
+    BounceType.T3: "550-5.7.26 Email from {ip} violates the sender authentication policy of {sender_domain}",
+    BounceType.T4: "530-5.7.0 STARTTLS is required by {domain}",
+    BounceType.T5: "554-5.7.1 Sending address {ip} is listed on a blocklist used by {domain}",
+    BounceType.T6: "451-4.7.1 Greylisted by {domain}; retry from the same address after {seconds} seconds",
+    BounceType.T7: "450-4.7.1 Sending address {ip} exceeds the connection rate limit of {domain}",
+    BounceType.T8: "550-5.1.1 Recipient address {address} does not exist",
+    BounceType.T9: "452-4.2.2 Recipient mailbox {address} is over quota",
+    BounceType.T10: "452-4.5.3 Too many recipients in a single transaction",
+    BounceType.T11: "450-4.2.1 Recipient {address} exceeds its incoming message limit",
+    BounceType.T12: "552-5.3.4 Message size {size} exceeds the limit {limit} of {domain}",
+    BounceType.T13: "550-5.7.1 Message content classified as spam by {domain}",
+    BounceType.T14: "421-4.4.2 SMTP session with {mx} timed out",
+    BounceType.T15: "421-4.4.0 SMTP session with {mx} was interrupted",
+    BounceType.T16: "554-5.0.0 Delivery failed for an unspecified reason at {domain}",
+}
+
+
+_QID_ALPHABET = "0123456789ABCDEF"
+_VENDOR_CODES = ["1032", "2017", "440", "8121", "77", "1459"]
+
+
+def _default_context() -> dict[str, str]:
+    return {
+        "address": "user@example.com",
+        "user": "user",
+        "domain": "example.com",
+        "sender_domain": "sender.example",
+        "ip": "10.0.0.1",
+        "mx": "mx1.example.com",
+        "seconds": "300",
+        "size": "28311552",
+        "limit": "26214400",
+        "count": "12",
+    }
+
+
+class NDRTemplateBank:
+    """Renders bounce decisions into NDR text lines.
+
+    One bank instance is shared across the simulation; rendering is driven
+    by the caller's :class:`RandomSource` so records stay deterministic.
+    """
+
+    def __init__(self, standardized: bool = False) -> None:
+        #: Render every bounce with the §6.2 standard template set.
+        self.standardized = standardized
+        self._by_type_dialect: dict[tuple[BounceType, TemplateDialect], list[TemplateSpec]] = {}
+        self._by_type_generic: dict[BounceType, list[TemplateSpec]] = {}
+        for spec in TEMPLATES:
+            for dialect in spec.dialects:
+                self._by_type_dialect.setdefault((spec.bounce_type, dialect), []).append(spec)
+            self._by_type_generic.setdefault(spec.bounce_type, []).append(spec)
+
+    def templates_for(self, bounce_type: BounceType, dialect: TemplateDialect) -> list[TemplateSpec]:
+        """Dialect-specific templates, falling back to the full type pool."""
+        specific = self._by_type_dialect.get((bounce_type, dialect))
+        if specific:
+            return specific
+        return self._by_type_generic.get(bounce_type, [])
+
+    def render(
+        self,
+        bounce_type: BounceType,
+        dialect: TemplateDialect,
+        rng: RandomSource,
+        context: dict[str, str] | None = None,
+        ambiguity: float = 0.0,
+        tag: str = "",
+    ) -> NDR:
+        """Render an NDR for ``bounce_type`` in the receiver's dialect.
+
+        With probability ``ambiguity`` the informative answer is replaced by
+        an ambiguous Table 6 template (true type preserved in
+        ``truth_type``).  ``tag`` restricts the pool to a sub-reason (e.g.
+        ``inactive`` within T8); an empty tag excludes tagged templates.
+        """
+        ctx = _default_context()
+        if context:
+            ctx.update(context)
+        ctx.setdefault("qid", self._queue_id(rng))
+        ctx.setdefault("vendor", rng.choice(_VENDOR_CODES))
+
+        if self.standardized:
+            # §6.2 counterfactual: every receiver uses the standard
+            # template for the true reason — no dialects, no ambiguity.
+            text = STANDARD_TEMPLATES[bounce_type].format(**ctx)
+            return NDR(text=text, truth_type=bounce_type.value)
+
+        if ambiguity > 0.0 and rng.chance(ambiguity):
+            text = self._render_ambiguous(dialect, rng, ctx)
+            return NDR(text=text, truth_type=bounce_type.value, ambiguous=True)
+
+        pool = self.templates_for(bounce_type, dialect)
+        pool = [s for s in pool if s.tag == tag]
+        if not pool:
+            # Dialect pool had no template with the requested tag; fall back
+            # to the type-wide pool.
+            pool = [s for s in self._by_type_generic.get(bounce_type, []) if s.tag == tag]
+        if not pool and not tag:
+            # Untagged render of a type whose templates are all tagged:
+            # any wording will do.
+            pool = self._by_type_generic.get(bounce_type, [])
+        if not pool:
+            raise KeyError(f"no templates for {bounce_type} tag={tag!r}")
+        weights = [spec.weight for spec in pool]
+        spec = rng.weighted_choice(pool, weights)
+        return NDR(text=spec.text.format(**ctx), truth_type=bounce_type.value)
+
+    def render_unknown(
+        self,
+        rng: RandomSource,
+        dialect: TemplateDialect = TemplateDialect.GENERIC,
+        context: dict[str, str] | None = None,
+    ) -> NDR:
+        """Render a genuinely unclassifiable (T16) message."""
+        ctx = _default_context()
+        if context:
+            ctx.update(context)
+        ctx.setdefault("qid", self._queue_id(rng))
+        if self.standardized:
+            text = STANDARD_TEMPLATES[BounceType.T16].format(**ctx)
+            return NDR(text=text, truth_type=BounceType.T16.value, ambiguous=False)
+        text = rng.choice(UNKNOWN_TEMPLATES).format(**ctx)
+        return NDR(text=text, truth_type=BounceType.T16.value, ambiguous=False)
+
+    def _render_ambiguous(
+        self, dialect: TemplateDialect, rng: RandomSource, ctx: dict[str, str]
+    ) -> str:
+        if dialect is TemplateDialect.EXCHANGE:
+            # Exchange's overloaded "Access denied" dominates (Table 6 row 1).
+            template = AMBIGUOUS_TEMPLATES[0][0]
+        else:
+            templates = [t for t, _ in AMBIGUOUS_TEMPLATES]
+            weights = [w for _, w in AMBIGUOUS_TEMPLATES]
+            template = rng.weighted_choice(templates, weights)
+        return template.format(**ctx)
+
+    @staticmethod
+    def _queue_id(rng: RandomSource) -> str:
+        return "".join(rng.choice(_QID_ALPHABET) for _ in range(10))
+
+
+def all_template_texts() -> list[str]:
+    """Every informative template format string (for tests)."""
+    return [spec.text for spec in TEMPLATES]

@@ -1,0 +1,29 @@
+"""Typo generation (dnstwist stand-in).
+
+Generates candidate typos of domain labels and usernames under the fuzzing
+classes the paper reports: omission, replacement, bitsquatting,
+transposition, insertion, repetition, hyphenation, vowel swap, homoglyph,
+and TLD mutations.  Used in two places: the workload generator *injects*
+typos into typed addresses, and the analysis pipeline *verifies* that a
+non-existent name is a plausible typo of a known-good one.
+"""
+
+from repro.typosquat.generate import (
+    TypoCandidate,
+    TypoKind,
+    domain_typos,
+    username_typos,
+    sample_domain_typo,
+    sample_username_typo,
+    classify_typo,
+)
+
+__all__ = [
+    "TypoCandidate",
+    "TypoKind",
+    "domain_typos",
+    "username_typos",
+    "sample_domain_typo",
+    "sample_username_typo",
+    "classify_typo",
+]

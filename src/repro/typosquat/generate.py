@@ -1,0 +1,214 @@
+"""Typo fuzzers.
+
+All fuzzers operate on a lowercase label (a domain's second-level label or
+a username) and emit :class:`TypoCandidate` values tagged with the fuzzing
+class.  ``domain_typos``/``username_typos`` enumerate candidates (the
+dnstwist role in the detection pipeline); ``sample_*_typo`` draws a single
+typo with class weights calibrated to the paper's observed morphology
+(omission most common, then replacement/bitsquatting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.util.rng import RandomSource
+
+
+class TypoKind(str, Enum):
+    OMISSION = "omission"
+    INSERTION = "insertion"
+    REPLACEMENT = "replacement"
+    TRANSPOSITION = "transposition"
+    REPETITION = "repetition"
+    BITSQUATTING = "bitsquatting"
+    HYPHENATION = "hyphenation"
+    VOWEL_SWAP = "vowel_swap"
+    HOMOGLYPH = "homoglyph"
+    TLD = "tld"
+
+
+@dataclass(frozen=True)
+class TypoCandidate:
+    text: str
+    kind: TypoKind
+    original: str
+
+
+_KEYBOARD_NEIGHBORS = {
+    "q": "wa", "w": "qes", "e": "wrd", "r": "etf", "t": "ryg", "y": "tuh",
+    "u": "yij", "i": "uok", "o": "ipl", "p": "o", "a": "qsz", "s": "awdx",
+    "d": "sefc", "f": "drgv", "g": "fthb", "h": "gyjn", "j": "hukm",
+    "k": "jil", "l": "ko", "z": "asx", "x": "zsdc", "c": "xdfv",
+    "v": "cfgb", "b": "vghn", "n": "bhjm", "m": "njk",
+    "0": "9", "1": "2", "2": "13", "3": "24", "4": "35", "5": "46",
+    "6": "57", "7": "68", "8": "79", "9": "80",
+}
+
+_HOMOGLYPHS = {
+    "l": "i1", "i": "l1", "1": "li", "o": "0", "0": "o", "m": "rn",
+    "g": "q", "q": "g", "u": "v", "v": "u",
+}
+
+_VOWELS = "aeiou"
+_ALLOWED = set("abcdefghijklmnopqrstuvwxyz0123456789-._")
+
+_TLD_SWAPS = {
+    "com": ["co", "cm", "om", "comm", "con", "net"],
+    "net": ["ner", "nett", "com"],
+    "org": ["ogr", "orgg", "com"],
+    "cn": ["com.cn", "cnn"],
+    "de": ["dee", "d"],
+    "io": ["oi", "io.com"],
+}
+
+
+def _valid(label: str) -> bool:
+    return (
+        bool(label)
+        and all(ch in _ALLOWED for ch in label)
+        and not label.startswith("-")
+        and not label.endswith("-")
+        and ".." not in label
+    )
+
+
+def _emit(seen: set[str], out: list[TypoCandidate], text: str, kind: TypoKind, original: str) -> None:
+    if text != original and _valid(text) and text not in seen:
+        seen.add(text)
+        out.append(TypoCandidate(text, kind, original))
+
+
+def label_typos(label: str, allow_separators: bool = False) -> list[TypoCandidate]:
+    """All single-edit typo candidates of ``label``, tagged by class."""
+    label = label.lower()
+    out: list[TypoCandidate] = []
+    seen: set[str] = set()
+
+    for i in range(len(label)):
+        # omission
+        _emit(seen, out, label[:i] + label[i + 1 :], TypoKind.OMISSION, label)
+        ch = label[i]
+        # repetition
+        _emit(seen, out, label[:i] + ch + label[i:], TypoKind.REPETITION, label)
+        # transposition
+        if i + 1 < len(label) and label[i] != label[i + 1]:
+            swapped = label[:i] + label[i + 1] + label[i] + label[i + 2 :]
+            _emit(seen, out, swapped, TypoKind.TRANSPOSITION, label)
+        # keyboard replacement / insertion
+        for neighbor in _KEYBOARD_NEIGHBORS.get(ch, ""):
+            _emit(seen, out, label[:i] + neighbor + label[i + 1 :], TypoKind.REPLACEMENT, label)
+            _emit(seen, out, label[:i] + neighbor + label[i:], TypoKind.INSERTION, label)
+        # bitsquatting: flip each of the low 5 bits
+        for bit in (1, 2, 4, 8, 16):
+            flipped = chr(ord(ch) ^ bit)
+            if flipped in _ALLOWED and flipped not in "-._":
+                _emit(seen, out, label[:i] + flipped + label[i + 1 :], TypoKind.BITSQUATTING, label)
+        # homoglyph
+        for glyph in _HOMOGLYPHS.get(ch, ""):
+            _emit(seen, out, label[:i] + glyph + label[i + 1 :], TypoKind.HOMOGLYPH, label)
+        # vowel swap
+        if ch in _VOWELS:
+            for vowel in _VOWELS:
+                if vowel != ch:
+                    _emit(seen, out, label[:i] + vowel + label[i + 1 :], TypoKind.VOWEL_SWAP, label)
+        # hyphenation (between characters, not at edges)
+        if 0 < i < len(label):
+            _emit(seen, out, label[:i] + "-" + label[i:], TypoKind.HYPHENATION, label)
+
+    if allow_separators:
+        # Separator confusion in usernames: "." <-> "_" <-> "-".
+        for i, ch in enumerate(label):
+            if ch in "._-":
+                for other in "._-":
+                    if other != ch:
+                        _emit(seen, out, label[:i] + other + label[i + 1 :], TypoKind.REPLACEMENT, label)
+    return out
+
+
+def _split_domain(domain: str) -> tuple[str, str]:
+    """Split into (second-level label, tld-with-dot).  Handles multi-label
+    TLD-ish suffixes like ``.com.cn`` crudely but consistently."""
+    parts = domain.lower().split(".")
+    if len(parts) >= 3 and parts[-2] in ("com", "co", "org", "edu", "gov", "net"):
+        return ".".join(parts[:-2]), "." + ".".join(parts[-2:])
+    if len(parts) >= 2:
+        return ".".join(parts[:-1]), "." + parts[-1]
+    return domain, ""
+
+
+def domain_typos(domain: str) -> list[TypoCandidate]:
+    """Candidate typo domains of ``domain`` (SLD edits + TLD mutations)."""
+    sld, tld = _split_domain(domain)
+    out = [
+        TypoCandidate(c.text + tld, c.kind, domain)
+        for c in label_typos(sld)
+    ]
+    # TLD mutations (paper: "springer.com" -> "springer.comm").
+    bare_tld = tld.lstrip(".")
+    for swap in _TLD_SWAPS.get(bare_tld, []):
+        out.append(TypoCandidate(f"{sld}.{swap}", TypoKind.TLD, domain))
+    if bare_tld and "." not in bare_tld:
+        out.append(TypoCandidate(f"{sld}.{bare_tld}{bare_tld[-1]}", TypoKind.TLD, domain))
+    deduped: dict[str, TypoCandidate] = {}
+    for cand in out:
+        deduped.setdefault(cand.text, cand)
+    return list(deduped.values())
+
+
+def username_typos(username: str) -> list[TypoCandidate]:
+    return label_typos(username.lower(), allow_separators=True)
+
+
+#: Class weights when *injecting* a typo — calibrated so the detected
+#: morphology matches the paper (omission ~40%, replacement/bitsquatting
+#: next, the rest in the tail).
+_INJECT_WEIGHTS: list[tuple[TypoKind, float]] = [
+    (TypoKind.OMISSION, 0.40),
+    (TypoKind.REPLACEMENT, 0.145),
+    (TypoKind.BITSQUATTING, 0.125),
+    (TypoKind.TRANSPOSITION, 0.09),
+    (TypoKind.INSERTION, 0.08),
+    (TypoKind.REPETITION, 0.07),
+    (TypoKind.VOWEL_SWAP, 0.04),
+    (TypoKind.HOMOGLYPH, 0.03),
+    (TypoKind.HYPHENATION, 0.02),
+]
+
+_DOMAIN_INJECT_WEIGHTS = _INJECT_WEIGHTS + [(TypoKind.TLD, 0.06)]
+
+
+def _sample(
+    candidates: list[TypoCandidate],
+    weights: list[tuple[TypoKind, float]],
+    rng: RandomSource,
+) -> TypoCandidate | None:
+    by_kind: dict[TypoKind, list[TypoCandidate]] = {}
+    for cand in candidates:
+        by_kind.setdefault(cand.kind, []).append(cand)
+    kinds = [k for k, _ in weights if k in by_kind]
+    if not kinds:
+        return None
+    kind_weights = [w for k, w in weights if k in by_kind]
+    kind = rng.weighted_choice(kinds, kind_weights)
+    return rng.choice(by_kind[kind])
+
+
+def sample_domain_typo(domain: str, rng: RandomSource) -> TypoCandidate | None:
+    return _sample(domain_typos(domain), _DOMAIN_INJECT_WEIGHTS, rng)
+
+
+def sample_username_typo(username: str, rng: RandomSource) -> TypoCandidate | None:
+    return _sample(username_typos(username), _INJECT_WEIGHTS, rng)
+
+
+def classify_typo(observed: str, original: str, for_domain: bool = False) -> TypoKind | None:
+    """Return the typo class when ``observed`` is a known single-edit typo
+    of ``original``; ``None`` otherwise.  This is the verification step of
+    the paper's pipeline (is the non-existent name in the generated set?)."""
+    candidates = domain_typos(original) if for_domain else username_typos(original)
+    for cand in candidates:
+        if cand.text == observed.lower():
+            return cand.kind
+    return None

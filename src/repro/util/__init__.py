@@ -1,0 +1,21 @@
+"""Shared utilities: deterministic randomness, simulation time, identifiers.
+
+Everything in the simulator is driven by :class:`~repro.util.rng.RandomSource`
+instances derived from a single root seed, so any run is exactly
+reproducible.  The simulation clock (:mod:`repro.util.clock`) models the
+paper's 15-month measurement window (2022-06-14 through 2023-09-06).
+"""
+
+from repro.util.rng import RandomSource
+from repro.util.clock import SimClock, Window, DAY_SECONDS
+from repro.util.text import levenshtein, similarity_ratio, normalize_token
+
+__all__ = [
+    "RandomSource",
+    "SimClock",
+    "Window",
+    "DAY_SECONDS",
+    "levenshtein",
+    "similarity_ratio",
+    "normalize_token",
+]

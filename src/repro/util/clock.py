@@ -1,0 +1,131 @@
+"""Simulation time.
+
+The measurement window of the paper runs from 2022-06-14 to 2023-09-06
+(15 months, 450 days).  All simulator timestamps are POSIX seconds (UTC);
+helper methods convert to day/week/month indexes relative to the window
+start, which is what the longitudinal analyses operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta, timezone
+
+DAY_SECONDS = 86_400
+WEEK_SECONDS = 7 * DAY_SECONDS
+
+#: Default measurement window (matches the paper).
+DEFAULT_START = datetime(2022, 6, 14, tzinfo=timezone.utc)
+DEFAULT_END = datetime(2023, 9, 6, tzinfo=timezone.utc)
+
+#: Chinese New Year 2023 fell on January 22nd; the paper observes a delivery
+#: surge in the weeks before it.
+CHINESE_NEW_YEAR_2023 = datetime(2023, 1, 22, tzinfo=timezone.utc)
+
+
+@dataclass(frozen=True)
+class Window:
+    """A half-open interval ``[start, end)`` in POSIX seconds.
+
+    Used for misconfiguration windows, quota-full windows, DNSBL listings,
+    domain-registration lifetimes, etc.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"window end {self.end} before start {self.start}")
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def duration_days(self) -> float:
+        return self.duration / DAY_SECONDS
+
+    def overlaps(self, other: "Window") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def intersect(self, other: "Window") -> "Window | None":
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if lo >= hi:
+            return None
+        return Window(lo, hi)
+
+
+class SimClock:
+    """Maps between POSIX timestamps and window-relative indexes."""
+
+    def __init__(
+        self,
+        start: datetime = DEFAULT_START,
+        end: datetime = DEFAULT_END,
+    ) -> None:
+        if end <= start:
+            raise ValueError("end must be after start")
+        self.start = start
+        self.end = end
+        self.start_ts = start.timestamp()
+        self.end_ts = end.timestamp()
+
+    @property
+    def n_days(self) -> int:
+        return int((self.end_ts - self.start_ts) // DAY_SECONDS)
+
+    @property
+    def n_weeks(self) -> int:
+        return (self.n_days + 6) // 7
+
+    def window(self) -> Window:
+        return Window(self.start_ts, self.end_ts)
+
+    def contains(self, t: float) -> bool:
+        return self.start_ts <= t < self.end_ts
+
+    def day_index(self, t: float) -> int:
+        """0-based day offset of timestamp ``t`` from the window start."""
+        return int((t - self.start_ts) // DAY_SECONDS)
+
+    def week_index(self, t: float) -> int:
+        return int((t - self.start_ts) // WEEK_SECONDS)
+
+    def day_start(self, day: int) -> float:
+        return self.start_ts + day * DAY_SECONDS
+
+    def date_of_day(self, day: int) -> datetime:
+        return self.start + timedelta(days=day)
+
+    def month_key(self, t: float) -> str:
+        """``YYYY-MM`` bucket of timestamp ``t`` (for monthly series)."""
+        dt = datetime.fromtimestamp(t, tz=timezone.utc)
+        return f"{dt.year:04d}-{dt.month:02d}"
+
+    def month_keys(self) -> list[str]:
+        """All month buckets covered by the window, in order."""
+        keys: list[str] = []
+        cursor = datetime(self.start.year, self.start.month, 1, tzinfo=timezone.utc)
+        while cursor < self.end:
+            keys.append(f"{cursor.year:04d}-{cursor.month:02d}")
+            if cursor.month == 12:
+                cursor = cursor.replace(year=cursor.year + 1, month=1)
+            else:
+                cursor = cursor.replace(month=cursor.month + 1)
+        return keys
+
+    def weekday(self, t: float) -> int:
+        """Weekday of timestamp ``t`` (Monday=0 .. Sunday=6)."""
+        return datetime.fromtimestamp(t, tz=timezone.utc).weekday()
+
+    def is_weekend(self, t: float) -> bool:
+        return self.weekday(t) >= 5
+
+    def format_ts(self, t: float) -> str:
+        """Timestamp in the dataset's ``YYYY-MM-DD HH:MM:SS`` format."""
+        return datetime.fromtimestamp(t, tz=timezone.utc).strftime("%Y-%m-%d %H:%M:%S")

@@ -1,0 +1,202 @@
+"""Deterministic random sources.
+
+The whole simulator is seeded from a single integer.  Subsystems never share
+a raw :class:`random.Random`; instead each asks for a *named child* of its
+parent source.  Child seeds are derived by hashing the parent seed together
+with the child name, so adding a new consumer never perturbs the stream seen
+by existing consumers (a property plain ``Random.randrange`` fan-out does not
+have).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import math
+import random
+from typing import Generic, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """Derive a stable 64-bit child seed from ``seed`` and ``name``."""
+    digest = hashlib.sha256(f"{seed & _MASK64}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomSource:
+    """A named, seedable random stream with domain-specific helpers.
+
+    Wraps :class:`random.Random` and adds the sampling primitives the
+    simulator needs (Zipf ranks, bounded log-normals, weighted choices with
+    stable ordering).
+    """
+
+    def __init__(self, seed: int, name: str = "root") -> None:
+        self.seed = seed & _MASK64
+        self.name = name
+        self._rng = random.Random(self.seed)
+
+    def child(self, name: str) -> "RandomSource":
+        """Return an independent stream derived from this one."""
+        return RandomSource(derive_seed(self.seed, name), name=f"{self.name}/{name}")
+
+    # -- thin pass-throughs -------------------------------------------------
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def randint(self, a: int, b: int) -> int:
+        return self._rng.randint(a, b)
+
+    def uniform(self, a: float, b: float) -> float:
+        return self._rng.uniform(a, b)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        if not seq:
+            raise IndexError("cannot choose from an empty sequence")
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        return self._rng.sample(seq, k)
+
+    def shuffle(self, seq: list[T]) -> None:
+        self._rng.shuffle(seq)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._rng.gauss(mu, sigma)
+
+    def expovariate(self, lambd: float) -> float:
+        return self._rng.expovariate(lambd)
+
+    # -- domain helpers -----------------------------------------------------
+
+    def chance(self, p: float) -> bool:
+        """Bernoulli trial with success probability ``p`` (clamped to [0,1])."""
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return self._rng.random() < p
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """Choose one item proportionally to ``weights``."""
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        if not items:
+            raise IndexError("cannot choose from an empty sequence")
+        return self._rng.choices(items, weights=weights, k=1)[0]
+
+    def zipf_rank(self, n: int, alpha: float = 1.1) -> int:
+        """Sample a rank in ``[0, n)`` from a truncated Zipf distribution.
+
+        Uses inverse-CDF over the (cached) harmonic weights; heavier head for
+        larger ``alpha``.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        cdf = self._zipf_cdf(n, alpha)
+        u = self._rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    _zipf_cache: dict[tuple[int, float], list[float]] = {}
+
+    @classmethod
+    def _zipf_cdf(cls, n: int, alpha: float) -> list[float]:
+        key = (n, alpha)
+        cached = cls._zipf_cache.get(key)
+        if cached is not None:
+            return cached
+        weights = [1.0 / (r + 1) ** alpha for r in range(n)]
+        total = sum(weights)
+        acc = 0.0
+        cdf = []
+        for w in weights:
+            acc += w
+            cdf.append(acc / total)
+        cls._zipf_cache[key] = cdf
+        return cdf
+
+    def lognormal(self, median: float, sigma: float, cap: float | None = None) -> float:
+        """Sample a log-normal with the given *median* and shape ``sigma``.
+
+        ``median`` parameterisation is friendlier than ``mu`` for latency
+        modelling.  Optionally truncates at ``cap``.
+        """
+        if median <= 0:
+            raise ValueError("median must be positive")
+        value = math.exp(math.log(median) + sigma * self._rng.gauss(0.0, 1.0))
+        if cap is not None:
+            value = min(value, cap)
+        return value
+
+    def pareto_duration(self, minimum: float, alpha: float, cap: float | None = None) -> float:
+        """Heavy-tailed positive duration: Pareto(min, alpha), optionally capped.
+
+        Used for "time until someone fixes it" distributions, which the paper
+        shows are extremely heavy tailed (quota issues lasting 86 days on
+        average).
+        """
+        if minimum <= 0 or alpha <= 0:
+            raise ValueError("minimum and alpha must be positive")
+        u = 1.0 - self._rng.random()
+        value = minimum / (u ** (1.0 / alpha))
+        if cap is not None:
+            value = min(value, cap)
+        return value
+
+    def pick_k(self, seq: Sequence[T], k: int) -> list[T]:
+        """Sample ``min(k, len(seq))`` distinct elements."""
+        k = min(k, len(seq))
+        return self._rng.sample(seq, k)
+
+    def subset(self, seq: Iterable[T], p: float) -> list[T]:
+        """Independent Bernoulli(p) subset of ``seq`` (order preserved)."""
+        return [x for x in seq if self.chance(p)]
+
+    def sampler(self, items: Sequence[T], weights: Sequence[float]) -> "WeightedSampler[T]":
+        """Build a reusable O(log n) weighted sampler over ``items``."""
+        return WeightedSampler(items, weights, self)
+
+
+class WeightedSampler(Generic[T]):
+    """Precomputed cumulative-weight sampler.
+
+    ``RandomSource.weighted_choice`` is O(n) per draw; hot paths (choosing
+    a receiver domain for every email) use this instead.
+    """
+
+    def __init__(self, items: Sequence[T], weights: Sequence[float], rng: RandomSource) -> None:
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        if not items:
+            raise ValueError("sampler needs at least one item")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        self._items = list(items)
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+        if self._total <= 0:
+            raise ValueError("total weight must be positive")
+        self._rng = rng
+
+    def draw(self) -> T:
+        u = self._rng.random() * self._total
+        index = bisect.bisect_right(self._cumulative, u)
+        if index >= len(self._items):
+            index = len(self._items) - 1
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)

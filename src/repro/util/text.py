@@ -1,0 +1,59 @@
+"""Small text utilities shared by the typo analysis and the EBRC tokenizer."""
+
+from __future__ import annotations
+
+import re
+
+_NON_ALNUM = re.compile(r"[^a-z0-9]+")
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance (insert/delete/substitute, all cost 1)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def similarity_ratio(a: str, b: str) -> float:
+    """Normalised similarity in [0, 1] based on edit distance.
+
+    ``1.0`` means identical; the paper's username-typo pipeline keeps
+    candidate pairs with similarity above 0.9.
+    """
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def normalize_token(token: str) -> str:
+    """Lowercase and strip non-alphanumeric characters (for fuzzy compares)."""
+    return _NON_ALNUM.sub("", token.lower())
+
+
+_EMAIL_RE = re.compile(r"^([^@\s]+)@([^@\s]+)$")
+
+
+def split_address(address: str) -> tuple[str, str]:
+    """Split ``user@domain`` into ``(user, domain)``; raises on malformed input."""
+    m = _EMAIL_RE.match(address)
+    if not m:
+        raise ValueError(f"malformed email address: {address!r}")
+    return m.group(1), m.group(2).lower()
+
+
+def is_valid_address(address: str) -> bool:
+    return _EMAIL_RE.match(address) is not None

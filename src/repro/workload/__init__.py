@@ -1,0 +1,15 @@
+"""Workload generation: who mails whom, when, and with what content.
+
+* :mod:`repro.workload.schedule` — the 15-month arrival schedule with
+  weekday/weekend cycles and the Chinese-New-Year surge (Fig 5).
+* :mod:`repro.workload.traffic` — benign traffic from contact lists, with
+  typo injection and stale-list behaviour.
+* :mod:`repro.workload.attackers` — username-guessing campaigns and
+  leaked-list bulk spam (Section 4.2.1).
+"""
+
+from repro.workload.spec import EmailSpec
+from repro.workload.schedule import ArrivalSchedule
+from repro.workload.traffic import TrafficGenerator
+
+__all__ = ["EmailSpec", "ArrivalSchedule", "TrafficGenerator"]

@@ -1,0 +1,118 @@
+"""Attacker traffic (Section 4.2.1).
+
+* **Username-guessing campaigns**: an attacker domain targets one victim
+  organisation, trying human-plausible username mutations; ~0.9% of
+  guesses hit real accounts (which then *receive* spear-phishing mail).
+* **Bulk spam**: spammer domains mail recipient lists harvested from
+  leaked datasets (>80% of their recipients appear in the breach corpus),
+  so most targets are dead addresses and the campaigns bounce hard.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import RandomSource
+from repro.world.model import WorldModel
+from repro.world.senders import SenderDomain, SenderKind
+from repro.workload.spec import EmailSpec
+
+
+class AttackerGenerator:
+    def __init__(self, world: WorldModel, rng: RandomSource) -> None:
+        self.world = world
+        self.rng = rng
+
+    def generate(self) -> list[EmailSpec]:
+        out: list[EmailSpec] = []
+        for domain in self.world.attacker_domains():
+            stream = self.rng.child(domain.name)
+            if domain.kind is SenderKind.GUESSER:
+                out.extend(self._guess_campaign(domain, stream))
+            elif domain.kind is SenderKind.BULK_SPAMMER:
+                out.extend(self._spam_campaign(domain, stream))
+        out.sort(key=lambda s: s.t)
+        return out
+
+    # -- username guessing ------------------------------------------------------
+
+    def _guess_campaign(self, domain: SenderDomain, rng: RandomSource) -> list[EmailSpec]:
+        if not domain.guess_target_domain or not domain.guess_candidates:
+            return []
+        clock = self.world.clock
+        sender = domain.users[0].address
+        # Campaigns are bursty: a few active spells across the window.
+        spells = [
+            clock.start_ts + rng.uniform(0.05, 0.9) * (clock.end_ts - clock.start_ts)
+            for _ in range(rng.randint(2, 4))
+        ]
+        out: list[EmailSpec] = []
+        for username in domain.guess_candidates:
+            start = rng.choice(spells)
+            t = start + rng.uniform(0, 5 * 86_400)
+            if t >= clock.end_ts:
+                t = clock.end_ts - rng.uniform(0, 86_400)
+            # Guessed hits get a couple of follow-up phishing mails.
+            exists = username in self.world.receiver_domains[domain.guess_target_domain].mailboxes
+            copies = rng.randint(2, 6) if exists else 1
+            for c in range(copies):
+                out.append(
+                    EmailSpec(
+                        t=min(t + c * rng.uniform(3600, 10 * 86_400), clock.end_ts - 1),
+                        sender=sender,
+                        receiver=f"{username}@{domain.guess_target_domain}",
+                        spamminess=min(max(rng.gauss(0.55, 0.12), 0.0), 1.0),
+                        size_bytes=rng.randint(2_000, 40_000),
+                        recipient_count=1,
+                        tags=("guess_campaign",),
+                    )
+                )
+        return out
+
+    # -- leaked-list bulk spam -------------------------------------------------------
+
+    def _spam_campaign(self, domain: SenderDomain, rng: RandomSource) -> list[EmailSpec]:
+        clock = self.world.clock
+        volume = domain.campaign_volume
+        if volume <= 0:
+            return []
+        # ≥80% of targets come from the breach corpus (the paper's
+        # HaveIBeenPwned flagging criterion), the rest are scraped live
+        # addresses.
+        n_leaked = int(volume * rng.uniform(0.82, 0.93))
+        leaked = self.world.breach.sample_members(rng, n_leaked)
+        live_boxes = self._live_addresses(rng, volume - len(leaked))
+        targets = leaked + live_boxes
+        rng.shuffle(targets)
+
+        out: list[EmailSpec] = []
+        senders = [u.address for u in domain.users] or [f"offers@{domain.name}"]
+        # Spam runs arrive in waves over a few months.
+        wave_starts = [
+            clock.start_ts + rng.uniform(0.02, 0.85) * (clock.end_ts - clock.start_ts)
+            for _ in range(rng.randint(2, 5))
+        ]
+        for i, target in enumerate(targets):
+            start = wave_starts[i % len(wave_starts)]
+            t = min(start + rng.uniform(0, 14 * 86_400), clock.end_ts - 1)
+            out.append(
+                EmailSpec(
+                    t=t,
+                    sender=rng.choice(senders),
+                    receiver=target,
+                    spamminess=min(max(rng.gauss(0.88, 0.07), 0.0), 1.0),
+                    size_bytes=rng.randint(1_500, 25_000),
+                    recipient_count=rng.randint(1, 3),
+                    tags=("bulk_spam",),
+                )
+            )
+        return out
+
+    def _live_addresses(self, rng: RandomSource, k: int) -> list[str]:
+        if k <= 0:
+            return []
+        domains = [d for d in self.world.receiver_domains.values() if d.mailboxes]
+        out = []
+        for _ in range(k):
+            domain = rng.choice(domains)
+            username = rng.choice(list(domain.mailboxes.keys()))
+            out.append(f"{username}@{domain.name}")
+        return out

@@ -1,0 +1,31 @@
+"""The unit the workload generator hands the delivery engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class EmailSpec:
+    """One email to be delivered.
+
+    ``tags`` record how the generator produced the email (ground truth for
+    evaluation: ``username_typo``, ``domain_typo``, ``stale_contact``,
+    ``guess_campaign``, ``bulk_spam``, ``automation``).
+    """
+
+    t: float
+    sender: str
+    receiver: str
+    spamminess: float
+    size_bytes: int
+    recipient_count: int
+    tags: tuple[str, ...] = ()
+
+    @property
+    def sender_domain(self) -> str:
+        return self.sender.rsplit("@", 1)[-1]
+
+    @property
+    def receiver_domain(self) -> str:
+        return self.receiver.rsplit("@", 1)[-1]

@@ -1,0 +1,113 @@
+"""Benign traffic generation.
+
+Each email is composed by a sender user picked from the benign population
+(automation accounts weighted up), addressed to a contact from their list.
+Typed addresses are then corrupted with the paper's user-error rates:
+username typos (before @) and domain typos (after @).  Stale contacts are
+mailed as stored — including ones at expired domains.
+
+Content: most mail is clean (low latent spamminess); a marketing slice is
+borderline; Coremail's outgoing filter flag is applied by the engine.
+"""
+
+from __future__ import annotations
+
+from repro.typosquat.generate import sample_domain_typo, sample_username_typo
+from repro.util.rng import RandomSource
+from repro.util.text import split_address
+from repro.workload.schedule import ArrivalSchedule
+from repro.workload.spec import EmailSpec
+from repro.world.model import WorldModel
+from repro.world.senders import SenderUser
+
+
+class TrafficGenerator:
+    """Generates the benign email stream (attacker flows are separate)."""
+
+    def __init__(self, world: WorldModel, rng: RandomSource) -> None:
+        self.world = world
+        self.rng = rng
+        self.schedule = ArrivalSchedule(world.clock, world.config.emails_per_day_scaled)
+        self._sender_sampler = world.sender_sampler(rng.child("senders"))
+
+    def generate(self) -> list[EmailSpec]:
+        """The full benign stream across the measurement window, in time
+        order within each day."""
+        out: list[EmailSpec] = []
+        for day in range(self.world.clock.n_days):
+            day_rng = self.rng.child(f"day/{day}")
+            volume = self.schedule.day_volume(day, day_rng)
+            for i in range(volume):
+                spec = self._compose(day, day_rng.child(str(i)))
+                if spec is not None:
+                    out.append(spec)
+        out.sort(key=lambda s: s.t)
+        return out
+
+    def _compose(self, day: int, rng: RandomSource) -> EmailSpec | None:
+        user = self._sender_sampler.draw()
+        contact = self._pick_contact(user, rng)
+        if contact is None:
+            return None
+        t = self.schedule.sample_send_time(day, rng)
+        receiver, tags = self._apply_typos(contact.address, rng)
+        if contact.stale:
+            tags = tags + ("stale_contact",)
+            if user.is_automation:
+                tags = tags + ("automation",)
+        return EmailSpec(
+            t=t,
+            sender=user.address,
+            receiver=receiver,
+            spamminess=self._sample_spamminess(rng),
+            size_bytes=self._sample_size(rng),
+            recipient_count=self._sample_recipient_count(rng),
+            tags=tags,
+        )
+
+    def _pick_contact(self, user: SenderUser, rng: RandomSource):
+        if not user.contacts:
+            return None
+        weights = [c.weight for c in user.contacts]
+        return rng.weighted_choice(user.contacts, weights)
+
+    def _apply_typos(self, address: str, rng: RandomSource) -> tuple[str, tuple[str, ...]]:
+        config = self.world.config
+        user, domain = split_address(address)
+        if rng.chance(config.username_typo_rate):
+            typo = sample_username_typo(user, rng)
+            if typo is not None:
+                return f"{typo.text}@{domain}", ("username_typo",)
+        if rng.chance(config.domain_typo_rate):
+            typo = sample_domain_typo(domain, rng)
+            if typo is not None:
+                return f"{user}@{typo.text}", ("domain_typo",)
+        return address, ()
+
+    @staticmethod
+    def _sample_spamminess(rng: RandomSource) -> float:
+        """Latent content score: mostly clean, a marketing shoulder, and a
+        thin genuinely-spammy tail even among customer mail."""
+        roll = rng.random()
+        if roll < 0.86:
+            return min(max(rng.gauss(0.08, 0.06), 0.0), 1.0)
+        if roll < 0.982:
+            return min(max(rng.gauss(0.42, 0.14), 0.0), 1.0)
+        return min(max(rng.gauss(0.80, 0.10), 0.0), 1.0)
+
+    @staticmethod
+    def _sample_size(rng: RandomSource) -> int:
+        """Log-normal body of message sizes plus a rare huge-attachment
+        slice that exceeds common 25 MiB limits (drives T12)."""
+        if rng.chance(0.0008):
+            return rng.randint(27_000_000, 65_000_000)
+        size = rng.lognormal(42_000, 1.6, cap=20_000_000)
+        return max(600, int(size))
+
+    @staticmethod
+    def _sample_recipient_count(rng: RandomSource) -> int:
+        if rng.chance(0.985):
+            return rng.randint(1, 4)
+        if rng.chance(0.9):
+            return rng.randint(5, 60)
+        return rng.randint(61, 400)

@@ -1,0 +1,12 @@
+"""The synthetic world: domains, mailboxes, senders, attackers, registrar.
+
+:class:`~repro.world.model.WorldModel` ties together every substrate —
+DNS zones, receiver-MTA policy engines, the DNSBL, proxy fleet, breach
+corpus, and registrar lifecycle — and is the single input the delivery
+engine and workload generator operate on.
+"""
+
+from repro.world.config import SimulationConfig
+from repro.world.model import WorldModel, build_world
+
+__all__ = ["SimulationConfig", "WorldModel", "build_world"]

@@ -1,0 +1,43 @@
+"""Breach-corpus oracle (HaveIBeenPwned stand-in).
+
+The paper flags a sender domain as a leaked-dataset spammer when >80% of
+its recipients appear in HaveIBeenPwned.  Here the corpus is seeded from
+the synthetic world: a subset of real mailboxes plus a large slice of
+*formerly*-real addresses (deleted accounts, stale dumps) — which is why
+bulk-spam campaigns bounce so heavily (70.12% hard in the paper).
+"""
+
+from __future__ import annotations
+
+
+class BreachCorpus:
+    """Membership oracle over leaked email addresses."""
+
+    def __init__(self) -> None:
+        self._addresses: set[str] = set()
+
+    def add(self, address: str) -> None:
+        self._addresses.add(address.lower())
+
+    def add_all(self, addresses: list[str]) -> None:
+        for a in addresses:
+            self.add(a)
+
+    def __contains__(self, address: str) -> bool:
+        return address.lower() in self._addresses
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def pwned_fraction(self, addresses: list[str]) -> float:
+        """Fraction of ``addresses`` found in the corpus (the paper's 80%
+        sender-flagging criterion)."""
+        if not addresses:
+            return 0.0
+        hits = sum(1 for a in addresses if a.lower() in self._addresses)
+        return hits / len(addresses)
+
+    def sample_members(self, rng, k: int) -> list[str]:
+        """Deterministic sample of corpus members (spam target lists)."""
+        ordered = sorted(self._addresses)
+        return rng.pick_k(ordered, k)

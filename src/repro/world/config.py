@@ -1,0 +1,190 @@
+"""Simulation configuration.
+
+The default values are calibrated so the synthetic trace reproduces the
+*shape* of the paper's findings (see DESIGN.md §3).  ``scale`` multiplies
+population sizes and traffic volume together; benches run at modest scale
+with fixed seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from repro.util.clock import DEFAULT_END, DEFAULT_START
+
+
+@dataclass
+class SimulationConfig:
+    seed: int = 20240604
+    #: Global scale knob; 1.0 ≈ 1.5K receiver domains / ~250K emails.
+    scale: float = 1.0
+    start: datetime = DEFAULT_START
+    end: datetime = DEFAULT_END
+
+    # -- population sizes (at scale=1.0) --------------------------------------
+    n_receiver_domains: int = 1500
+    n_sender_domains: int = 340
+    n_sender_users_per_domain: tuple[int, int] = (3, 60)
+    n_mailboxes_small: tuple[int, int] = (8, 120)
+    n_mailboxes_large: tuple[int, int] = (2000, 6000)
+    n_proxies: int = 34
+
+    # -- traffic volume ---------------------------------------------------------
+    #: Mean benign emails per day at scale=1.0 (the generator multiplies
+    #: by ``scale``), before weekday/seasonal modulation.
+    emails_per_day: float = 560.0
+
+    @property
+    def emails_per_day_scaled(self) -> float:
+        return self.emails_per_day * self.scale
+
+    # -- receiver-policy prevalence ----------------------------------------------
+    #: Fraction of long-tail receiver domains consulting the DNSBL.  Named
+    #: majors are set explicitly (hotmail/outlook/yahoo yes, gmail no).
+    dnsbl_adoption_tail: float = 0.15
+    #: Fraction of tail DNSBL adopters that only adopt in February 2023
+    #: (the paper's "63K domains added in February 2023").
+    dnsbl_late_adopter_fraction: float = 0.45
+    #: Fraction of tail domains enforcing sender authentication.
+    auth_enforcement_tail: float = 0.08
+    #: TLS-mandating fraction: popular domains are likelier to enforce TLS
+    #: (paper: 38% of top-100 vs 8.53% of top-10K).
+    tls_mandatory_top100: float = 0.38
+    tls_mandatory_tail: float = 0.035
+    #: Fraction of tail domains with broken-MX episodes (paper: 684 of 3M
+    #: receiver domains — but those 684 produce 11.37% of bounces, so the
+    #: affected domains skew to mid-popularity; we over-represent them).
+    mx_misconfig_fraction: float = 0.028
+    #: Fraction of receiver domains whose registration lapses mid-window
+    #: (the squatting raw material).
+    expiring_domain_fraction: float = 0.040
+    #: Fraction of expired domains later re-registered; of those, the
+    #: fraction whose registrant changes (paper: 751 re-registered, 26.67%
+    #: new registrant).
+    reregistration_fraction: float = 0.50
+    registrant_change_fraction: float = 0.27
+
+    # -- sender-side prevalence ------------------------------------------------------
+    #: Fraction of sender domains with DKIM/SPF misconfiguration episodes
+    #: (paper: 9K of 68K sender domains ≈ 13%).
+    auth_misconfig_fraction: float = 0.13
+    #: Fraction of sender domains with their own DNS outages (drives T1).
+    sender_dns_misconfig_fraction: float = 0.05
+
+    # -- mailbox behaviour ----------------------------------------------------------
+    #: Fraction of (uncontacted) mailboxes with a full-quota episode; the
+    #: contacted population gets a separate, higher assignment because
+    #: full mailboxes are by definition actively-mailed ones.
+    quota_issue_fraction: float = 0.0015
+    #: Fraction of *contacted* mailboxes that develop quota issues.
+    contacted_quota_fraction: float = 0.0050
+    #: Fraction of contacted mailboxes that go inactive.
+    contacted_inactive_fraction: float = 0.0006
+    #: Fraction of contacted mailboxes whose account is deleted mid-window
+    #: (feeds the breach corpus and the username-squatting analysis).
+    contacted_deletion_fraction: float = 0.0060
+    #: Fraction of mailboxes that go inactive at least once.
+    inactive_fraction: float = 0.0035
+
+    # -- user error rates ----------------------------------------------------------------
+    #: Per-email probability the typed recipient has a username typo
+    #: (paper: 2M/298M ≈ 0.7% of emails bounce this way; typing attempts
+    #: are a bit more frequent because some typos hit real users).
+    username_typo_rate: float = 0.0060
+    #: Per-email probability of a domain-name typo (paper: 89K/298M).
+    domain_typo_rate: float = 0.0009
+    #: Fraction of sender users that keep mailing stale (expired-domain)
+    #: contact lists.
+    stale_contact_fraction: float = 0.05
+
+    # -- attacker populations ----------------------------------------------------------
+    n_guessing_campaigns: int = 4
+    guessed_usernames_per_campaign: int = 250
+    guess_success_rate: float = 0.009
+    n_bulk_spam_domains: int = 10
+    #: Bulk-spam campaigns jointly send this fraction of benign volume
+    #: (paper: 31 domains sent 3M of 298M ≈ 1%).
+    bulk_spam_volume_share: float = 0.0045
+
+    # -- delivery strategy ----------------------------------------------------------------
+    max_attempts: int = 5
+    #: Attempts allowed for mail Coremail itself flagged as Spam
+    #: ("Coremail sends emails that are determined to be spam once").
+    spam_attempts: int = 1
+    #: Attempts before giving up on non-retryable (recipient-level) errors.
+    nonretryable_attempts: int = 2
+    #: Proxy selection: "random" (Coremail) or "sticky" (ablation).
+    proxy_policy: str = "random"
+    #: Mean seconds between successive attempts (exponential), scaled by
+    #: ``retry_backoff_multiplier ** attempt_index`` — real MTAs back off.
+    retry_gap_mean_s: float = 1800.0
+    retry_backoff_multiplier: float = 1.0
+
+    # -- counterfactual toggles ------------------------------------------------------------
+    #: Turn off all DNSBL usage (the §6.2 what-if: how much deliverability
+    #: would improve if nobody consulted blocklists).
+    disable_dnsbl: bool = False
+    #: Turn off greylisting everywhere.
+    disable_greylisting: bool = False
+    #: Greylist tuple granularity for all greylisting receivers (32 =
+    #: exact IP; 24 = postgrey's /24 matching, which is far friendlier to
+    #: multi-proxy senders whose proxies share address space).
+    greylist_network_prefix: int = 32
+    #: §6.2 counterfactual: every MTA answers with the standardized NDR
+    #: template set — no vendor dialects, no ambiguous wordings.
+    standardized_ndr: bool = False
+
+    # -- NDR style --------------------------------------------------------------------------
+    #: Base ambiguity of tail corporate domains; Exchange-dialect domains
+    #: get a higher value (Table 6 row 1 dominates).
+    ambiguity_tail: float = 0.10
+    ambiguity_exchange: float = 0.55
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject configurations the simulator cannot honour."""
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.end <= self.start:
+            raise ValueError("end must be after start")
+        if self.n_proxies < 1:
+            raise ValueError("need at least one proxy")
+        if self.max_attempts < 1 or self.spam_attempts < 1:
+            raise ValueError("attempt budgets must be >= 1")
+        if self.spam_attempts > self.max_attempts:
+            raise ValueError("spam_attempts cannot exceed max_attempts")
+        if self.proxy_policy not in ("random", "sticky"):
+            raise ValueError(f"unknown proxy policy {self.proxy_policy!r}")
+        for name in (
+            "dnsbl_adoption_tail", "auth_enforcement_tail", "tls_mandatory_top100",
+            "tls_mandatory_tail", "mx_misconfig_fraction", "expiring_domain_fraction",
+            "reregistration_fraction", "registrant_change_fraction",
+            "auth_misconfig_fraction", "sender_dns_misconfig_fraction",
+            "quota_issue_fraction", "contacted_quota_fraction",
+            "contacted_inactive_fraction", "contacted_deletion_fraction",
+            "inactive_fraction", "username_typo_rate", "domain_typo_rate",
+            "stale_contact_fraction", "bulk_spam_volume_share",
+            "dnsbl_late_adopter_fraction", "guess_success_rate",
+            "ambiguity_tail", "ambiguity_exchange",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.emails_per_day <= 0:
+            raise ValueError("emails_per_day must be positive")
+        if self.greylist_network_prefix not in (24, 32):
+            raise ValueError("greylist_network_prefix must be 24 or 32")
+        if self.retry_backoff_multiplier < 1.0:
+            raise ValueError("retry_backoff_multiplier must be >= 1.0")
+
+    def scaled(self, value: int | float) -> int:
+        """Apply the global scale knob to a population size."""
+        return max(1, int(round(value * self.scale)))
+
+    def with_scale(self, scale: float) -> "SimulationConfig":
+        from dataclasses import replace
+
+        return replace(self, scale=scale)

@@ -1,0 +1,91 @@
+"""Receiver-domain population.
+
+The top of the distribution is the paper's Table 3 (named majors with
+fixed dialects and hosting ASes); the long tail is Zipf-weighted synthetic
+domains assigned a home country, a hosting arrangement (cloud vs
+self-hosted — which decides the MTA's geolocated country and AS), a
+template dialect, and a protection policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geo.asn import AutonomousSystem
+from repro.smtp.templates import TemplateDialect
+from repro.world.mailboxes import Mailbox
+
+
+@dataclass
+class ReceiverDomain:
+    name: str
+    #: Country where the serving MTAs sit (what ip-api would report).
+    mta_country: str
+    #: Country of the organisation itself (equals mta_country when
+    #: self-hosted; differs for cloud-hosted domains).
+    home_country: str
+    asn: AutonomousSystem
+    dialect: TemplateDialect
+    mx_host: str
+    ips: list[str]
+    #: Relative share of incoming traffic (drives InEmailRank).
+    popularity: float
+    mailboxes: dict[str, Mailbox] = field(default_factory=dict)
+    is_named_major: bool = False
+    #: A few domains run dead servers (every session times out) — the
+    #: Venezuela/Belize rows of Table 5.
+    dead_server: bool = False
+    #: Explicit greylisting marker mirrored in the policy (kept here for
+    #: cheap filtering in analyses).
+    greylisting: bool = False
+
+    def mailbox(self, username: str) -> Mailbox | None:
+        return self.mailboxes.get(username.lower())
+
+    def add_mailbox(self, box: Mailbox) -> None:
+        self.mailboxes[box.username.lower()] = box
+
+    @property
+    def n_mailboxes(self) -> int:
+        return len(self.mailboxes)
+
+
+@dataclass(frozen=True)
+class NamedMajor:
+    """One Table 3 row: a major receiver domain with fixed properties."""
+
+    name: str
+    #: Email-volume share, shaped like Table 3 (gmail 23.7M, ...).
+    volume_weight: float
+    dialect: TemplateDialect
+    as_number: int
+    country: str
+    uses_dnsbl: bool
+    mailbox_count_hint: int
+
+
+#: Table 3's top-10, plus per-domain protections the paper reports:
+#: Hotmail/Outlook reject via Spamhaus (high soft ratios), Gmail relies on
+#: internal reputation, corporate majors front with Proofpoint/Ironport.
+NAMED_MAJORS: list[NamedMajor] = [
+    NamedMajor("gmail.com", 23.73, TemplateDialect.GMAIL, 15169, "US", False, 6000),
+    NamedMajor("hotmail.com", 4.85, TemplateDialect.EXCHANGE, 8075, "US", True, 3500),
+    NamedMajor("yahoo.com", 3.11, TemplateDialect.YAHOO, 60001, "US", True, 3000),
+    NamedMajor("apple.com", 2.94, TemplateDialect.GENERIC, 714, "US", False, 2500),
+    NamedMajor("bbva.com", 2.91, TemplateDialect.PROOFPOINT, 52129, "ES", False, 2200),
+    NamedMajor("cma-cgm.com", 1.94, TemplateDialect.IRONPORT, 16417, "FR", False, 2000),
+    NamedMajor("outlook.com", 1.74, TemplateDialect.EXCHANGE, 8075, "US", True, 2000),
+    NamedMajor("dbschenker.com", 1.49, TemplateDialect.PROOFPOINT, 22843, "DE", False, 1800),
+    NamedMajor("dhl.com", 1.37, TemplateDialect.IRONPORT, 30238, "DE", False, 1800),
+    NamedMajor("amazon.com", 1.30, TemplateDialect.GENERIC, 16509, "US", False, 1800),
+]
+
+#: Dialects available to long-tail self-hosted domains, with prevalence.
+TAIL_DIALECTS: list[tuple[TemplateDialect, float]] = [
+    (TemplateDialect.POSTFIX, 0.34),
+    (TemplateDialect.EXIM, 0.14),
+    (TemplateDialect.EXCHANGE, 0.22),
+    (TemplateDialect.CORPORATE, 0.16),
+    (TemplateDialect.QMAIL, 0.05),
+    (TemplateDialect.GENERIC, 0.09),
+]

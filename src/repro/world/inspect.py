@@ -1,0 +1,93 @@
+"""World inspection: summary statistics over a built world.
+
+Used by debugging sessions and the CLI to sanity-check what a
+configuration produced before running traffic through it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.mta.policies import TLSRequirement
+from repro.world.model import WorldModel
+from repro.world.senders import SenderKind
+
+
+@dataclass(frozen=True)
+class WorldSummary:
+    n_receiver_domains: int
+    n_mailboxes: int
+    n_sender_domains: int
+    n_sender_users: int
+    n_proxies: int
+    n_countries: int
+    n_dnsbl_adopters: int
+    n_greylisting: int
+    n_tls_mandatory: int
+    n_auth_enforcing: int
+    n_expiring_domains: int
+    n_mx_broken_domains: int
+    n_auth_broken_senders: int
+    n_attackers: int
+    breach_corpus_size: int
+
+    def render(self) -> str:
+        lines = [
+            f"receiver domains: {self.n_receiver_domains} "
+            f"({self.n_mailboxes} mailboxes, {self.n_countries} countries)",
+            f"sender domains:   {self.n_sender_domains} "
+            f"({self.n_sender_users} users, {self.n_attackers} attackers)",
+            f"proxies:          {self.n_proxies}",
+            f"policies:         dnsbl={self.n_dnsbl_adopters} "
+            f"greylist={self.n_greylisting} tls-mandatory={self.n_tls_mandatory} "
+            f"auth-enforcing={self.n_auth_enforcing}",
+            f"pathologies:      expiring={self.n_expiring_domains} "
+            f"mx-broken={self.n_mx_broken_domains} "
+            f"auth-broken-senders={self.n_auth_broken_senders}",
+            f"breach corpus:    {self.breach_corpus_size} addresses",
+        ]
+        return "\n".join(lines)
+
+
+def summarize_world(world: WorldModel) -> WorldSummary:
+    mtas = world.receiver_mtas
+    zones = {z.domain: z for z in world.resolver.all_zones()}
+    receiver_zones = [zones[n] for n in world.receiver_domains if n in zones]
+    benign = world.benign_sender_domains()
+    sender_zones = [zones[d.name] for d in benign if d.name in zones]
+    return WorldSummary(
+        n_receiver_domains=len(world.receiver_domains),
+        n_mailboxes=sum(d.n_mailboxes for d in world.receiver_domains.values()),
+        n_sender_domains=len(world.sender_domains),
+        n_sender_users=sum(len(d.users) for d in world.sender_domains),
+        n_proxies=len(world.fleet),
+        n_countries=len({d.mta_country for d in world.receiver_domains.values()}),
+        n_dnsbl_adopters=sum(1 for m in mtas.values() if m.policy.uses_dnsbl),
+        n_greylisting=sum(1 for m in mtas.values() if m.policy.greylisting),
+        n_tls_mandatory=sum(
+            1 for m in mtas.values() if m.policy.tls is TLSRequirement.MANDATORY
+        ),
+        n_auth_enforcing=sum(1 for m in mtas.values() if m.policy.enforces_auth),
+        n_expiring_domains=sum(
+            1
+            for z in receiver_zones
+            if z.registrations and z.registrations[0].end < world.clock.end_ts
+        ),
+        n_mx_broken_domains=sum(1 for z in receiver_zones if z.mx_error_windows),
+        n_auth_broken_senders=sum(
+            1
+            for z in sender_zones
+            if z.auth_error_windows or z.spf_error_windows or z.dkim_error_windows
+        ),
+        n_attackers=sum(1 for d in world.sender_domains if d.is_attacker),
+        breach_corpus_size=len(world.breach),
+    )
+
+
+def country_distribution(world: WorldModel) -> Counter:
+    return Counter(d.mta_country for d in world.receiver_domains.values())
+
+
+def dialect_distribution(world: WorldModel) -> Counter:
+    return Counter(d.dialect for d in world.receiver_domains.values())

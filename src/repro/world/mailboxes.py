@@ -1,0 +1,66 @@
+"""Mailboxes: the recipient side of an address.
+
+A mailbox may experience full-quota episodes and inactivity episodes
+(windows); it may also be *registrable* after the account is deleted —
+the raw material of username squatting — and may have third-party website
+accounts attached (the paper finds 14 vulnerable usernames registered at
+GitHub/Adobe/Spotify/eBay etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.clock import Window
+
+#: Popular websites checked by the holehe-style account probe (Section 5.2).
+POPULAR_WEBSITES = (
+    "github.com",
+    "adobe.com",
+    "spotify.com",
+    "ebay.com",
+    "dropbox.com",
+    "x.com",
+)
+
+
+@dataclass
+class Mailbox:
+    username: str
+    domain: str
+    #: Quota-full windows (emails bounce T9 while inside one).
+    full_windows: list[Window] = field(default_factory=list)
+    #: Inactivity windows (emails bounce T8-inactive while inside one).
+    inactive_windows: list[Window] = field(default_factory=list)
+    #: The account was deleted at this time and the username is open for
+    #: re-registration afterwards (None = never).
+    deleted_at: float | None = None
+    #: Third-party sites where this address is registered.
+    website_accounts: tuple[str, ...] = ()
+    #: Receives so much mail that per-recipient rate limits trip (T11).
+    high_volume: bool = False
+
+    @property
+    def address(self) -> str:
+        return f"{self.username}@{self.domain}"
+
+    def full_at(self, t: float) -> bool:
+        return any(w.contains(t) for w in self.full_windows)
+
+    def inactive_at(self, t: float) -> bool:
+        return any(w.contains(t) for w in self.inactive_windows)
+
+    def exists_at(self, t: float) -> bool:
+        return self.deleted_at is None or t < self.deleted_at
+
+    def registrable_at(self, t: float) -> bool:
+        """True when a squatter could (re-)register this username."""
+        return self.deleted_at is not None and t >= self.deleted_at
+
+    def ever_full(self) -> bool:
+        return bool(self.full_windows)
+
+    def consistently_full(self, window: Window) -> bool:
+        return any(
+            w.start <= window.start and w.end >= window.end for w in self.full_windows
+        )

@@ -1,0 +1,90 @@
+"""Deterministic name generation for domains and usernames.
+
+Usernames follow real human conventions (first/last-name combinations,
+initials, separators, trailing digits) because the typo and
+username-guessing analyses depend on that structure.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import RandomSource
+
+FIRST_NAMES = [
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "wei",
+    "li", "ming", "hua", "juan", "carlos", "maria", "ana", "ahmed",
+    "fatima", "yuki", "haruto", "olga", "ivan", "pierre", "claire",
+    "hans", "greta", "raj", "priya", "chen", "yan", "olu", "amara",
+]
+
+LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "wang", "zhang", "liu", "chen",
+    "yang", "huang", "kumar", "singh", "patel", "kim", "lee", "park",
+    "mueller", "schmidt", "fischer", "dubois", "moreau", "rossi", "ricci",
+    "tanaka", "suzuki", "sato", "ivanov", "petrov", "silva", "santos",
+    "okafor", "mensah", "haddad", "ali",
+]
+
+_SYLLABLES = [
+    "ba", "co", "da", "el", "fa", "go", "hi", "in", "jo", "ka", "lu",
+    "me", "no", "or", "pa", "qu", "ra", "so", "ta", "ur", "va", "wo",
+    "xi", "ya", "zo", "tech", "net", "mail", "soft", "data", "link",
+    "cloud", "sys", "corp", "trade", "ship", "bank", "edu", "lab",
+]
+
+_TLDS = [".com", ".net", ".org", ".com.cn", ".de", ".co.uk", ".io", ".fr", ".edu", ".gov"]
+_TLD_WEIGHTS = [46, 10, 8, 7, 6, 5, 4, 4, 6, 4]
+
+_DIGITS = "0123456789"
+
+
+def make_domain_name(rng: RandomSource) -> str:
+    """A brandable second-level name plus a weighted TLD."""
+    n_syllables = rng.randint(2, 4)
+    label = "".join(rng.choice(_SYLLABLES) for _ in range(n_syllables))
+    if rng.chance(0.12):
+        label += rng.choice(_DIGITS)
+    tld = rng.weighted_choice(_TLDS, _TLD_WEIGHTS)
+    return f"{label}{tld}"
+
+
+def make_username(rng: RandomSource) -> str:
+    """A human-convention username (the typo pipeline relies on these)."""
+    first = rng.choice(FIRST_NAMES)
+    last = rng.choice(LAST_NAMES)
+    style = rng.randint(0, 6)
+    if style == 0:
+        name = f"{first}.{last}"
+    elif style == 1:
+        name = f"{first}_{last}"
+    elif style == 2:
+        name = f"{first}{last}"
+    elif style == 3:
+        name = f"{first[0]}{last}"
+    elif style == 4:
+        name = f"{first}{last[0]}"
+    elif style == 5:
+        name = f"{first}-{last}"
+    else:
+        name = first
+    if rng.chance(0.30):
+        name += str(rng.randint(1, 99))
+    return name
+
+
+def make_hostname(domain: str, index: int = 1, role: str = "mx") -> str:
+    return f"{role}{index}.{domain}"
+
+
+def make_org_name(rng: RandomSource) -> str:
+    """A sender-organisation domain (Chinese universities and companies in
+    the paper; shape does not matter, only uniqueness and stability)."""
+    stem = "".join(rng.choice(_SYLLABLES) for _ in range(rng.randint(2, 3)))
+    kind = rng.weighted_choice(["corp", "edu", "org"], [6, 3, 1])
+    if kind == "edu":
+        return f"{stem}.edu.cn"
+    if kind == "org":
+        return f"{stem}.org.cn"
+    return f"{stem}.com.cn"

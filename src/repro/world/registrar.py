@@ -1,0 +1,90 @@
+"""Registrar and WHOIS substrate.
+
+Plays the roles of the GoDaddy availability API and the WHOIS-history API
+in the paper's squatting analysis.  All answers derive from zone
+registration windows, so availability, re-registration, and
+registrant-change queries are consistent with what the resolver serves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnssim.resolver import Resolver
+from repro.dnssim.records import RecordType
+
+
+@dataclass(frozen=True)
+class WhoisSnapshot:
+    domain: str
+    registered: bool
+    registrant: str | None
+
+
+class Registrar:
+    """Availability + WHOIS-history queries over the simulated DNS world."""
+
+    def __init__(self, resolver: Resolver) -> None:
+        self._resolver = resolver
+
+    def available_for_registration(self, domain: str, t: float) -> bool:
+        """True when ``domain`` can be purchased at time ``t``.
+
+        A domain is available when it has no active registration — either
+        it never existed (typo domains) or its registration lapsed.
+        """
+        zone = self._resolver.zone(domain)
+        if zone is None:
+            return True
+        return not zone.registered_at(t)
+
+    def whois(self, domain: str, t: float) -> WhoisSnapshot:
+        zone = self._resolver.zone(domain)
+        if zone is None:
+            return WhoisSnapshot(domain, registered=False, registrant=None)
+        registrant = zone.registrant_at(t)
+        return WhoisSnapshot(domain, registered=registrant is not None, registrant=registrant)
+
+    def registrant_changed(self, domain: str, t0: float, t1: float) -> bool:
+        """Whether WHOIS shows a different registrant at ``t1`` vs ``t0``.
+
+        Mirrors the paper's 2023-12 vs 2024-02 comparison: both snapshots
+        must be registered and name different registrants.
+        """
+        before = self.whois(domain, t0)
+        after = self.whois(domain, t1)
+        if not (before.registered and after.registered):
+            return False
+        return before.registrant != after.registrant
+
+    def register(self, domain: str, t: float, registrant: str) -> None:
+        """Register an available domain (the paper's protective
+        registrations of 30 high-traffic typo domains).
+
+        Creates or extends the zone with a new registration window; no
+        MX is configured (the paper deliberately deployed no services).
+        """
+        from repro.dnssim.zone import Zone
+        from repro.util.clock import Window
+
+        if not self.available_for_registration(domain, t):
+            raise ValueError(f"{domain} is not available at t={t}")
+        zone = self._resolver.zone(domain)
+        if zone is None:
+            zone = Zone(domain=domain)
+            self._resolver.register_zone(zone)
+        else:
+            # A fresh registration does not resurrect the old owner's DNS:
+            # the protective registrant publishes no mail records from the
+            # takeover onward (history before ``t`` is untouched).
+            zone.mx_disabled_from = t
+        zone.registrations.append(Window(t, t + 365 * 86_400.0))
+        zone.registrants.append(registrant)
+
+    def serves_mail(self, domain: str, t: float) -> bool:
+        """Re-registered and configured with MX + open port 25 (the
+        paper's 105-of-751 check)."""
+        zone = self._resolver.zone(domain)
+        if zone is None or not zone.registered_at(t):
+            return False
+        return bool(zone.records_of(RecordType.MX)) and not zone.mx_broken_at(t)

@@ -1,0 +1,66 @@
+"""Sender population: Coremail's customers and the attackers among them.
+
+Benign sender domains are Chinese universities and enterprises (the
+paper's customer base).  Each sender *user* keeps a contact list over the
+receiver world; contacts are reused heavily, which is what makes username
+typos detectable (the same sender reaches both the typo and the corrected
+address) and squatting persistent (stale lists keep mailing expired
+domains).
+
+Attacker senders come in the paper's two flavours: username-guessing
+campaigns against chosen victim organisations, and bulk spammers mailing
+leaked-address corpora.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class SenderKind(str, Enum):
+    BENIGN = "benign"
+    GUESSER = "guesser"
+    BULK_SPAMMER = "bulk_spammer"
+
+
+@dataclass
+class Contact:
+    """One recipient in a sender user's address book."""
+
+    address: str
+    #: Relative frequency of mailing this contact.
+    weight: float
+    #: True when the stored address is already wrong (stale list entries,
+    #: automation with a baked-in typo).
+    stale: bool = False
+
+
+@dataclass
+class SenderUser:
+    address: str
+    contacts: list[Contact] = field(default_factory=list)
+    #: Automation accounts (forwarding services, cron jobs) repeat the
+    #: exact same recipient set at high volume — the paper's "five
+    #: username typos received over 20K emails".
+    is_automation: bool = False
+
+    @property
+    def domain(self) -> str:
+        return self.address.rsplit("@", 1)[-1]
+
+
+@dataclass
+class SenderDomain:
+    name: str
+    kind: SenderKind = SenderKind.BENIGN
+    users: list[SenderUser] = field(default_factory=list)
+    #: For guessers: the victim domain and the username candidates tried.
+    guess_target_domain: str | None = None
+    guess_candidates: list[str] = field(default_factory=list)
+    #: For bulk spammers: how many emails the campaign sends.
+    campaign_volume: int = 0
+
+    @property
+    def is_attacker(self) -> bool:
+        return self.kind is not SenderKind.BENIGN

@@ -1,0 +1,79 @@
+"""Tests for the Spamhaus / greylisting / filter-divergence analyses."""
+
+import pytest
+
+from repro.analysis.blocklist import (
+    blocklist_recovery_rate,
+    chronically_listed_proxies,
+    dnsbl_adoption_counts,
+    filter_divergence,
+    greylisting_domains,
+    spamhaus_impact,
+)
+
+
+@pytest.fixture(scope="module")
+def impact(labeled, world):
+    return spamhaus_impact(labeled, world.dnsbl, world.fleet.ips, world.clock)
+
+
+class TestSpamhausImpact:
+    def test_series_lengths(self, impact, clock):
+        assert len(impact.listed_proxies_per_day) == clock.n_days
+        assert len(impact.blocked_normal_per_day) == clock.n_days
+
+    def test_about_half_proxies_listed(self, impact, world):
+        """Paper: half of the proxies listed on an average day."""
+        mean = impact.mean_listed_proxies
+        assert 0.3 * len(world.fleet) < mean < 0.7 * len(world.fleet)
+
+    def test_mostly_normal_email_blocked(self, impact):
+        """Paper: 78.06% of Spamhaus-blocked emails were Normal."""
+        assert impact.normal_blocked_fraction > 0.6
+
+    def test_blocked_volume_positive(self, impact):
+        assert impact.total_blocked > 50
+
+    def test_chronic_proxies(self, world, clock):
+        chronic = chronically_listed_proxies(world.dnsbl, world.fleet.ips, clock)
+        assert 1 <= len(chronic) <= 12
+
+    def test_adoption_step_after_feb_2023(self, impact, clock):
+        """Fig 6: blocked volume rises after the February-2023 adopters
+        switch on."""
+        feb1 = clock.day_index(
+            __import__("datetime").datetime(2023, 2, 1,
+                tzinfo=__import__("datetime").timezone.utc).timestamp()
+        )
+        before = impact.blocked_in_range(feb1 - 90, feb1)
+        after = impact.blocked_in_range(feb1, feb1 + 90)
+        assert after > before
+
+
+class TestRecoveryAndGreylisting:
+    def test_blocklist_recovery_high(self, labeled):
+        """Paper: 80.71% of blocklist-bounced emails eventually delivered
+        after switching proxies."""
+        rate = blocklist_recovery_rate(labeled)
+        assert rate > 0.6
+
+    def test_greylisting_domains_nonempty(self, labeled, world):
+        domains = greylisting_domains(labeled)
+        assert domains
+        configured = {d.name for d in world.receiver_domains.values() if d.greylisting}
+        assert domains <= configured
+
+
+class TestFilterDivergence:
+    def test_divergence_shape(self, labeled):
+        """Paper: 46.49% of Coremail-Spam accepted by receivers; 39.46% of
+        receiver-rejected spam was Normal to Coremail."""
+        divergence = filter_divergence(labeled)
+        assert divergence.coremail_spam_total > 50
+        assert 0.25 < divergence.spam_accepted_fraction < 0.75
+        assert 0.15 < divergence.normal_rejected_fraction < 0.65
+
+    def test_adoption_counts_by_month(self, labeled, clock):
+        counts = dnsbl_adoption_counts(labeled, clock)
+        assert sum(counts.values()) > 0
+        assert all(key in clock.month_keys() for key in counts)

@@ -1,0 +1,63 @@
+"""Tests for bounce-degree statistics and the Fig 5 series."""
+
+import pytest
+
+from repro.analysis.degrees import (
+    daily_series,
+    degree_breakdown,
+    mean_attempts_soft_bounced,
+    monthly_series,
+    weekday_weekend_ratio,
+)
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self, dataset):
+        b = degree_breakdown(dataset)
+        assert b.non_fraction + b.soft_fraction + b.hard_fraction == pytest.approx(1.0)
+
+    def test_headline_shape(self, dataset):
+        """Paper: 87.07% non / 4.82% soft / 8.11% hard."""
+        b = degree_breakdown(dataset)
+        assert 0.75 < b.non_fraction < 0.95
+        assert 0.02 < b.soft_fraction < 0.14
+        assert 0.03 < b.hard_fraction < 0.16
+        assert b.hard_fraction > 0.5 * b.soft_fraction
+
+    def test_recovery_about_one_third(self, dataset):
+        """Paper: about one-third of first-attempt failures recover."""
+        b = degree_breakdown(dataset)
+        assert 0.20 < b.recovered_fraction < 0.60
+
+    def test_first_attempt_failure_rate(self, dataset):
+        b = degree_breakdown(dataset)
+        assert 0.05 < b.first_attempt_failure_fraction < 0.25
+
+
+class TestSeries:
+    def test_daily_series_totals(self, dataset, clock):
+        series = daily_series(dataset, clock)
+        total = sum(series.non_bounced) + sum(series.soft_bounced) + sum(series.hard_bounced)
+        assert total == len(dataset)
+        assert len(series.days) == clock.n_days
+
+    def test_weekend_dip_visible(self, dataset, clock):
+        ratio = weekday_weekend_ratio(dataset, clock)
+        assert ratio < 0.7
+
+    def test_monthly_series_covers_window(self, dataset, clock):
+        monthly = monthly_series(dataset, clock)
+        assert list(monthly) == clock.month_keys()
+        assert sum(monthly.values()) == len(dataset)
+
+    def test_january_surge(self, dataset, clock):
+        """Fig 5: January 2023 peaks ahead of Chinese New Year."""
+        monthly = monthly_series(dataset, clock)
+        jan = monthly["2023-01"]
+        neighbors = (monthly["2022-11"] + monthly["2022-12"]) / 2
+        assert jan > neighbors
+
+    def test_mean_soft_attempts_about_three(self, dataset):
+        """Paper: soft-bounced emails averaged three deliveries."""
+        mean = mean_attempts_soft_bounced(dataset)
+        assert 2.0 <= mean <= 4.0

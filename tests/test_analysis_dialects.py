@@ -1,0 +1,72 @@
+"""Tests for NDR dialect fingerprinting."""
+
+import pytest
+
+from repro.analysis.dialects import (
+    _jaccard,
+    cluster_by_dialect,
+    dialect_report,
+    fingerprint_domains,
+)
+
+
+@pytest.fixture(scope="module")
+def report(labeled):
+    return dialect_report(labeled, min_messages=6)
+
+
+class TestFingerprints:
+    def test_fingerprints_built(self, report):
+        assert len(report.fingerprints) >= 5
+        for fp in report.fingerprints.values():
+            assert fp.n_messages >= 6
+            assert fp.template_ids
+
+    def test_min_messages_respected(self, labeled):
+        strict = fingerprint_domains(labeled, min_messages=100)
+        loose = fingerprint_domains(labeled, min_messages=5)
+        assert len(strict) <= len(loose)
+
+
+class TestClustering:
+    def test_jaccard(self):
+        assert _jaccard(frozenset({1, 2}), frozenset({1, 2})) == 1.0
+        assert _jaccard(frozenset({1}), frozenset({2})) == 0.0
+        assert _jaccard(frozenset(), frozenset()) == 1.0
+        assert _jaccard(frozenset({1, 2}), frozenset({2, 3})) == pytest.approx(1 / 3)
+
+    def test_every_domain_clustered_once(self, report):
+        members = [d for ms in report.clusters.values() for d in ms]
+        assert sorted(members) == sorted(report.fingerprints)
+
+    def test_same_dialect_domains_cluster_together(self, report, world):
+        """Domains the world assigned the same vendor dialect should land
+        in the same fingerprint cluster far more often than chance."""
+        from collections import defaultdict
+
+        by_dialect = defaultdict(list)
+        for name in report.fingerprints:
+            domain = world.receiver_domains.get(name)
+            if domain is not None:
+                by_dialect[domain.dialect].append(name)
+        checked = together = 0
+        for dialect, names in by_dialect.items():
+            if len(names) < 2:
+                continue
+            clusters = [report.cluster_of(n) for n in names]
+            checked += 1
+            dominant = max(set(clusters), key=clusters.count)
+            if clusters.count(dominant) >= max(2, len(clusters) // 2):
+                together += 1
+        if checked == 0:
+            pytest.skip("too few multi-domain dialects at this scale")
+        assert together / checked > 0.5
+
+    def test_distinct_dialects_not_all_merged(self, report):
+        assert report.n_clusters >= 2
+
+    def test_threshold_monotone(self, labeled):
+        fingerprints = fingerprint_domains(labeled, min_messages=6)
+        loose = cluster_by_dialect(fingerprints, similarity_threshold=0.1)
+        tight = cluster_by_dialect(fingerprints, similarity_threshold=0.9)
+        assert len(loose) <= len(tight)

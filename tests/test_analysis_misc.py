@@ -1,0 +1,216 @@
+"""Tests for malicious detection, rankings (Tables 3-5), ambiguous-NDR
+analysis (Table 6), and the report renderers."""
+
+import pytest
+
+from repro.analysis.ambiguous import ambiguous_template_report, enhanced_code_coverage
+from repro.analysis.malicious import detect_bulk_spammers, detect_guessing_campaigns
+from repro.analysis.rankings import (
+    in_email_rank,
+    table3_top_domains,
+    table4_top_ases,
+    table5_countries,
+    top_hard_countries,
+    top_soft_countries,
+)
+from repro.analysis.report import bar_chart, pct, render_cdf, render_series, render_table, sparkline
+from repro.world.senders import SenderKind
+
+
+class TestMalicious:
+    def test_guessing_campaigns_found_and_correct(self, labeled, world):
+        campaigns = detect_guessing_campaigns(labeled)
+        assert campaigns
+        true_guessers = {
+            d.name for d in world.sender_domains if d.kind is SenderKind.GUESSER
+        }
+        detected = {c.sender_domain for c in campaigns}
+        assert detected & true_guessers
+        # No benign sender misflagged.
+        benign = {d.name for d in world.benign_sender_domains()}
+        assert not (detected & benign)
+
+    def test_guess_success_rate_low(self, labeled):
+        campaigns = detect_guessing_campaigns(labeled)
+        for campaign in campaigns:
+            assert campaign.success_rate < 0.3
+
+    def test_bulk_spammers_found_and_correct(self, labeled, world):
+        reports = detect_bulk_spammers(labeled.dataset, world.breach)
+        assert reports
+        true_spammers = {
+            d.name for d in world.sender_domains if d.kind is SenderKind.BULK_SPAMMER
+        }
+        detected = {r.sender_domain for r in reports}
+        assert detected <= true_spammers | {
+            d.name for d in world.attacker_domains()
+        }
+
+    def test_bulk_spam_mostly_hard(self, labeled, world):
+        """Paper: 70.12% of leaked-list spam hard-bounced."""
+        reports = detect_bulk_spammers(labeled.dataset, world.breach)
+        for report in reports:
+            assert report.hard_fraction > 0.4
+            assert report.pwned_fraction > 0.8
+
+
+class TestRankings:
+    def test_in_email_rank_descending(self, labeled):
+        rank = in_email_rank(labeled)
+        volumes = [v for _, v in rank]
+        assert volumes == sorted(volumes, reverse=True)
+        assert rank[0][0] == "gmail.com"
+
+    def test_table3_shape(self, labeled):
+        rows = table3_top_domains(labeled)
+        assert len(rows) == 10
+        assert rows[0].key == "gmail.com"
+        for row in rows:
+            assert 0 <= row.hard_fraction <= 1
+            assert 0 <= row.soft_fraction <= 1
+
+    def test_hotmail_outlook_soft_heavy(self, labeled):
+        """Table 3: Hotmail/Outlook reject via Spamhaus → high soft."""
+        rows = {r.key: r for r in table3_top_domains(labeled, top=10)}
+        if "hotmail.com" in rows and "bbva.com" in rows:
+            assert rows["hotmail.com"].soft_fraction > rows["bbva.com"].soft_fraction
+
+    def test_corporate_majors_low_bounce(self, labeled):
+        rows = {r.key: r for r in table3_top_domains(labeled, top=10)}
+        for name in ("bbva.com", "cma-cgm.com", "dbschenker.com"):
+            if name in rows:
+                assert rows[name].bounce_fraction < 0.25
+
+    def test_gmail_hard_bounces_quota_heavy(self, labeled):
+        """Appendix A: Gmail's hard bounces are mostly quota-driven — our
+        world over-assigns quota pathologies to contacted Gmail boxes, so
+        T9 must rank among Gmail's top hard-bounce types."""
+        from collections import Counter
+        from repro.core.taxonomy import BounceDegree, BounceType
+
+        types = Counter()
+        for record, t in labeled.classified_records():
+            if (record.receiver_domain == "gmail.com"
+                    and record.bounce_degree is BounceDegree.HARD_BOUNCED):
+                types[t] += 1
+        if sum(types.values()) < 20:
+            pytest.skip("too few gmail hard bounces at this scale")
+        assert types.get(BounceType.T9, 0) > 0
+
+    def test_table4_microsoft_first(self, labeled, world):
+        rows = table4_top_ases(labeled, world.geo)
+        assert rows
+        assert any("Microsoft" in r.key or "Google" in r.key for r in rows[:3])
+
+    def test_table5_threshold(self, labeled, world):
+        rows = table5_countries(labeled, world.geo, min_emails=30)
+        assert all(r.email_volume >= 30 for r in rows)
+        assert len(rows) > 10
+
+    def test_table5_hard_ranking(self, labeled, world):
+        rows = table5_countries(labeled, world.geo, min_emails=30)
+        hard = top_hard_countries(rows, top=10)
+        assert hard[0].hard_fraction >= hard[-1].hard_fraction
+        # Venezuela's dead servers should push it into the hard top-10.
+        if any(r.country == "VE" for r in rows):
+            assert any(r.country == "VE" for r in hard)
+
+    def test_table5_soft_ranking(self, labeled, world):
+        rows = table5_countries(labeled, world.geo, min_emails=30)
+        soft = top_soft_countries(rows, top=10)
+        assert soft[0].soft_fraction >= soft[-1].soft_fraction
+
+
+class TestAmbiguous:
+    def test_report_shape(self, dataset):
+        report = ambiguous_template_report(dataset.ndr_messages()[:20_000])
+        assert report.n_messages > 0
+        assert 0.02 < report.ambiguous_fraction < 0.40
+        assert report.templates
+
+    def test_access_denied_dominates(self, dataset):
+        """Table 6: the Exchange 'Access denied. AS(...)' template is the
+        dominant ambiguous wording (76.99%)."""
+        report = ambiguous_template_report(dataset.ndr_messages()[:20_000])
+        top = report.templates[0]
+        assert "Access denied" in top.pattern
+        assert top.share_of_ambiguous > 0.5
+
+    def test_enhanced_code_coverage_partial(self, dataset):
+        """Paper: 28.79% of NDRs lack an enhanced status code."""
+        coverage = enhanced_code_coverage(dataset.ndr_messages())
+        assert 0.5 < coverage < 0.92
+
+
+class TestRenderers:
+    def test_render_table(self):
+        out = render_table("T", ["a", "bb"], [[1, 2], ["xxx", 4]])
+        assert "T" in out and "xxx" in out
+        lines = out.splitlines()
+        assert len(lines) == 6
+
+    def test_pct(self):
+        assert pct(0.5) == "50.00%"
+        assert pct(0.123456, 1) == "12.3%"
+
+    def test_render_series_downsamples(self):
+        out = render_series("S", list(range(1000)), {"y": list(range(1000))})
+        assert len(out.splitlines()) < 60
+
+    def test_render_cdf(self):
+        out = render_cdf("C", [1.0, 2.0], [0.5, 1.0])
+        assert "0.500" in out
+
+
+class TestCharts:
+    def test_sparkline_basic(self):
+        line = sparkline([0, 1, 2, 3, 4, 5])
+        assert len(line) == 6
+        assert line[0] != line[-1]
+
+    def test_sparkline_flat(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_sparkline_downsamples(self):
+        assert len(sparkline(list(range(500)), width=50)) == 50
+
+    def test_bar_chart(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_bar_chart_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        assert bar_chart([], []) == ""
+
+
+class TestStages:
+    def test_stage_distribution(self, labeled):
+        from repro.analysis.stages import early_rejection_share, rejection_stages
+        from repro.smtp.session import SmtpStage
+
+        report = rejection_stages(labeled)
+        assert report.total > 500
+        # Connect-stage rejections (blocklists, timeouts) dominate.
+        assert report.counts[SmtpStage.CONNECT] > report.counts[SmtpStage.DATA]
+        share = early_rejection_share(report)
+        assert 0.5 < share <= 1.0
+        # DATA-stage rejections waste transfer.
+        if report.counts[SmtpStage.DATA]:
+            assert report.wasted_bytes[SmtpStage.DATA] > 0
+
+    def test_shares_sum_to_one(self, labeled):
+        from repro.analysis.stages import rejection_stages
+        from repro.smtp.session import SmtpStage
+
+        report = rejection_stages(labeled)
+        total_share = sum(report.share(stage) for stage in SmtpStage)
+        assert abs(total_share - 1.0) < 1e-9

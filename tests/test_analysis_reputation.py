@@ -1,0 +1,72 @@
+"""Tests for NDR-based proxy-reputation inference."""
+
+import pytest
+
+from repro.analysis.reputation import proxy_reputations, score_inference
+
+
+@pytest.fixture(scope="module")
+def reputations(labeled, clock):
+    return proxy_reputations(labeled, clock)
+
+
+class TestReputationSeries:
+    def test_every_proxy_observed(self, reputations, world):
+        # High-weight proxies must appear; SG/IN proxies may carry ~0.
+        observed = set(reputations)
+        heavy = [p.ip for p in world.fleet.proxies if p.country in ("US", "HK", "DE")]
+        assert set(heavy) <= observed
+
+    def test_attempt_conservation(self, reputations, dataset):
+        total = sum(r.total_attempts for r in reputations.values())
+        expected = sum(r.n_attempts for r in dataset)
+        # A few attempts fall outside the day window (retries after the
+        # window end).
+        assert 0.98 * expected <= total <= expected
+
+    def test_t5_rate_bounded(self, reputations):
+        for rep in reputations.values():
+            assert 0.0 <= rep.t5_rate <= 1.0
+
+
+class TestInference:
+    def test_inference_matches_ground_truth(self, reputations, world, clock):
+        """NDR-only inference of listed days should agree well with the
+        DNSBL's actual listing windows on observable days."""
+        scored = []
+        for rep in reputations.values():
+            if rep.total_attempts < 200:
+                continue
+            score = score_inference(rep, world.dnsbl, clock)
+            if score.n_true_days >= 10 and score.n_inferred_days >= 5:
+                scored.append(score)
+        assert scored, "no proxy had enough traffic to score"
+        mean_precision = sum(s.precision for s in scored) / len(scored)
+        mean_recall = sum(s.recall for s in scored) / len(scored)
+        assert mean_precision > 0.7
+        assert mean_recall > 0.3
+
+    def test_chronic_proxies_have_higher_t5_rates(self, reputations, world, clock):
+        from repro.analysis.blocklist import chronically_listed_proxies
+
+        chronic = set(chronically_listed_proxies(world.dnsbl, world.fleet.ips, clock))
+        if not chronic:
+            pytest.skip("no chronic proxies at this seed")
+        chronic_rates = [
+            r.t5_rate for ip, r in reputations.items()
+            if ip in chronic and r.total_attempts > 100
+        ]
+        clean_rates = [
+            r.t5_rate for ip, r in reputations.items()
+            if ip not in chronic and r.total_attempts > 100
+        ]
+        if not chronic_rates or not clean_rates:
+            pytest.skip("insufficient traffic split")
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(chronic_rates) > mean(clean_rates)
+
+    def test_thresholds_trade_precision_for_recall(self, reputations, world, clock):
+        rep = max(reputations.values(), key=lambda r: r.total_attempts)
+        strict = rep.inferred_listed_days(min_attempts=3, min_t5_rate=0.5)
+        loose = rep.inferred_listed_days(min_attempts=3, min_t5_rate=0.05)
+        assert strict <= loose

@@ -1,0 +1,102 @@
+"""Tests for Table 1 / Table 2 attribution."""
+
+import pytest
+
+from repro.analysis.rootcause import attribute_root_causes
+from repro.core.taxonomy import BounceType, RootCause
+
+
+@pytest.fixture(scope="module")
+def report(labeled, world):
+    return attribute_root_causes(
+        labeled, world.breach, world.resolver, world.clock.end_ts + 30 * 86_400
+    )
+
+
+class TestTable1:
+    def test_t5_is_top_type(self, report):
+        """Paper Table 1: blocklists (T5) dominate with 31.10%."""
+        distribution = report.type_distribution
+        top = max(distribution, key=distribution.get)
+        assert top in (BounceType.T5, BounceType.T2)
+        assert distribution[BounceType.T5] / report.n_classified > 0.15
+
+    def test_top_five_types(self, report):
+        """Paper: T5, T2, T14, T13, T8 are the top five."""
+        distribution = report.type_distribution
+        top6 = {t for t, _ in distribution.most_common(6)}
+        assert BounceType.T5 in top6
+        assert BounceType.T2 in top6
+        assert BounceType.T14 in top6
+
+    def test_rare_types_rare(self, report):
+        d = report.type_distribution
+        n = report.n_classified
+        for t in (BounceType.T10, BounceType.T12):
+            assert d.get(t, 0) / n < 0.03
+
+
+class TestTable2:
+    def test_active_exceeds_passive(self, report):
+        """Paper: 51.84% active protective vs 34.73% passive accidental.
+
+        At the small shared test scale the split is seed-noisy (a single
+        broken popular domain moves whole percents), so this asserts the
+        same regime; the strict active > passive ordering is enforced by
+        the Table 2 benchmark at 2x the scale."""
+        active = report.active_protective_count()
+        passive = report.passive_accidental_count()
+        assert active > 0.8 * passive
+        assert passive > 0.3 * active
+
+    def test_blocklist_row_largest(self, report):
+        blocklist = report.row("Sender MTA listed in blocklists")
+        for row in report.rows:
+            if row.reason != blocklist.reason:
+                assert blocklist.count >= row.count
+
+    def test_username_typos_detected(self, report):
+        assert report.row("Receiver username typo").count > 0
+
+    def test_guessing_detected(self, report):
+        assert report.row("Guess victim email addresses").count > 0
+
+    def test_bulk_spam_detected(self, report):
+        assert report.row("Delivering large amounts of spam").count > 0
+
+    def test_mx_errors_exceed_domain_typos(self, report):
+        """Paper: 11.37% MX misconfiguration vs 0.28% domain typos."""
+        assert (
+            report.row("Error MX record for receiver domain").count
+            > report.row("Receiver domain name typo").count
+        )
+
+    def test_timeout_row_substantial(self, report):
+        timeout = report.row("SMTP session timeout")
+        assert timeout.count / report.n_classified > 0.05
+
+    def test_cause_totals_consistent(self, report):
+        totals = report.cause_totals()
+        assert sum(totals.values()) == sum(r.count for r in report.rows)
+        assert set(totals) <= set(RootCause)
+
+    def test_rows_cover_table2_reasons(self, report):
+        reasons = {r.reason for r in report.rows}
+        assert len(reasons) == 15  # the paper's Table 2 rows
+
+    def test_attribution_against_ground_truth_tags(self, report, labeled):
+        """Records the detectors attribute to username typos must mostly
+        carry the generator's username_typo tag (ground-truth check)."""
+        from repro.analysis.typos import detect_username_typos
+
+        findings = detect_username_typos(labeled)
+        assert findings
+        addresses = {f.typo_address for f in findings}
+        hits = misses = 0
+        for record in labeled.dataset:
+            if record.receiver.lower() in addresses and record.bounced:
+                if "username_typo" in record.truth_tags:
+                    hits += 1
+                else:
+                    misses += 1
+        assert hits > 2 * max(misses, 1)

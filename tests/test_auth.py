@@ -1,0 +1,176 @@
+"""Unit tests for the SPF/DKIM/DMARC substrate."""
+
+import pytest
+
+from repro.auth.dkim import DkimVerdict, evaluate_dkim, parse_dkim_record
+from repro.auth.dmarc import DmarcDisposition, evaluate_dmarc, parse_dmarc
+from repro.auth.evaluator import AuthEvaluator, AuthFailureMode
+from repro.auth.spf import SpfVerdict, evaluate_spf, parse_spf, _ip_matches
+from repro.dnssim.records import RecordType
+from repro.dnssim.resolver import Resolver
+from repro.dnssim.zone import Zone
+from repro.util.clock import Window
+
+
+def make_resolver() -> Resolver:
+    resolver = Resolver(transient_failure_rate=0.0)
+    sender = Zone(domain="org.cn")
+    sender.add_record(RecordType.TXT_SPF, "v=spf1 include:out.example -all")
+    sender.add_record(RecordType.TXT_DKIM, "v=DKIM1; k=rsa; p=MIGfMA0")
+    sender.add_record(RecordType.TXT_DMARC, "v=DMARC1; p=quarantine")
+    sender.registrations = [Window(0.0, 1e12)]
+    sender.registrants = ["r"]
+    out = Zone(domain="out.example")
+    out.add_record(RecordType.TXT_SPF, "v=spf1 ip4:10.0.0.1 ip4:10.1.0.0/16 -all")
+    out.registrations = [Window(0.0, 1e12)]
+    out.registrants = ["r"]
+    resolver.register_zone(sender)
+    resolver.register_zone(out)
+    return resolver
+
+
+class TestSpfParsing:
+    def test_parse_basic(self):
+        record = parse_spf("v=spf1 ip4:1.2.3.4 include:x.com ~all")
+        assert record is not None
+        kinds = [m.kind for m in record.mechanisms]
+        assert kinds == ["ip4", "include", "all"]
+        assert record.has_all
+
+    def test_parse_qualifiers(self):
+        record = parse_spf("v=spf1 -ip4:1.2.3.4 ?all")
+        assert record.mechanisms[0].qualifier is SpfVerdict.FAIL
+        assert record.mechanisms[1].qualifier is SpfVerdict.NEUTRAL
+
+    @pytest.mark.parametrize("bad", ["", "v=spf2 all", "v=spf1 bogus:x", "v=spf1 ip4:"])
+    def test_parse_invalid(self, bad):
+        assert parse_spf(bad) is None
+
+    def test_ip_matching(self):
+        assert _ip_matches("10.1.2.3", "10.1.2.3")
+        assert not _ip_matches("10.1.2.3", "10.1.2.4")
+        assert _ip_matches("10.1.2.3", "10.1.0.0/16")
+        assert not _ip_matches("10.2.2.3", "10.1.0.0/16")
+        assert _ip_matches("1.2.3.4", "0.0.0.0/0")
+        assert not _ip_matches("1.2.3.4", "not-an-ip/8")
+
+
+class TestSpfEvaluation:
+    def test_include_pass(self):
+        resolver = make_resolver()
+        assert evaluate_spf("org.cn", "10.0.0.1", resolver, 100.0) is SpfVerdict.PASS
+        assert evaluate_spf("org.cn", "10.1.44.5", resolver, 100.0) is SpfVerdict.PASS
+
+    def test_include_fail_on_foreign_ip(self):
+        resolver = make_resolver()
+        assert evaluate_spf("org.cn", "99.9.9.9", resolver, 100.0) is SpfVerdict.FAIL
+
+    def test_no_record(self):
+        resolver = make_resolver()
+        assert evaluate_spf("unknown.test", "10.0.0.1", resolver, 100.0) is SpfVerdict.NONE
+
+    def test_broken_window_returns_none(self):
+        resolver = make_resolver()
+        resolver.zone("org.cn").spf_error_windows = [Window(50.0, 150.0)]
+        assert evaluate_spf("org.cn", "10.0.0.1", resolver, 100.0) is SpfVerdict.NONE
+        assert evaluate_spf("org.cn", "10.0.0.1", resolver, 200.0) is SpfVerdict.PASS
+
+    def test_recursion_limit(self):
+        resolver = Resolver(transient_failure_rate=0.0)
+        loop = Zone(domain="loop.test")
+        loop.add_record(RecordType.TXT_SPF, "v=spf1 include:loop.test -all")
+        loop.registrations = [Window(0.0, 1e12)]
+        loop.registrants = ["r"]
+        resolver.register_zone(loop)
+        verdict = evaluate_spf("loop.test", "1.2.3.4", resolver, 1.0)
+        assert verdict in (SpfVerdict.PERMERROR, SpfVerdict.FAIL)
+
+
+class TestDkim:
+    def test_valid_record(self):
+        assert parse_dkim_record("v=DKIM1; k=rsa; p=MIGfMA0")
+        assert not parse_dkim_record("v=DKIM1; k=rsa; p=")
+        assert not parse_dkim_record("something else")
+
+    def test_evaluate(self):
+        resolver = make_resolver()
+        assert evaluate_dkim("org.cn", resolver, 100.0) is DkimVerdict.PASS
+        resolver.zone("org.cn").dkim_error_windows = [Window(50.0, 150.0)]
+        assert evaluate_dkim("org.cn", resolver, 100.0) is DkimVerdict.NONE
+
+
+class TestDmarc:
+    def test_parse(self):
+        assert parse_dmarc("v=DMARC1; p=reject").policy == "reject"
+        assert parse_dmarc("v=DMARC1; p=none; rua=mailto:x@y.z").policy == "none"
+        assert parse_dmarc("v=DMARC1; p=bogus") is None
+        assert parse_dmarc("not dmarc") is None
+
+    def test_disposition(self):
+        resolver = make_resolver()
+        # Passing SPF → DMARC passes.
+        d = evaluate_dmarc("org.cn", SpfVerdict.PASS, DkimVerdict.NONE, resolver, 100.0)
+        assert d is DmarcDisposition.PASS
+        # Both failing under p=quarantine.
+        d = evaluate_dmarc("org.cn", SpfVerdict.NONE, DkimVerdict.NONE, resolver, 100.0)
+        assert d is DmarcDisposition.QUARANTINE
+
+    def test_reject_policy(self):
+        resolver = make_resolver()
+        zone = resolver.zone("org.cn")
+        zone.records = [r for r in zone.records if r.rtype is not RecordType.TXT_DMARC]
+        zone.add_record(RecordType.TXT_DMARC, "v=DMARC1; p=reject")
+        d = evaluate_dmarc("org.cn", SpfVerdict.NONE, DkimVerdict.NONE, resolver, 100.0)
+        assert d is DmarcDisposition.REJECT
+
+    def test_no_policy(self):
+        resolver = make_resolver()
+        zone = resolver.zone("org.cn")
+        zone.records = [r for r in zone.records if r.rtype is not RecordType.TXT_DMARC]
+        d = evaluate_dmarc("org.cn", SpfVerdict.NONE, DkimVerdict.NONE, resolver, 100.0)
+        assert d is DmarcDisposition.NO_POLICY
+
+
+class TestEvaluator:
+    def test_healthy_sender_authenticates(self):
+        evaluator = AuthEvaluator(make_resolver())
+        result = evaluator.evaluate("org.cn", "10.0.0.1", 100.0)
+        assert result.authenticated
+        assert result.failure_mode is AuthFailureMode.NONE
+
+    def test_both_broken(self):
+        resolver = make_resolver()
+        resolver.zone("org.cn").auth_error_windows = [Window(50.0, 150.0)]
+        result = AuthEvaluator(resolver).evaluate("org.cn", "10.0.0.1", 100.0)
+        assert not result.authenticated
+        assert result.failure_mode is AuthFailureMode.BOTH
+
+    def test_spf_only_deployment_broken(self):
+        resolver = make_resolver()
+        zone = resolver.zone("org.cn")
+        zone.records = [r for r in zone.records if r.rtype is not RecordType.TXT_DKIM]
+        zone.spf_error_windows = [Window(50.0, 150.0)]
+        result = AuthEvaluator(resolver).evaluate("org.cn", "10.0.0.1", 100.0)
+        assert not result.authenticated
+        # Healthy outside the window.
+        assert AuthEvaluator(resolver).evaluate("org.cn", "10.0.0.1", 200.0).authenticated
+
+    def test_dmarc_reject_mode(self):
+        resolver = make_resolver()
+        zone = resolver.zone("org.cn")
+        zone.auth_error_windows = [Window(50.0, 150.0)]
+        zone.records = [r for r in zone.records if r.rtype is not RecordType.TXT_DMARC]
+        zone.add_record(RecordType.TXT_DMARC, "v=DMARC1; p=reject")
+        result = AuthEvaluator(resolver).evaluate("org.cn", "10.0.0.1", 100.0)
+        assert result.failure_mode is AuthFailureMode.DMARC
+
+    def test_world_integration(self, world):
+        """Healthy world senders authenticate from every proxy."""
+        evaluator = AuthEvaluator(world.resolver)
+        healthy = next(
+            d for d in world.benign_sender_domains()
+            if not world.resolver.zone(d.name).auth_broken_at(world.clock.start_ts + 1)
+        )
+        t = world.clock.start_ts + 1
+        for ip in world.fleet.ips[:5]:
+            assert evaluator.evaluate(healthy.name, ip, t).authenticated

@@ -1,0 +1,67 @@
+"""Property-based tests for the SPF parser and auth evaluator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.auth.spf import SpfVerdict, _ip_matches, parse_spf
+
+_octet = st.integers(min_value=0, max_value=255)
+_ips = st.builds(lambda a, b, c, d: f"{a}.{b}.{c}.{d}", _octet, _octet, _octet, _octet)
+
+
+class TestSpfParserProperties:
+    @given(st.text(max_size=120))
+    @settings(max_examples=150, deadline=None)
+    def test_parser_never_crashes(self, text):
+        parse_spf(text)  # returns record or None, never raises
+
+    @given(
+        ips=st.lists(_ips, min_size=0, max_size=6),
+        qualifier=st.sampled_from(["", "-", "~", "?"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_generated_records_parse(self, ips, qualifier):
+        mechanisms = " ".join(f"ip4:{ip}" for ip in ips)
+        record = parse_spf(f"v=spf1 {mechanisms} {qualifier}all".strip())
+        assert record is not None
+        assert record.has_all
+        assert len(record.mechanisms) == len(ips) + 1
+
+    @given(ip=_ips)
+    @settings(max_examples=60, deadline=None)
+    def test_exact_ip_matches_itself(self, ip):
+        assert _ip_matches(ip, ip)
+        assert _ip_matches(ip, f"{ip}/32")
+        assert _ip_matches(ip, "0.0.0.0/0")
+
+    @given(ip=_ips, bits=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=80, deadline=None)
+    def test_prefix_contains_network_address(self, ip, bits):
+        # An IP always matches the prefix built from itself.
+        assert _ip_matches(ip, f"{ip}/{bits}")
+
+    @given(ip=_ips)
+    @settings(max_examples=40, deadline=None)
+    def test_garbage_prefix_never_matches(self, ip):
+        assert not _ip_matches(ip, "not-an-ip/8")
+        assert not _ip_matches(ip, f"{ip}/99")
+
+
+class TestEvaluatorProperties:
+    @given(ip=_ips)
+    @settings(max_examples=40, deadline=None)
+    def test_listed_ip_passes_unlisted_fails(self, ip):
+        from repro.dnssim.records import RecordType
+        from repro.dnssim.resolver import Resolver
+        from repro.dnssim.zone import Zone
+        from repro.util.clock import Window
+        from repro.auth.spf import evaluate_spf
+
+        resolver = Resolver(transient_failure_rate=0.0)
+        zone = Zone(domain="d.test")
+        zone.add_record(RecordType.TXT_SPF, f"v=spf1 ip4:{ip} -all")
+        zone.registrations = [Window(0.0, 1e12)]
+        zone.registrants = ["r"]
+        resolver.register_zone(zone)
+        assert evaluate_spf("d.test", ip, resolver, 1.0) is SpfVerdict.PASS
+        other = "1.2.3.4" if ip != "1.2.3.4" else "4.3.2.1"
+        assert evaluate_spf("d.test", other, resolver, 1.0) is SpfVerdict.FAIL

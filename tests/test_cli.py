@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def saved_log(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "log.jsonl"
+    code = main(["simulate", "--scale", "0.03", "--seed", "3", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestSimulate:
+    def test_writes_log(self, saved_log, capsys):
+        assert saved_log.exists()
+        assert saved_log.stat().st_size > 10_000
+
+
+class TestReport:
+    def test_report_runs(self, saved_log, capsys):
+        assert main(["report", str(saved_log)]) == 0
+        out = capsys.readouterr().out
+        assert "Bounce types" in out
+        assert "non/soft/hard" in out
+        assert "receiver domains" in out
+
+    def test_report_missing_dataset(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["report", str(tmp_path / "nope.jsonl")])
+
+
+class TestClassify:
+    def test_classify_messages(self, saved_log, capsys):
+        code = main([
+            "classify", str(saved_log),
+            "--message", "550 5.1.1 The email account that you tried to reach does not exist",
+            "--message", "QQQ 5.4.1 Recipient address rejected: Access denied. AS(201806281)",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("T8")
+        assert lines[1].startswith("AMBIGUOUS")
+
+
+class TestExplain:
+    def test_explain_first_bounced(self, saved_log, capsys):
+        assert main(["explain", str(saved_log)]) == 0
+        out = capsys.readouterr().out
+        assert "attempt 1" in out
+        assert "outcome:" in out
+
+    def test_explain_out_of_range(self, saved_log, capsys):
+        assert main(["explain", str(saved_log), "--index", "99999999"]) == 1
+
+
+class TestSquat:
+    def test_squat_runs(self, capsys):
+        assert main(["squat", "--scale", "0.03", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "vulnerable domains:" in out
+
+
+class TestRecommend:
+    def test_recommend_runs(self, capsys):
+        assert main(["recommend", "--scale", "0.03", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "evidence:" in out
+
+
+class TestFullReport:
+    def test_full_report_runs(self, capsys):
+        assert main(["full-report", "--scale", "0.03", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        for section in ("Overview", "Root causes", "Blocklists", "Squatting",
+                        "NDR quality", "receiver domains"):
+            assert section in out

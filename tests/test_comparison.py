@@ -1,0 +1,43 @@
+"""Tests for the paper-comparison scorecard."""
+
+import pytest
+
+from repro.analysis.comparison import Comparison, compare_to_paper, scorecard
+
+
+class TestComparison:
+    def test_in_regime_bounds(self):
+        c = Comparison("x", paper_value=10.0, measured=10.0, factor=2.0)
+        assert c.in_regime
+        assert Comparison("x", 10.0, 5.0, 2.0).in_regime
+        assert Comparison("x", 10.0, 20.0, 2.0).in_regime
+        assert not Comparison("x", 10.0, 4.9, 2.0).in_regime
+        assert not Comparison("x", 10.0, 20.1, 2.0).in_regime
+
+    def test_render_flags(self):
+        assert "[ok ]" in Comparison("x", 10.0, 10.0, 2.0).render()
+        assert "[OFF]" in Comparison("x", 10.0, 100.0, 2.0).render()
+
+    def test_scorecard_counts(self):
+        comparisons = [
+            Comparison("a", 10.0, 10.0, 2.0),
+            Comparison("b", 10.0, 100.0, 2.0),
+        ]
+        assert scorecard(comparisons) == (1, 2)
+
+
+class TestCompareToPaper:
+    def test_full_scorecard(self, labeled, world):
+        comparisons = compare_to_paper(labeled, world)
+        assert len(comparisons) >= 14
+        names = {c.name for c in comparisons}
+        assert "non-bounced share" in names
+        assert "T5 (blocklist) share of bounces" in names
+        hits, total = scorecard(comparisons)
+        # At the shared test scale the large majority must be in regime.
+        assert hits / total >= 0.7
+
+    def test_measured_values_finite(self, labeled, world):
+        for c in compare_to_paper(labeled, world):
+            assert c.measured == c.measured  # not NaN
+            assert c.measured >= 0.0

@@ -1,0 +1,82 @@
+"""Unit tests for the simulated DNSBL."""
+
+from repro.dnsbl.service import DNSBLService, build_spamhaus_listings
+from repro.util.clock import DAY_SECONDS, SimClock, Window
+from repro.util.rng import RandomSource
+
+
+class TestDNSBLService:
+    def test_listing_lookup(self):
+        service = DNSBLService()
+        service.add_listing("1.2.3.4", Window(100.0, 200.0))
+        assert service.is_listed("1.2.3.4", 150.0)
+        assert not service.is_listed("1.2.3.4", 250.0)
+        assert not service.is_listed("5.6.7.8", 150.0)
+
+    def test_listed_count(self):
+        service = DNSBLService()
+        service.add_listing("a", Window(0, 100))
+        service.add_listing("b", Window(50, 150))
+        assert service.listed_count(75) == 2
+        assert service.listed_count(125) == 1
+        assert sorted(service.listed_ips(75)) == ["a", "b"]
+
+    def test_listings_copy(self):
+        service = DNSBLService()
+        service.add_listing("a", Window(0, 1))
+        listings = service.listings("a")
+        listings.append(Window(5, 6))
+        assert len(service.listings("a")) == 1
+
+    def test_listed_fraction_of_days(self):
+        clock = SimClock()
+        service = DNSBLService()
+        # Listed for exactly the first half of the window.
+        mid = clock.start_ts + (clock.end_ts - clock.start_ts) / 2
+        service.add_listing("a", Window(clock.start_ts, mid))
+        fraction = service.listed_fraction_of_days("a", clock)
+        assert 0.45 < fraction < 0.55
+
+
+class TestSpamhausDynamics:
+    def build(self, n=34, seed=5):
+        clock = SimClock()
+        rng = RandomSource(seed)
+        ips = [f"ip{i}" for i in range(n)]
+        return clock, ips, build_spamhaus_listings(rng, clock, ips)
+
+    def test_about_half_listed_daily(self):
+        """Paper: on average half of the 34 proxies are listed per day."""
+        clock, ips, service = self.build()
+        daily = [
+            service.listed_count(clock.day_start(d) + DAY_SECONDS / 2)
+            for d in range(clock.n_days)
+        ]
+        mean = sum(daily) / len(daily)
+        assert 0.35 * len(ips) < mean < 0.65 * len(ips)
+
+    def test_chronic_proxies_exist(self):
+        """Paper: five proxies listed on more than 70% of days."""
+        clock, ips, service = self.build()
+        chronic = [
+            ip for ip in ips if service.listed_fraction_of_days(ip, clock) > 0.7
+        ]
+        assert 3 <= len(chronic) <= 10
+
+    def test_typical_proxies_not_chronic(self):
+        clock, ips, service = self.build()
+        fractions = [service.listed_fraction_of_days(ip, clock) for ip in ips[8:]]
+        assert sum(fractions) / len(fractions) < 0.65
+
+    def test_deterministic(self):
+        _, _, a = self.build(seed=9)
+        _, _, b = self.build(seed=9)
+        clock = SimClock()
+        t = clock.start_ts + 40 * DAY_SECONDS
+        assert sorted(a.listed_ips(t)) == sorted(b.listed_ips(t))
+
+    def test_listings_change_over_time(self):
+        clock, ips, service = self.build()
+        t1 = clock.start_ts + 10 * DAY_SECONDS
+        t2 = clock.start_ts + 200 * DAY_SECONDS
+        assert set(service.listed_ips(t1)) != set(service.listed_ips(t2))

@@ -1,0 +1,224 @@
+"""Unit tests for the DNS substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dnssim.misconfig import (
+    AUTH_PROFILE,
+    MX_PROFILE,
+    QUOTA_PROFILE,
+    MisconfigModel,
+    _merge_windows,
+)
+from repro.dnssim.records import DnsRecord, RecordType, ResolveResult, ResolveStatus
+from repro.dnssim.resolver import Resolver
+from repro.dnssim.zone import Zone
+from repro.util.clock import DAY_SECONDS, SimClock, Window
+from repro.util.rng import RandomSource
+
+
+def make_zone(domain="example.com", start=0.0, end=1e12) -> Zone:
+    zone = Zone(domain=domain)
+    zone.add_record(RecordType.MX, f"mx1.{domain}", priority=10)
+    zone.add_record(RecordType.A, "10.0.0.1")
+    zone.registrations = [Window(start, end)]
+    zone.registrants = ["r1"]
+    return zone
+
+
+class TestZone:
+    def test_registration_lookup(self):
+        zone = make_zone(start=100.0, end=200.0)
+        assert zone.registered_at(150.0)
+        assert not zone.registered_at(250.0)
+        assert zone.ever_registered_before(150.0)
+        assert not zone.ever_registered_before(50.0)
+
+    def test_registrant_at(self):
+        zone = make_zone(start=0.0, end=100.0)
+        zone.registrations.append(Window(200.0, 300.0))
+        zone.registrants.append("r2")
+        assert zone.registrant_at(50.0) == "r1"
+        assert zone.registrant_at(250.0) == "r2"
+        assert zone.registrant_at(150.0) is None
+
+    def test_window_flags(self):
+        zone = make_zone()
+        zone.mx_error_windows = [Window(10.0, 20.0)]
+        zone.auth_error_windows = [Window(30.0, 40.0)]
+        zone.dns_error_windows = [Window(50.0, 60.0)]
+        assert zone.mx_broken_at(15.0) and not zone.mx_broken_at(25.0)
+        assert zone.auth_broken_at(35.0) and not zone.auth_broken_at(45.0)
+        assert zone.dns_broken_at(55.0) and not zone.dns_broken_at(65.0)
+
+    def test_records_of(self):
+        zone = make_zone()
+        assert len(zone.records_of(RecordType.MX)) == 1
+        assert zone.has_record(RecordType.A)
+        assert not zone.has_record(RecordType.TXT_SPF)
+
+
+class TestResolveResult:
+    def test_best_mx_prefers_low_priority(self):
+        result = ResolveResult(
+            ResolveStatus.OK,
+            (
+                DnsRecord("x", RecordType.MX, "mx2.x", priority=20),
+                DnsRecord("x", RecordType.MX, "mx1.x", priority=10),
+            ),
+        )
+        assert result.best_mx().value == "mx1.x"
+
+    def test_ok_requires_records(self):
+        assert not ResolveResult(ResolveStatus.OK).ok
+        assert not ResolveResult(ResolveStatus.NXDOMAIN).ok
+
+
+class TestResolver:
+    def test_nxdomain_for_unknown(self):
+        resolver = Resolver(transient_failure_rate=0.0)
+        assert resolver.query("nope.com", RecordType.A, 0.0).status is ResolveStatus.NXDOMAIN
+
+    def test_registered_zone_resolves(self):
+        resolver = Resolver(transient_failure_rate=0.0)
+        resolver.register_zone(make_zone())
+        result = resolver.query("example.com", RecordType.MX, 10.0)
+        assert result.ok
+        assert resolver.resolve_mx_host("example.com", 10.0) == "mx1.example.com"
+
+    def test_expired_zone_nxdomain(self):
+        resolver = Resolver(transient_failure_rate=0.0)
+        resolver.register_zone(make_zone(start=0.0, end=100.0))
+        assert resolver.query("example.com", RecordType.A, 200.0).status is ResolveStatus.NXDOMAIN
+
+    def test_mx_window_breaks_routing(self):
+        resolver = Resolver(transient_failure_rate=0.0)
+        zone = make_zone()
+        zone.mx_error_windows = [Window(100.0, 200.0)]
+        resolver.register_zone(zone)
+        assert resolver.resolve_mx_host("example.com", 150.0) is None
+        assert resolver.resolve_mx_host("example.com", 250.0) == "mx1.example.com"
+
+    def test_auth_window_breaks_txt(self):
+        resolver = Resolver(transient_failure_rate=0.0)
+        zone = make_zone()
+        zone.add_record(RecordType.TXT_SPF, "v=spf1 -all")
+        zone.auth_error_windows = [Window(100.0, 200.0)]
+        resolver.register_zone(zone)
+        assert resolver.query("example.com", RecordType.TXT_SPF, 150.0).status is ResolveStatus.NO_DATA
+        assert resolver.query("example.com", RecordType.TXT_SPF, 50.0).ok
+
+    def test_no_data_for_missing_type(self):
+        resolver = Resolver(transient_failure_rate=0.0)
+        resolver.register_zone(make_zone())
+        assert resolver.query("example.com", RecordType.TXT_DMARC, 0.0).status is ResolveStatus.NO_DATA
+
+    def test_duplicate_zone_rejected(self):
+        resolver = Resolver()
+        resolver.register_zone(make_zone())
+        with pytest.raises(ValueError):
+            resolver.register_zone(make_zone())
+
+    def test_case_insensitive(self):
+        resolver = Resolver(transient_failure_rate=0.0)
+        resolver.register_zone(make_zone())
+        assert "EXAMPLE.COM" in resolver
+        assert resolver.query("Example.Com", RecordType.A, 0.0).ok
+
+    def test_transient_failures_heal(self):
+        resolver = Resolver(transient_failure_rate=0.5)
+        resolver.register_zone(make_zone())
+        rng = RandomSource(3)
+        statuses = {resolver.query("example.com", RecordType.A, 0.0, rng).status for _ in range(100)}
+        assert ResolveStatus.SERVFAIL in statuses
+        assert ResolveStatus.OK in statuses
+
+
+class TestMisconfigModel:
+    def test_windows_inside_clock(self):
+        clock = SimClock()
+        model = MisconfigModel(MX_PROFILE)
+        rng = RandomSource(77)
+        for i in range(200):
+            for w in model.sample_windows(rng.child(str(i)), clock):
+                assert w.start >= clock.start_ts
+                assert w.end <= clock.end_ts + 1
+
+    def test_windows_sorted_disjoint(self):
+        clock = SimClock()
+        model = MisconfigModel(AUTH_PROFILE)
+        rng = RandomSource(78)
+        for i in range(200):
+            windows = model.sample_windows(rng.child(str(i)), clock)
+            for a, b in zip(windows, windows[1:]):
+                assert a.end < b.start
+
+    def test_persistent_fraction(self):
+        clock = SimClock()
+        model = MisconfigModel(AUTH_PROFILE)
+        rng = RandomSource(79)
+        persistent = 0
+        n = 1000
+        for i in range(n):
+            windows = model.sample_windows(rng.child(str(i)), clock)
+            if len(windows) == 1 and windows[0].duration >= clock.end_ts - clock.start_ts:
+                persistent += 1
+        # Paper: 25.81% of DKIM/SPF-broken domains stay broken throughout.
+        assert 0.20 < persistent / n < 0.32
+
+    def test_mx_mostly_fixed_within_a_day(self):
+        """Fig 7: the MX curve rises fast — most fixes within a day."""
+        rng = RandomSource(80)
+        durations = [MX_PROFILE.sample_duration_days(rng) for _ in range(5000)]
+        under_1d = sum(1 for d in durations if d <= 1.0) / len(durations)
+        assert under_1d > 0.6
+
+    def test_quota_profile_is_slowest(self):
+        rng = RandomSource(81)
+        quota = [QUOTA_PROFILE.sample_duration_days(rng) for _ in range(3000)]
+        auth = [AUTH_PROFILE.sample_duration_days(rng) for _ in range(3000)]
+        mx = [MX_PROFILE.sample_duration_days(rng) for _ in range(3000)]
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(quota) > mean(auth) > mean(mx)
+        # Paper: >51% of quota episodes last >= 30 days.
+        assert sum(1 for d in quota if d >= 30) / len(quota) > 0.4
+
+    def test_auth_mean_near_paper(self):
+        """Paper: DKIM/SPF fix time averages ~12 days."""
+        rng = RandomSource(82)
+        durations = [AUTH_PROFILE.sample_duration_days(rng) for _ in range(8000)]
+        mean = sum(durations) / len(durations)
+        assert 6.0 < mean < 18.0
+
+
+class TestMergeWindows:
+    def test_merge_overlapping(self):
+        merged = _merge_windows([Window(0, 10), Window(5, 20), Window(30, 40)])
+        assert merged == [Window(0, 20), Window(30, 40)]
+
+    def test_merge_empty(self):
+        assert _merge_windows([]) == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1000),
+                st.floats(min_value=0.1, max_value=100),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_properties(self, raw):
+        windows = [Window(a, a + d) for a, d in raw]
+        merged = _merge_windows(windows)
+        # Sorted and disjoint.
+        for a, b in zip(merged, merged[1:]):
+            assert a.end < b.start
+        # Coverage preserved: every original point stays covered.
+        for w in windows:
+            mid = (w.start + w.end) / 2
+            assert any(m.contains(mid) or m.start <= mid <= m.end for m in merged)
+        # Total duration never increases beyond sum, never below max.
+        assert sum(m.duration for m in merged) <= sum(w.duration for w in windows) + 1e-6

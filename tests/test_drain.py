@@ -1,0 +1,164 @@
+"""Unit tests for the Drain template miner."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.drain import WILDCARD, Drain, mask_message, tokenize_message
+
+
+class TestMasking:
+    def test_masks_emails(self):
+        assert "<*>" in mask_message("user unknown: bob@example.com")
+        assert "bob@" not in mask_message("user unknown: bob@example.com")
+
+    def test_masks_ips(self):
+        assert "10.1.2.3" not in mask_message("blocked [10.1.2.3] by rbl")
+
+    def test_masks_numbers(self):
+        assert mask_message("retry in 300 seconds") == "retry in <*> seconds"
+
+    def test_masks_urls_and_hex(self):
+        masked = mask_message("see https://x.test/q?id=1 id AABBCCDD11")
+        assert "https://" not in masked
+        assert "AABBCCDD11" not in masked
+
+    def test_keeps_keywords(self):
+        masked = mask_message("550 5.1.1 mailbox full for a@b.com")
+        assert "mailbox full" in masked
+
+    def test_tokenize(self):
+        tokens = tokenize_message("550 User unknown")
+        assert tokens == ["<*>", "User", "unknown"]
+
+
+class TestClustering:
+    def test_same_template_clusters_together(self):
+        drain = Drain()
+        messages = [f"550 5.1.1 user u{i}@d{i}.com does not exist" for i in range(50)]
+        templates = {drain.add(m).template_id for m in messages}
+        assert len(templates) == 1
+        template = drain.templates[0]
+        assert template.count == 50
+
+    def test_different_structures_separate(self):
+        drain = Drain()
+        a = drain.add("550 5.1.1 user a@b.com does not exist")
+        b = drain.add("conversation with mx1.b.com timed out during greeting")
+        assert a.template_id != b.template_id
+
+    def test_wildcard_generalization(self):
+        drain = Drain()
+        drain.add("mailbox full for alice quota 100")
+        template = drain.add("mailbox full for bob quota 100")
+        assert WILDCARD in template.tokens
+        assert "mailbox" in template.tokens
+
+    def test_different_lengths_never_merge(self):
+        drain = Drain()
+        a = drain.add("one two three")
+        b = drain.add("one two three four")
+        assert a.template_id != b.template_id
+
+    def test_match_does_not_mutate(self):
+        drain = Drain()
+        drain.add("550 user alice@a.com unknown")
+        n_before = len(drain.templates)
+        found = drain.match("550 user bob@b.org unknown")
+        assert found is not None
+        assert len(drain.templates) == n_before
+        assert drain.match("totally different structure of words here") is None
+
+    def test_counts_ranked(self):
+        drain = Drain()
+        for _ in range(5):
+            drain.add("rare template variant alpha beta")
+        for i in range(20):
+            drain.add(f"550 user u{i} unknown")
+        ranked = drain.templates_by_count()
+        assert ranked[0].count >= ranked[-1].count
+        assert ranked[0].count == 20
+
+    def test_examples_bounded(self):
+        drain = Drain()
+        for i in range(30):
+            template = drain.add(f"550 user u{i} unknown")
+        assert len(template.examples) <= template.MAX_EXAMPLES
+
+    def test_fit_returns_assignment_per_message(self):
+        drain = Drain()
+        messages = [
+            "550 a@x.com unknown",
+            "550 b@y.org unknown",
+            "greylisted please retry",
+        ]
+        assigned = drain.fit(messages)
+        assert len(assigned) == 3
+        assert assigned[0].template_id == assigned[1].template_id
+        assert assigned[2].template_id != assigned[0].template_id
+
+    def test_bank_corpus_clusters_to_templates(self):
+        """NDRs rendered from the bank must cluster to roughly one template
+        per wording, not one per message."""
+        from repro.core.taxonomy import BounceType
+        from repro.smtp.templates import NDRTemplateBank, TemplateDialect
+        from repro.util.rng import RandomSource
+
+        bank = NDRTemplateBank()
+        rng = RandomSource(17)
+        messages = []
+        for i in range(400):
+            t = rng.choice([BounceType.T5, BounceType.T8, BounceType.T9, BounceType.T14])
+            d = rng.choice(list(TemplateDialect))
+            messages.append(
+                bank.render(t, d, rng, context={"address": f"u{i}@d{i}.com", "ip": f"10.0.{i%250}.1"}).text
+            )
+        drain = Drain(sim_threshold=0.45)
+        drain.fit(messages)
+        assert len(drain.templates) < 60
+
+    def test_max_children_overflow_routes_to_wildcard(self):
+        drain = Drain(max_children=3)
+        for i in range(20):
+            drain.add(f"prefix{i} middle suffix")
+        # No crash, and all messages were absorbed.
+        assert sum(t.count for t in drain.templates) == 20
+
+
+class TestDrainValidation:
+    def test_invalid_params(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Drain(depth=0)
+        with pytest.raises(ValueError):
+            Drain(sim_threshold=0.0)
+        with pytest.raises(ValueError):
+            Drain(sim_threshold=1.5)
+
+    def test_empty_message(self):
+        drain = Drain()
+        template = drain.add("")
+        assert template.count == 1
+
+
+class TestDrainProperties:
+    @given(
+        st.lists(
+            st.text(alphabet="abc 0123", min_size=1, max_size=30),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_total_count_equals_messages(self, messages):
+        drain = Drain()
+        drain.fit(messages)
+        assert sum(t.count for t in drain.templates) == len(messages)
+
+    @given(st.text(alphabet="abcdef 123.@", min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_match_after_add(self, message):
+        drain = Drain()
+        added = drain.add(message)
+        found = drain.match(message)
+        assert found is not None
+        assert found.template_id == added.template_id

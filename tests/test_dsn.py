@@ -1,0 +1,104 @@
+"""Tests for DSN (RFC 3464) rendering and parsing."""
+
+import pytest
+
+from repro.delivery.records import AttemptRecord, DeliveryRecord
+from repro.smtp.dsn import Dsn, dsn_for_record, parse_dsn, render_dsn
+
+
+def make_record(results, sender="a@s.cn", receiver="b@r.com"):
+    attempts = [
+        AttemptRecord(
+            t=1_700_000_000.0 + i * 1800,
+            from_ip="10.0.0.1",
+            to_ip="10.0.0.2",
+            result=result,
+            latency_ms=1000,
+            truth_type=None if result.startswith("250") else "T8",
+        )
+        for i, result in enumerate(results)
+    ]
+    return DeliveryRecord(
+        sender=sender,
+        receiver=receiver,
+        start_time=attempts[0].t,
+        end_time=attempts[-1].t,
+        email_flag="Normal",
+        attempts=attempts,
+    )
+
+
+class TestDsnGeneration:
+    def test_no_dsn_for_clean_delivery(self):
+        assert dsn_for_record(make_record(["250 OK"])) is None
+
+    def test_failed_dsn(self):
+        record = make_record(["550 5.1.1 user unknown", "550 5.1.1 user unknown"])
+        dsn = dsn_for_record(record)
+        assert dsn is not None
+        assert dsn.failed
+        r = dsn.recipients[0]
+        assert r.action == "failed"
+        assert r.status == "5.1.1"
+        assert r.final_recipient == "b@r.com"
+        assert "user unknown" in r.diagnostic_code
+
+    def test_delayed_then_delivered_dsn(self):
+        record = make_record(["451 4.7.1 greylisted", "250 OK"])
+        dsn = dsn_for_record(record)
+        assert dsn is not None
+        assert not dsn.failed
+        assert dsn.recipients[0].action == "delivered"
+        assert dsn.recipients[0].status == "4.7.1"
+
+    def test_status_without_enhanced_code(self):
+        record = make_record(["550 plain rejection", "550 plain rejection"])
+        dsn = dsn_for_record(record)
+        assert dsn.recipients[0].status == "5.0.0"
+
+    def test_status_for_codeless_timeout(self):
+        record = make_record(["conversation timed out"] * 2)
+        dsn = dsn_for_record(record)
+        assert dsn.recipients[0].status == "4.0.0"
+
+
+class TestDsnRendering:
+    def test_render_contains_required_fields(self):
+        record = make_record(["550 5.1.1 user unknown"] * 2)
+        text = render_dsn(dsn_for_record(record))
+        assert "From: MAILER-DAEMON@" in text
+        assert "Subject: Undelivered Mail Returned to Sender" in text
+        assert "Content-Type: message/delivery-status" in text
+        assert "Final-Recipient: rfc822; b@r.com" in text
+        assert "Action: failed" in text
+        assert "Status: 5.1.1" in text
+
+    def test_delayed_subject(self):
+        record = make_record(["451 4.7.1 greylisted", "250 OK"])
+        text = render_dsn(dsn_for_record(record))
+        assert "Delayed Mail Notification" in text
+
+    def test_roundtrip(self):
+        record = make_record(["550 5.2.2 mailbox full for b@r.com"] * 2)
+        original = dsn_for_record(record)
+        parsed = parse_dsn(render_dsn(original))
+        assert parsed.reporting_mta == original.reporting_mta
+        assert parsed.original_sender == original.original_sender
+        assert len(parsed.recipients) == 1
+        assert parsed.recipients[0].final_recipient == "b@r.com"
+        assert parsed.recipients[0].status == "5.2.2"
+        assert parsed.recipients[0].action == "failed"
+
+    def test_roundtrip_over_simulated_records(self, dataset):
+        checked = 0
+        for record in dataset:
+            dsn = dsn_for_record(record)
+            if dsn is None:
+                continue
+            parsed = parse_dsn(render_dsn(dsn))
+            assert parsed.recipients[0].final_recipient == record.receiver
+            assert parsed.recipients[0].action == dsn.recipients[0].action
+            checked += 1
+            if checked >= 50:
+                break
+        assert checked == 50

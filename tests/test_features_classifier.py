@@ -1,0 +1,159 @@
+"""Unit tests for the TF-IDF vectorizer and the softmax classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import ConfusionMatrix, SoftmaxClassifier
+from repro.core.features import TfidfVectorizer
+from repro.core.tokenize import ndr_tokens, normalize_ndr
+
+
+class TestTokenize:
+    def test_codes_become_tokens(self):
+        norm = normalize_ndr("550 5.1.1 The account a@b.com does not exist")
+        assert "rc_550" in norm
+        assert "ec_5.1.1" in norm
+        assert "ecc_5" in norm
+        assert "<email>" in norm
+        assert "exist" in norm
+
+    def test_entities_collapse(self):
+        norm = normalize_ndr("blocked [10.1.2.3] see https://rbl.example/q id AABBCCDD99")
+        assert "<ip>" in norm
+        assert "<url>" in norm
+        assert "10.1.2.3" not in norm
+
+    def test_no_codes(self):
+        norm = normalize_ndr("conversation with mx timed out")
+        assert "rc_" not in norm
+        assert "timed" in norm
+
+    def test_tokens_list(self):
+        assert ndr_tokens("550 Mailbox full")[:1] == ["rc_550"]
+
+
+class TestVectorizer:
+    CORPUS = [
+        "550 5.1.1 user a@b.com does not exist",
+        "550 5.1.1 user c@d.com does not exist",
+        "452 4.2.2 mailbox full for e@f.com",
+        "452 4.2.2 mailbox full for g@h.com",
+        "451 4.7.1 greylisting in action please retry",
+        "451 4.7.1 greylisting in action please retry later",
+    ]
+
+    def test_fit_transform_shape(self):
+        v = TfidfVectorizer(min_df=1)
+        X = v.fit_transform(self.CORPUS)
+        assert X.shape == (len(self.CORPUS), v.n_features)
+        assert v.n_features > 10
+
+    def test_rows_normalised(self):
+        v = TfidfVectorizer(min_df=1)
+        X = v.fit_transform(self.CORPUS)
+        norms = np.linalg.norm(X, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0, atol=1e-5)
+
+    def test_similar_texts_closer(self):
+        v = TfidfVectorizer(min_df=1)
+        X = v.fit_transform(self.CORPUS)
+        same = float(X[0] @ X[1])   # two no-such-user messages
+        cross = float(X[0] @ X[4])  # no-such-user vs greylist
+        assert same > cross
+
+    def test_transform_unseen_features_ignored(self):
+        v = TfidfVectorizer(min_df=1)
+        v.fit(self.CORPUS[:2])
+        X = v.transform(["entirely novel wording zzz qqq"])
+        assert X.shape[0] == 1
+
+    def test_min_df_filters(self):
+        v1 = TfidfVectorizer(min_df=1).fit(self.CORPUS)
+        v2 = TfidfVectorizer(min_df=3).fit(self.CORPUS)
+        assert v2.n_features < v1.n_features
+
+    def test_max_features_cap(self):
+        v = TfidfVectorizer(min_df=1, max_features=20).fit(self.CORPUS)
+        assert v.n_features <= 20
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TfidfVectorizer().transform(["x"])
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            TfidfVectorizer().fit([])
+
+    def test_deterministic_vocabulary(self):
+        a = TfidfVectorizer(min_df=1).fit(self.CORPUS)
+        b = TfidfVectorizer(min_df=1).fit(self.CORPUS)
+        assert a.vocabulary_ == b.vocabulary_
+
+
+class TestSoftmaxClassifier:
+    def _separable_data(self, n=300, d=6, k=3, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d)).astype(np.float32)
+        centers = rng.normal(scale=4.0, size=(k, d)).astype(np.float32)
+        y = rng.integers(0, k, size=n)
+        X += centers[y]
+        labels = [f"c{int(i)}" for i in y]
+        return X, labels
+
+    def test_learns_separable_classes(self):
+        X, labels = self._separable_data()
+        clf = SoftmaxClassifier(n_epochs=40).fit(X, labels)
+        accuracy = np.mean([p == t for p, t in zip(clf.predict(X), labels)])
+        assert accuracy > 0.95
+
+    def test_probabilities_sum_to_one(self):
+        X, labels = self._separable_data(n=100)
+        clf = SoftmaxClassifier(n_epochs=10).fit(X, labels)
+        probs = clf.predict_proba(X[:20])
+        assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-5)
+        assert (probs >= 0).all()
+
+    def test_classes_sorted(self):
+        X, labels = self._separable_data()
+        clf = SoftmaxClassifier(n_epochs=5).fit(X, labels)
+        assert clf.classes_ == sorted(set(labels))
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            SoftmaxClassifier().fit(np.zeros((5, 2), dtype=np.float32), ["a"] * 4)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxClassifier().predict(np.zeros((1, 2), dtype=np.float32))
+
+    def test_deterministic_training(self):
+        X, labels = self._separable_data()
+        a = SoftmaxClassifier(n_epochs=10, seed=3).fit(X, labels)
+        b = SoftmaxClassifier(n_epochs=10, seed=3).fit(X, labels)
+        assert np.allclose(a.W_, b.W_)
+
+
+class TestConfusionMatrix:
+    def test_perfect(self):
+        cm = ConfusionMatrix.from_labels(["a", "b", "a"], ["a", "b", "a"])
+        assert cm.accuracy == 1.0
+        assert cm.macro_recall == 1.0
+        assert cm.macro_precision == 1.0
+
+    def test_known_values(self):
+        truth = ["a", "a", "a", "b", "b"]
+        pred = ["a", "a", "b", "b", "a"]
+        cm = ConfusionMatrix.from_labels(truth, pred)
+        assert cm.recall("a") == pytest.approx(2 / 3)
+        assert cm.recall("b") == pytest.approx(1 / 2)
+        assert cm.precision("a") == pytest.approx(2 / 3)
+        assert cm.accuracy == pytest.approx(3 / 5)
+
+    def test_class_absent_in_truth(self):
+        cm = ConfusionMatrix.from_labels(["a", "a"], ["a", "c"])
+        assert "c" in cm.classes
+        assert cm.precision("c") == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix.from_labels(["a"], ["a", "b"])

@@ -1,0 +1,127 @@
+"""Unit tests for the geography substrate."""
+
+import pytest
+
+from repro.geo.asn import AS_REGISTRY, as_by_number, make_generic_as
+from repro.geo.countries import (
+    COUNTRIES,
+    FAST_INTERNET_THRESHOLD_MBPS,
+    PROXY_COUNTRIES,
+    country_by_code,
+    total_receiver_weight,
+)
+from repro.geo.ipaddr import GeoLookup, IPAllocator
+
+
+class TestCountryRegistry:
+    def test_codes_unique(self):
+        codes = [c.code for c in COUNTRIES]
+        assert len(codes) == len(set(codes))
+
+    def test_paper_top_receivers_present_with_shares(self):
+        us = country_by_code("US")
+        de = country_by_code("DE")
+        ca = country_by_code("CA")
+        assert us.receiver_weight > de.receiver_weight > ca.receiver_weight
+
+    def test_proxy_countries_exist(self):
+        for code in PROXY_COUNTRIES:
+            assert country_by_code(code) is not None
+
+    def test_figure8_countries_present(self):
+        for code in ("NA", "RW", "SV", "BZ", "DO", "NP", "SK", "SY", "KE", "PS",
+                     "EG", "LI", "KG", "NG", "MA", "CI", "GE", "PR", "MN", "ZA"):
+            assert country_by_code(code) is not None
+
+    def test_table5_countries_present(self):
+        for code in ("VE", "TJ", "QA", "RO", "LV", "IR", "MM", "ME", "ZW", "MG", "BN"):
+            assert country_by_code(code) is not None
+
+    def test_fig10_extremes(self):
+        # Singapore fastest, Cambodia slowest (Fig 10).
+        sg = country_by_code("SG")
+        kh = country_by_code("KH")
+        assert sg.latency_median_s < 7
+        assert kh.latency_median_s > 80
+        assert all(sg.latency_median_s <= c.latency_median_s for c in COUNTRIES)
+
+    def test_fast_internet_classification(self):
+        assert country_by_code("US").fast_internet
+        assert not country_by_code("NA").fast_internet
+        assert FAST_INTERNET_THRESHOLD_MBPS == 25.0
+
+    def test_africa_has_poor_infrastructure(self):
+        african = [c for c in COUNTRIES if c.continent == "Africa"]
+        others = [c for c in COUNTRIES if c.continent != "Africa"]
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean([c.infra_timeout for c in african]) > mean([c.infra_timeout for c in others])
+
+    def test_greylist_heavy_countries(self):
+        # Table 5's soft-bounce rows are greylisting-dominated countries.
+        assert country_by_code("ME").greylist_prevalence > 0.5
+        assert country_by_code("US").greylist_prevalence < 0.05
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError):
+            country_by_code("XX")
+
+    def test_weights_positive(self):
+        assert all(c.receiver_weight > 0 for c in COUNTRIES)
+        assert total_receiver_weight() > 0
+
+
+class TestASRegistry:
+    def test_table4_ases(self):
+        assert as_by_number(8075).org == "Microsoft Corporation"
+        assert as_by_number(15169).org == "Google LLC"
+        assert as_by_number(714).org == "Apple Inc."
+
+    def test_volume_ordering(self):
+        # Microsoft's AS dwarfs the rest in Table 4.
+        weights = [a.weight for a in AS_REGISTRY]
+        assert weights[0] == max(weights)
+        assert as_by_number(8075).weight > 2 * as_by_number(15169).weight
+
+    def test_security_vendors_flagged(self):
+        assert as_by_number(52129).security_vendor
+        assert as_by_number(16417).security_vendor
+        assert not as_by_number(15169).security_vendor
+
+    def test_generic_as(self):
+        a = make_generic_as(3, "EG")
+        assert a.country == "EG"
+        assert a.number >= 60000
+        assert "EG" in a.org
+
+    def test_label(self):
+        assert as_by_number(8075).label == "AS8075 Microsoft Corporation"
+
+
+class TestIPAllocator:
+    def test_unique_addresses(self):
+        alloc = IPAllocator()
+        asn = make_generic_as(1, "US")
+        addresses = {alloc.allocate("US", asn) for _ in range(1000)}
+        assert len(addresses) == 1000
+        assert len(alloc) == 1000
+
+    def test_geolookup_roundtrip(self):
+        alloc = IPAllocator()
+        geo = GeoLookup(alloc)
+        asn = make_generic_as(2, "DE")
+        ip = alloc.allocate("DE", asn)
+        assert geo.country(ip) == "DE"
+        assert geo.asn(ip).number == asn.number
+        assert geo.lookup(ip).address == ip
+
+    def test_unknown_ip_raises(self):
+        geo = GeoLookup(IPAllocator())
+        with pytest.raises(KeyError):
+            geo.country("10.9.9.9")
+
+    def test_address_format(self):
+        alloc = IPAllocator()
+        ip = alloc.allocate("US", make_generic_as(1, "US"))
+        octets = ip.split(".")
+        assert len(octets) == 4
+        assert all(0 <= int(o) <= 255 for o in octets)

@@ -1,0 +1,93 @@
+"""Unit tests for the expert labelling rules."""
+
+import pytest
+
+from repro.core.labeling import (
+    AMBIGUOUS_PATTERNS,
+    LABEL_RULES,
+    UNKNOWN_TYPE_PATTERNS,
+    is_ambiguous_text,
+    label_text,
+)
+from repro.core.taxonomy import BounceType
+
+
+class TestAmbiguity:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "ABCDEF 5.4.1 Recipient address rejected: Access denied. AS(201806281)",
+            "554 5.7.1 xyz Message rejected due to local policy.",
+            "550 q Mail is rejected by recipients a@b.c",
+            "10.0.0.1 Not allowed.(CONNECT)",
+            "454 Relay access denied q123",
+        ],
+    )
+    def test_table6_templates_ambiguous(self, text):
+        assert is_ambiguous_text(text)
+        assert label_text(text) is None
+
+    def test_informative_not_ambiguous(self):
+        assert not is_ambiguous_text("550 5.1.1 user does not exist")
+
+    def test_unknown_type_patterns_distinct_from_ambiguous(self):
+        text = "550 QQ This message is not RFC 5322 compliant"
+        assert not is_ambiguous_text(text)
+        assert label_text(text) is None
+        assert any(p.search(text) for p in UNKNOWN_TYPE_PATTERNS)
+
+
+class TestRules:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("450 4.1.8 <a@b.c>: Sender address rejected: Domain not found", BounceType.T1),
+            ("554 5.4.4 [internal] domain lookup failed for x.com: Host not found", BounceType.T2),
+            ("550 5.4.4 DNS lookup for x.com returned NXDOMAIN", BounceType.T2),
+            ("550-5.7.26 ... fails to pass authentication checks (SPF or DKIM)", BounceType.T3),
+            ("530 5.7.0 Must issue a STARTTLS command first", BounceType.T4),
+            ("554 5.7.1 Service unavailable; Client host [1.2.3.4] blocked using zen.spamhaus.org", BounceType.T5),
+            ("451 4.7.1 Greylisting in action, please come back later", BounceType.T6),
+            ("421 4.7.0 [1.2.3.4] Messages from this IP temporarily deferred due to unexpected volume", BounceType.T7),
+            ("550-5.1.1 The email account that you tried to reach does not exist.", BounceType.T8),
+            ("452-4.2.2 The email account that you tried to reach is over quota", BounceType.T9),
+            ("452 4.5.3 Too many recipients; message not accepted", BounceType.T10),
+            ("554 5.7.1 Daily message quota exceeded for recipient a@b.c", BounceType.T11),
+            ("552 5.3.4 Message size exceeds fixed maximum message size (1000 bytes)", BounceType.T12),
+            ("554 5.7.1 Message rejected as spam by Content Filtering", BounceType.T13),
+            ("conversation with mx1.b.com[1.2.3.4] timed out while receiving the initial server greeting", BounceType.T14),
+            ("lost connection with mx1.b.com[1.2.3.4] while sending message body", BounceType.T15),
+        ],
+    )
+    def test_representative_wordings(self, text, expected):
+        assert label_text(text) is expected
+
+    def test_over_quota_and_inactive_is_t9(self):
+        # Rule-ordering subtlety from Appendix B.
+        text = "552-5.2.2 The email account that you tried to reach is over quota and inactive"
+        assert label_text(text) is BounceType.T9
+
+    def test_inactive_account_is_t8(self):
+        assert label_text("554 5.7.1 Account a@b.c is inactive and cannot receive email") is BounceType.T8
+
+    def test_overloaded_5_7_1_not_resolved_by_code(self):
+        """The same 550-5.7.1 code labels three different types — the
+        paper's Appendix B point that codes alone cannot classify."""
+        texts = {
+            "550 5.7.1 Recipient address rejected: user a@b.c does not exist": BounceType.T8,
+            "550 5.7.1 This email was rejected because it violates our security policy. Remotehost is listed in the following RBL lists: SpamCop": BounceType.T5,
+            "550 5.7.1 Message contains spam or virus. (Q123)": BounceType.T13,
+        }
+        for text, expected in texts.items():
+            assert label_text(text) is expected
+
+    def test_unrecognised_returns_none(self):
+        assert label_text("591 something entirely novel happened") is None
+
+    def test_rules_cover_all_classifiable_types(self):
+        covered = {rule.bounce_type for rule in LABEL_RULES}
+        expected = {t for t in BounceType if t is not BounceType.T16}
+        assert covered == expected
+
+    def test_patterns_compiled(self):
+        assert all(hasattr(p, "search") for p in AMBIGUOUS_PATTERNS)

@@ -1,0 +1,304 @@
+"""Unit tests for the receiver-MTA policy engine: greylisting, filters,
+and the decision gauntlet branch by branch."""
+
+import pytest
+
+from repro.auth.dkim import DkimVerdict
+from repro.auth.dmarc import DmarcDisposition
+from repro.auth.evaluator import AuthResult
+from repro.auth.spf import SpfVerdict
+from repro.core.taxonomy import BounceType
+from repro.dnsbl.service import DNSBLService
+from repro.mta.filters import COREMAIL_FILTER, SpamFilter, SpamVerdict
+from repro.mta.greylist import Greylist
+from repro.mta.policies import ReceiverPolicy, TLSRequirement
+from repro.mta.receiver import AttemptContext, ReceiverMTA, RecipientStatus
+from repro.smtp.templates import NDRTemplateBank, TemplateDialect
+from repro.util.clock import Window
+from repro.util.rng import RandomSource
+
+
+class TestGreylist:
+    def test_first_attempt_deferred(self):
+        g = Greylist(delay_s=300)
+        assert g.check("ip1", "a@x", "b@y", t=0.0) is False
+
+    def test_same_tuple_after_delay_passes(self):
+        g = Greylist(delay_s=300)
+        g.check("ip1", "a@x", "b@y", t=0.0)
+        assert g.check("ip1", "a@x", "b@y", t=400.0) is True
+
+    def test_same_tuple_too_soon_deferred(self):
+        g = Greylist(delay_s=300)
+        g.check("ip1", "a@x", "b@y", t=0.0)
+        assert g.check("ip1", "a@x", "b@y", t=100.0) is False
+
+    def test_different_ip_is_new_tuple(self):
+        """The Coremail conflict: a retry from another proxy looks new."""
+        g = Greylist(delay_s=300)
+        g.check("ip1", "a@x", "b@y", t=0.0)
+        assert g.check("ip2", "a@x", "b@y", t=400.0) is False
+
+    def test_passed_tuple_stays_whitelisted(self):
+        g = Greylist(delay_s=300)
+        g.check("ip1", "a@x", "b@y", t=0.0)
+        g.check("ip1", "a@x", "b@y", t=400.0)
+        assert g.check("ip1", "a@x", "b@y", t=500.0) is True
+
+    def test_network_prefix_24_matches_neighbours(self):
+        """postgrey-style /24 matching: a retry from a neighbouring MTA in
+        the same /24 continues the original tuple."""
+        g = Greylist(delay_s=300, network_prefix=24)
+        g.check("10.1.2.3", "a@x", "b@y", t=0.0)
+        assert g.check("10.1.2.99", "a@x", "b@y", t=400.0) is True
+        # A different /24 is still a fresh tuple.
+        assert g.check("10.1.3.3", "a@x", "b@y", t=800.0) is False
+
+    def test_retention_expiry(self):
+        g = Greylist(delay_s=300, retention_s=1000.0)
+        g.check("ip1", "a@x", "b@y", t=0.0)
+        g.check("ip1", "a@x", "b@y", t=400.0)
+        # Far beyond retention: re-greylisted (state re-arms via delay rule).
+        assert g.check("ip1", "a@x", "b@y", t=5000.0) is True  # delay satisfied
+        assert g.known_tuples() == 1
+
+
+class TestSpamFilter:
+    def test_extremes(self):
+        f = SpamFilter("t", threshold=0.5, noise_sigma=0.01)
+        rng = RandomSource(1)
+        assert f.classify(0.99, rng) is SpamVerdict.SPAM
+        assert f.classify(0.01, rng) is SpamVerdict.NORMAL
+
+    def test_score_clamped(self):
+        f = SpamFilter("t", threshold=0.5, noise_sigma=3.0)
+        rng = RandomSource(2)
+        for _ in range(200):
+            assert 0.0 <= f.score(0.5, rng) <= 1.0
+
+    def test_noise_creates_disagreement(self):
+        """Two filters with the same threshold disagree on borderline mail
+        — the mechanism behind the paper's 46%/39% divergence."""
+        a = SpamFilter("a", threshold=0.6, noise_sigma=0.2)
+        b = SpamFilter("b", threshold=0.6, noise_sigma=0.2)
+        rng = RandomSource(3)
+        disagreements = sum(
+            a.classify(0.55, rng) != b.classify(0.55, rng) for _ in range(500)
+        )
+        assert disagreements > 50
+
+    def test_coremail_filter_exists(self):
+        assert COREMAIL_FILTER.name == "coremail"
+
+
+def make_mta(policy=None, dialect=TemplateDialect.POSTFIX, dnsbl=None, threshold=0.9):
+    policy = policy or ReceiverPolicy()
+    policy.unknown_render = 0.0  # deterministic tests
+    policy.ambiguity = 0.0
+    return ReceiverMTA(
+        domain="dest.com",
+        dialect=dialect,
+        policy=policy,
+        spam_filter=SpamFilter("t", threshold=threshold, noise_sigma=0.01),
+        bank=NDRTemplateBank(),
+        dnsbl=dnsbl,
+    )
+
+
+def make_ctx(**overrides) -> AttemptContext:
+    defaults = dict(
+        t=1000.0,
+        proxy_ip="10.0.0.1",
+        sender_address="alice@org.cn",
+        receiver_address="bob@dest.com",
+        uses_tls=False,
+        spamminess=0.05,
+        size_bytes=10_000,
+        recipient_count=1,
+        sender_domain_unresolvable=False,
+        auth_result=None,
+        recipient_status=RecipientStatus.OK,
+    )
+    defaults.update(overrides)
+    return AttemptContext(**defaults)
+
+
+class TestReceiverGauntlet:
+    def test_clean_accept(self):
+        decision = make_mta().evaluate(make_ctx(), RandomSource(1))
+        assert decision.accepted
+        assert decision.receiver_verdict is SpamVerdict.NORMAL
+
+    def test_tls_mandatory_rejects_plaintext(self):
+        policy = ReceiverPolicy(tls=TLSRequirement.MANDATORY)
+        decision = make_mta(policy).evaluate(make_ctx(uses_tls=False), RandomSource(1))
+        assert decision.bounce_type is BounceType.T4
+        assert decision.retryable
+
+    def test_tls_mandatory_accepts_tls(self):
+        policy = ReceiverPolicy(tls=TLSRequirement.MANDATORY)
+        decision = make_mta(policy).evaluate(make_ctx(uses_tls=True), RandomSource(1))
+        assert decision.accepted
+
+    def test_dnsbl_rejects_listed_source(self):
+        dnsbl = DNSBLService()
+        dnsbl.add_listing("10.0.0.1", Window(0.0, 1e9))
+        policy = ReceiverPolicy(uses_dnsbl=True)
+        decision = make_mta(policy, dnsbl=dnsbl).evaluate(make_ctx(), RandomSource(1))
+        assert decision.bounce_type is BounceType.T5
+        assert decision.retryable
+
+    def test_dnsbl_adoption_date_respected(self):
+        dnsbl = DNSBLService()
+        dnsbl.add_listing("10.0.0.1", Window(0.0, 1e9))
+        policy = ReceiverPolicy(uses_dnsbl=True, dnsbl_adoption_ts=5000.0)
+        mta = make_mta(policy, dnsbl=dnsbl)
+        before = mta.evaluate(make_ctx(t=1000.0), RandomSource(1))
+        after = mta.evaluate(make_ctx(t=6000.0), RandomSource(1))
+        assert before.accepted
+        assert after.bounce_type is BounceType.T5
+
+    def test_greylisting_defers_then_accepts(self):
+        policy = ReceiverPolicy(greylisting=True, greylist_delay_s=300)
+        mta = make_mta(policy)
+        first = mta.evaluate(make_ctx(t=0.0), RandomSource(1))
+        retry = mta.evaluate(make_ctx(t=400.0), RandomSource(1))
+        assert first.bounce_type is BounceType.T6
+        assert retry.accepted
+
+    def test_sender_dns_failure(self):
+        decision = make_mta().evaluate(
+            make_ctx(sender_domain_unresolvable=True), RandomSource(1)
+        )
+        assert decision.bounce_type is BounceType.T1
+        assert not decision.retryable
+
+    @staticmethod
+    def _failing_auth(dmarc=DmarcDisposition.NONE_POLICY) -> AuthResult:
+        return AuthResult(spf=SpfVerdict.NONE, dkim=DkimVerdict.NONE, dmarc=dmarc)
+
+    def test_auth_enforced(self):
+        policy = ReceiverPolicy(enforces_auth=True)
+        decision = make_mta(policy).evaluate(
+            make_ctx(auth_result=self._failing_auth()), RandomSource(1)
+        )
+        assert decision.bounce_type is BounceType.T3
+
+    def test_auth_dmarc_reject_wording(self):
+        policy = ReceiverPolicy(enforces_auth=True)
+        decision = make_mta(policy).evaluate(
+            make_ctx(auth_result=self._failing_auth(DmarcDisposition.REJECT)),
+            RandomSource(1),
+        )
+        assert decision.bounce_type is BounceType.T3
+        assert "dmarc" in decision.ndr.text.lower()
+
+    def test_auth_passing_accepted(self):
+        policy = ReceiverPolicy(enforces_auth=True)
+        passing = AuthResult(
+            spf=SpfVerdict.PASS, dkim=DkimVerdict.NONE, dmarc=DmarcDisposition.PASS
+        )
+        decision = make_mta(policy).evaluate(
+            make_ctx(auth_result=passing), RandomSource(1)
+        )
+        assert decision.accepted
+
+    def test_auth_not_enforced(self):
+        decision = make_mta().evaluate(
+            make_ctx(auth_result=self._failing_auth()), RandomSource(1)
+        )
+        assert decision.accepted
+
+    def test_no_such_user(self):
+        decision = make_mta().evaluate(
+            make_ctx(recipient_status=RecipientStatus.NO_SUCH_USER), RandomSource(1)
+        )
+        assert decision.bounce_type is BounceType.T8
+        assert not decision.retryable
+
+    def test_inactive_user_wording(self):
+        decision = make_mta().evaluate(
+            make_ctx(recipient_status=RecipientStatus.INACTIVE), RandomSource(1)
+        )
+        assert decision.bounce_type is BounceType.T8
+        text = decision.ndr.text.lower()
+        assert "inactive" in text or "disabled" in text
+
+    def test_mailbox_full(self):
+        decision = make_mta().evaluate(
+            make_ctx(recipient_status=RecipientStatus.FULL), RandomSource(1)
+        )
+        assert decision.bounce_type is BounceType.T9
+
+    def test_too_many_recipients(self):
+        policy = ReceiverPolicy(max_recipients=10)
+        decision = make_mta(policy).evaluate(make_ctx(recipient_count=50), RandomSource(1))
+        assert decision.bounce_type is BounceType.T10
+
+    def test_message_too_large(self):
+        policy = ReceiverPolicy(max_message_bytes=1000)
+        decision = make_mta(policy).evaluate(make_ctx(size_bytes=5000), RandomSource(1))
+        assert decision.bounce_type is BounceType.T12
+
+    def test_recipient_over_rate(self):
+        decision = make_mta().evaluate(
+            make_ctx(recipient_status=RecipientStatus.OVER_RATE), RandomSource(1)
+        )
+        assert decision.bounce_type is BounceType.T11
+        assert decision.retryable
+
+    def test_spam_rejected(self):
+        decision = make_mta(threshold=0.5).evaluate(
+            make_ctx(spamminess=0.95), RandomSource(1)
+        )
+        assert decision.bounce_type is BounceType.T13
+        assert decision.receiver_verdict is SpamVerdict.SPAM
+
+    def test_rate_limit_probabilistic(self):
+        policy = ReceiverPolicy(rate_limit_probability=1.0)
+        decision = make_mta(policy).evaluate(make_ctx(), RandomSource(1))
+        assert decision.bounce_type is BounceType.T7
+
+    def test_check_order_blocklist_before_recipient(self):
+        """A listed source is rejected before the recipient is examined."""
+        dnsbl = DNSBLService()
+        dnsbl.add_listing("10.0.0.1", Window(0.0, 1e9))
+        policy = ReceiverPolicy(uses_dnsbl=True)
+        decision = make_mta(policy, dnsbl=dnsbl).evaluate(
+            make_ctx(recipient_status=RecipientStatus.NO_SUCH_USER), RandomSource(1)
+        )
+        assert decision.bounce_type is BounceType.T5
+
+    def test_ambiguous_rendering(self):
+        policy = ReceiverPolicy()
+        policy.ambiguity = 1.0
+        policy.unknown_render = 0.0
+        mta = ReceiverMTA(
+            domain="dest.com",
+            dialect=TemplateDialect.EXCHANGE,
+            policy=policy,
+            spam_filter=SpamFilter("t", 0.9, 0.01),
+            bank=NDRTemplateBank(),
+        )
+        decision = mta.evaluate(
+            make_ctx(recipient_status=RecipientStatus.NO_SUCH_USER), RandomSource(1)
+        )
+        assert decision.ndr.ambiguous
+        assert decision.ndr.truth_type == BounceType.T8.value
+
+    def test_unknown_render(self):
+        policy = ReceiverPolicy()
+        policy.ambiguity = 0.0
+        policy.unknown_render = 1.0
+        mta = ReceiverMTA(
+            domain="dest.com",
+            dialect=TemplateDialect.POSTFIX,
+            policy=policy,
+            spam_filter=SpamFilter("t", 0.9, 0.01),
+            bank=NDRTemplateBank(),
+        )
+        decision = mta.evaluate(
+            make_ctx(recipient_status=RecipientStatus.NO_SUCH_USER), RandomSource(1)
+        )
+        assert decision.bounce_type is BounceType.T16
+        assert decision.ndr.truth_type == BounceType.T16.value

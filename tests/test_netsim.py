@@ -1,0 +1,74 @@
+"""Unit tests for the network-quality model."""
+
+from repro.netsim.quality import NetworkModel, PAIR_TIMEOUT_MULTIPLIERS
+from repro.util.rng import RandomSource
+
+
+class TestTimeoutProbabilities:
+    def test_poor_country_worse_than_rich(self):
+        net = NetworkModel()
+        assert net.timeout_probability("US", "NA") > net.timeout_probability("US", "US")
+
+    def test_hk_rwanda_anomaly(self):
+        """Fig 8: HK→RW is much worse than other proxies into Rwanda."""
+        net = NetworkModel()
+        hk = net.timeout_probability("HK", "RW")
+        others = [net.timeout_probability(s, "RW") for s in ("US", "DE", "GB")]
+        assert hk > 1.8 * max(others)
+
+    def test_hk_belize_anomaly_inverse(self):
+        """...while HK→BZ is dramatically better (0.34% in the paper)."""
+        net = NetworkModel()
+        hk = net.timeout_probability("HK", "BZ")
+        us = net.timeout_probability("US", "BZ")
+        assert hk < 0.1 * us
+
+    def test_bounded(self):
+        net = NetworkModel(timeout_scale=100.0)
+        assert net.timeout_probability("US", "NA") <= 0.95
+
+    def test_interrupt_smaller_than_timeout(self):
+        net = NetworkModel()
+        for receiver in ("US", "NA", "KE"):
+            assert net.interrupt_probability("US", receiver) < net.timeout_probability(
+                "US", receiver
+            )
+
+    def test_pair_table_only_proxy_senders(self):
+        assert all(s in ("US", "DE", "GB", "HK", "SG", "IN") for s, _ in PAIR_TIMEOUT_MULTIPLIERS)
+
+
+class TestLatency:
+    def test_positive_and_bounded(self):
+        net = NetworkModel()
+        rng = RandomSource(4)
+        for _ in range(200):
+            v = net.latency_ms("US", "US", rng)
+            assert 200 <= v
+
+    def test_poor_country_slower(self):
+        net = NetworkModel()
+        rng = RandomSource(5)
+        kh = sorted(net.latency_ms("US", "KH", rng) for _ in range(400))
+        sg = sorted(net.latency_ms("US", "SG", rng) for _ in range(400))
+        assert kh[200] > 5 * sg[200]
+
+    def test_hk_cambodia_shortcut(self):
+        """Appendix C: HK reaches Cambodia ~9s vs ~79s from elsewhere."""
+        net = NetworkModel()
+        rng = RandomSource(6)
+        hk = sorted(net.latency_ms("HK", "KH", rng) for _ in range(400))[200]
+        us = sorted(net.latency_ms("US", "KH", rng) for _ in range(400))[200]
+        assert hk < 0.3 * us
+
+    def test_timeout_latency_matches_budget(self):
+        net = NetworkModel()
+        rng = RandomSource(7)
+        for _ in range(50):
+            v = net.timeout_latency_ms(rng)
+            assert 280_000 <= v <= 340_000
+
+    def test_interrupt_latency_shorter_than_timeout(self):
+        net = NetworkModel()
+        rng = RandomSource(8)
+        assert max(net.interrupt_latency_ms(rng) for _ in range(100)) < 290_000

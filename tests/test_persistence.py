@@ -1,0 +1,76 @@
+"""Tests for EBRC model persistence and gzip dataset IO."""
+
+import pytest
+
+from repro.core.ebrc import EBRC, EBRCConfig
+from repro.core.taxonomy import BounceType
+from repro.delivery.dataset import DeliveryDataset
+from repro.smtp.templates import NDRTemplateBank, TemplateDialect
+from repro.util.rng import RandomSource
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    bank = NDRTemplateBank()
+    rng = RandomSource(71)
+    types = [BounceType.T5, BounceType.T8, BounceType.T9, BounceType.T14, BounceType.T13]
+    messages = []
+    for i in range(2500):
+        t = rng.choice(types)
+        d = rng.choice(list(TemplateDialect))
+        messages.append(
+            bank.render(t, d, rng, context={"address": f"u{i}@d{i % 31}.com"}).text
+        )
+    return messages
+
+
+class TestEbrcPersistence:
+    def test_save_load_roundtrip(self, small_corpus, tmp_path):
+        ebrc = EBRC(EBRCConfig(samples_per_type=300)).fit(small_corpus)
+        path = tmp_path / "ebrc.json"
+        ebrc.save(path)
+        loaded = EBRC.load(path)
+
+        assert loaded.n_templates == ebrc.n_templates
+        assert loaded.template_types == ebrc.template_types
+        assert loaded.ambiguous_template_ids == ebrc.ambiguous_template_ids
+        # Classification must be identical on a probe set.
+        probe = small_corpus[:300]
+        assert [loaded.classify(m) for m in probe] == [ebrc.classify(m) for m in probe]
+
+    def test_save_unfitted_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            EBRC().save(tmp_path / "x.json")
+
+    def test_loaded_classifies_unseen_wordings(self, small_corpus, tmp_path):
+        ebrc = EBRC(EBRCConfig(samples_per_type=300)).fit(small_corpus)
+        path = tmp_path / "ebrc.json"
+        ebrc.save(path)
+        loaded = EBRC.load(path)
+        result = loaded.classify("550 5.1.1 some brand new account does not exist here")
+        assert result is not None
+
+
+class TestGzipDataset:
+    def test_gz_roundtrip(self, dataset, tmp_path):
+        sample = DeliveryDataset(dataset.records[:500])
+        path = tmp_path / "log.jsonl.gz"
+        sample.write_jsonl(path)
+        back = DeliveryDataset.read_jsonl(path)
+        assert len(back) == 500
+        assert back.summary() == sample.summary()
+
+    def test_gz_smaller_than_plain(self, dataset, tmp_path):
+        sample = DeliveryDataset(dataset.records[:500])
+        plain = tmp_path / "log.jsonl"
+        compressed = tmp_path / "log.jsonl.gz"
+        sample.write_jsonl(plain)
+        sample.write_jsonl(compressed)
+        assert compressed.stat().st_size < plain.stat().st_size / 2
+
+    def test_streaming_iterator(self, dataset, tmp_path):
+        sample = DeliveryDataset(dataset.records[:100])
+        path = tmp_path / "log.jsonl"
+        sample.write_jsonl(path)
+        count = sum(1 for _ in DeliveryDataset.iter_jsonl(path))
+        assert count == 100

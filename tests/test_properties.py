@@ -1,0 +1,187 @@
+"""Property-based tests across module boundaries."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.drain import Drain
+from repro.core.features import TfidfVectorizer
+from repro.core.tokenize import normalize_ndr
+from repro.delivery.records import AttemptRecord, DeliveryRecord
+from repro.smtp.codes import parse_enhanced_code, parse_reply_code
+from repro.smtp.dsn import dsn_for_record, parse_dsn, render_dsn
+from repro.smtp.session import simulate_session
+from repro.util.rng import RandomSource
+
+_result_lines = st.one_of(
+    st.just("250 OK"),
+    st.sampled_from([
+        "550 5.1.1 user unknown",
+        "451 4.7.1 greylisted, retry later",
+        "conversation with mx timed out",
+        "554 5.7.1 blocked using zen.spamhaus.org",
+        "552-5.2.2 over quota",
+    ]),
+    st.text(alphabet="abcdef 0123456789.-", min_size=1, max_size=60),
+)
+
+_addresses = st.from_regex(r"[a-z]{1,8}@[a-z]{1,8}\.(com|org|cn)", fullmatch=True)
+
+
+def _record(results, sender="a@s.cn", receiver="b@r.com"):
+    attempts = [
+        AttemptRecord(
+            t=1_600_000_000.0 + i * 600,
+            from_ip="10.0.0.1",
+            to_ip="10.0.0.2",
+            result=r,
+            latency_ms=100 + i,
+            truth_type=None,
+        )
+        for i, r in enumerate(results)
+    ]
+    return DeliveryRecord(
+        sender=sender,
+        receiver=receiver,
+        start_time=attempts[0].t,
+        end_time=attempts[-1].t,
+        email_flag="Normal",
+        attempts=attempts,
+    )
+
+
+class TestRecordProperties:
+    @given(st.lists(_result_lines, min_size=1, max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_json_roundtrip_any_results(self, results):
+        record = _record(results)
+        back = DeliveryRecord.from_json(record.to_json())
+        assert [a.result for a in back.attempts] == results
+        assert back.bounce_degree == record.bounce_degree
+
+    @given(st.lists(_result_lines, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_degree_consistency(self, results):
+        record = _record(results)
+        degree = record.bounce_degree
+        if record.attempts[0].succeeded:
+            assert degree.value == "non-bounced"
+        elif record.delivered:
+            assert degree.value == "soft-bounced"
+        else:
+            assert degree.value == "hard-bounced"
+
+
+class TestCodeParsingProperties:
+    @given(st.text(max_size=120))
+    @settings(max_examples=120, deadline=None)
+    def test_parsers_never_crash(self, text):
+        parse_reply_code(text)
+        parse_enhanced_code(text)
+        normalize_ndr(text)
+
+    @given(st.integers(min_value=200, max_value=599), st.text(alphabet="abc ", max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_reply_code_extracted(self, code, suffix):
+        assert parse_reply_code(f"{code} {suffix}") == code
+
+
+class TestSessionProperties:
+    @given(
+        result=_result_lines,
+        truth=st.one_of(st.none(), st.sampled_from([f"T{i}" for i in range(1, 17)])),
+        sender=_addresses,
+        receiver=_addresses,
+        tls=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_transcript_always_valid(self, result, truth, sender, receiver, tls):
+        transcript = simulate_session(result, truth, sender, receiver, uses_tls=tls)
+        assert transcript.events
+        assert transcript.outcome in ("accepted", "rejected", "timeout", "interrupted")
+        # A transcript with any client command has a server line first
+        # (the greeting) unless the session died before connecting.
+        actors = [e.actor for e in transcript.events]
+        if "C" in actors:
+            assert actors[0] == "S"
+
+
+class TestDsnProperties:
+    @given(st.lists(st.sampled_from([
+        "550 5.1.1 user unknown",
+        "451 4.2.1 try later",
+        "552 5.2.2 over quota",
+        "timeout talking to host",
+    ]), min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_dsn_roundtrip_any_failures(self, results):
+        record = _record(results)  # all failures -> hard bounce
+        dsn = dsn_for_record(record)
+        assert dsn is not None
+        parsed = parse_dsn(render_dsn(dsn))
+        assert parsed.recipients[0].final_recipient == record.receiver
+        assert parsed.recipients[0].status == dsn.recipients[0].status
+
+
+class TestVectorizerProperties:
+    @given(st.lists(st.text(alphabet="abcdef 0123.", min_size=1, max_size=40),
+                    min_size=2, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_transform_shape_and_finiteness(self, texts):
+        import numpy as np
+
+        vec = TfidfVectorizer(min_df=1)
+        try:
+            X = vec.fit_transform(texts)
+        except ValueError:
+            return  # corpora with no extractable features are rejected
+        assert X.shape == (len(texts), vec.n_features)
+        assert np.isfinite(X).all()
+
+
+class TestDrainDeterminism:
+    @given(st.lists(st.text(alphabet="abcd 12.@", min_size=1, max_size=30),
+                    min_size=1, max_size=25), st.randoms())
+    @settings(max_examples=40, deadline=None)
+    def test_insertion_total_preserved(self, messages, _):
+        a = Drain()
+        b = Drain()
+        a.fit(messages)
+        b.fit(messages)
+        assert [t.pattern for t in a.templates] == [t.pattern for t in b.templates]
+
+
+class TestEngineFuzz:
+    """Feed the delivery engine adversarial specs; records must stay
+    well-formed regardless."""
+
+    @given(
+        user=st.text(alphabet="abcdefghij.x-", min_size=1, max_size=12)
+        .filter(lambda s: not s.startswith(".") and ".." not in s),
+        spamminess=st.floats(min_value=0.0, max_value=1.0),
+        size=st.integers(min_value=1, max_value=90_000_000),
+        rcpt=st.integers(min_value=1, max_value=500),
+        day=st.integers(min_value=0, max_value=440),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_specs(self, world, user, spamminess, size, rcpt, day):
+        from repro.delivery.engine import DeliveryEngine
+        from repro.workload.spec import EmailSpec
+
+        engine = DeliveryEngine(world, RandomSource(99))
+        sender = world.benign_sender_domains()[0].users[0].address
+        spec = EmailSpec(
+            t=world.clock.day_start(day) + 3600.0,
+            sender=sender,
+            receiver=f"{user}@gmail.com",
+            spamminess=spamminess,
+            size_bytes=size,
+            recipient_count=rcpt,
+        )
+        record = engine.deliver(spec)
+        assert 1 <= record.n_attempts <= world.config.max_attempts
+        assert record.email_flag in ("Normal", "Spam")
+        for attempt in record.attempts:
+            assert attempt.latency_ms > 0
+            assert attempt.result
+        # Attempt times strictly increase.
+        times = [a.t for a in record.attempts]
+        assert times == sorted(times)

@@ -1,0 +1,100 @@
+"""Tests for the proxy fleet and name generation."""
+
+from collections import Counter
+
+import pytest
+
+from repro.delivery.proxies import PROXY_DISTRIBUTION, ProxyFleet
+from repro.geo.ipaddr import IPAllocator
+from repro.util.rng import RandomSource
+from repro.world.names import (
+    FIRST_NAMES,
+    LAST_NAMES,
+    make_domain_name,
+    make_hostname,
+    make_org_name,
+    make_username,
+)
+
+
+class TestProxyFleet:
+    def build(self, n=34, seed=1):
+        return ProxyFleet.build(IPAllocator(), RandomSource(seed), n_proxies=n)
+
+    def test_fleet_size_near_request(self):
+        fleet = self.build(34)
+        assert 30 <= len(fleet) <= 38
+
+    def test_six_countries(self):
+        fleet = self.build()
+        assert set(fleet.by_country()) == {c for c, _, _ in PROXY_DISTRIBUTION}
+
+    def test_country_proportions(self):
+        fleet = self.build()
+        by_country = fleet.by_country()
+        assert len(by_country["US"]) > len(by_country["SG"])
+        assert len(by_country["HK"]) > len(by_country["IN"])
+
+    def test_unique_ips(self):
+        fleet = self.build()
+        assert len(set(fleet.ips)) == len(fleet)
+
+    def test_selection_weights_downweight_sg_in(self):
+        fleet = self.build()
+        draws = Counter(fleet.pick_random().country for _ in range(8000))
+        # SG/IN carry tiny weight (the paper excludes them from Fig 8).
+        assert draws["US"] > 5 * max(draws.get("SG", 0), 1)
+
+    def test_pick_different(self):
+        fleet = self.build()
+        first = fleet.pick_random()
+        for _ in range(30):
+            assert fleet.pick_different(first).index != first.index
+
+    def test_pick_different_single_proxy(self):
+        fleet = ProxyFleet.build(IPAllocator(), RandomSource(2), n_proxies=1)
+        only = fleet.pick_random()
+        assert fleet.pick_different(only).index == only.index or len(fleet) > 1
+
+    def test_weight_mismatch_rejected(self):
+        fleet = self.build()
+        with pytest.raises(ValueError):
+            ProxyFleet(fleet.proxies, RandomSource(3), [1.0])
+
+    def test_proxy_name(self):
+        fleet = self.build()
+        assert fleet.proxies[0].name.startswith("proxy0.")
+
+
+class TestNameGeneration:
+    def test_usernames_human_style(self, rng):
+        names = {make_username(rng) for _ in range(300)}
+        assert len(names) > 200
+        corpus = set(FIRST_NAMES) | set(LAST_NAMES)
+        recognizable = 0
+        for name in list(names)[:100]:
+            stripped = name.rstrip("0123456789")
+            parts = [p for p in stripped.replace("-", ".").replace("_", ".").split(".") if p]
+            if any(p in corpus for p in parts):
+                recognizable += 1
+        assert recognizable > 40
+
+    def test_domain_names_have_tld(self, rng):
+        for _ in range(100):
+            name = make_domain_name(rng)
+            assert "." in name
+            assert not name.startswith(".")
+
+    def test_org_names_chinese_suffixes(self, rng):
+        suffixes = {make_org_name(rng).rsplit(".", 2)[-2:][0] for _ in range(100)}
+        names = [make_org_name(rng) for _ in range(100)]
+        assert all(n.endswith((".com.cn", ".edu.cn", ".org.cn")) for n in names)
+
+    def test_hostname(self):
+        assert make_hostname("x.com") == "mx1.x.com"
+        assert make_hostname("x.com", 2, "ns") == "ns2.x.com"
+
+    def test_generation_deterministic(self):
+        a = RandomSource(7)
+        b = RandomSource(7)
+        assert [make_username(a) for _ in range(20)] == [make_username(b) for _ in range(20)]

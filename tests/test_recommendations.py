@@ -1,0 +1,49 @@
+"""Tests for the Section 6.2 recommendation engine."""
+
+import pytest
+
+from repro.analysis.recommendations import (
+    Audience,
+    Recommendation,
+    Severity,
+    build_recommendations,
+)
+
+
+@pytest.fixture(scope="module")
+def recommendations(labeled, world):
+    return build_recommendations(labeled, world)
+
+
+class TestRecommendations:
+    def test_nonempty(self, recommendations):
+        assert len(recommendations) >= 4
+
+    def test_sorted_by_severity(self, recommendations):
+        order = {Severity.HIGH: 0, Severity.MEDIUM: 1, Severity.LOW: 2}
+        ranks = [order[r.severity] for r in recommendations]
+        assert ranks == sorted(ranks)
+
+    def test_covers_multiple_audiences(self, recommendations):
+        audiences = {r.audience for r in recommendations}
+        assert Audience.SENDER_ESP in audiences
+        assert len(audiences) >= 3
+
+    def test_every_recommendation_has_evidence(self, recommendations):
+        for rec in recommendations:
+            assert rec.evidence
+            assert rec.title
+
+    def test_proxy_reputation_flagged(self, recommendations):
+        titles = " | ".join(r.title for r in recommendations)
+        assert "blocklist" in titles.lower() or "proxies" in titles.lower()
+
+    def test_render(self, recommendations):
+        text = recommendations[0].render()
+        assert "evidence:" in text
+        assert recommendations[0].title in text
+
+    def test_recommendation_is_frozen(self):
+        rec = Recommendation(Audience.USER, Severity.LOW, "t", "e")
+        with pytest.raises(Exception):
+            rec.title = "other"  # type: ignore[misc]

@@ -1,0 +1,164 @@
+"""End-to-end integration tests of the simulation pipeline."""
+
+import pytest
+
+from repro import SimulationConfig, run_simulation
+from repro.analysis.degrees import degree_breakdown
+from repro.core.taxonomy import BounceType
+
+
+class TestPipeline:
+    def test_result_structure(self, sim):
+        assert sim.world is not None
+        assert len(sim.dataset) > 1000
+        assert sim.config.seed == 7
+
+    def test_determinism_end_to_end(self):
+        a = run_simulation(SimulationConfig(scale=0.02, seed=77))
+        b = run_simulation(SimulationConfig(scale=0.02, seed=77))
+        assert len(a.dataset) == len(b.dataset)
+        for ra, rb in zip(a.dataset[:200], b.dataset[:200]):
+            assert ra.to_json() == rb.to_json()
+
+    def test_different_seeds_differ(self):
+        a = run_simulation(SimulationConfig(scale=0.02, seed=1))
+        b = run_simulation(SimulationConfig(scale=0.02, seed=2))
+        assert [r.receiver for r in a.dataset[:50]] != [r.receiver for r in b.dataset[:50]]
+
+    def test_scale_scales_volume(self):
+        small = run_simulation(SimulationConfig(scale=0.02, seed=5))
+        large = run_simulation(SimulationConfig(scale=0.06, seed=5))
+        assert len(large.dataset) > 2 * len(small.dataset)
+
+    def test_headline_shape_stable_across_seeds(self):
+        """The calibrated shape must hold for seeds it was not tuned on."""
+        for seed in (101, 202):
+            result = run_simulation(SimulationConfig(scale=0.08, seed=seed))
+            b = degree_breakdown(result.dataset)
+            assert 0.70 < b.non_fraction < 0.95, seed
+            assert 0.01 < b.soft_fraction < 0.17, seed
+            assert 0.02 < b.hard_fraction < 0.20, seed
+
+    def test_all_timestamps_in_window(self, sim):
+        clock = sim.world.clock
+        for record in sim.dataset:
+            assert clock.contains(record.start_time)
+            for attempt in record.attempts:
+                assert attempt.t >= record.start_time - 1
+
+    def test_every_attempt_has_known_truth_or_success(self, sim):
+        valid = {t.value for t in BounceType} | {None}
+        for record in sim.dataset:
+            for attempt in record.attempts:
+                assert (attempt.truth_type in valid) or attempt.succeeded
+
+    def test_from_ips_are_fleet_ips(self, sim):
+        fleet = set(sim.world.fleet.ips)
+        for record in sim.dataset[:500]:
+            for attempt in record.attempts:
+                assert attempt.from_ip in fleet
+
+    def test_to_ips_resolvable_or_blank(self, sim):
+        geo = sim.world.geo
+        for record in sim.dataset[:500]:
+            for attempt in record.attempts:
+                if attempt.to_ip:
+                    geo.country(attempt.to_ip)  # must not raise
+
+    def test_successful_attempt_is_last(self, sim):
+        for record in sim.dataset[:2000]:
+            succeeded = [a.succeeded for a in record.attempts]
+            if any(succeeded):
+                assert succeeded.index(True) == len(succeeded) - 1
+
+    def test_full_dataset_jsonl_roundtrip(self, sim, tmp_path):
+        from repro.delivery.dataset import DeliveryDataset
+
+        path = tmp_path / "full.jsonl"
+        sim.dataset.write_jsonl(path)
+        back = DeliveryDataset.read_jsonl(path)
+        assert len(back) == len(sim.dataset)
+        assert back.summary() == sim.dataset.summary()
+
+    def test_spam_flagged_emails_get_one_attempt(self, sim):
+        for record in sim.dataset:
+            if record.email_flag == "Spam":
+                assert record.n_attempts == 1
+
+
+class TestHashSeedIndependence:
+    def test_dataset_identical_across_hash_seeds(self):
+        """The simulation must not depend on PYTHONHASHSEED (set/dict
+        iteration order) — a regression guard for cross-process
+        reproducibility."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import hashlib\n"
+            "from repro import SimulationConfig, run_simulation\n"
+            "r = run_simulation(SimulationConfig(scale=0.01, seed=5, emails_per_day=120))\n"
+            "h = hashlib.sha256()\n"
+            "[h.update(x.to_json().encode()) for x in r.dataset]\n"
+            "print(h.hexdigest())\n"
+        )
+        hashes = set()
+        for seed in ("1", "77"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            out = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True,
+            )
+            hashes.add(out.stdout.strip().splitlines()[-1])
+        assert len(hashes) == 1
+
+
+class TestExtraWorkloads:
+    def test_custom_flow_injected(self):
+        from repro.workload.spec import EmailSpec
+
+        def probe_flow(world, rng):
+            sender = world.benign_sender_domains()[0].users[0].address
+            return [
+                EmailSpec(
+                    t=world.clock.start_ts + 86_400 * (i + 1),
+                    sender=sender,
+                    receiver="probe-target-zz@gmail.com",
+                    spamminess=0.01,
+                    size_bytes=1_000,
+                    recipient_count=1,
+                    tags=("custom_probe",),
+                )
+                for i in range(25)
+            ]
+
+        result = run_simulation(
+            SimulationConfig(scale=0.01, seed=31, emails_per_day=100),
+            extra_workloads=[probe_flow],
+        )
+        probes = [r for r in result.dataset if "custom_probe" in r.truth_tags]
+        assert len(probes) == 25
+        # The probe address does not exist -> hard bounces.
+        assert all(not r.delivered for r in probes)
+
+    def test_out_of_window_spec_rejected(self):
+        from repro.workload.spec import EmailSpec
+
+        def bad_flow(world, rng):
+            return [
+                EmailSpec(
+                    t=world.clock.end_ts + 10.0,
+                    sender="a@b.cn",
+                    receiver="c@gmail.com",
+                    spamminess=0.0,
+                    size_bytes=1,
+                    recipient_count=1,
+                )
+            ]
+
+        with pytest.raises(ValueError):
+            run_simulation(
+                SimulationConfig(scale=0.01, seed=32, emails_per_day=50),
+                extra_workloads=[bad_flow],
+            )

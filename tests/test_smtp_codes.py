@@ -1,0 +1,86 @@
+"""Unit tests for SMTP reply / enhanced status code parsing."""
+
+import pytest
+
+from repro.smtp.codes import (
+    EnhancedCode,
+    ReplyCode,
+    is_permanent_code,
+    is_transient_code,
+    parse_enhanced_code,
+    parse_reply_code,
+)
+
+
+class TestReplyCodes:
+    def test_parse_space_separator(self):
+        assert parse_reply_code("550 User unknown") == 550
+
+    def test_parse_dash_separator(self):
+        assert parse_reply_code("452-4.2.2 over quota") == 452
+
+    def test_parse_leading_whitespace(self):
+        assert parse_reply_code("  421 come back later") == 421
+
+    def test_parse_absent(self):
+        assert parse_reply_code("conversation timed out") is None
+        assert parse_reply_code("") is None
+
+    def test_no_partial_match(self):
+        # A number elsewhere in the line is not a reply code.
+        assert parse_reply_code("lost connection after 550 bytes") is None
+
+    def test_enum_permanence(self):
+        assert ReplyCode.MAILBOX_UNAVAILABLE.permanent
+        assert ReplyCode.INSUFFICIENT_STORAGE.transient
+        assert not ReplyCode.OK.permanent
+
+
+class TestEnhancedCodes:
+    def test_parse(self):
+        code = parse_enhanced_code("550 5.1.1 no such user")
+        assert code == EnhancedCode(5, 1, 1)
+        assert str(code) == "5.1.1"
+
+    def test_parse_embedded(self):
+        assert parse_enhanced_code("status was 4.7.28 earlier") == EnhancedCode(4, 7, 28)
+
+    def test_parse_absent(self):
+        assert parse_enhanced_code("550 no codes here") is None
+
+    def test_ipv4_not_mistaken_for_code(self):
+        # 10.0.0.1 must not parse as an enhanced code (class must be 2/4/5
+        # and our regex requires word boundaries around three fields).
+        code = parse_enhanced_code("blocked host [10.0.0.1]")
+        assert code is None
+
+    def test_invalid_class(self):
+        with pytest.raises(ValueError):
+            EnhancedCode(3, 1, 1)
+
+    def test_invalid_detail(self):
+        with pytest.raises(ValueError):
+            EnhancedCode(5, 1, 1000)
+
+    def test_permanence(self):
+        assert EnhancedCode(5, 7, 1).permanent
+        assert EnhancedCode(4, 2, 2).transient
+        assert not EnhancedCode(2, 0, 0).permanent
+
+
+class TestPermanenceJudgement:
+    def test_enhanced_wins_over_reply(self):
+        # Mixed signals: the enhanced code is the more specific one.
+        assert is_permanent_code("421-5.7.26 not accepted due to DMARC") is True
+
+    def test_reply_only(self):
+        assert is_permanent_code("550 nope") is True
+        assert is_permanent_code("450 later") is False
+
+    def test_no_code(self):
+        assert is_permanent_code("conversation timed out with mx1") is None
+        assert is_transient_code("conversation timed out with mx1") is None
+
+    def test_transient_inverse(self):
+        assert is_transient_code("450 4.2.0 greylisted") is True
+        assert is_transient_code("550 5.1.1 unknown") is False

@@ -1,0 +1,108 @@
+"""Unit tests for the SMTP session transcript reconstruction."""
+
+import pytest
+
+from repro.core.taxonomy import BounceType
+from repro.smtp.session import (
+    REJECTION_STAGE,
+    SmtpStage,
+    simulate_session,
+)
+
+SENDER = "alice@org.cn"
+RECEIVER = "bob@dest.com"
+
+
+def run(result, truth, **kw):
+    return simulate_session(result, truth, SENDER, RECEIVER, **kw)
+
+
+class TestStageMapping:
+    def test_every_type_has_a_stage(self):
+        for t in BounceType:
+            assert t in REJECTION_STAGE
+
+    def test_reject_stages_sensible(self):
+        assert REJECTION_STAGE[BounceType.T5] is SmtpStage.CONNECT
+        assert REJECTION_STAGE[BounceType.T8] is SmtpStage.RCPT_TO
+        assert REJECTION_STAGE[BounceType.T13] is SmtpStage.DATA
+        assert REJECTION_STAGE[BounceType.T3] is SmtpStage.MAIL_FROM
+
+
+class TestTranscripts:
+    def test_accepted_session_full_dialogue(self):
+        transcript = run("250 OK", None)
+        assert transcript.outcome == "accepted"
+        commands = transcript.commands_sent
+        assert any(c.startswith("EHLO") for c in commands)
+        assert any(c.startswith("MAIL FROM") for c in commands)
+        assert any(c.startswith("RCPT TO") for c in commands)
+        assert "DATA" in commands
+        assert "QUIT" in commands
+        assert "221" in transcript.events[-1].text
+
+    def test_timeout_short_circuit(self):
+        transcript = run("conversation with mx timed out", "T14")
+        assert transcript.outcome == "timeout"
+        assert transcript.reject_stage is SmtpStage.CONNECT
+        assert not transcript.commands_sent  # never got to talk
+
+    def test_routing_failure_never_connects(self):
+        transcript = run("554 5.4.4 domain lookup failed", "T2")
+        assert transcript.outcome == "rejected"
+        assert "MX resolution failed" in transcript.events[0].text
+
+    def test_blocklist_rejected_at_connect(self):
+        transcript = run("554 blocked using zen.spamhaus.org", "T5")
+        assert transcript.reject_stage is SmtpStage.CONNECT
+        # The client only got to QUIT.
+        assert transcript.commands_sent == ["QUIT"]
+
+    def test_no_such_user_rejected_at_rcpt(self):
+        transcript = run("550 5.1.1 user unknown", "T8")
+        assert transcript.reject_stage is SmtpStage.RCPT_TO
+        assert any(c.startswith("RCPT TO:<bob@") for c in transcript.commands_sent)
+        assert "DATA" not in transcript.commands_sent
+
+    def test_spam_rejected_after_data(self):
+        transcript = run("554 rejected as spam", "T13")
+        assert transcript.reject_stage is SmtpStage.DATA
+        assert "DATA" in transcript.commands_sent
+
+    def test_interrupted_mid_transfer(self):
+        transcript = run("lost connection while sending message body", "T15")
+        assert transcript.outcome == "interrupted"
+        assert transcript.events[-1].actor == "*"
+
+    def test_tls_session_includes_starttls(self):
+        transcript = run("250 OK", None, uses_tls=True)
+        assert "STARTTLS" in transcript.commands_sent
+
+    def test_tls_required_rejection(self):
+        transcript = run("530 5.7.0 Must issue a STARTTLS command first", "T4")
+        assert transcript.reject_stage is SmtpStage.STARTTLS
+
+    def test_unknown_truth_defaults_to_data_stage(self):
+        transcript = run("550 weird", "T99-bogus")
+        assert transcript.outcome == "rejected"
+        assert transcript.reject_stage is SmtpStage.DATA
+
+    def test_render_is_readable(self):
+        text = run("550 5.1.1 user unknown", "T8").render()
+        assert "S: 220" in text
+        assert "C: EHLO" in text
+
+    @pytest.mark.parametrize("t", [t for t in BounceType])
+    def test_all_types_render(self, t):
+        transcript = run(f"550 synthetic rejection for {t.value}", t.value)
+        assert transcript.events
+        assert transcript.outcome in ("rejected", "timeout", "interrupted")
+
+    def test_attempt_wrapper(self, dataset):
+        from repro.smtp.session import transcript_for_attempt
+
+        record = next(r for r in dataset if r.bounced)
+        transcript = transcript_for_attempt(
+            record.attempts[0], record.sender, record.receiver
+        )
+        assert transcript.events

@@ -1,0 +1,157 @@
+"""Unit tests for the NDR template bank — including the critical
+consistency property: the expert labelling rules must recover the true
+type from every informative template the bank can render."""
+
+import pytest
+
+from repro.core.labeling import is_ambiguous_text, label_text
+from repro.core.taxonomy import BounceType
+from repro.smtp.ndr import NDR, is_success, render_success
+from repro.smtp.templates import (
+    AMBIGUOUS_TEMPLATES,
+    NDRTemplateBank,
+    TEMPLATES,
+    TemplateDialect,
+    UNKNOWN_TEMPLATES,
+)
+from repro.util.rng import RandomSource
+
+RENDERABLE_TYPES = [t for t in BounceType if t is not BounceType.T16]
+
+
+@pytest.fixture()
+def bank():
+    return NDRTemplateBank()
+
+
+class TestBankCoverage:
+    @pytest.mark.parametrize("bounce_type", RENDERABLE_TYPES)
+    def test_every_type_has_templates(self, bank, bounce_type):
+        pool = bank.templates_for(bounce_type, TemplateDialect.GENERIC)
+        assert pool, f"no templates for {bounce_type}"
+
+    @pytest.mark.parametrize("bounce_type", RENDERABLE_TYPES)
+    @pytest.mark.parametrize("dialect", list(TemplateDialect))
+    def test_render_never_fails(self, bank, bounce_type, dialect):
+        rng = RandomSource(5)
+        ndr = bank.render(bounce_type, dialect, rng)
+        assert ndr.text
+        assert ndr.truth_type == bounce_type.value
+        assert not ndr.ambiguous
+
+    def test_render_fills_context(self, bank):
+        rng = RandomSource(6)
+        ndr = bank.render(
+            BounceType.T8,
+            TemplateDialect.GMAIL,
+            rng,
+            context={"address": "xx@yy.zz", "user": "xx", "domain": "yy.zz"},
+        )
+        assert "{" not in ndr.text and "}" not in ndr.text
+
+    def test_render_deterministic(self, bank):
+        a = bank.render(BounceType.T5, TemplateDialect.POSTFIX, RandomSource(9))
+        b = bank.render(BounceType.T5, TemplateDialect.POSTFIX, RandomSource(9))
+        assert a.text == b.text
+
+
+class TestLabelConsistency:
+    """Every informative rendering must be labelable back to its type."""
+
+    @pytest.mark.parametrize("bounce_type", RENDERABLE_TYPES)
+    @pytest.mark.parametrize("dialect", list(TemplateDialect))
+    def test_label_recovers_type(self, bank, bounce_type, dialect):
+        rng = RandomSource(7)
+        for _ in range(12):
+            ndr = bank.render(bounce_type, dialect, rng)
+            assert label_text(ndr.text) is bounce_type, ndr.text
+
+    def test_inactive_tag_renders_inactive_wording(self, bank):
+        rng = RandomSource(8)
+        for _ in range(10):
+            ndr = bank.render(BounceType.T8, TemplateDialect.CORPORATE, rng, tag="inactive")
+            lower = ndr.text.lower()
+            assert "inactive" in lower or "disabled" in lower
+            assert label_text(ndr.text) is BounceType.T8
+
+    def test_unknown_tag_raises(self, bank):
+        with pytest.raises(KeyError):
+            bank.render(BounceType.T5, TemplateDialect.GENERIC, RandomSource(1), tag="nope")
+
+
+class TestAmbiguity:
+    def test_forced_ambiguity(self, bank):
+        rng = RandomSource(10)
+        ndr = bank.render(BounceType.T8, TemplateDialect.CORPORATE, rng, ambiguity=1.0)
+        assert ndr.ambiguous
+        assert ndr.truth_type == BounceType.T8.value
+        assert is_ambiguous_text(ndr.text)
+
+    def test_exchange_ambiguity_is_access_denied(self, bank):
+        rng = RandomSource(11)
+        ndr = bank.render(BounceType.T13, TemplateDialect.EXCHANGE, rng, ambiguity=1.0)
+        assert "Access denied. AS(" in ndr.text
+
+    def test_zero_ambiguity_never_ambiguous(self, bank):
+        rng = RandomSource(12)
+        for _ in range(50):
+            ndr = bank.render(BounceType.T9, TemplateDialect.GMAIL, rng, ambiguity=0.0)
+            assert not ndr.ambiguous
+
+    def test_table6_patterns_are_all_detected(self):
+        ctx = dict(qid="AABBCC1122", domain="x.com", address="a@x.com", ip="10.0.0.1",
+                   mx="mx1.x.com")
+        for template, _weight in AMBIGUOUS_TEMPLATES:
+            assert is_ambiguous_text(template.format(**ctx))
+
+    def test_render_unknown(self, bank):
+        ndr = bank.render_unknown(RandomSource(13))
+        assert ndr.truth_type == BounceType.T16.value
+        assert label_text(ndr.text) is None
+        # T16 wordings are classifiable (not Table 6 ambiguous).
+        assert not is_ambiguous_text(ndr.text)
+
+    def test_unknown_templates_unlabelable(self):
+        ctx = dict(qid="AABBCC1122", domain="x.com", ip="10.0.0.1")
+        for template in UNKNOWN_TEMPLATES:
+            assert label_text(template.format(**ctx)) is None
+
+
+class TestNDRModel:
+    def test_success_line(self):
+        assert render_success() == "250 OK"
+        assert is_success("250 OK")
+        assert is_success(render_success("queued as ABC"))
+        assert not is_success("550 5.1.1 nope")
+        assert not is_success("conversation timed out")
+
+    def test_ndr_codes(self):
+        ndr = NDR(text="550 5.1.1 User unknown", truth_type="T8")
+        assert ndr.reply_code == 550
+        assert str(ndr.enhanced_code) == "5.1.1"
+        assert ndr.permanent is True
+
+    def test_ndr_no_codes(self):
+        ndr = NDR(text="conversation with mx timed out", truth_type="T14")
+        assert ndr.reply_code is None
+        assert ndr.permanent is None
+
+
+class TestTemplateHygiene:
+    def test_no_duplicate_template_texts(self):
+        texts = [t.text for t in TEMPLATES]
+        assert len(texts) == len(set(texts))
+
+    def test_weights_positive(self):
+        assert all(t.weight > 0 for t in TEMPLATES)
+
+    def test_enhanced_code_coverage_is_partial(self, bank):
+        """~29% of real NDRs lack enhanced codes; the bank must include
+        code-less templates for realism."""
+        from repro.smtp.codes import parse_enhanced_code
+
+        without = [t for t in TEMPLATES if parse_enhanced_code(t.text.format(
+            address="a@b.c", user="a", domain="b.c", sender_domain="s.d",
+            ip="10.0.0.1", mx="mx1.b.c", seconds="300", size="1", limit="2",
+            count="3", qid="AABBCC1122", vendor="77")) is None]
+        assert len(without) >= 8

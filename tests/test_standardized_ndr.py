@@ -1,0 +1,89 @@
+"""Tests for the §6.2 standardized-NDR counterfactual mode."""
+
+import pytest
+
+from repro import SimulationConfig, run_simulation
+from repro.core.labeling import is_ambiguous_text, label_text
+from repro.core.taxonomy import BounceType
+from repro.smtp.templates import NDRTemplateBank, STANDARD_TEMPLATES, TemplateDialect
+from repro.util.rng import RandomSource
+
+
+class TestStandardBank:
+    def test_standard_template_per_type(self):
+        assert set(STANDARD_TEMPLATES) == set(BounceType)
+
+    def test_standard_render_ignores_dialect(self):
+        bank = NDRTemplateBank(standardized=True)
+        texts = {
+            bank.render(BounceType.T8, dialect, RandomSource(1)).text
+            for dialect in TemplateDialect
+        }
+        assert len(texts) == 1
+
+    def test_standard_render_never_ambiguous(self):
+        bank = NDRTemplateBank(standardized=True)
+        rng = RandomSource(2)
+        for t in BounceType:
+            if t is BounceType.T16:
+                continue
+            ndr = bank.render(t, TemplateDialect.EXCHANGE, rng, ambiguity=1.0)
+            assert not ndr.ambiguous
+            assert not is_ambiguous_text(ndr.text)
+
+    def test_standard_templates_labelable(self):
+        bank = NDRTemplateBank(standardized=True)
+        rng = RandomSource(3)
+        for t in BounceType:
+            if t is BounceType.T16:
+                continue
+            ndr = bank.render(t, TemplateDialect.GENERIC, rng)
+            assert label_text(ndr.text) is t, ndr.text
+
+    def test_standard_unknown_render(self):
+        bank = NDRTemplateBank(standardized=True)
+        ndr = bank.render_unknown(RandomSource(4))
+        assert ndr.truth_type == BounceType.T16.value
+        assert "unspecified reason" in ndr.text
+
+    def test_standard_templates_carry_codes(self):
+        from repro.smtp.codes import parse_enhanced_code
+
+        ctx = dict(address="a@b.com", user="a", domain="b.com",
+                   sender_domain="s.cn", ip="10.0.0.1", mx="mx1.b.com",
+                   seconds="300", size="1", limit="2", count="3",
+                   qid="AABBCC1122", vendor="7")
+        for template in STANDARD_TEMPLATES.values():
+            assert parse_enhanced_code(template.format(**ctx)) is not None
+
+
+class TestStandardizedSimulation:
+    @pytest.fixture(scope="class")
+    def standard_sim(self):
+        return run_simulation(
+            SimulationConfig(scale=0.02, seed=55, standardized_ndr=True,
+                             emails_per_day=300)
+        )
+
+    def test_no_ambiguous_attempts(self, standard_sim):
+        for record in standard_sim.dataset:
+            for attempt in record.attempts:
+                assert not attempt.ambiguous
+
+    def test_all_failures_labelable(self, standard_sim):
+        from repro.analysis.label import RuleLabeler
+
+        labeler = RuleLabeler()
+        for message in standard_sim.dataset.ndr_messages()[:1000]:
+            assert labeler.classify(message) is not None
+
+    def test_labels_match_truth_exactly(self, standard_sim):
+        from repro.analysis.label import RuleLabeler
+
+        labeler = RuleLabeler()
+        for record in standard_sim.dataset:
+            for attempt in record.attempts:
+                if attempt.succeeded or attempt.truth_type is None:
+                    continue
+                got = labeler.classify(attempt.result)
+                assert got is not None and got.value == attempt.truth_type

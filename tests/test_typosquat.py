@@ -1,0 +1,131 @@
+"""Unit tests for the typo generators (the dnstwist stand-in)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.typosquat.generate import (
+    TypoKind,
+    classify_typo,
+    domain_typos,
+    label_typos,
+    sample_domain_typo,
+    sample_username_typo,
+    username_typos,
+)
+from repro.util.rng import RandomSource
+
+_labels = st.text(alphabet="abcdefghij", min_size=3, max_size=12)
+
+
+class TestLabelTypos:
+    def test_kinds_present(self):
+        kinds = {c.kind for c in label_typos("johnsmith")}
+        assert TypoKind.OMISSION in kinds
+        assert TypoKind.REPLACEMENT in kinds
+        assert TypoKind.TRANSPOSITION in kinds
+        assert TypoKind.REPETITION in kinds
+        assert TypoKind.BITSQUATTING in kinds
+        assert TypoKind.HYPHENATION in kinds
+        assert TypoKind.VOWEL_SWAP in kinds
+
+    def test_omission_examples(self):
+        texts = {c.text for c in label_typos("yahoo") if c.kind is TypoKind.OMISSION}
+        assert "yaho" in texts
+        assert "ahoo" in texts
+
+    def test_no_self(self):
+        assert all(c.text != "alice" for c in label_typos("alice"))
+
+    def test_all_valid_and_unique(self):
+        candidates = label_typos("paypal")
+        texts = [c.text for c in candidates]
+        assert len(texts) == len(set(texts))
+        for text in texts:
+            assert text
+            assert not text.startswith("-")
+            assert not text.endswith("-")
+
+    def test_separator_confusion_for_usernames(self):
+        texts = {c.text for c in username_typos("john.smith")}
+        assert "john_smith" in texts
+
+    @given(_labels)
+    @settings(max_examples=50, deadline=None)
+    def test_single_edit_distance(self, label):
+        from repro.util.text import levenshtein
+
+        for cand in label_typos(label)[:40]:
+            # All fuzzers are within edit distance 2 of the original
+            # (hyphenation/insertion add one char; swaps are distance 2).
+            assert levenshtein(cand.text, label) <= 2
+
+
+class TestDomainTypos:
+    def test_tld_mutations(self):
+        texts = {c.text for c in domain_typos("springer.com")}
+        assert "springer.comm" in texts
+
+    def test_sld_edits_keep_tld(self):
+        for cand in domain_typos("icloud.com"):
+            if cand.kind is not TypoKind.TLD:
+                assert cand.text.endswith(".com")
+
+    def test_multi_label_tld(self):
+        candidates = domain_typos("yahoo.com.cn")
+        assert any(c.text == "yaho.com.cn" for c in candidates)
+
+    def test_bitsquat_example(self):
+        # The paper's example: hotmail.com -> lotmail.com ('h'^4 = 'l').
+        texts = {c.text for c in domain_typos("hotmail.com") if c.kind is TypoKind.BITSQUATTING}
+        assert "lotmail.com" in texts
+
+
+class TestClassify:
+    def test_roundtrip_username(self):
+        rng = RandomSource(31)
+        for username in ("john.smith", "marylee", "wei_zhang7"):
+            for _ in range(10):
+                typo = sample_username_typo(username, rng)
+                assert typo is not None
+                kind = classify_typo(typo.text, username)
+                assert kind is typo.kind or kind is not None
+
+    def test_roundtrip_domain(self):
+        rng = RandomSource(32)
+        for domain in ("gmail.com", "yahoo.com.cn", "dhl.com"):
+            for _ in range(10):
+                typo = sample_domain_typo(domain, rng)
+                assert typo is not None
+                assert classify_typo(typo.text, domain, for_domain=True) is not None
+
+    def test_unrelated_not_classified(self):
+        assert classify_typo("completely", "different") is None
+
+    def test_identity_not_a_typo(self):
+        assert classify_typo("gmail.com", "gmail.com", for_domain=True) is None
+
+
+class TestSampling:
+    def test_omission_most_common(self):
+        """The injection weights make omission the dominant class, as the
+        paper observes in the wild (37-44%)."""
+        rng = RandomSource(33)
+        from collections import Counter
+
+        kinds = Counter(
+            sample_username_typo("christopher.jones", rng).kind for _ in range(2000)
+        )
+        assert kinds[TypoKind.OMISSION] == max(kinds.values())
+        share = kinds[TypoKind.OMISSION] / sum(kinds.values())
+        assert 0.30 < share < 0.55
+
+    def test_sample_deterministic(self):
+        a = sample_username_typo("alice", RandomSource(34))
+        b = sample_username_typo("alice", RandomSource(34))
+        assert a == b
+
+    def test_sample_short_label(self):
+        rng = RandomSource(35)
+        typo = sample_username_typo("ab", rng)
+        # Short labels may yield nothing for some kinds but must not crash.
+        assert typo is None or typo.text != "ab"

@@ -1,0 +1,125 @@
+"""Unit tests for the simulation clock and windows."""
+
+from datetime import datetime, timezone
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.clock import (
+    CHINESE_NEW_YEAR_2023,
+    DAY_SECONDS,
+    DEFAULT_END,
+    DEFAULT_START,
+    SimClock,
+    Window,
+)
+
+
+class TestWindow:
+    def test_contains_half_open(self):
+        w = Window(10.0, 20.0)
+        assert w.contains(10.0)
+        assert w.contains(19.999)
+        assert not w.contains(20.0)
+        assert not w.contains(9.999)
+
+    def test_duration(self):
+        w = Window(0.0, DAY_SECONDS * 3)
+        assert w.duration == DAY_SECONDS * 3
+        assert w.duration_days == 3.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            Window(10.0, 5.0)
+
+    def test_zero_length_allowed(self):
+        w = Window(5.0, 5.0)
+        assert w.duration == 0
+        assert not w.contains(5.0)
+
+    def test_overlaps(self):
+        assert Window(0, 10).overlaps(Window(5, 15))
+        assert not Window(0, 10).overlaps(Window(10, 20))
+        assert Window(0, 100).overlaps(Window(40, 60))
+
+    def test_intersect(self):
+        assert Window(0, 10).intersect(Window(5, 15)) == Window(5, 10)
+        assert Window(0, 10).intersect(Window(20, 30)) is None
+
+    @given(
+        a=st.floats(min_value=0, max_value=1e6),
+        d1=st.floats(min_value=0.001, max_value=1e5),
+        b=st.floats(min_value=0, max_value=1e6),
+        d2=st.floats(min_value=0.001, max_value=1e5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_symmetric(self, a, d1, b, d2):
+        w1, w2 = Window(a, a + d1), Window(b, b + d2)
+        assert w1.overlaps(w2) == w2.overlaps(w1)
+        i1, i2 = w1.intersect(w2), w2.intersect(w1)
+        assert i1 == i2
+        # Consistency between the two predicates.
+        assert (i1 is not None) == w1.overlaps(w2)
+
+
+class TestSimClock:
+    def test_default_window_matches_paper(self):
+        clock = SimClock()
+        assert clock.start == DEFAULT_START
+        assert clock.end == DEFAULT_END
+        assert clock.n_days == 449  # 2022-06-14 .. 2023-09-06
+
+    def test_day_index_roundtrip(self):
+        clock = SimClock()
+        for day in (0, 1, 100, clock.n_days - 1):
+            assert clock.day_index(clock.day_start(day)) == day
+            assert clock.day_index(clock.day_start(day) + DAY_SECONDS - 1) == day
+
+    def test_week_index(self):
+        clock = SimClock()
+        assert clock.week_index(clock.start_ts) == 0
+        assert clock.week_index(clock.start_ts + 7 * DAY_SECONDS) == 1
+        assert clock.n_weeks >= 64  # the paper's 64-week longitudinal view
+
+    def test_month_keys_cover_window(self):
+        clock = SimClock()
+        keys = clock.month_keys()
+        assert keys[0] == "2022-06"
+        assert keys[-1] == "2023-09"
+        assert len(keys) == 16
+        assert keys == sorted(keys)
+
+    def test_month_key_of_timestamp(self):
+        clock = SimClock()
+        assert clock.month_key(clock.start_ts) == "2022-06"
+
+    def test_weekday_weekend(self):
+        clock = SimClock()
+        # 2022-06-14 is a Tuesday.
+        assert clock.weekday(clock.start_ts) == 1
+        assert not clock.is_weekend(clock.start_ts)
+        saturday = clock.start_ts + 4 * DAY_SECONDS
+        assert clock.is_weekend(saturday)
+
+    def test_contains(self):
+        clock = SimClock()
+        assert clock.contains(clock.start_ts)
+        assert not clock.contains(clock.end_ts)
+        assert not clock.contains(clock.start_ts - 1)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            SimClock(DEFAULT_END, DEFAULT_START)
+
+    def test_format_ts(self):
+        clock = SimClock()
+        assert clock.format_ts(clock.start_ts) == "2022-06-14 00:00:00"
+
+    def test_cny_inside_window(self):
+        clock = SimClock()
+        assert clock.contains(CHINESE_NEW_YEAR_2023.timestamp())
+
+    def test_date_of_day(self):
+        clock = SimClock()
+        assert clock.date_of_day(0) == DEFAULT_START
+        assert clock.date_of_day(1) == datetime(2022, 6, 15, tzinfo=timezone.utc)

@@ -1,0 +1,151 @@
+"""Unit tests for the deterministic random sources."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.rng import RandomSource, WeightedSampler, derive_seed
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(42)
+        b = RandomSource(42)
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(42)
+        b = RandomSource(43)
+        assert [a.random() for _ in range(20)] != [b.random() for _ in range(20)]
+
+    def test_child_deterministic(self):
+        a = RandomSource(42).child("x")
+        b = RandomSource(42).child("x")
+        assert a.random() == b.random()
+
+    def test_children_independent_of_sibling_creation(self):
+        """Adding a new named child must not perturb existing streams."""
+        root1 = RandomSource(42)
+        x1 = root1.child("x")
+        values1 = [x1.random() for _ in range(5)]
+
+        root2 = RandomSource(42)
+        _ = root2.child("y")  # extra sibling created first
+        x2 = root2.child("x")
+        values2 = [x2.random() for _ in range(5)]
+        assert values1 == values2
+
+    def test_child_names_distinguish(self):
+        root = RandomSource(42)
+        assert root.child("a").random() != root.child("b").random()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+class TestHelpers:
+    def test_chance_extremes(self, rng):
+        assert rng.chance(1.0) is True
+        assert rng.chance(0.0) is False
+        assert rng.chance(1.5) is True
+        assert rng.chance(-0.5) is False
+
+    def test_chance_statistics(self, rng):
+        hits = sum(rng.chance(0.3) for _ in range(20_000))
+        assert 0.27 < hits / 20_000 < 0.33
+
+    def test_weighted_choice_respects_weights(self, rng):
+        picks = [rng.weighted_choice(["a", "b"], [9.0, 1.0]) for _ in range(5_000)]
+        share_a = picks.count("a") / len(picks)
+        assert 0.85 < share_a < 0.95
+
+    def test_weighted_choice_validates(self, rng):
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a"], [1.0, 2.0])
+        with pytest.raises(IndexError):
+            rng.weighted_choice([], [])
+
+    def test_zipf_rank_bounds(self, rng):
+        ranks = [rng.zipf_rank(100) for _ in range(2_000)]
+        assert all(0 <= r < 100 for r in ranks)
+        # Head-heavy: rank 0 should be the most common single rank.
+        assert ranks.count(0) > ranks.count(50)
+
+    def test_zipf_rank_invalid(self, rng):
+        with pytest.raises(ValueError):
+            rng.zipf_rank(0)
+
+    def test_lognormal_median(self, rng):
+        values = sorted(rng.lognormal(100.0, 0.5) for _ in range(10_001))
+        median = values[len(values) // 2]
+        assert 85 < median < 115
+
+    def test_lognormal_cap(self, rng):
+        assert all(rng.lognormal(100.0, 2.0, cap=150.0) <= 150.0 for _ in range(500))
+
+    def test_lognormal_invalid(self, rng):
+        with pytest.raises(ValueError):
+            rng.lognormal(0.0, 1.0)
+
+    def test_pareto_duration_minimum(self, rng):
+        values = [rng.pareto_duration(2.0, 1.5) for _ in range(1_000)]
+        assert min(values) >= 2.0
+
+    def test_pareto_duration_cap(self, rng):
+        assert all(rng.pareto_duration(1.0, 0.8, cap=10.0) <= 10.0 for _ in range(500))
+
+    def test_pareto_invalid(self, rng):
+        with pytest.raises(ValueError):
+            rng.pareto_duration(0.0, 1.0)
+        with pytest.raises(ValueError):
+            rng.pareto_duration(1.0, -1.0)
+
+    def test_pick_k_truncates(self, rng):
+        assert sorted(rng.pick_k([1, 2, 3], 10)) == [1, 2, 3]
+        assert len(rng.pick_k(list(range(100)), 5)) == 5
+
+    def test_subset_probabilities(self, rng):
+        out = rng.subset(range(10_000), 0.25)
+        assert 0.22 < len(out) / 10_000 < 0.28
+        # Order preserved.
+        assert out == sorted(out)
+
+
+class TestWeightedSampler:
+    def test_draw_distribution(self, rng):
+        sampler = rng.sampler(["a", "b", "c"], [1.0, 0.0, 3.0])
+        draws = [sampler.draw() for _ in range(4_000)]
+        assert draws.count("b") == 0
+        assert 0.68 < draws.count("c") / len(draws) < 0.82
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            rng.sampler([], [])
+        with pytest.raises(ValueError):
+            rng.sampler(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            rng.sampler(["a"], [-1.0])
+        with pytest.raises(ValueError):
+            rng.sampler(["a", "b"], [0.0, 0.0])
+
+    def test_len(self, rng):
+        assert len(rng.sampler([1, 2, 3], [1, 1, 1])) == 3
+
+    @given(weights=st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_always_returns_member(self, weights):
+        rng = RandomSource(9)
+        items = list(range(len(weights)))
+        sampler = WeightedSampler(items, weights, rng)
+        for _ in range(50):
+            assert sampler.draw() in items
+
+
+class TestZipfCdf:
+    def test_cdf_monotone_and_normalised(self):
+        cdf = RandomSource._zipf_cdf(50, 1.1)
+        assert all(a <= b for a, b in zip(cdf, cdf[1:]))
+        assert math.isclose(cdf[-1], 1.0, rel_tol=1e-9)

@@ -1,0 +1,79 @@
+"""Unit tests for text helpers (edit distance, address parsing)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.text import is_valid_address, levenshtein, normalize_token, similarity_ratio, split_address
+
+_words = st.text(alphabet="abcdefg", min_size=0, max_size=12)
+
+
+class TestLevenshtein:
+    def test_known_values(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("abc", "abc") == 0
+        assert levenshtein("abc", "abd") == 1
+        assert levenshtein("ab", "ba") == 2
+
+    @given(a=_words, b=_words)
+    @settings(max_examples=80, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(a=_words, b=_words)
+    @settings(max_examples=80, deadline=None)
+    def test_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(a=_words, b=_words, c=_words)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(a=_words)
+    @settings(max_examples=40, deadline=None)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+
+class TestSimilarity:
+    def test_identical(self):
+        assert similarity_ratio("john", "john") == 1.0
+        assert similarity_ratio("", "") == 1.0
+
+    def test_typo_above_threshold(self):
+        # The paper's 90% similarity cut keeps single-char typos of
+        # reasonably long usernames.
+        assert similarity_ratio("christopher", "christophr") > 0.9
+
+    def test_unrelated_below_threshold(self):
+        assert similarity_ratio("alice", "bob") < 0.5
+
+    @given(a=_words, b=_words)
+    @settings(max_examples=60, deadline=None)
+    def test_range(self, a, b):
+        assert 0.0 <= similarity_ratio(a, b) <= 1.0
+
+
+class TestAddresses:
+    def test_split(self):
+        assert split_address("john.doe@example.com") == ("john.doe", "example.com")
+
+    def test_split_lowercases_domain(self):
+        assert split_address("A@EXAMPLE.COM") == ("A", "example.com")
+
+    @pytest.mark.parametrize("bad", ["", "nodomain", "@x.com", "a@", "a b@c.com", "a@b@c"])
+    def test_split_invalid(self, bad):
+        with pytest.raises(ValueError):
+            split_address(bad)
+        assert not is_valid_address(bad)
+
+    def test_is_valid(self):
+        assert is_valid_address("user@host.tld")
+
+    def test_normalize_token(self):
+        assert normalize_token("John.Doe-99!") == "johndoe99"
+        assert normalize_token("") == ""

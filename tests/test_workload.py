@@ -1,0 +1,138 @@
+"""Tests for the workload generators (schedule, benign traffic, attackers)."""
+
+from collections import Counter
+
+from repro.util.clock import CHINESE_NEW_YEAR_2023, DAY_SECONDS, SimClock
+from repro.util.rng import RandomSource
+from repro.util.text import is_valid_address
+from repro.workload.attackers import AttackerGenerator
+from repro.workload.schedule import ArrivalSchedule
+from repro.workload.traffic import TrafficGenerator
+
+
+class TestSchedule:
+    def make(self, **kw):
+        return ArrivalSchedule(SimClock(), emails_per_day=100.0, **kw)
+
+    def test_weekend_dip(self):
+        schedule = self.make(noise_sigma=0.0)
+        clock = schedule.clock
+        rng = RandomSource(1)
+        weekday = []
+        weekend = []
+        for day in range(120):
+            volume = schedule.day_volume(day, rng)
+            (weekend if clock.is_weekend(clock.day_start(day) + 1) else weekday).append(volume)
+        assert sum(weekend) / len(weekend) < 0.6 * (sum(weekday) / len(weekday))
+
+    def test_cny_surge(self):
+        schedule = self.make(noise_sigma=0.0)
+        clock = schedule.clock
+        rng = RandomSource(2)
+        cny_day = clock.day_index(CHINESE_NEW_YEAR_2023.timestamp())
+        # Average the week right before CNY vs a quiet baseline week
+        # (offset so both windows contain the same weekday mix).
+        pre = [schedule.day_volume(d, rng) for d in range(cny_day - 7, cny_day)]
+        base = [schedule.day_volume(d, rng) for d in range(cny_day - 63, cny_day - 56)]
+        assert sum(pre) > 1.2 * sum(base)
+
+    def test_post_cny_lull(self):
+        schedule = self.make(noise_sigma=0.0)
+        clock = schedule.clock
+        rng = RandomSource(3)
+        cny_day = clock.day_index(CHINESE_NEW_YEAR_2023.timestamp())
+        post = [schedule.day_volume(d, rng) for d in range(cny_day + 1, cny_day + 6)]
+        base = [schedule.day_volume(d, rng) for d in range(cny_day + 29, cny_day + 34)]
+        assert sum(post) < sum(base)
+
+    def test_send_times_within_day(self):
+        schedule = self.make()
+        rng = RandomSource(4)
+        for day in (0, 100, 400):
+            for _ in range(20):
+                t = schedule.sample_send_time(day, rng)
+                assert schedule.clock.day_index(t) == day
+
+    def test_work_hours_bias(self):
+        schedule = self.make()
+        rng = RandomSource(5)
+        hours = Counter(
+            int((schedule.sample_send_time(10, rng) - schedule.clock.day_start(10)) // 3600)
+            for _ in range(3000)
+        )
+        work = sum(hours[h] for h in range(8, 18))
+        night = sum(hours[h] for h in list(range(0, 6)) + [22, 23])
+        assert work > 4 * night
+
+    def test_total_volume_positive(self):
+        schedule = self.make()
+        assert schedule.total_volume(RandomSource(6)) > 100 * 300
+
+
+class TestTraffic:
+    def test_specs_shape(self, world):
+        gen = TrafficGenerator(world, RandomSource(7))
+        specs = gen.generate()
+        assert len(specs) > 1000
+        for spec in specs[:500]:
+            assert is_valid_address(spec.sender)
+            assert is_valid_address(spec.receiver)
+            assert world.clock.contains(spec.t)
+            assert 0.0 <= spec.spamminess <= 1.0
+            assert spec.size_bytes > 0
+            assert spec.recipient_count >= 1
+        # Ordered by time.
+        assert all(a.t <= b.t for a, b in zip(specs, specs[1:]))
+
+    def test_typo_rates(self, world):
+        gen = TrafficGenerator(world, RandomSource(8))
+        specs = gen.generate()
+        username_typos = sum("username_typo" in s.tags for s in specs)
+        domain_typos = sum("domain_typo" in s.tags for s in specs)
+        n = len(specs)
+        assert 0.002 < username_typos / n < 0.02
+        assert 0.0001 < domain_typos / n < 0.004
+
+    def test_senders_are_benign_population(self, world):
+        gen = TrafficGenerator(world, RandomSource(9))
+        specs = gen.generate()
+        benign = {d.name for d in world.benign_sender_domains()}
+        assert all(s.sender_domain in benign for s in specs[:2000])
+
+    def test_spamminess_mixture(self, world):
+        gen = TrafficGenerator(world, RandomSource(10))
+        specs = gen.generate()[:20_000]
+        clean = sum(1 for s in specs if s.spamminess < 0.25)
+        spammy = sum(1 for s in specs if s.spamminess > 0.7)
+        assert clean / len(specs) > 0.6
+        assert 0.0 < spammy / len(specs) < 0.1
+
+
+class TestAttackers:
+    def test_guess_campaign_traffic(self, world):
+        gen = AttackerGenerator(world, RandomSource(11))
+        specs = [s for s in gen.generate() if "guess_campaign" in s.tags]
+        assert specs
+        targets = {s.receiver_domain for s in specs}
+        guess_targets = {
+            d.guess_target_domain for d in world.attacker_domains() if d.guess_target_domain
+        }
+        assert targets <= guess_targets
+
+    def test_bulk_spam_mostly_leaked(self, world):
+        gen = AttackerGenerator(world, RandomSource(12))
+        specs = [s for s in gen.generate() if "bulk_spam" in s.tags]
+        assert len(specs) > 20
+        leaked = sum(1 for s in specs if s.receiver in world.breach)
+        assert leaked / len(specs) > 0.75
+
+    def test_bulk_spam_high_spamminess(self, world):
+        gen = AttackerGenerator(world, RandomSource(13))
+        specs = [s for s in gen.generate() if "bulk_spam" in s.tags]
+        mean = sum(s.spamminess for s in specs) / len(specs)
+        assert mean > 0.75
+
+    def test_all_within_window(self, world):
+        gen = AttackerGenerator(world, RandomSource(14))
+        for spec in gen.generate():
+            assert world.clock.contains(spec.t)

@@ -1,0 +1,304 @@
+"""Integration-style tests for world construction."""
+
+from collections import Counter
+
+import pytest
+
+from repro.dnssim.records import RecordType
+from repro.mta.policies import TLSRequirement
+from repro.smtp.templates import TemplateDialect
+from repro.util.rng import RandomSource
+from repro.world.domains import NAMED_MAJORS
+from repro.world.senders import SenderKind
+
+
+class TestReceiverWorld:
+    def test_majors_present(self, world):
+        for major in NAMED_MAJORS:
+            assert major.name in world.receiver_domains
+            assert major.name in world.receiver_mtas
+
+    def test_major_share_matches_paper(self, world):
+        """Table 3: the top-10 majors carry ~15% of popularity."""
+        total = sum(d.popularity for d in world.receiver_domains.values())
+        majors = sum(
+            world.receiver_domains[m.name].popularity for m in NAMED_MAJORS
+        )
+        assert 0.10 < majors / total < 0.32
+
+    def test_gmail_is_top_domain(self, world):
+        top = world.top_domains(1)[0]
+        assert top.name == "gmail.com"
+
+    def test_every_domain_has_zone_and_mta(self, world):
+        for name, domain in world.receiver_domains.items():
+            assert world.resolver.zone(name) is not None
+            assert name in world.receiver_mtas
+            assert domain.ips
+
+    def test_zone_has_mx_and_a(self, world):
+        zone = world.resolver.zone("gmail.com")
+        assert zone.records_of(RecordType.MX)
+        assert zone.records_of(RecordType.A)
+
+    def test_dialects_match_providers(self, world):
+        assert world.receiver_domains["gmail.com"].dialect is TemplateDialect.GMAIL
+        assert world.receiver_domains["hotmail.com"].dialect is TemplateDialect.EXCHANGE
+        assert world.receiver_domains["yahoo.com"].dialect is TemplateDialect.YAHOO
+
+    def test_hotmail_uses_dnsbl_gmail_does_not(self, world):
+        assert world.receiver_mtas["hotmail.com"].policy.uses_dnsbl
+        assert world.receiver_mtas["outlook.com"].policy.uses_dnsbl
+        assert not world.receiver_mtas["gmail.com"].policy.uses_dnsbl
+
+    def test_some_tls_mandatory_domains(self, world):
+        mandatory = [
+            name
+            for name, mta in world.receiver_mtas.items()
+            if mta.policy.tls is TLSRequirement.MANDATORY
+        ]
+        assert mandatory
+
+    def test_some_greylisting_domains(self, world):
+        greylisting = [d for d in world.receiver_domains.values() if d.greylisting]
+        assert greylisting
+
+    def test_dead_servers_in_table5_countries(self, world):
+        dead = [d for d in world.receiver_domains.values() if d.dead_server]
+        assert dead
+        assert all(d.mta_country in ("VE", "BZ") for d in dead)
+
+    def test_country_coverage_is_broad(self, world):
+        countries = {d.mta_country for d in world.receiver_domains.values()}
+        assert len(countries) >= 40
+
+    def test_mailboxes_exist(self, world):
+        assert world.receiver_domains["gmail.com"].n_mailboxes > 50
+        total = sum(d.n_mailboxes for d in world.receiver_domains.values())
+        assert total > 1200
+
+    def test_some_quota_and_inactive_boxes(self, world):
+        full = [b for b in world.all_mailboxes() if b.full_windows]
+        inactive = [b for b in world.all_mailboxes() if b.inactive_windows]
+        deleted = [b for b in world.all_mailboxes() if b.deleted_at is not None]
+        assert full and inactive and deleted
+
+    def test_deleted_boxes_skew_to_yahoo(self, world):
+        deleted = [b for b in world.all_mailboxes() if b.deleted_at is not None]
+        yahoo = [b for b in deleted if b.domain == "yahoo.com"]
+        assert len(yahoo) >= 1
+        # Yahoo is hugely over-represented relative to its mailbox share.
+        yahoo_boxes = world.receiver_domains["yahoo.com"].n_mailboxes
+        total_boxes = sum(d.n_mailboxes for d in world.receiver_domains.values())
+        assert len(yahoo) / len(deleted) > yahoo_boxes / total_boxes
+
+    def test_some_expiring_zones(self, world):
+        expiring = [
+            z
+            for z in world.resolver.all_zones()
+            if z.registrations and z.registrations[0].end < world.clock.end_ts
+        ]
+        assert expiring
+
+    def test_mx_misconfig_zones(self, world):
+        broken = [z for z in world.resolver.all_zones() if z.mx_error_windows]
+        assert broken
+
+    def test_popularity_positive(self, world):
+        assert all(d.popularity > 0 for d in world.receiver_domains.values())
+
+
+class TestRegisteredTypoSquats:
+    def _squat_zones(self, world):
+        return [
+            z for z in world.resolver.all_zones()
+            if z.registrants and z.registrants[0].startswith("squatter-")
+        ]
+
+    def test_squatted_typo_domains_exist(self, world):
+        assert len(self._squat_zones(world)) >= 2
+
+    def test_squats_resolve_with_mx(self, world):
+        t = world.clock.start_ts + 100
+        for zone in self._squat_zones(world):
+            assert world.resolver.resolve_mx_host(zone.domain, t) is not None
+            # Registered: not available for protective registration.
+            assert not world.registrar.available_for_registration(zone.domain, t)
+
+    def test_mail_to_squat_bounces_t8_not_t2(self, world):
+        from repro.delivery.engine import DeliveryEngine
+        from repro.workload.spec import EmailSpec
+        from repro.core.taxonomy import BounceType
+
+        zone = self._squat_zones(world)[0]
+        engine = DeliveryEngine(world, RandomSource(91))
+        sender = world.benign_sender_domains()[0].users[0].address
+        record = engine.deliver(EmailSpec(
+            t=world.clock.start_ts + 5 * 86_400,
+            sender=sender,
+            receiver=f"victim@{zone.domain}",
+            spamminess=0.02,
+            size_bytes=2_000,
+            recipient_count=1,
+        ))
+        assert not record.delivered
+        assert record.attempts[0].truth_type == BounceType.T8.value
+
+
+class TestSenderWorld:
+    def test_population_split(self, world):
+        kinds = Counter(d.kind for d in world.sender_domains)
+        assert kinds[SenderKind.BENIGN] >= 5
+        assert kinds[SenderKind.GUESSER] >= 1
+        assert kinds[SenderKind.BULK_SPAMMER] >= 1
+
+    def test_benign_users_have_contacts(self, world):
+        users = [u for d in world.benign_sender_domains() for u in d.users]
+        with_contacts = [u for u in users if u.contacts]
+        assert len(with_contacts) / len(users) > 0.9
+
+    def test_contacts_point_at_real_mailboxes_mostly(self, world):
+        users = [u for d in world.benign_sender_domains() for u in d.users]
+        valid = invalid = 0
+        for u in users[:200]:
+            for c in u.contacts:
+                username, _, domain = c.address.partition("@")
+                rdomain = world.receiver_domains.get(domain)
+                if rdomain and rdomain.mailbox(username):
+                    valid += 1
+                else:
+                    invalid += 1
+        assert valid > 5 * max(invalid, 1)
+
+    def test_guessers_configured(self, world):
+        for guesser in (d for d in world.sender_domains if d.kind is SenderKind.GUESSER):
+            assert guesser.guess_target_domain in world.receiver_domains
+            assert len(guesser.guess_candidates) >= 5
+            target = world.receiver_domains[guesser.guess_target_domain]
+            hits = [c for c in guesser.guess_candidates if c in target.mailboxes]
+            # A small fraction of guesses are real accounts (paper: 0.91%).
+            assert hits
+            assert len(hits) / len(guesser.guess_candidates) < 0.25
+
+    def test_spammers_have_volume(self, world):
+        for spammer in (d for d in world.sender_domains if d.kind is SenderKind.BULK_SPAMMER):
+            assert spammer.campaign_volume > 0
+
+    def test_auth_misconfig_quota(self, world):
+        benign = world.benign_sender_domains()
+        broken = [
+            d
+            for d in benign
+            if (z := world.resolver.zone(d.name)).auth_error_windows
+            or z.spf_error_windows
+            or z.dkim_error_windows
+        ]
+        # ~13% of sender domains (paper: 9K of 68K).
+        assert 0.05 <= len(broken) / len(benign) <= 0.25
+
+    def test_sender_zones_have_auth_records(self, world):
+        domain = world.benign_sender_domains()[0]
+        zone = world.resolver.zone(domain.name)
+        assert zone.has_record(RecordType.TXT_SPF)
+        assert zone.has_record(RecordType.TXT_DKIM)
+        assert zone.has_record(RecordType.TXT_DMARC)
+
+    def test_automation_users_exist(self, world):
+        automation = [
+            u for d in world.benign_sender_domains() for u in d.users if u.is_automation
+        ]
+        assert automation
+        for u in automation:
+            assert u.contacts
+
+
+class TestWorldServices:
+    def test_breach_corpus_nonempty(self, world):
+        assert len(world.breach) > 100
+
+    def test_breach_contains_deleted_accounts(self, world):
+        deleted = [b for b in world.all_mailboxes() if b.deleted_at is not None]
+        hits = sum(1 for b in deleted if b.address in world.breach)
+        assert hits == len(deleted)
+
+    def test_fleet_size_and_countries(self, world):
+        assert len(world.fleet) >= 30
+        assert set(world.fleet.by_country()) == {"US", "HK", "DE", "GB", "SG", "IN"}
+
+    def test_registrar_on_live_domain(self, world):
+        t = world.clock.start_ts + 100
+        assert not world.registrar.available_for_registration("gmail.com", t)
+        assert world.registrar.whois("gmail.com", t).registered
+
+    def test_registrar_on_unknown_domain(self, world):
+        t = world.clock.start_ts
+        assert world.registrar.available_for_registration("never-existed-xyz.com", t)
+
+    def test_recipient_status_lookup(self, world):
+        gmail = world.receiver_domains["gmail.com"]
+        username = next(iter(gmail.mailboxes))
+        from repro.mta.receiver import RecipientStatus
+
+        status = world.recipient_status(f"{username}@gmail.com", world.clock.start_ts + 10)
+        assert status in set(RecipientStatus)
+        assert (
+            world.recipient_status("no-such-user-xx@gmail.com", world.clock.start_ts)
+            is RecipientStatus.NO_SUCH_USER
+        )
+        assert (
+            world.recipient_status("user@unknown-domain.test", world.clock.start_ts)
+            is RecipientStatus.NO_SUCH_USER
+        )
+
+    def test_samplers_deterministic_membership(self, world):
+        rng = RandomSource(55)
+        sampler = world.domain_sampler(rng)
+        for _ in range(50):
+            assert sampler.draw().name in world.receiver_domains
+
+    def test_build_deterministic(self):
+        from repro import SimulationConfig
+        from repro.world.model import build_world
+
+        a = build_world(SimulationConfig(scale=0.03, seed=99))
+        b = build_world(SimulationConfig(scale=0.03, seed=99))
+        assert sorted(a.receiver_domains) == sorted(b.receiver_domains)
+        assert [d.name for d in a.sender_domains] == [d.name for d in b.sender_domains]
+        assert a.fleet.ips == b.fleet.ips
+
+
+class TestConfigValidation:
+    def test_default_valid(self):
+        from repro import SimulationConfig
+
+        SimulationConfig().validate()  # must not raise
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"scale": 0.0},
+            {"scale": -1.0},
+            {"max_attempts": 0},
+            {"spam_attempts": 9, "max_attempts": 5},
+            {"proxy_policy": "round-robin"},
+            {"dnsbl_adoption_tail": 1.5},
+            {"username_typo_rate": -0.1},
+            {"emails_per_day": 0.0},
+            {"n_proxies": 0},
+        ],
+    )
+    def test_invalid_rejected(self, overrides):
+        from repro import SimulationConfig
+
+        with pytest.raises(ValueError):
+            SimulationConfig(**overrides)
+
+    def test_invalid_dates(self):
+        from datetime import datetime, timezone
+        from repro import SimulationConfig
+
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                start=datetime(2023, 1, 1, tzinfo=timezone.utc),
+                end=datetime(2022, 1, 1, tzinfo=timezone.utc),
+            )

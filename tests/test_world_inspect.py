@@ -1,0 +1,61 @@
+"""Tests for world inspection and recovery-timing analysis."""
+
+import pytest
+
+from repro.analysis.degrees import recovery_timing
+from repro.world.inspect import (
+    country_distribution,
+    dialect_distribution,
+    summarize_world,
+)
+
+
+class TestWorldSummary:
+    def test_summary_consistent(self, world):
+        summary = summarize_world(world)
+        assert summary.n_receiver_domains == len(world.receiver_domains)
+        assert summary.n_proxies == len(world.fleet)
+        assert summary.n_mailboxes > 0
+        assert summary.n_attackers >= 2
+        assert summary.breach_corpus_size == len(world.breach)
+
+    def test_policy_counts_positive(self, world):
+        summary = summarize_world(world)
+        assert summary.n_dnsbl_adopters >= 3  # hotmail/outlook/yahoo at least
+        assert summary.n_tls_mandatory >= 1
+        assert summary.n_auth_enforcing >= 2
+
+    def test_pathology_counts(self, world):
+        summary = summarize_world(world)
+        assert summary.n_expiring_domains >= 1
+        assert summary.n_mx_broken_domains >= 1
+        assert summary.n_auth_broken_senders >= 1
+
+    def test_render(self, world):
+        text = summarize_world(world).render()
+        assert "receiver domains:" in text
+        assert "breach corpus:" in text
+
+    def test_distributions(self, world):
+        countries = country_distribution(world)
+        assert countries.most_common(1)[0][0] == "US"
+        assert sum(countries.values()) == len(world.receiver_domains)
+        dialects = dialect_distribution(world)
+        assert sum(dialects.values()) == len(world.receiver_domains)
+
+
+class TestRecoveryTiming:
+    def test_timing_stats(self, dataset):
+        timing = recovery_timing(dataset)
+        assert timing.n_recovered > 10
+        assert 0.0 < timing.median_hours <= timing.p90_hours
+        assert timing.mean_hours > 0.0
+        # Retry gaps are ~30 min exponential; recovery typically within a day.
+        assert timing.median_hours < 24.0
+
+    def test_empty_dataset(self):
+        from repro.delivery.dataset import DeliveryDataset
+
+        timing = recovery_timing(DeliveryDataset([]))
+        assert timing.n_recovered == 0
+        assert timing.mean_hours == 0.0
