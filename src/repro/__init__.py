@@ -12,6 +12,9 @@ The package has three layers:
    — the paper's EBRC pipeline (Drain clustering, template labelling,
    classifier, majority-vote prediction) and every measurement analysis
    behind its tables and figures.
+4. **Streaming runtime** (:mod:`repro.stream`) — the same simulation as
+   a lazy record stream (byte-identical to batch at equal seed), rotating
+   checksummed shards, the online EBRC, and live deliverability monitors.
 
 Quickstart::
 
@@ -21,6 +24,7 @@ Quickstart::
 """
 
 from repro.simulate import SimulationResult, run_simulation
+from repro.stream.runner import iter_simulation, stream_simulation
 from repro.world.config import SimulationConfig
 from repro.delivery.dataset import DeliveryDataset
 from repro.delivery.records import AttemptRecord, DeliveryRecord
@@ -38,6 +42,8 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "run_simulation",
+    "iter_simulation",
+    "stream_simulation",
     "DeliveryDataset",
     "DeliveryRecord",
     "AttemptRecord",

@@ -4,6 +4,10 @@ Subcommands:
 
 * ``simulate`` — run a simulation and write the delivery log as JSONL
   (the paper's Figure 3 record format).
+* ``stream``   — streaming simulate: records go straight into rotating
+  JSONL shards with a checksummed manifest (bounded memory).
+* ``watch``    — replay a saved log (file or shard dir) through the
+  online EBRC and the sliding-window deliverability monitors.
 * ``report``   — bounce-degree and bounce-type report over a saved log.
 * ``classify`` — classify NDR lines with an EBRC trained on a saved log.
 * ``explain``  — reconstruct the SMTP dialogue behind one email's attempts.
@@ -38,6 +42,29 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--out", default="delivery_log.jsonl")
+
+    p = sub.add_parser("stream", help="streaming simulate -> sharded JSONL")
+    p.add_argument("--scale", type=float, default=0.1)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out-dir", default="delivery_shards")
+    p.add_argument("--shard-size", type=int, default=50_000,
+                   help="records per shard before rotation")
+    p.add_argument("--gzip", action="store_true", help="compress shards")
+    p.add_argument("--progress-every", type=int, default=10_000,
+                   help="print progress every N records (0 = quiet)")
+
+    p = sub.add_parser("watch", help="replay a log through the online "
+                                     "EBRC + deliverability monitors")
+    p.add_argument("log", help="delivery log: JSONL file or shard directory")
+    p.add_argument("--labeler", choices=("online-ebrc", "rules"),
+                   default="online-ebrc")
+    p.add_argument("--warmup", type=int, default=2000,
+                   help="NDR lines buffered before the first EBRC fit")
+    p.add_argument("--window-hours", type=float, default=48.0,
+                   help="sliding-window span for rate/type monitors")
+    p.add_argument("--bounce-rate-threshold", type=float, default=0.35)
+    p.add_argument("--max-alerts", type=int, default=0,
+                   help="stop after N alerts (0 = no limit)")
 
     p = sub.add_parser("report", help="summarise a saved delivery log")
     p.add_argument("dataset")
@@ -86,6 +113,93 @@ def _cmd_simulate(args) -> int:
     print(f"non/soft/hard: {pct(breakdown.non_fraction)} / "
           f"{pct(breakdown.soft_fraction)} / {pct(breakdown.hard_fraction)}")
     print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from repro.stream.runner import stream_simulation
+    from repro.stream.sink import ShardWriter
+
+    config = SimulationConfig(scale=args.scale, seed=args.seed)
+    run = stream_simulation(config)
+    clock = run.world.clock
+    with ShardWriter(
+        args.out_dir, shard_size=args.shard_size, compress=args.gzip
+    ) as writer:
+        for record in run.records:
+            writer.write(record)
+            n = writer.n_written
+            if args.progress_every and n % args.progress_every == 0:
+                print(f"  {n:,} records "
+                      f"(sim day {clock.day_index(record.start_time)}"
+                      f"/{clock.n_days})")
+    manifest = writer.manifest
+    print(f"streamed {manifest.n_records:,} records into "
+          f"{len(manifest.shards)} shard(s) under {args.out_dir} "
+          f"(scale={args.scale}, seed={args.seed})")
+    print(f"manifest: {args.out_dir}/manifest.json")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.stream.monitor import (
+        BounceRateMonitor,
+        BounceTypeMonitor,
+        DeliverabilityMonitor,
+        RecordClassifier,
+    )
+    from repro.stream.online import OnlineEBRC
+    from repro.stream.sink import iter_delivery_log
+    from repro.util.clock import SimClock
+
+    clock = SimClock()
+    window_s = args.window_hours * 3600.0
+    monitor = DeliverabilityMonitor(
+        bounce_rate=BounceRateMonitor(
+            window_s=window_s, threshold=args.bounce_rate_threshold
+        ),
+        bounce_types=BounceTypeMonitor(window_s=window_s),
+    )
+
+    if args.labeler == "rules":
+        labeler = RuleLabeler()
+
+        def pairs():
+            for record in iter_delivery_log(args.log):
+                failure = record.first_failure()
+                bounce_type = (
+                    labeler.classify(failure.result) if failure else None
+                )
+                yield record, bounce_type
+
+        online = None
+        stream = pairs()
+    else:
+        online = OnlineEBRC(warmup=args.warmup)
+        classifier = RecordClassifier(online)
+
+        def pairs():
+            for record in iter_delivery_log(args.log):
+                yield from classifier.feed(record)
+            yield from classifier.finalize()
+
+        stream = pairs()
+
+    n_alerts = 0
+    for alert in monitor.watch(stream):
+        print(alert.render(clock))
+        if not alert.cleared:
+            n_alerts += 1
+            if args.max_alerts and n_alerts >= args.max_alerts:
+                print(f"stopping after {n_alerts} alerts (--max-alerts)")
+                break
+    print()
+    print(f"watch summary: {monitor.summary()}")
+    if online is not None and online.fitted:
+        print(f"online EBRC: {online.n_templates} templates, "
+              f"{online.stats.n_flushed:,} classified, "
+              f"cache hit rate {online.stats.cache_hit_rate:.1%}, "
+              f"novel fraction {online.novel_fraction:.2%}")
     return 0
 
 
@@ -238,6 +352,8 @@ def _cmd_full_report(args) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "stream": _cmd_stream,
+    "watch": _cmd_watch,
     "report": _cmd_report,
     "classify": _cmd_classify,
     "explain": _cmd_explain,

@@ -21,6 +21,8 @@ and that proxy remembers to use STARTTLS next time.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.auth.evaluator import AuthEvaluator
 from repro.core.taxonomy import BounceType
 from repro.delivery.proxies import ProxyMTA
@@ -94,8 +96,9 @@ class DeliveryEngine:
             truth_spamminess=spec.spamminess,
         )
 
-    def deliver_all(self, specs: list[EmailSpec]):
-        """Deliver a whole workload; yields records in input order."""
+    def deliver_all(self, specs: Iterable[EmailSpec]):
+        """Deliver a whole workload (any iterable, consumed lazily);
+        yields records in input order."""
         for spec in specs:
             yield self.deliver(spec)
 

@@ -4,20 +4,22 @@
 attacker workloads, delivers every email, and returns the world plus the
 resulting dataset — the synthetic stand-in for the paper's 15-month
 Coremail delivery log.
+
+For runs too large to hold in memory, use the streaming runtime instead:
+:func:`repro.stream.iter_simulation` yields the identical record sequence
+without materialising it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
 
 from repro.delivery.dataset import DeliveryDataset
-from repro.delivery.engine import DeliveryEngine
-from repro.util.rng import RandomSource
-from repro.workload.attackers import AttackerGenerator
-from repro.workload.traffic import TrafficGenerator
+from repro.stream.runner import WorkloadFn, stream_simulation
 from repro.world.config import SimulationConfig
-from repro.world.model import WorldModel, build_world
+from repro.world.model import WorldModel
+
+__all__ = ["SimulationResult", "WorkloadFn", "run_simulation"]
 
 
 @dataclass
@@ -30,11 +32,6 @@ class SimulationResult:
         return self.world.config
 
 
-#: A pluggable workload: receives the built world and a dedicated random
-#: stream, returns extra EmailSpecs to deliver alongside the built-ins.
-WorkloadFn = Callable[[WorldModel, RandomSource], Iterable]
-
-
 def run_simulation(
     config: SimulationConfig | None = None,
     extra_workloads: list[WorkloadFn] | None = None,
@@ -43,28 +40,16 @@ def run_simulation(
 
     ``extra_workloads`` lets callers inject custom flows (a new attack, a
     marketing burst, a monitoring probe) without forking the generator;
-    each callable gets the world and its own named random stream.
+    each callable gets the world and its own named random stream.  Specs
+    outside the measurement window raise ``ValueError`` before delivery.
+
+    The specs are produced by the same lazy time-ordered merge the
+    streaming runtime uses (:mod:`repro.stream.runner`), so the old
+    concat-every-workload-then-sort memory spike is gone; only the record
+    dataset itself is materialised here.
     """
-    config = config or SimulationConfig()
-    world = build_world(config)
-    rng = RandomSource(config.seed, name="sim")
-
-    traffic = TrafficGenerator(world, rng.child("traffic"))
-    attackers = AttackerGenerator(world, rng.child("attackers"))
-    specs = traffic.generate() + attackers.generate()
-    for i, workload in enumerate(extra_workloads or []):
-        extra = list(workload(world, rng.child(f"extra/{i}")))
-        for spec in extra:
-            if not world.clock.contains(spec.t):
-                raise ValueError(
-                    f"extra workload {i} produced a spec outside the "
-                    f"measurement window (t={spec.t})"
-                )
-        specs.extend(extra)
-    specs.sort(key=lambda s: s.t)
-
-    engine = DeliveryEngine(world, rng.child("engine"))
+    run = stream_simulation(config, extra_workloads)
     dataset = DeliveryDataset()
-    for record in engine.deliver_all(specs):
+    for record in run.records:
         dataset.append(record)
-    return SimulationResult(world=world, dataset=dataset)
+    return SimulationResult(world=run.world, dataset=dataset)

@@ -1,0 +1,425 @@
+"""Live deliverability monitoring over a delivery-record stream.
+
+The paper's §4.2.2 reputation findings (Coremail proxies blocklisted on
+half the observed days) and §4.3 misconfiguration windows are batch
+analyses over the finished 15-month log.  This module runs the same
+questions *online*: records arrive in time order, sliding windows of
+bucketed counters track recent behaviour in bounded memory, and monitors
+emit :class:`Alert` objects on rising edges (and clears on falling
+edges) instead of end-of-run tables.
+
+Monitors consume ``(record, bounce_type)`` pairs — the type of the
+record's first failed attempt, as produced by a labeler or the
+:class:`~repro.stream.online.OnlineEBRC` (``None`` for delivered-first-try
+records and ambiguous NDRs).  :class:`RecordClassifier` pairs a raw
+record stream with online classifications while preserving record order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.taxonomy import BounceType
+from repro.delivery.records import DeliveryRecord
+from repro.stream.online import OnlineEBRC
+from repro.util.clock import DAY_SECONDS, SimClock
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One monitoring event."""
+
+    t: float
+    kind: str  # "bounce-rate" | "bounce-type" | "blocklist" | "misconfig"
+    subject: str  # the entity concerned ("stream", a type, a proxy IP, a domain)
+    message: str
+    severity: str = "warning"  # "info" | "warning" | "critical"
+    cleared: bool = False
+
+    def render(self, clock: SimClock | None = None) -> str:
+        stamp = clock.format_ts(self.t) if clock else f"t={self.t:.0f}"
+        marker = "CLEAR" if self.cleared else self.severity.upper()
+        return f"[{stamp}] {marker:8s} {self.kind}({self.subject}): {self.message}"
+
+
+class SlidingWindowCounter:
+    """Keyed counts over a sliding time window, bucketed for eviction.
+
+    Memory is O(active buckets x active keys); totals are O(1) via a
+    running aggregate that eviction decrements.
+    """
+
+    def __init__(self, window_s: float, bucket_s: float | None = None) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = window_s
+        self.bucket_s = bucket_s or max(window_s / 24.0, 1.0)
+        self._buckets: deque[tuple[int, Counter]] = deque()
+        self._total: Counter = Counter()
+
+    def _bucket_index(self, t: float) -> int:
+        return int(t // self.bucket_s)
+
+    def advance(self, t: float) -> None:
+        """Evict buckets that have slid out of the window ending at ``t``."""
+        horizon = self._bucket_index(t - self.window_s)
+        while self._buckets and self._buckets[0][0] <= horizon:
+            _, counts = self._buckets.popleft()
+            self._total.subtract(counts)
+        # keep the aggregate sparse
+        if self._total and not self._buckets:
+            self._total = Counter()
+
+    def add(self, t: float, key: str = "", n: int = 1) -> None:
+        self.advance(t)
+        index = self._bucket_index(t)
+        if not self._buckets or self._buckets[-1][0] != index:
+            self._buckets.append((index, Counter()))
+        self._buckets[-1][1][key] += n
+        self._total[key] += n
+
+    def count(self, key: str = "") -> int:
+        return self._total.get(key, 0)
+
+    def counts(self) -> Counter:
+        return Counter({k: v for k, v in self._total.items() if v > 0})
+
+    def total(self) -> int:
+        return sum(v for v in self._total.values() if v > 0)
+
+
+class BounceRateMonitor:
+    """Alerts when the windowed first-attempt bounce rate crosses a
+    threshold (and clears when it recovers)."""
+
+    def __init__(
+        self,
+        window_s: float = 2 * DAY_SECONDS,
+        threshold: float = 0.35,
+        min_volume: int = 200,
+    ) -> None:
+        self.threshold = threshold
+        self.min_volume = min_volume
+        self._window = SlidingWindowCounter(window_s)
+        self._active = False
+
+    def rate(self) -> float:
+        total = self._window.count("emails")
+        return self._window.count("bounced") / total if total else 0.0
+
+    def observe(self, record: DeliveryRecord, bounce_type: BounceType | None) -> list[Alert]:
+        t = record.start_time
+        self._window.add(t, "emails")
+        if record.bounced:
+            self._window.add(t, "bounced")
+        volume = self._window.count("emails")
+        if volume < self.min_volume:
+            return []
+        rate = self.rate()
+        if not self._active and rate >= self.threshold:
+            self._active = True
+            return [Alert(
+                t=t, kind="bounce-rate", subject="stream",
+                message=f"windowed bounce rate {rate:.1%} over "
+                        f"{volume:,} emails (threshold {self.threshold:.0%})",
+                severity="critical",
+            )]
+        if self._active and rate < self.threshold * 0.8:
+            self._active = False
+            return [Alert(
+                t=t, kind="bounce-rate", subject="stream",
+                message=f"bounce rate recovered to {rate:.1%}",
+                severity="info", cleared=True,
+            )]
+        return []
+
+
+class BounceTypeMonitor:
+    """Per-bounce-type share spikes within the bounced population."""
+
+    def __init__(
+        self,
+        window_s: float = 2 * DAY_SECONDS,
+        share_threshold: float = 0.40,
+        min_count: int = 50,
+        watch: Iterable[BounceType] | None = None,
+    ) -> None:
+        self.share_threshold = share_threshold
+        self.min_count = min_count
+        self.watch = set(watch) if watch is not None else None
+        self._window = SlidingWindowCounter(window_s)
+        self._active: set[str] = set()
+
+    def observe(self, record: DeliveryRecord, bounce_type: BounceType | None) -> list[Alert]:
+        t = record.start_time
+        if bounce_type is None:
+            self._window.advance(t)
+            return []
+        if self.watch is not None and bounce_type not in self.watch:
+            return []
+        self._window.add(t, bounce_type.value)
+        counts = self._window.counts()
+        total = sum(counts.values())
+        alerts: list[Alert] = []
+        still_high: set[str] = set()
+        for value, n in counts.items():
+            share = n / total if total else 0.0
+            if n >= self.min_count and share >= self.share_threshold * 0.8:
+                still_high.add(value)
+            if (n >= self.min_count and share >= self.share_threshold
+                    and value not in self._active):
+                self._active.add(value)
+                alerts.append(Alert(
+                    t=t, kind="bounce-type", subject=value,
+                    message=f"{value} ({BounceType(value).description}) is "
+                            f"{share:.0%} of {total:,} windowed bounces",
+                ))
+        for value in sorted(self._active - still_high):
+            self._active.discard(value)
+            alerts.append(Alert(
+                t=t, kind="bounce-type", subject=value,
+                message=f"{value} spike subsided",
+                severity="info", cleared=True,
+            ))
+        return alerts
+
+
+class BlocklistMonitor:
+    """The §4.2.2 reputation report, live: watches blocklist/greylist
+    rejections (T5) per sending proxy IP and alerts when a proxy appears
+    to be listed."""
+
+    def __init__(
+        self,
+        window_s: float = 1 * DAY_SECONDS,
+        min_rejections: int = 10,
+    ) -> None:
+        self.min_rejections = min_rejections
+        self._window = SlidingWindowCounter(window_s)
+        self._active: set[str] = set()
+
+    def observe(self, record: DeliveryRecord, bounce_type: BounceType | None) -> list[Alert]:
+        t = record.start_time
+        self._window.advance(t)
+        if bounce_type is BounceType.T5:
+            failure = record.first_failure()
+            if failure is not None and failure.from_ip:
+                self._window.add(t, failure.from_ip)
+        counts = self._window.counts()
+        alerts: list[Alert] = []
+        for ip, n in counts.items():
+            if n >= self.min_rejections and ip not in self._active:
+                self._active.add(ip)
+                alerts.append(Alert(
+                    t=t, kind="blocklist", subject=ip,
+                    message=f"proxy {ip} drew {n} blocklist rejections in "
+                            f"the last {self._window.window_s / 3600:.0f}h — "
+                            f"likely DNSBL-listed",
+                    severity="critical",
+                ))
+        for ip in sorted(self._active):
+            if counts.get(ip, 0) == 0:
+                self._active.discard(ip)
+                alerts.append(Alert(
+                    t=t, kind="blocklist", subject=ip,
+                    message=f"proxy {ip} no longer drawing blocklist rejections",
+                    severity="info", cleared=True,
+                ))
+        return alerts
+
+    @property
+    def listed_proxies(self) -> set[str]:
+        return set(self._active)
+
+
+@dataclass
+class _Episode:
+    start: float
+    last: float
+    n_bounces: int = 1
+    alerted: bool = False
+
+
+class MisconfigMonitor:
+    """Online misconfiguration-window detection (the streaming analogue of
+    :mod:`repro.analysis.misconfig`).
+
+    Tracks one entity per configured bounce type — receiver domains for T2
+    (broken MX), sender domains for T3 (DKIM/SPF) — and opens an episode
+    once ``min_bounces`` errors land within ``gap_s`` of each other.  A
+    successful delivery for the entity confirms the fix and clears the
+    episode; a quiet gap expires it unconfirmed.
+    """
+
+    #: bounce type -> how to key the affected entity.
+    DEFAULT_WATCH = {
+        BounceType.T2: "receiver_domain",
+        BounceType.T3: "sender_domain",
+    }
+
+    def __init__(
+        self,
+        gap_s: float = 4 * DAY_SECONDS,
+        min_bounces: int = 3,
+        watch: dict[BounceType, str] | None = None,
+    ) -> None:
+        self.gap_s = gap_s
+        self.min_bounces = min_bounces
+        self.watch = dict(watch) if watch is not None else dict(self.DEFAULT_WATCH)
+        #: (type value, entity) -> open episode
+        self._episodes: dict[tuple[str, str], _Episode] = {}
+
+    def _entity(self, record: DeliveryRecord, bounce_type: BounceType) -> str:
+        return getattr(record, self.watch[bounce_type])
+
+    def _expire(self, t: float) -> list[Alert]:
+        alerts: list[Alert] = []
+        for key, ep in list(self._episodes.items()):
+            if t - ep.last > self.gap_s:
+                if ep.alerted:
+                    value, entity = key
+                    alerts.append(Alert(
+                        t=t, kind="misconfig", subject=entity,
+                        message=f"{value} errors quiet for "
+                                f"{(t - ep.last) / DAY_SECONDS:.1f} days "
+                                f"(episode unconfirmed, "
+                                f"{ep.n_bounces} bounces since start)",
+                        severity="info", cleared=True,
+                    ))
+                del self._episodes[key]
+        return alerts
+
+    def observe(self, record: DeliveryRecord, bounce_type: BounceType | None) -> list[Alert]:
+        t = record.start_time
+        alerts = self._expire(t)
+        # A success confirms the fix for any open episode on that entity.
+        if record.delivered:
+            for value, attr in ((bt.value, a) for bt, a in self.watch.items()):
+                key = (value, getattr(record, attr))
+                ep = self._episodes.pop(key, None)
+                if ep is not None and ep.alerted:
+                    alerts.append(Alert(
+                        t=t, kind="misconfig", subject=key[1],
+                        message=f"{value} episode fixed after "
+                                f"{(t - ep.start) / DAY_SECONDS:.1f} days "
+                                f"({ep.n_bounces} bounces)",
+                        severity="info", cleared=True,
+                    ))
+            return alerts
+        if bounce_type is None or bounce_type not in self.watch:
+            return alerts
+        entity = self._entity(record, bounce_type)
+        key = (bounce_type.value, entity)
+        ep = self._episodes.get(key)
+        if ep is None:
+            self._episodes[key] = _Episode(start=t, last=t)
+            return alerts
+        ep.last = t
+        ep.n_bounces += 1
+        if not ep.alerted and ep.n_bounces >= self.min_bounces:
+            ep.alerted = True
+            alerts.append(Alert(
+                t=t, kind="misconfig", subject=entity,
+                message=f"{bounce_type.value} "
+                        f"({bounce_type.description}) misconfiguration "
+                        f"window open since "
+                        f"{(t - ep.start) / DAY_SECONDS:.1f} days ago "
+                        f"({ep.n_bounces} bounces)",
+            ))
+        return alerts
+
+    @property
+    def open_episodes(self) -> dict[tuple[str, str], tuple[float, int]]:
+        return {k: (ep.start, ep.n_bounces) for k, ep in self._episodes.items()}
+
+
+class RecordClassifier:
+    """Pairs a record stream with classifications, preserving order.
+
+    Classifications for bounced records come from an online classifier
+    whose warm-up delays results; records are queued until their type is
+    known, then released in arrival order.  Non-bounced records carry
+    ``None`` and ride along in sequence.
+    """
+
+    def __init__(self, online: OnlineEBRC) -> None:
+        self.online = online
+        self._pending: deque[tuple[DeliveryRecord, bool]] = deque()
+        self._types: deque[BounceType | None] = deque()
+
+    def _drain(self) -> list[tuple[DeliveryRecord, BounceType | None]]:
+        out: list[tuple[DeliveryRecord, BounceType | None]] = []
+        while self._pending:
+            record, has_failure = self._pending[0]
+            if has_failure:
+                if not self._types:
+                    break
+                out.append((record, self._types.popleft()))
+            else:
+                out.append((record, None))
+            self._pending.popleft()
+        return out
+
+    def feed(self, record: DeliveryRecord) -> list[tuple[DeliveryRecord, BounceType | None]]:
+        failure = record.first_failure()
+        self._pending.append((record, failure is not None))
+        if failure is not None:
+            self._types.extend(self.online.observe(failure.result))
+        return self._drain()
+
+    def finalize(self) -> list[tuple[DeliveryRecord, BounceType | None]]:
+        self._types.extend(self.online.finalize())
+        return self._drain()
+
+
+class DeliverabilityMonitor:
+    """The composed live monitoring service: bounce rate, per-type spikes,
+    proxy blocklistings, and misconfiguration windows over one stream."""
+
+    def __init__(
+        self,
+        bounce_rate: BounceRateMonitor | None = None,
+        bounce_types: BounceTypeMonitor | None = None,
+        blocklist: BlocklistMonitor | None = None,
+        misconfig: MisconfigMonitor | None = None,
+    ) -> None:
+        self.monitors = [
+            bounce_rate if bounce_rate is not None else BounceRateMonitor(),
+            bounce_types if bounce_types is not None else BounceTypeMonitor(),
+            blocklist if blocklist is not None else BlocklistMonitor(),
+            misconfig if misconfig is not None else MisconfigMonitor(),
+        ]
+        self.n_records = 0
+        self.n_bounced = 0
+        self.alert_counts: Counter = Counter()
+
+    def observe(
+        self, record: DeliveryRecord, bounce_type: BounceType | None
+    ) -> list[Alert]:
+        self.n_records += 1
+        if record.bounced:
+            self.n_bounced += 1
+        alerts: list[Alert] = []
+        for monitor in self.monitors:
+            alerts.extend(monitor.observe(record, bounce_type))
+        for alert in alerts:
+            if not alert.cleared:
+                self.alert_counts[alert.kind] += 1
+        return alerts
+
+    def watch(
+        self, pairs: Iterable[tuple[DeliveryRecord, BounceType | None]]
+    ) -> Iterator[Alert]:
+        for record, bounce_type in pairs:
+            yield from self.observe(record, bounce_type)
+
+    def summary(self) -> str:
+        parts = [
+            f"records={self.n_records:,}",
+            f"bounced={self.n_bounced:,}",
+        ]
+        for kind in sorted(self.alert_counts):
+            parts.append(f"{kind}-alerts={self.alert_counts[kind]}")
+        return " ".join(parts)

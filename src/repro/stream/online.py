@@ -1,0 +1,221 @@
+"""Online EBRC: bounce-reason classification over a live NDR stream.
+
+The batch :class:`~repro.core.ebrc.EBRC` wants the whole corpus up front
+(cluster, label, train, predict).  :class:`OnlineEBRC` runs the same
+pipeline against a stream:
+
+* **Warm-up** — the first ``warmup`` NDR lines are buffered; when the
+  buffer fills (or :meth:`finalize` is called) a batch EBRC is fitted on
+  it and the buffered messages' classifications are flushed in order.
+* **Steady state** — each later message is routed through the *fitted*
+  Drain tree non-destructively and classified once per template id: the
+  first message of a template pays the full classification, every other
+  hit is a dict lookup.  This mirrors how the paper classifies 190M NDRs
+  against ~10K templates.
+* **Novelty tracking** — messages the fitted tree cannot place are
+  classified individually (exactly as batch ``EBRC.classify`` does) *and*
+  mined into a separate incremental Drain, so the share of genuinely new
+  template structures is observable (:attr:`novel_fraction`).
+* **Refit hooks** — ``refit_interval`` triggers a periodic refit on the
+  most recent ``refit_window`` messages; ``on_refit`` is called after
+  every (re)fit so a monitoring service can snapshot/persist the model.
+
+Because steady-state classification reads the fitted model without
+mutating it, replaying a log through ``OnlineEBRC`` (with refits off)
+produces classifications identical to fitting a batch EBRC on the warm-up
+prefix and calling ``classify_many`` on the whole log.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.core.drain import Drain
+from repro.core.ebrc import EBRC, EBRCConfig
+from repro.core.labeling import is_ambiguous_text
+from repro.core.taxonomy import BounceType
+
+
+@dataclass
+class OnlineEBRCStats:
+    """Counters a monitoring service would export."""
+
+    n_seen: int = 0
+    n_flushed: int = 0
+    n_cache_hits: int = 0
+    n_unmatched: int = 0
+    n_fits: int = 0
+    n_failed_refits: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        classified = self.n_flushed
+        return self.n_cache_hits / classified if classified else 0.0
+
+
+class OnlineEBRC:
+    """Streaming wrapper around the batch EBRC pipeline."""
+
+    def __init__(
+        self,
+        config: EBRCConfig | None = None,
+        warmup: int = 2000,
+        refit_interval: int | None = None,
+        refit_window: int = 20_000,
+        on_refit: Callable[["OnlineEBRC"], None] | None = None,
+    ) -> None:
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        if refit_interval is not None and refit_interval < 1:
+            raise ValueError("refit_interval must be >= 1")
+        self.config = config or EBRCConfig()
+        self.warmup = warmup
+        self.refit_interval = refit_interval
+        self.on_refit = on_refit
+        self.ebrc: EBRC | None = None
+        self.stats = OnlineEBRCStats()
+        #: template id -> classification, valid for the current fit.
+        self._cache: dict[int, BounceType | None] = {}
+        self._buffer: list[str] = []
+        #: bounded recent-message window the next refit trains on.
+        self._recent: deque[str] = deque(maxlen=refit_window)
+        #: incremental miner for structures the fitted tree doesn't know.
+        self.novel_drain = self._fresh_drain()
+        self._since_refit = 0
+
+    def _fresh_drain(self) -> Drain:
+        return Drain(
+            depth=self.config.drain_depth,
+            sim_threshold=self.config.drain_sim_threshold,
+        )
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def fitted(self) -> bool:
+        return self.ebrc is not None
+
+    @property
+    def n_templates(self) -> int:
+        return self.ebrc.n_templates if self.fitted else 0
+
+    @property
+    def n_novel_templates(self) -> int:
+        return len(self.novel_drain.templates)
+
+    @property
+    def novel_fraction(self) -> float:
+        """Share of post-fit messages the fitted tree could not place."""
+        classified = self.stats.n_flushed
+        return self.stats.n_unmatched / classified if classified else 0.0
+
+    # -- streaming API ---------------------------------------------------------
+
+    def observe(self, message: str) -> list[BounceType | None]:
+        """Feed one NDR line; returns the classifications that became
+        available: ``[]`` while warming up, the whole warm-up batch when the
+        buffer fills, one entry per message afterwards."""
+        self.stats.n_seen += 1
+        self._recent.append(message)
+        if not self.fitted:
+            self._buffer.append(message)
+            if len(self._buffer) >= self.warmup:
+                return self._fit_and_flush()
+            return []
+        result = [self._classify_one(message)]
+        self.stats.n_flushed += 1
+        self._since_refit += 1
+        if self.refit_interval is not None and self._since_refit >= self.refit_interval:
+            self.refit()
+        return result
+
+    def classify_stream(
+        self, messages: Iterable[str]
+    ) -> Iterator[BounceType | None]:
+        """Classify a message stream; yields one result per input message,
+        in input order (warm-up results are yielded as soon as the model
+        fits, then the stream runs incrementally).  Finalizes at the end,
+        so short streams that never fill the warm-up buffer still fit."""
+        for message in messages:
+            yield from self.observe(message)
+        yield from self.finalize()
+
+    def finalize(self) -> list[BounceType | None]:
+        """Flush a partially-filled warm-up buffer (end of stream)."""
+        if not self.fitted and self._buffer:
+            return self._fit_and_flush()
+        return []
+
+    # -- fitting ----------------------------------------------------------------
+
+    def _fit_and_flush(self) -> list[BounceType | None]:
+        ebrc = EBRC(self.config)
+        ebrc.fit(list(self._buffer))
+        self.ebrc = ebrc
+        self._cache = {}
+        self.novel_drain = self._fresh_drain()
+        self.stats.n_fits += 1
+        flushed = [self._classify_one(m) for m in self._buffer]
+        self.stats.n_flushed += len(flushed)
+        self._buffer = []
+        self._since_refit = 0
+        if self.on_refit is not None:
+            self.on_refit(self)
+        return flushed
+
+    def refit(self) -> bool:
+        """Refit on the recent-message window; returns True on success.
+
+        A window too uniform to train on (fewer than two labelled types)
+        keeps the current model and counts a failed refit instead of
+        killing the stream.
+        """
+        messages = list(self._recent)
+        if not messages:
+            return False
+        ebrc = EBRC(self.config)
+        try:
+            ebrc.fit(messages)
+        except ValueError:
+            self.stats.n_failed_refits += 1
+            self._since_refit = 0
+            return False
+        self.ebrc = ebrc
+        self._cache = {}
+        self.novel_drain = self._fresh_drain()
+        self.stats.n_fits += 1
+        self._since_refit = 0
+        if self.on_refit is not None:
+            self.on_refit(self)
+        return True
+
+    # -- classification -----------------------------------------------------------
+
+    def _classify_one(self, message: str) -> BounceType | None:
+        ebrc = self.ebrc
+        template = ebrc.drain.match(message)
+        if template is None:
+            # Unseen structure: mine it incrementally, classify the raw
+            # text exactly as the batch path would.
+            self.stats.n_unmatched += 1
+            self.novel_drain.add(message)
+            if is_ambiguous_text(message):
+                return None
+            predicted = ebrc.classifier.predict(
+                ebrc.vectorizer.transform([message])
+            )[0]
+            return BounceType(predicted)
+        tid = template.template_id
+        if tid in self._cache:
+            self.stats.n_cache_hits += 1
+            return self._cache[tid]
+        if tid in ebrc.ambiguous_template_ids:
+            result: BounceType | None = None
+        else:
+            result = BounceType(
+                ebrc.template_types.get(tid, BounceType.T16.value)
+            )
+        self._cache[tid] = result
+        return result

@@ -1,0 +1,127 @@
+"""Streaming simulation runner.
+
+The batch runner (:func:`repro.simulate.run_simulation`) materialises every
+:class:`~repro.workload.spec.EmailSpec` and every
+:class:`~repro.delivery.records.DeliveryRecord` before anything downstream
+runs.  This module is the bounded-memory alternative: the world is built
+once, the workload generators are *lazily* heap-merged in time order, and
+delivery records are yielded one at a time.
+
+Output equivalence is exact, not approximate: for the same config (and
+extra workloads) the record sequence is byte-identical to the batch path,
+because
+
+* each workload stream is yielded pre-sorted by send time (the benign
+  generator one day at a time, attacker campaigns per domain),
+* ``heapq.merge`` is stable across its input iterables, which makes a
+  merge of sorted streams equal to concat-then-stable-sort, and
+* every random stream is a *named* child of the run seed
+  (:meth:`repro.util.rng.RandomSource.child`), so generation order cannot
+  perturb any other consumer's randomness.
+
+Peak memory is O(one day of specs + attacker campaigns + the world), never
+O(total records).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.delivery.engine import DeliveryEngine
+from repro.delivery.records import DeliveryRecord
+from repro.util.rng import RandomSource
+from repro.workload.attackers import AttackerGenerator
+from repro.workload.spec import EmailSpec
+from repro.workload.traffic import TrafficGenerator
+from repro.world.config import SimulationConfig
+from repro.world.model import WorldModel, build_world
+
+#: A pluggable workload: receives the built world and a dedicated random
+#: stream, returns extra EmailSpecs to deliver alongside the built-ins.
+WorkloadFn = Callable[[WorldModel, RandomSource], Iterable[EmailSpec]]
+
+
+def merge_spec_streams(
+    world: WorldModel,
+    rng: RandomSource,
+    extra_workloads: list[WorkloadFn] | None = None,
+) -> Iterator[EmailSpec]:
+    """Lazily merge all workload streams into one time-ordered spec stream.
+
+    Extra workloads are materialised and validated *eagerly* (they must stay
+    inside the measurement window), so a bad workload raises before any
+    delivery happens — same contract as the batch path.
+    """
+    traffic = TrafficGenerator(world, rng.child("traffic"))
+    attackers = AttackerGenerator(world, rng.child("attackers"))
+    streams: list[Iterator[EmailSpec]] = [
+        traffic.iter_specs(),
+        attackers.iter_specs(),
+    ]
+    for i, workload in enumerate(extra_workloads or []):
+        extra = list(workload(world, rng.child(f"extra/{i}")))
+        for spec in extra:
+            if not world.clock.contains(spec.t):
+                raise ValueError(
+                    f"extra workload {i} produced a spec outside the "
+                    f"measurement window (t={spec.t})"
+                )
+        extra.sort(key=lambda s: s.t)
+        streams.append(iter(extra))
+    return heapq.merge(*streams, key=lambda s: s.t)
+
+
+@dataclass
+class StreamingSimulation:
+    """A running streaming simulation: the built world plus a lazy record
+    iterator.  Iterate it (once) to drive delivery."""
+
+    world: WorldModel
+    records: Iterator[DeliveryRecord]
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self.world.config
+
+    def __iter__(self) -> Iterator[DeliveryRecord]:
+        return self.records
+
+
+def stream_simulation(
+    config: SimulationConfig | None = None,
+    extra_workloads: list[WorkloadFn] | None = None,
+) -> StreamingSimulation:
+    """Build the world and return a lazy, time-ordered record stream."""
+    config = config or SimulationConfig()
+    world = build_world(config)
+    rng = RandomSource(config.seed, name="sim")
+    specs = merge_spec_streams(world, rng, extra_workloads)
+    engine = DeliveryEngine(world, rng.child("engine"))
+    return StreamingSimulation(world=world, records=engine.deliver_all(specs))
+
+
+def iter_simulation(
+    config: SimulationConfig | None = None,
+    extra_workloads: list[WorkloadFn] | None = None,
+) -> Iterator[DeliveryRecord]:
+    """Yield delivery records incrementally, byte-identical (same JSON, same
+    order) to ``run_simulation(config).dataset`` for the same seed."""
+    return stream_simulation(config, extra_workloads).records
+
+
+def iter_chunks(
+    records: Iterable[DeliveryRecord], size: int
+) -> Iterator[list[DeliveryRecord]]:
+    """Group a record stream into lists of at most ``size`` records."""
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    chunk: list[DeliveryRecord] = []
+    for record in records:
+        chunk.append(record)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

@@ -1,0 +1,308 @@
+"""Sharded delivery-log storage.
+
+A :class:`ShardWriter` splits a record stream into rotating JSONL shards
+(optionally gzip-compressed) and writes a ``manifest.json`` describing
+them — record counts, start-time ranges, payload checksums — so analyses
+can plan shard-by-shard passes (or skip shards entirely by time range)
+without reading every byte.
+
+Checksums cover the *uncompressed* JSONL payload, not the file bytes:
+gzip embeds a modification time, so file-level hashes of identical data
+would differ between runs.
+
+A :class:`ShardReader` iterates a shard directory back in order, with
+optional checksum verification, shard-level time filtering, and the same
+record type the batch :class:`~repro.delivery.dataset.DeliveryDataset`
+uses — ``DeliveryDataset.read_jsonl`` and a shard round-trip agree.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.delivery.records import DeliveryRecord
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+class ShardIntegrityError(RuntimeError):
+    """A shard's payload does not match its manifest checksum."""
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Manifest entry for one shard file."""
+
+    name: str
+    n_records: int
+    t_min: float
+    t_max: float
+    sha256: str
+
+    def to_json_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_records": self.n_records,
+            "t_min": self.t_min,
+            "t_max": self.t_max,
+            "sha256": self.sha256,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ShardInfo":
+        return cls(
+            name=data["name"],
+            n_records=int(data["n_records"]),
+            t_min=float(data["t_min"]),
+            t_max=float(data["t_max"]),
+            sha256=data["sha256"],
+        )
+
+
+@dataclass
+class ShardManifest:
+    """The directory-level index of a sharded delivery log."""
+
+    shards: list[ShardInfo]
+    compression: str = "none"  # "none" | "gzip"
+    version: int = MANIFEST_VERSION
+
+    @property
+    def n_records(self) -> int:
+        return sum(s.n_records for s in self.shards)
+
+    @property
+    def t_min(self) -> float | None:
+        starts = [s.t_min for s in self.shards if s.n_records]
+        return min(starts) if starts else None
+
+    @property
+    def t_max(self) -> float | None:
+        ends = [s.t_max for s in self.shards if s.n_records]
+        return max(ends) if ends else None
+
+    def to_json_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "compression": self.compression,
+            "n_records": self.n_records,
+            "shards": [s.to_json_dict() for s in self.shards],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ShardManifest":
+        return cls(
+            shards=[ShardInfo.from_json_dict(s) for s in data["shards"]],
+            compression=data.get("compression", "none"),
+            version=int(data.get("version", MANIFEST_VERSION)),
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        path = Path(directory) / MANIFEST_NAME
+        path.write_text(
+            json.dumps(self.to_json_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ShardManifest":
+        path = Path(directory) / MANIFEST_NAME
+        return cls.from_json_dict(json.loads(path.read_text(encoding="utf-8")))
+
+
+class ShardWriter:
+    """Rotating shard writer; usable as a context manager.
+
+    ::
+
+        with ShardWriter(out_dir, shard_size=50_000, compress=True) as w:
+            for record in iter_simulation(config):
+                w.write(record)
+        manifest = w.manifest
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        shard_size: int = 100_000,
+        compress: bool = False,
+        prefix: str = "shard",
+    ) -> None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.shard_size = shard_size
+        self.compress = compress
+        self.prefix = prefix
+        self._shards: list[ShardInfo] = []
+        self._fh = None
+        self._hash = None
+        self._shard_count = 0
+        self._shard_t_min = 0.0
+        self._shard_t_max = 0.0
+        self._closed = False
+        self.manifest: ShardManifest | None = None
+
+    # -- writing ---------------------------------------------------------------
+
+    @property
+    def n_written(self) -> int:
+        return sum(s.n_records for s in self._shards) + self._shard_count
+
+    def _shard_name(self, index: int) -> str:
+        suffix = ".jsonl.gz" if self.compress else ".jsonl"
+        return f"{self.prefix}-{index:05d}{suffix}"
+
+    def _open_shard(self) -> None:
+        name = self._shard_name(len(self._shards))
+        path = self.directory / name
+        if self.compress:
+            self._fh = gzip.open(path, "wt", encoding="utf-8")
+        else:
+            self._fh = path.open("w", encoding="utf-8")
+        self._hash = hashlib.sha256()
+        self._shard_count = 0
+
+    def _close_shard(self) -> None:
+        if self._fh is None:
+            return
+        self._fh.close()
+        self._shards.append(
+            ShardInfo(
+                name=self._shard_name(len(self._shards)),
+                n_records=self._shard_count,
+                t_min=self._shard_t_min,
+                t_max=self._shard_t_max,
+                sha256=self._hash.hexdigest(),
+            )
+        )
+        self._fh = None
+        self._hash = None
+
+    def write(self, record: DeliveryRecord) -> None:
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        if self._fh is None:
+            self._open_shard()
+        line = record.to_json() + "\n"
+        self._fh.write(line)
+        self._hash.update(line.encode("utf-8"))
+        t = record.start_time
+        if self._shard_count == 0:
+            self._shard_t_min = t
+            self._shard_t_max = t
+        else:
+            self._shard_t_min = min(self._shard_t_min, t)
+            self._shard_t_max = max(self._shard_t_max, t)
+        self._shard_count += 1
+        if self._shard_count >= self.shard_size:
+            self._close_shard()
+
+    def write_all(self, records) -> int:
+        n = 0
+        for record in records:
+            self.write(record)
+            n += 1
+        return n
+
+    def close(self) -> ShardManifest:
+        """Flush the open shard and write the manifest."""
+        if self._closed:
+            return self.manifest
+        self._close_shard()
+        self._closed = True
+        self.manifest = ShardManifest(
+            shards=self._shards,
+            compression="gzip" if self.compress else "none",
+        )
+        self.manifest.save(self.directory)
+        return self.manifest
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ShardReader:
+    """Reads a sharded delivery log back, shard by shard, in write order."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.manifest = ShardManifest.load(self.directory)
+
+    def __len__(self) -> int:
+        return self.manifest.n_records
+
+    def _open(self, info: ShardInfo):
+        path = self.directory / info.name
+        if self.manifest.compression == "gzip":
+            return gzip.open(path, "rt", encoding="utf-8")
+        return path.open("r", encoding="utf-8")
+
+    def iter_lines(self, info: ShardInfo, verify: bool = False) -> Iterator[str]:
+        digest = hashlib.sha256() if verify else None
+        with self._open(info) as fh:
+            for line in fh:
+                if digest is not None:
+                    digest.update(line.encode("utf-8"))
+                line = line.strip()
+                if line:
+                    yield line
+        if digest is not None and digest.hexdigest() != info.sha256:
+            raise ShardIntegrityError(
+                f"shard {info.name}: payload checksum mismatch "
+                f"(expected {info.sha256}, got {digest.hexdigest()})"
+            )
+
+    def iter_shard(self, info: ShardInfo, verify: bool = False) -> Iterator[DeliveryRecord]:
+        for line in self.iter_lines(info, verify=verify):
+            yield DeliveryRecord.from_json(line)
+
+    def iter_records(
+        self,
+        verify: bool = False,
+        t_min: float | None = None,
+        t_max: float | None = None,
+    ) -> Iterator[DeliveryRecord]:
+        """All records in order; ``t_min``/``t_max`` skip whole shards whose
+        manifest time range falls outside the filter, then filter records."""
+        for info in self.manifest.shards:
+            if t_min is not None and info.t_max < t_min:
+                continue
+            if t_max is not None and info.t_min > t_max:
+                continue
+            for record in self.iter_shard(info, verify=verify):
+                if t_min is not None and record.start_time < t_min:
+                    continue
+                if t_max is not None and record.start_time > t_max:
+                    continue
+                yield record
+
+    def __iter__(self) -> Iterator[DeliveryRecord]:
+        return self.iter_records()
+
+    def verify(self) -> None:
+        """Re-hash every shard against the manifest; raises on mismatch."""
+        for info in self.manifest.shards:
+            for _ in self.iter_lines(info, verify=True):
+                pass
+
+
+def iter_delivery_log(path: str | Path) -> Iterator[DeliveryRecord]:
+    """Records from either a shard directory (with manifest) or a plain
+    JSONL/JSONL.gz file — whatever ``repro-bounce watch`` is pointed at."""
+    from repro.delivery.dataset import DeliveryDataset
+
+    path = Path(path)
+    if path.is_dir():
+        return ShardReader(path).iter_records()
+    return DeliveryDataset.iter_jsonl(path)

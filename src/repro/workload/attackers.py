@@ -10,6 +10,9 @@
 
 from __future__ import annotations
 
+import heapq
+from typing import Iterator
+
 from repro.util.rng import RandomSource
 from repro.world.model import WorldModel
 from repro.world.senders import SenderDomain, SenderKind
@@ -22,15 +25,29 @@ class AttackerGenerator:
         self.rng = rng
 
     def generate(self) -> list[EmailSpec]:
-        out: list[EmailSpec] = []
+        return list(self.iter_specs())
+
+    def campaign_chunks(self) -> Iterator[list[EmailSpec]]:
+        """One sorted spec list per attacker domain, in domain order."""
         for domain in self.world.attacker_domains():
             stream = self.rng.child(domain.name)
             if domain.kind is SenderKind.GUESSER:
-                out.extend(self._guess_campaign(domain, stream))
+                specs = self._guess_campaign(domain, stream)
             elif domain.kind is SenderKind.BULK_SPAMMER:
-                out.extend(self._spam_campaign(domain, stream))
-        out.sort(key=lambda s: s.t)
-        return out
+                specs = self._spam_campaign(domain, stream)
+            else:
+                continue
+            specs.sort(key=lambda s: s.t)
+            yield specs
+
+    def iter_specs(self) -> Iterator[EmailSpec]:
+        """The attacker stream in time order.
+
+        Campaigns span the whole window, so per-domain sorted chunks are
+        heap-merged; ``heapq.merge`` is stable across its inputs, which
+        makes the sequence identical to concat-then-stable-sort.
+        """
+        return heapq.merge(*self.campaign_chunks(), key=lambda s: s.t)
 
     # -- username guessing ------------------------------------------------------
 

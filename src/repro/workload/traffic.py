@@ -12,6 +12,8 @@ borderline; Coremail's outgoing filter flag is applied by the engine.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.typosquat.generate import sample_domain_typo, sample_username_typo
 from repro.util.rng import RandomSource
 from repro.util.text import split_address
@@ -33,16 +35,36 @@ class TrafficGenerator:
     def generate(self) -> list[EmailSpec]:
         """The full benign stream across the measurement window, in time
         order within each day."""
+        return list(self.iter_specs())
+
+    def day_specs(self, day: int) -> list[EmailSpec]:
+        """One day's benign emails, sorted by send time.
+
+        Times, typos and content draw from the day's own named random
+        stream; sender identities come from the world's shared (stateful)
+        popularity sampler, so days must be generated in order — which is
+        exactly what :meth:`iter_specs` does.
+        """
         out: list[EmailSpec] = []
-        for day in range(self.world.clock.n_days):
-            day_rng = self.rng.child(f"day/{day}")
-            volume = self.schedule.day_volume(day, day_rng)
-            for i in range(volume):
-                spec = self._compose(day, day_rng.child(str(i)))
-                if spec is not None:
-                    out.append(spec)
+        day_rng = self.rng.child(f"day/{day}")
+        volume = self.schedule.day_volume(day, day_rng)
+        for i in range(volume):
+            spec = self._compose(day, day_rng.child(str(i)))
+            if spec is not None:
+                out.append(spec)
         out.sort(key=lambda s: s.t)
         return out
+
+    def iter_specs(self) -> Iterator[EmailSpec]:
+        """Lazily yield the benign stream in time order, holding at most
+        one day's specs in memory.
+
+        Send times never cross day boundaries, so per-day sorted chunks
+        concatenate into the exact sequence a global stable sort of the
+        whole window would produce.
+        """
+        for day in range(self.world.clock.n_days):
+            yield from self.day_specs(day)
 
     def _compose(self, day: int, rng: RandomSource) -> EmailSpec | None:
         user = self._sender_sampler.draw()

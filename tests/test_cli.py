@@ -19,6 +19,46 @@ class TestSimulate:
         assert saved_log.stat().st_size > 10_000
 
 
+class TestStream:
+    @pytest.fixture(scope="class")
+    def shard_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-stream") / "shards"
+        code = main([
+            "stream", "--scale", "0.03", "--seed", "3",
+            "--out-dir", str(path), "--shard-size", "2000",
+            "--progress-every", "0",
+        ])
+        assert code == 0
+        return path
+
+    def test_writes_shards_and_manifest(self, shard_dir, capsys):
+        assert (shard_dir / "manifest.json").exists()
+        assert len(list(shard_dir.glob("shard-*.jsonl"))) > 1
+
+    def test_matches_batch_simulate(self, saved_log, shard_dir):
+        """`stream` and `simulate` at the same config produce the same log."""
+        from repro.stream.sink import iter_delivery_log
+
+        batch = [r.to_json() for r in iter_delivery_log(saved_log)]
+        streamed = [r.to_json() for r in iter_delivery_log(shard_dir)]
+        assert batch == streamed
+
+    def test_watch_shards_online(self, shard_dir, capsys):
+        code = main(["watch", str(shard_dir), "--warmup", "500"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "watch summary: records=" in out
+        assert "online EBRC:" in out
+
+    def test_watch_file_with_rules_labeler(self, saved_log, capsys):
+        code = main(["watch", str(saved_log), "--labeler", "rules",
+                     "--max-alerts", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "watch summary: records=" in out
+        assert "online EBRC:" not in out
+
+
 class TestReport:
     def test_report_runs(self, saved_log, capsys):
         assert main(["report", str(saved_log)]) == 0

@@ -1,0 +1,283 @@
+"""Tests for live deliverability monitors (repro.stream.monitor)."""
+
+import pytest
+
+from repro.core.taxonomy import BounceType
+from repro.delivery.records import AttemptRecord, DeliveryRecord
+from repro.stream.monitor import (
+    Alert,
+    BlocklistMonitor,
+    BounceRateMonitor,
+    BounceTypeMonitor,
+    DeliverabilityMonitor,
+    MisconfigMonitor,
+    RecordClassifier,
+    SlidingWindowCounter,
+)
+from repro.stream.online import OnlineEBRC
+from repro.util.clock import DAY_SECONDS
+
+T0 = 1_655_000_000.0  # arbitrary epoch inside a plausible window
+
+
+def make_record(
+    t: float,
+    *,
+    ok: bool = True,
+    sender: str = "alice@corp.com.cn",
+    receiver: str = "bob@example.com",
+    result: str = "550 5.1.1 user unknown",
+    from_ip: str = "202.0.0.1",
+) -> DeliveryRecord:
+    attempts = [
+        AttemptRecord(
+            t=t,
+            from_ip=from_ip,
+            to_ip="198.51.100.9",
+            result="250 2.0.0 ok" if ok else result,
+            latency_ms=40,
+        )
+    ]
+    return DeliveryRecord(
+        sender=sender,
+        receiver=receiver,
+        start_time=t,
+        end_time=t + 1,
+        email_flag="000",
+        attempts=attempts,
+    )
+
+
+class TestSlidingWindowCounter:
+    def test_counts_within_window(self):
+        win = SlidingWindowCounter(window_s=100.0, bucket_s=10.0)
+        for i in range(5):
+            win.add(T0 + i * 10, "x")
+        assert win.count("x") == 5
+        assert win.total() == 5
+
+    def test_eviction_on_advance(self):
+        win = SlidingWindowCounter(window_s=100.0, bucket_s=10.0)
+        win.add(T0, "x")
+        win.add(T0 + 50, "x")
+        win.advance(T0 + 120)  # first bucket now out of window
+        assert win.count("x") == 1
+        win.advance(T0 + 1000)
+        assert win.count("x") == 0
+        assert win.counts() == {}
+
+    def test_keys_tracked_separately(self):
+        win = SlidingWindowCounter(window_s=100.0)
+        win.add(T0, "a", n=3)
+        win.add(T0 + 1, "b")
+        assert win.count("a") == 3
+        assert win.count("b") == 1
+        assert win.total() == 4
+        assert dict(win.counts()) == {"a": 3, "b": 1}
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowCounter(window_s=0)
+
+
+class TestBounceRateMonitor:
+    def test_rising_edge_then_clear(self):
+        monitor = BounceRateMonitor(
+            window_s=DAY_SECONDS, threshold=0.5, min_volume=10
+        )
+        alerts: list[Alert] = []
+        t = T0
+        # 20 bounces in a row: rate 100% -> one critical alert, no repeats
+        for _ in range(20):
+            alerts += monitor.observe(make_record(t, ok=False), BounceType.T16)
+            t += 60
+        assert [a.severity for a in alerts] == ["critical"]
+        assert alerts[0].kind == "bounce-rate"
+        assert not alerts[0].cleared
+        # flood of successes drives the rate below the clear threshold
+        for _ in range(80):
+            alerts += monitor.observe(make_record(t, ok=True), None)
+            t += 60
+        assert [a.cleared for a in alerts] == [False, True]
+        assert monitor.rate() < 0.5 * 0.8
+
+    def test_silent_below_min_volume(self):
+        monitor = BounceRateMonitor(window_s=DAY_SECONDS, threshold=0.5, min_volume=100)
+        alerts = []
+        for i in range(50):
+            alerts += monitor.observe(make_record(T0 + i, ok=False), BounceType.T16)
+        assert alerts == []
+
+
+class TestBounceTypeMonitor:
+    def test_share_spike_alerts_once_then_clears(self):
+        monitor = BounceTypeMonitor(
+            window_s=DAY_SECONDS, share_threshold=0.5, min_count=5
+        )
+        alerts: list[Alert] = []
+        t = T0
+        for _ in range(10):
+            alerts += monitor.observe(make_record(t, ok=False), BounceType.T2)
+            t += 60
+        spikes = [a for a in alerts if not a.cleared]
+        assert [a.subject for a in spikes] == ["T2"]
+        # dilute T2 with other types until its share falls
+        for _ in range(40):
+            alerts += monitor.observe(make_record(t, ok=False), BounceType.T3)
+            t += 60
+        cleared = [a for a in alerts if a.cleared and a.subject == "T2"]
+        assert len(cleared) == 1
+
+    def test_watch_set_filters_types(self):
+        monitor = BounceTypeMonitor(
+            window_s=DAY_SECONDS, share_threshold=0.5, min_count=3,
+            watch={BounceType.T5},
+        )
+        alerts = []
+        for i in range(10):
+            alerts += monitor.observe(
+                make_record(T0 + i * 60, ok=False), BounceType.T2
+            )
+        assert alerts == []
+
+
+class TestBlocklistMonitor:
+    def test_listed_proxy_alert_and_recovery(self):
+        monitor = BlocklistMonitor(window_s=DAY_SECONDS, min_rejections=5)
+        alerts: list[Alert] = []
+        t = T0
+        for _ in range(8):
+            alerts += monitor.observe(
+                make_record(t, ok=False, from_ip="202.9.9.9"), BounceType.T5
+            )
+            t += 600
+        listed = [a for a in alerts if not a.cleared]
+        assert [a.subject for a in listed] == ["202.9.9.9"]
+        assert monitor.listed_proxies == {"202.9.9.9"}
+        # a quiet day slides every rejection out of the window
+        alerts += monitor.observe(make_record(t + 2 * DAY_SECONDS, ok=True), None)
+        assert monitor.listed_proxies == set()
+        assert any(a.cleared and a.subject == "202.9.9.9" for a in alerts)
+
+    def test_other_types_ignored(self):
+        monitor = BlocklistMonitor(window_s=DAY_SECONDS, min_rejections=2)
+        alerts = []
+        for i in range(10):
+            alerts += monitor.observe(
+                make_record(T0 + i, ok=False, from_ip="202.9.9.9"), BounceType.T2
+            )
+        assert alerts == []
+
+
+class TestMisconfigMonitor:
+    def test_episode_opens_then_success_confirms_fix(self):
+        monitor = MisconfigMonitor(gap_s=4 * DAY_SECONDS, min_bounces=3)
+        alerts: list[Alert] = []
+        t = T0
+        for _ in range(4):
+            alerts += monitor.observe(
+                make_record(t, ok=False, receiver="u@brokenmx.org"), BounceType.T2
+            )
+            t += 3600
+        opened = [a for a in alerts if not a.cleared]
+        assert [a.subject for a in opened] == ["brokenmx.org"]
+        assert ("T2", "brokenmx.org") in monitor.open_episodes
+        # a successful delivery to the domain confirms the fix
+        alerts += monitor.observe(
+            make_record(t, ok=True, receiver="u@brokenmx.org"), None
+        )
+        fixed = [a for a in alerts if a.cleared]
+        assert len(fixed) == 1
+        assert "fixed" in fixed[0].message
+        assert monitor.open_episodes == {}
+
+    def test_quiet_gap_expires_unconfirmed(self):
+        monitor = MisconfigMonitor(gap_s=2 * DAY_SECONDS, min_bounces=2)
+        alerts: list[Alert] = []
+        t = T0
+        for _ in range(3):
+            alerts += monitor.observe(
+                make_record(t, ok=False, sender="x@badspf.cn"), BounceType.T3
+            )
+            t += 3600
+        assert len([a for a in alerts if not a.cleared]) == 1
+        # nothing from that sender for > gap_s; any later record expires it
+        alerts += monitor.observe(
+            make_record(t + 5 * DAY_SECONDS, ok=True), None
+        )
+        expired = [a for a in alerts if a.cleared]
+        assert len(expired) == 1
+        assert "unconfirmed" in expired[0].message
+        assert monitor.open_episodes == {}
+
+    def test_below_min_bounces_stays_silent(self):
+        monitor = MisconfigMonitor(min_bounces=5)
+        alerts = []
+        for i in range(3):
+            alerts += monitor.observe(
+                make_record(T0 + i * 60, ok=False, receiver="u@b.org"),
+                BounceType.T2,
+            )
+        assert alerts == []
+        assert ("T2", "b.org") in monitor.open_episodes
+
+
+class TestRecordClassifier:
+    def test_preserves_arrival_order_through_warmup(self, dataset):
+        records = dataset.records[:800]
+        online = OnlineEBRC(warmup=100)
+        classifier = RecordClassifier(online)
+        out = []
+        for record in records:
+            out.extend(classifier.feed(record))
+        out.extend(classifier.finalize())
+        assert [r.to_json() for r, _ in out] == [r.to_json() for r in records]
+        # delivered-first-try records carry None; typed results only on failures
+        for record, bounce_type in out:
+            if record.first_failure() is None:
+                assert bounce_type is None
+            elif bounce_type is not None:
+                assert isinstance(bounce_type, BounceType)
+        assert any(bt is not None for _, bt in out)
+
+
+class TestDeliverabilityMonitor:
+    def test_composes_monitors_and_counts_alerts(self):
+        service = DeliverabilityMonitor(
+            bounce_rate=BounceRateMonitor(
+                window_s=DAY_SECONDS, threshold=0.5, min_volume=10
+            ),
+            misconfig=MisconfigMonitor(min_bounces=3),
+        )
+        t = T0
+        alerts: list[Alert] = []
+        for _ in range(20):
+            alerts += service.observe(
+                make_record(t, ok=False, receiver="u@brokenmx.org"), BounceType.T2
+            )
+            t += 60
+        assert service.n_records == 20
+        assert service.n_bounced == 20
+        kinds = {a.kind for a in alerts}
+        assert "bounce-rate" in kinds
+        assert "misconfig" in kinds
+        assert service.alert_counts["bounce-rate"] == 1
+        summary = service.summary()
+        assert "records=20" in summary
+        assert "bounce-rate-alerts=1" in summary
+
+    def test_watch_generator(self):
+        service = DeliverabilityMonitor()
+        pairs = [(make_record(T0 + i * 60, ok=True), None) for i in range(5)]
+        assert list(service.watch(pairs)) == []
+        assert service.n_records == 5
+        assert service.n_bounced == 0
+
+    def test_alert_render(self):
+        alert = Alert(t=T0, kind="blocklist", subject="202.9.9.9", message="m",
+                      severity="critical")
+        text = alert.render()
+        assert "CRITICAL" in text and "blocklist(202.9.9.9)" in text
+        cleared = Alert(t=T0, kind="blocklist", subject="ip", message="m",
+                        cleared=True)
+        assert "CLEAR" in cleared.render()

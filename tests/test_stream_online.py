@@ -1,0 +1,126 @@
+"""Tests for the online EBRC (repro.stream.online)."""
+
+import pytest
+
+from repro.core.ebrc import EBRC, EBRCConfig
+from repro.stream.online import OnlineEBRC
+
+
+@pytest.fixture(scope="module")
+def corpus(dataset):
+    messages = dataset.ndr_messages()
+    assert len(messages) > 3000
+    return messages[:3000]
+
+
+WARMUP = 1500
+
+
+@pytest.fixture(scope="module")
+def batch_ebrc(corpus):
+    """The reference: a batch EBRC fitted on the warm-up prefix."""
+    return EBRC(EBRCConfig()).fit(corpus[:WARMUP])
+
+
+class TestBatchParity:
+    """Acceptance bar: replaying a log through OnlineEBRC matches batch
+    ``classify_many`` on the same messages."""
+
+    def test_classifications_match_batch(self, corpus, batch_ebrc):
+        online = OnlineEBRC(EBRCConfig(), warmup=WARMUP)
+        got = list(online.classify_stream(corpus))
+        want = batch_ebrc.classify_many(corpus)
+        assert len(got) == len(want)
+        mismatches = [i for i, (a, b) in enumerate(zip(got, want)) if a is not b
+                      and a != b]
+        assert mismatches == []
+
+    def test_observe_buffers_then_flushes_warmup(self, corpus):
+        online = OnlineEBRC(EBRCConfig(), warmup=200)
+        flushed: list = []
+        for i, message in enumerate(corpus[:250]):
+            out = online.observe(message)
+            if i < 199:
+                assert out == []
+                assert not online.fitted
+            elif i == 199:
+                assert len(out) == 200
+                assert online.fitted
+            else:
+                assert len(out) == 1
+            flushed.extend(out)
+        assert len(flushed) == 250
+
+    def test_finalize_fits_short_streams(self, corpus):
+        online = OnlineEBRC(EBRCConfig(), warmup=10_000)
+        for message in corpus[:400]:
+            assert online.observe(message) == []
+        out = online.finalize()
+        assert len(out) == 400
+        assert online.fitted
+        assert online.finalize() == []  # idempotent once flushed
+
+
+class TestCache:
+    def test_template_cache_is_hot(self, corpus):
+        online = OnlineEBRC(EBRCConfig(), warmup=WARMUP)
+        list(online.classify_stream(corpus))
+        # NDR corpora are template-dominated: nearly every classification
+        # after the first per template is a cache hit.
+        assert online.stats.n_flushed == len(corpus)
+        assert online.stats.cache_hit_rate > 0.90
+        assert online.n_templates > 5
+
+    def test_novel_messages_are_mined_not_dropped(self, corpus):
+        online = OnlineEBRC(EBRCConfig(), warmup=200)
+        list(online.classify_stream(corpus[:200]))
+        assert online.n_novel_templates == 0
+        novel = "999 9.9.9 zz flurble grobnik error at node zk77 unheard of"
+        result = online.observe(novel)
+        assert len(result) == 1  # still classified (T-something or None)
+        assert online.stats.n_unmatched >= 1
+        assert online.n_novel_templates >= 1
+        assert online.novel_fraction > 0.0
+
+
+class TestRefit:
+    def test_on_refit_hook_fires_on_warmup_fit(self, corpus):
+        seen = []
+        online = OnlineEBRC(EBRCConfig(), warmup=300, on_refit=seen.append)
+        list(online.classify_stream(corpus[:300]))
+        assert seen == [online]
+        assert online.stats.n_fits == 1
+
+    def test_periodic_refit_triggers(self, corpus):
+        online = OnlineEBRC(
+            EBRCConfig(), warmup=400, refit_interval=500, refit_window=1000
+        )
+        list(online.classify_stream(corpus[:1500]))
+        # one warm-up fit + at least one periodic refit
+        assert online.stats.n_fits >= 2
+
+    def test_refit_failure_keeps_model(self, corpus):
+        online = OnlineEBRC(EBRCConfig(), warmup=300)
+        list(online.classify_stream(corpus[:300]))
+        model = online.ebrc
+        # a recent window of identical one-type messages cannot train a
+        # two-class model; refit must fail gracefully
+        online._recent.clear()
+        online._recent.extend(["550 5.1.1 user unknown"] * 50)
+        assert online.refit() is False
+        assert online.ebrc is model
+        assert online.stats.n_failed_refits == 1
+
+    def test_refit_on_empty_window_is_noop(self):
+        online = OnlineEBRC(EBRCConfig(), warmup=10)
+        assert online.refit() is False
+
+
+class TestValidation:
+    def test_bad_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineEBRC(warmup=0)
+
+    def test_bad_refit_interval_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineEBRC(refit_interval=0)

@@ -1,0 +1,173 @@
+"""Tests for the streaming simulation runner (repro.stream.runner)."""
+
+import pytest
+
+from repro import SimulationConfig, run_simulation
+from repro.stream.runner import (
+    iter_chunks,
+    iter_simulation,
+    merge_spec_streams,
+    stream_simulation,
+)
+from repro.util.rng import RandomSource
+from repro.world.model import build_world
+from repro.workload.attackers import AttackerGenerator
+from repro.workload.spec import EmailSpec
+from repro.workload.traffic import TrafficGenerator
+
+
+class TestSpecMerge:
+    def test_merged_stream_is_time_ordered(self, world):
+        rng = RandomSource(world.config.seed, name="sim")
+        last = float("-inf")
+        n = 0
+        for spec in merge_spec_streams(world, rng):
+            assert spec.t >= last
+            last = spec.t
+            n += 1
+        assert n > 1000
+
+    def test_traffic_iter_matches_generate(self):
+        # Fresh world per generator: the world's sender sampler is stateful,
+        # so two generators sharing one world would see different draws.
+        config = SimulationConfig(scale=0.01, seed=5, emails_per_day=150)
+        a = TrafficGenerator(build_world(config), RandomSource(5, name="t")).generate()
+        b = list(
+            TrafficGenerator(build_world(config), RandomSource(5, name="t")).iter_specs()
+        )
+        assert a == b
+        assert len(a) > 100
+
+    def test_attackers_iter_matches_generate(self):
+        config = SimulationConfig(scale=0.01, seed=5, emails_per_day=150)
+        a = AttackerGenerator(build_world(config), RandomSource(5, name="a")).generate()
+        b = list(
+            AttackerGenerator(build_world(config), RandomSource(5, name="a")).iter_specs()
+        )
+        assert a == b
+        assert len(a) > 10
+
+    def test_day_chunks_stay_inside_their_day(self):
+        world = build_world(SimulationConfig(scale=0.01, seed=9, emails_per_day=150))
+        traffic = TrafficGenerator(world, RandomSource(9, name="t"))
+        clock = world.clock
+        for day in (0, 7, 100):
+            for spec in traffic.day_specs(day):
+                assert clock.day_start(day) <= spec.t <= clock.day_start(day + 1)
+
+
+class TestStreamBatchEquivalence:
+    """The acceptance bar: streaming output is byte-identical to batch."""
+
+    def test_byte_identical_to_batch(self):
+        config = SimulationConfig(scale=0.05, seed=7)
+        batch = run_simulation(config)
+        stream = iter_simulation(SimulationConfig(scale=0.05, seed=7))
+        n = 0
+        for expected, got in zip(batch.dataset, stream):
+            assert expected.to_json() == got.to_json()
+            n += 1
+        assert n == len(batch.dataset)
+        assert next(stream, None) is None  # stream is exhausted too
+
+    def test_byte_identical_at_fixture_scale(self, sim):
+        stream = iter_simulation(
+            SimulationConfig(scale=sim.config.scale, seed=sim.config.seed)
+        )
+        for expected, got in zip(sim.dataset, stream):
+            assert expected.to_json() == got.to_json()
+        assert next(stream, None) is None
+
+    def test_byte_identical_with_extra_workloads(self):
+        def probe_flow(world, rng):
+            sender = world.benign_sender_domains()[0].users[0].address
+            return [
+                EmailSpec(
+                    t=world.clock.start_ts + 86_400 * (i + 1) + rng.uniform(0, 3600),
+                    sender=sender,
+                    receiver="probe-zz@gmail.com",
+                    spamminess=0.01,
+                    size_bytes=1_000,
+                    recipient_count=1,
+                    tags=("custom_probe",),
+                )
+                for i in range(10)
+            ]
+
+        config = dict(scale=0.01, seed=31, emails_per_day=100)
+        batch = run_simulation(
+            SimulationConfig(**config), extra_workloads=[probe_flow]
+        )
+        stream = list(iter_simulation(
+            SimulationConfig(**config), extra_workloads=[probe_flow]
+        ))
+        assert len(stream) == len(batch.dataset)
+        for expected, got in zip(batch.dataset, stream):
+            assert expected.to_json() == got.to_json()
+
+
+class TestExtraWorkloadValidation:
+    @staticmethod
+    def _bad_flow(world, rng):
+        return [
+            EmailSpec(
+                t=world.clock.end_ts + 10.0,
+                sender="a@b.cn",
+                receiver="c@gmail.com",
+                spamminess=0.0,
+                size_bytes=1,
+                recipient_count=1,
+            )
+        ]
+
+    @staticmethod
+    def _early_flow(world, rng):
+        return [
+            EmailSpec(
+                t=world.clock.start_ts - 1.0,
+                sender="a@b.cn",
+                receiver="c@gmail.com",
+                spamminess=0.0,
+                size_bytes=1,
+                recipient_count=1,
+            )
+        ]
+
+    def test_batch_rejects_out_of_window_spec(self):
+        with pytest.raises(ValueError, match="outside the"):
+            run_simulation(
+                SimulationConfig(scale=0.01, seed=32, emails_per_day=50),
+                extra_workloads=[self._bad_flow],
+            )
+
+    def test_batch_rejects_pre_window_spec(self):
+        with pytest.raises(ValueError, match="outside the"):
+            run_simulation(
+                SimulationConfig(scale=0.01, seed=32, emails_per_day=50),
+                extra_workloads=[self._early_flow],
+            )
+
+    def test_stream_rejects_before_first_record(self):
+        """Validation happens when the stream is opened, not mid-iteration."""
+        with pytest.raises(ValueError, match="workload 1"):
+            stream_simulation(
+                SimulationConfig(scale=0.01, seed=32, emails_per_day=50),
+                extra_workloads=[lambda w, r: [], self._bad_flow],
+            )
+
+
+class TestStreamingSimulation:
+    def test_exposes_world_and_config(self):
+        run = stream_simulation(
+            SimulationConfig(scale=0.01, seed=11, emails_per_day=60)
+        )
+        assert run.config.seed == 11
+        first = next(iter(run))
+        assert run.world.clock.contains(first.start_time)
+
+    def test_iter_chunks(self):
+        chunks = list(iter_chunks(range(10), 4))
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        assert list(iter_chunks([], 3)) == []
+        with pytest.raises(ValueError):
+            list(iter_chunks(range(3), 0))
