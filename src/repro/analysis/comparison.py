@@ -9,7 +9,6 @@ subcommand and the summary bench print the scorecard.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.analysis.blocklist import (
     blocklist_recovery_rate,

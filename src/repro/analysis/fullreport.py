@@ -36,7 +36,6 @@ from repro.analysis.report import pct, render_table
 from repro.analysis.rootcause import attribute_root_causes
 from repro.analysis.squatting import squatting_report
 from repro.analysis.stages import early_rejection_share, rejection_stages
-from repro.core.taxonomy import BounceType
 from repro.simulate import SimulationResult
 
 

@@ -11,7 +11,7 @@ the inference against the DNSBL's ground-truth listing windows.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.label import LabeledDataset, NDRLabeler, RuleLabeler
 from repro.core.taxonomy import BounceType

@@ -18,7 +18,7 @@ addressed any vulnerable name.
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.label import LabeledDataset
 from repro.core.taxonomy import BounceType

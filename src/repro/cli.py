@@ -11,9 +11,19 @@ Subcommands:
 * ``report``   — bounce-degree and bounce-type report over a saved log.
 * ``classify`` — classify NDR lines with an EBRC trained on a saved log.
 * ``explain``  — reconstruct the SMTP dialogue behind one email's attempts.
+* ``trace``    — reconstruct delivery span trees from a saved log.
+* ``metrics``  — run with telemetry on and render the metrics, or
+  re-render a saved JSON snapshot.
 * ``squat``    — run the squatting audit on a fresh simulation.
+* ``version``  — print the package version (also ``--version``).
 
-Entry point: ``repro-bounce`` (or ``python -m repro.cli``).
+Output conventions: *data* (tables, JSONL, traces, metric expositions)
+goes to stdout; progress and status chatter goes to stderr, and
+``--quiet`` silences it.  Telemetry flags (``--metrics-out``,
+``--trace-sample``) turn collection on for that invocation only; the
+simulation output stays byte-identical either way.
+
+Entry point: ``repro`` / ``repro-bounce`` (or ``python -m repro.cli``).
 """
 
 from __future__ import annotations
@@ -21,14 +31,45 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import SimulationConfig, run_simulation
+from repro import SimulationConfig, __version__, run_simulation
 from repro.analysis.degrees import degree_breakdown, mean_attempts_soft_bounced
 from repro.analysis.label import EBRCLabeler, LabeledDataset, RuleLabeler
 from repro.analysis.rankings import table3_top_domains
 from repro.analysis.report import pct, render_table
-from repro.core.taxonomy import BounceType
 from repro.delivery.dataset import DeliveryDataset
 from repro.smtp.session import transcript_for_attempt
+
+#: Set per-invocation by :func:`main`; silences :func:`_status` output.
+_QUIET = False
+
+
+def _status(message: str = "") -> None:
+    """Progress/status chatter: stderr, suppressed by ``--quiet``."""
+    if not _QUIET:
+        print(message, file=sys.stderr)
+
+
+def _add_quiet(parser: argparse.ArgumentParser) -> None:
+    # SUPPRESS keeps the top-level --quiet value when the subcommand-level
+    # flag is absent (both write the same dest).
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="suppress progress/status output")
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="collect telemetry and write metrics to PATH "
+                             "('-' = stdout)")
+    parser.add_argument("--metrics-format", choices=("prometheus", "json"),
+                        default="prometheus")
+    parser.add_argument("--trace-sample", type=int, default=0, metavar="N",
+                        help="trace every Nth email (0 = tracing off)")
+    parser.add_argument("--trace-out", default="traces.jsonl", metavar="PATH",
+                        help="where traced span trees go, as JSONL "
+                             "('-' = stdout)")
+    parser.add_argument("--trace-capacity", type=int, default=256,
+                        help="ring-buffer size for kept traces")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,12 +77,18 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-bounce",
         description="Bounce-in-the-Wild reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    parser.add_argument("-q", "--quiet", action="store_true", default=False,
+                        help="suppress progress/status output")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("simulate", help="run a simulation, write JSONL")
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--out", default="delivery_log.jsonl")
+    _add_obs_flags(p)
+    _add_quiet(p)
 
     p = sub.add_parser("stream", help="streaming simulate -> sharded JSONL")
     p.add_argument("--scale", type=float, default=0.1)
@@ -52,6 +99,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gzip", action="store_true", help="compress shards")
     p.add_argument("--progress-every", type=int, default=10_000,
                    help="print progress every N records (0 = quiet)")
+    _add_obs_flags(p)
+    _add_quiet(p)
 
     p = sub.add_parser("watch", help="replay a log through the online "
                                      "EBRC + deliverability monitors")
@@ -65,41 +114,78 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bounce-rate-threshold", type=float, default=0.35)
     p.add_argument("--max-alerts", type=int, default=0,
                    help="stop after N alerts (0 = no limit)")
+    _add_obs_flags(p)
+    _add_quiet(p)
+
+    p = sub.add_parser("metrics", help="run with telemetry on and render "
+                                       "metrics, or re-render a snapshot")
+    p.add_argument("snapshot", nargs="?", default=None,
+                   help="saved JSON snapshot to re-render (default: run a "
+                        "fresh streaming simulation with telemetry on)")
+    p.add_argument("--format", choices=("prometheus", "json"),
+                   default="prometheus")
+    p.add_argument("--out", default="-", help="output path ('-' = stdout)")
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=7)
+    _add_quiet(p)
+
+    p = sub.add_parser("trace", help="reconstruct delivery span trees "
+                                     "from a saved log")
+    p.add_argument("log", help="delivery log: JSONL file or shard directory")
+    p.add_argument("--message-id", default=None,
+                   help="show the span tree of this message id")
+    p.add_argument("--index", type=int, default=None,
+                   help="show the span tree of the Nth record")
+    p.add_argument("--list", type=int, default=0, dest="list_n", metavar="N",
+                   help="list the first N message ids instead")
+    p.add_argument("--json", action="store_true",
+                   help="emit span trees as JSON instead of rendered text")
+    _add_quiet(p)
 
     p = sub.add_parser("report", help="summarise a saved delivery log")
     p.add_argument("dataset")
     p.add_argument("--labeler", choices=("rules", "ebrc"), default="rules")
     p.add_argument("--top", type=int, default=10)
+    _add_quiet(p)
 
     p = sub.add_parser("classify", help="classify NDR lines (EBRC)")
     p.add_argument("dataset", help="training corpus (saved delivery log)")
     p.add_argument("--message", action="append", default=[],
                    help="NDR line to classify (repeatable); stdin otherwise")
+    _add_quiet(p)
 
     p = sub.add_parser("explain", help="show the SMTP dialogue of one email")
     p.add_argument("dataset")
     p.add_argument("--index", type=int, default=None,
                    help="record index (default: first bounced record)")
+    _add_quiet(p)
 
     p = sub.add_parser("squat", help="squatting audit on a fresh simulation")
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--seed", type=int, default=7)
+    _add_quiet(p)
 
     p = sub.add_parser("recommend", help="postmaster recommendations (§6.2)")
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--seed", type=int, default=7)
+    _add_quiet(p)
 
     p = sub.add_parser("world-info", help="summarise the synthetic world")
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--seed", type=int, default=7)
+    _add_quiet(p)
 
     p = sub.add_parser("compare", help="paper-vs-measured scorecard")
     p.add_argument("--scale", type=float, default=0.15)
     p.add_argument("--seed", type=int, default=7)
+    _add_quiet(p)
 
     p = sub.add_parser("full-report", help="run every analysis on a fresh simulation")
     p.add_argument("--scale", type=float, default=0.12)
     p.add_argument("--seed", type=int, default=7)
+    _add_quiet(p)
+
+    sub.add_parser("version", help="print the package version")
     return parser
 
 
@@ -108,11 +194,11 @@ def _cmd_simulate(args) -> int:
     result = run_simulation(config)
     result.dataset.write_jsonl(args.out)
     breakdown = degree_breakdown(result.dataset)
-    print(f"simulated {len(result.dataset):,} emails "
-          f"(scale={args.scale}, seed={args.seed})")
-    print(f"non/soft/hard: {pct(breakdown.non_fraction)} / "
-          f"{pct(breakdown.soft_fraction)} / {pct(breakdown.hard_fraction)}")
-    print(f"wrote {args.out}")
+    _status(f"simulated {len(result.dataset):,} emails "
+            f"(scale={args.scale}, seed={args.seed})")
+    _status(f"non/soft/hard: {pct(breakdown.non_fraction)} / "
+            f"{pct(breakdown.soft_fraction)} / {pct(breakdown.hard_fraction)}")
+    _status(f"wrote {args.out}")
     return 0
 
 
@@ -130,14 +216,14 @@ def _cmd_stream(args) -> int:
             writer.write(record)
             n = writer.n_written
             if args.progress_every and n % args.progress_every == 0:
-                print(f"  {n:,} records "
-                      f"(sim day {clock.day_index(record.start_time)}"
-                      f"/{clock.n_days})")
+                _status(f"  {n:,} records "
+                        f"(sim day {clock.day_index(record.start_time)}"
+                        f"/{clock.n_days})")
     manifest = writer.manifest
-    print(f"streamed {manifest.n_records:,} records into "
-          f"{len(manifest.shards)} shard(s) under {args.out_dir} "
-          f"(scale={args.scale}, seed={args.seed})")
-    print(f"manifest: {args.out_dir}/manifest.json")
+    _status(f"streamed {manifest.n_records:,} records into "
+            f"{len(manifest.shards)} shard(s) under {args.out_dir} "
+            f"(scale={args.scale}, seed={args.seed})")
+    _status(f"manifest: {args.out_dir}/manifest.json")
     return 0
 
 
@@ -161,11 +247,29 @@ def _cmd_watch(args) -> int:
         bounce_types=BounceTypeMonitor(window_s=window_s),
     )
 
+    # Watch has no delivery engine, so --trace-sample reconstructs trees
+    # from every Nth replayed record instead of tracing live.
+    trace_fh = None
+    n_traced = 0
+    if args.trace_sample:
+        from repro.obs.trace import span_tree_from_record
+
+        trace_fh = (sys.stdout if args.trace_out == "-"
+                    else open(args.trace_out, "w", encoding="utf-8"))
+
+    def records():
+        nonlocal n_traced
+        for i, record in enumerate(iter_delivery_log(args.log)):
+            if trace_fh is not None and i % args.trace_sample == 0:
+                trace_fh.write(span_tree_from_record(record).to_json() + "\n")
+                n_traced += 1
+            yield record
+
     if args.labeler == "rules":
         labeler = RuleLabeler()
 
         def pairs():
-            for record in iter_delivery_log(args.log):
+            for record in records():
                 failure = record.first_failure()
                 bounce_type = (
                     labeler.classify(failure.result) if failure else None
@@ -179,27 +283,109 @@ def _cmd_watch(args) -> int:
         classifier = RecordClassifier(online)
 
         def pairs():
-            for record in iter_delivery_log(args.log):
+            for record in records():
                 yield from classifier.feed(record)
             yield from classifier.finalize()
 
         stream = pairs()
 
     n_alerts = 0
-    for alert in monitor.watch(stream):
-        print(alert.render(clock))
-        if not alert.cleared:
-            n_alerts += 1
-            if args.max_alerts and n_alerts >= args.max_alerts:
-                print(f"stopping after {n_alerts} alerts (--max-alerts)")
-                break
-    print()
-    print(f"watch summary: {monitor.summary()}")
+    try:
+        for alert in monitor.watch(stream):
+            print(alert.render(clock))
+            if not alert.cleared:
+                n_alerts += 1
+                if args.max_alerts and n_alerts >= args.max_alerts:
+                    _status(f"stopping after {n_alerts} alerts (--max-alerts)")
+                    break
+    finally:
+        if trace_fh is not None and trace_fh is not sys.stdout:
+            trace_fh.close()
+    _status()
+    _status(f"watch summary: {monitor.summary()}")
     if online is not None and online.fitted:
-        print(f"online EBRC: {online.n_templates} templates, "
-              f"{online.stats.n_flushed:,} classified, "
-              f"cache hit rate {online.stats.cache_hit_rate:.1%}, "
-              f"novel fraction {online.novel_fraction:.2%}")
+        _status(f"online EBRC: {online.n_templates} templates, "
+                f"{online.stats.n_flushed:,} classified, "
+                f"cache hit rate {online.stats.cache_hit_rate:.1%}, "
+                f"novel fraction {online.novel_fraction:.2%}")
+    if trace_fh is not None:
+        _status(f"traced {n_traced} record(s) -> {args.trace_out}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.export import build_snapshot, load_snapshot, write_metrics
+
+    if args.snapshot is not None:
+        snapshot = load_snapshot(args.snapshot)
+        write_metrics(args.out, args.format, snapshot)
+        return 0
+
+    from repro.obs import profile as obs_profile
+    from repro.stream.runner import iter_simulation
+
+    obs_metrics.enable()
+    obs_metrics.reset()
+    obs_profile.reset()
+    try:
+        config = SimulationConfig(scale=args.scale, seed=args.seed)
+        n = 0
+        for _ in iter_simulation(config):
+            n += 1
+        _status(f"simulated {n:,} emails with telemetry on "
+                f"(scale={args.scale}, seed={args.seed})")
+        write_metrics(args.out, args.format, build_snapshot())
+    finally:
+        obs_metrics.disable()
+        obs_metrics.reset()
+        obs_profile.reset()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.trace import span_tree_from_record
+    from repro.stream.sink import iter_delivery_log
+
+    if args.list_n:
+        rows = []
+        for i, record in enumerate(iter_delivery_log(args.log)):
+            if i >= args.list_n:
+                break
+            rows.append([i, record.message_id, record.sender, record.receiver,
+                         record.bounce_degree.value, record.n_attempts])
+        print(render_table(
+            "Traceable emails",
+            ["#", "message_id", "sender", "receiver", "degree", "attempts"],
+            rows,
+        ))
+        return 0
+
+    target = None
+    if args.message_id is not None:
+        for record in iter_delivery_log(args.log):
+            if record.message_id == args.message_id:
+                target = record
+                break
+        if target is None:
+            print(f"no record with message id {args.message_id}",
+                  file=sys.stderr)
+            return 1
+    else:
+        index = args.index if args.index is not None else 0
+        for i, record in enumerate(iter_delivery_log(args.log)):
+            if i == index:
+                target = record
+                break
+        if target is None:
+            print(f"index {index} out of range", file=sys.stderr)
+            return 1
+
+    tree = span_tree_from_record(target)
+    if args.json:
+        print(tree.to_json())
+    else:
+        print(tree.render())
     return 0
 
 
@@ -350,10 +536,17 @@ def _cmd_full_report(args) -> int:
     return 0
 
 
+def _cmd_version(args) -> int:
+    print(f"repro-bounce {__version__}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "stream": _cmd_stream,
     "watch": _cmd_watch,
+    "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
     "report": _cmd_report,
     "classify": _cmd_classify,
     "explain": _cmd_explain,
@@ -362,12 +555,68 @@ _COMMANDS = {
     "world-info": _cmd_world_info,
     "compare": _cmd_compare,
     "full-report": _cmd_full_report,
+    "version": _cmd_version,
 }
 
 
+def _wants_live_obs(args) -> bool:
+    return bool(getattr(args, "metrics_out", None)) or bool(
+        getattr(args, "trace_sample", 0)
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
+    global _QUIET
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    _QUIET = getattr(args, "quiet", False)
+
+    live_obs = _wants_live_obs(args)
+    tracer = None
+    if live_obs:
+        # Telemetry must be on BEFORE the world/engine is constructed —
+        # instrumented objects read the flag once, at construction time.
+        from repro.obs import metrics as obs_metrics
+        from repro.obs import profile as obs_profile
+
+        obs_metrics.enable()
+        obs_metrics.reset()
+        obs_profile.reset()
+        if getattr(args, "trace_sample", 0) and args.command in (
+            "simulate", "stream"
+        ):
+            from repro.obs.trace import configure_tracer
+
+            tracer = configure_tracer(
+                sample_every=args.trace_sample,
+                capacity=getattr(args, "trace_capacity", 256),
+            )
+    try:
+        code = _COMMANDS[args.command](args)
+        if live_obs and code == 0:
+            if getattr(args, "metrics_out", None):
+                from repro.obs.export import write_metrics
+
+                write_metrics(args.metrics_out, args.metrics_format)
+                if args.metrics_out != "-":
+                    _status(f"metrics: {args.metrics_out}")
+            if tracer is not None:
+                n = tracer.export_jsonl(
+                    sys.stdout if args.trace_out == "-" else args.trace_out
+                )
+                _status(f"traces: {n} span tree(s) -> {args.trace_out} "
+                        f"(sampled every {tracer.sample_every} of "
+                        f"{tracer.n_seen:,} emails)")
+        return code
+    finally:
+        if live_obs:
+            from repro.obs import metrics as obs_metrics
+            from repro.obs import profile as obs_profile
+            from repro.obs.trace import reset_tracer
+
+            obs_metrics.disable()
+            obs_metrics.reset()
+            obs_profile.reset()
+            reset_tracer()
 
 
 if __name__ == "__main__":

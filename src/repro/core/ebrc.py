@@ -21,14 +21,16 @@ from __future__ import annotations
 
 import json
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.classifier import ConfusionMatrix, SoftmaxClassifier
-from repro.core.drain import Drain, LogTemplate
+from repro.core.drain import Drain
 from repro.core.features import TfidfVectorizer
 from repro.core.labeling import is_ambiguous_text, label_text
 from repro.core.taxonomy import BounceType
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 from repro.util.rng import RandomSource
 
 
@@ -78,11 +80,32 @@ class EBRC:
         #: Labelled (expert) template ids, for introspection.
         self.expert_labeled_ids: set[int] = set()
         self._fitted = False
+        # Telemetry (no-op unless repro.obs is enabled at construction).
+        self._obs_on = obs_metrics.enabled()
+        self._m_fits = obs_metrics.counter(
+            "repro_ebrc_fits_total", "Completed EBRC pipeline fits"
+        )
+        self._m_templates = obs_metrics.gauge(
+            "repro_ebrc_templates", "Templates mined by the most recent EBRC fit"
+        )
+        self._m_classified = obs_metrics.counter(
+            "repro_ebrc_classified_total",
+            "Messages classified by EBRC.classify_many, by result",
+            label="result",
+        )
 
     # -- training ---------------------------------------------------------------
 
     def fit(self, messages: list[str]) -> "EBRC":
         """Run the whole pipeline on a corpus of raw NDR lines."""
+        with obs_profile.stage("ebrc-fit"):
+            self._fit_impl(messages)
+        if self._obs_on:
+            self._m_fits.inc()
+            self._m_templates.set(self.n_templates)
+        return self
+
+    def _fit_impl(self, messages: list[str]) -> None:
         if not messages:
             raise ValueError("EBRC needs a non-empty NDR corpus")
         rng = RandomSource(self.config.seed, name="ebrc")
@@ -164,7 +187,6 @@ class EBRC:
                 self.template_types[tid] = BounceType.T16.value
 
         self._fitted = True
-        return self
 
     # -- inference -------------------------------------------------------------------
 
@@ -185,7 +207,14 @@ class EBRC:
         return BounceType(value)
 
     def classify_many(self, messages: list[str]) -> list[BounceType | None]:
-        return [self.classify(m) for m in messages]
+        with obs_profile.stage("ebrc-classify"):
+            results = [self.classify(m) for m in messages]
+        if self._obs_on:
+            for result in results:
+                self._m_classified.labels(
+                    result.value if result is not None else "ambiguous"
+                ).inc()
+        return results
 
     # -- evaluation ---------------------------------------------------------------------
 

@@ -21,14 +21,18 @@ and that proxy remembers to use STARTTLS next time.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable
 
 from repro.auth.evaluator import AuthEvaluator
-from repro.core.taxonomy import BounceType
+from repro.core.taxonomy import BounceDegree, BounceType
 from repro.delivery.proxies import ProxyMTA
-from repro.delivery.records import AttemptRecord, DeliveryRecord
+from repro.delivery.records import AttemptRecord, DeliveryRecord, compute_message_id
 from repro.mta.filters import SpamVerdict
-from repro.mta.receiver import AttemptContext, RecipientStatus
+from repro.mta.receiver import AttemptContext
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs.trace import Tracer, add_attempt_spans, get_tracer
 from repro.smtp.ndr import render_success
 from repro.smtp.templates import TemplateDialect
 from repro.util.rng import RandomSource
@@ -41,12 +45,43 @@ _SENDER_DIALECT = TemplateDialect.POSTFIX
 
 
 class DeliveryEngine:
-    def __init__(self, world: WorldModel, rng: RandomSource) -> None:
+    def __init__(
+        self,
+        world: WorldModel,
+        rng: RandomSource,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.world = world
         self.rng = rng
         self._auth = AuthEvaluator(world.resolver)
         #: (proxy index, domain) pairs known to require STARTTLS.
         self._tls_learned: set[tuple[int, str]] = set()
+        # Telemetry: instruments resolve to shared no-ops when repro.obs is
+        # disabled (the default); the cached flag keeps the disabled cost
+        # of a delivery to one boolean check.  None of this touches the
+        # random streams, so traced/metered runs stay byte-identical.
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._obs_on = obs_metrics.enabled()
+        self._m_emails = obs_metrics.counter(
+            "repro_delivery_emails_total",
+            "Emails delivered, by final bounce degree",
+            label="degree",
+        )
+        self._m_attempts = obs_metrics.counter(
+            "repro_delivery_attempts_total",
+            "Delivery attempts, by outcome (delivered or true bounce type)",
+            label="outcome",
+        )
+        self._m_latency = obs_metrics.histogram(
+            "repro_delivery_attempt_latency_ms",
+            "Per-attempt SMTP latency in milliseconds (log-2 buckets)",
+            min_bound=1.0,
+        )
+        self._m_retry_wait = obs_metrics.histogram(
+            "repro_delivery_retry_wait_seconds",
+            "Scheduled backoff before a retry attempt (log-2 buckets)",
+            min_bound=1.0,
+        )
 
     # -- public API ---------------------------------------------------------------
 
@@ -62,6 +97,18 @@ class DeliveryEngine:
         else:
             budget = config.max_attempts
 
+        tracer = self._tracer
+        span = None
+        if tracer is not None:
+            span = tracer.maybe_start(
+                "email",
+                spec.t,
+                message_id=compute_message_id(spec.sender, spec.receiver, spec.t),
+                sender=spec.sender,
+                receiver=spec.receiver,
+                flag=email_flag,
+            )
+
         attempts: list[AttemptRecord] = []
         t = spec.t
         proxy: ProxyMTA | None = None
@@ -69,9 +116,20 @@ class DeliveryEngine:
 
         while len(attempts) < budget:
             proxy = self._pick_proxy(proxy)
-            attempt = self._attempt(spec, proxy, t)
+            if span is not None and attempts:
+                previous = attempts[-1]
+                span.child(
+                    "retry_wait", previous.t + previous.latency_ms / 1000.0
+                ).end(t)
+            attempt, mx_host = self._attempt(spec, proxy, t)
             attempts.append(attempt)
-            if attempt.succeeded:
+            succeeded = attempt.succeeded
+            if self._obs_on:
+                self._m_attempts.labels(attempt.truth_type or "delivered").inc()
+                self._m_latency.observe(attempt.latency_ms)
+            if span is not None:
+                add_attempt_spans(span, attempt, len(attempts) - 1, mx_host)
+            if succeeded:
                 break
             if attempt.truth_type == BounceType.T4.value:
                 # Learned: this domain requires STARTTLS from this proxy.
@@ -84,8 +142,10 @@ class DeliveryEngine:
                 config.retry_backoff_multiplier ** (len(attempts) - 1)
             )
             t = attempt.t + rng.expovariate(1.0 / gap_mean)
+            if self._obs_on:
+                self._m_retry_wait.observe(t - attempt.t)
 
-        return DeliveryRecord(
+        record = DeliveryRecord(
             sender=spec.sender,
             receiver=spec.receiver,
             start_time=spec.t,
@@ -95,12 +155,38 @@ class DeliveryEngine:
             truth_tags=spec.tags,
             truth_spamminess=spec.spamminess,
         )
+        if self._obs_on or span is not None:
+            # The loop breaks the moment an attempt succeeds, so the final
+            # `succeeded` IS record.delivered; recomputing the degree from
+            # it avoids re-parsing every attempt's reply code (the
+            # bounce_degree property costs ~3us per record, which would
+            # dominate the telemetry overhead).
+            if not succeeded:
+                degree = BounceDegree.HARD_BOUNCED.value
+            elif len(attempts) == 1:
+                degree = BounceDegree.NON_BOUNCED.value
+            else:
+                degree = BounceDegree.SOFT_BOUNCED.value
+            if self._obs_on:
+                self._m_emails.labels(degree).inc()
+            if span is not None:
+                span.set(degree=degree, n_attempts=len(attempts))
+                span.end(record.end_time, status="ok" if succeeded else "error")
+                tracer.finish(span)
+        return record
 
     def deliver_all(self, specs: Iterable[EmailSpec]):
         """Deliver a whole workload (any iterable, consumed lazily);
         yields records in input order."""
+        if not self._obs_on:
+            for spec in specs:
+                yield self.deliver(spec)
+            return
         for spec in specs:
-            yield self.deliver(spec)
+            t0 = perf_counter()
+            record = self.deliver(spec)
+            obs_profile.add("delivery", perf_counter() - t0)
+            yield record
 
     # -- internals ---------------------------------------------------------------------
 
@@ -112,7 +198,11 @@ class DeliveryEngine:
             return previous
         return fleet.pick_different(previous)
 
-    def _attempt(self, spec: EmailSpec, proxy: ProxyMTA, t: float) -> AttemptRecord:
+    def _attempt(
+        self, spec: EmailSpec, proxy: ProxyMTA, t: float
+    ) -> tuple[AttemptRecord, str | None]:
+        """One delivery attempt; returns the record plus the resolved MX
+        host (``None`` when routing failed), which tracing annotates."""
         world = self.world
         rng = self.rng
         receiver_domain = spec.receiver_domain
@@ -134,13 +224,13 @@ class DeliveryEngine:
                 latency_ms=int(rng.uniform(400, 4_000)),
                 truth_type=ndr.truth_type,
                 ambiguous=ndr.ambiguous,
-            )
+            ), None
 
         rdomain = world.receiver_domains.get(receiver_domain)
         if rdomain is None:
             # Registered domain without a mail service we model (e.g. a
             # re-registered squat without mailboxes): treat as unknown user.
-            return self._reject_unknown_service(spec, proxy, t, mx_host)
+            return self._reject_unknown_service(spec, proxy, t, mx_host), mx_host
 
         to_ip = rng.choice(rdomain.ips)
 
@@ -161,7 +251,7 @@ class DeliveryEngine:
                 latency_ms=world.network.timeout_latency_ms(rng),
                 truth_type=ndr.truth_type,
                 ambiguous=ndr.ambiguous,
-            )
+            ), mx_host
         interrupt_p = world.network.interrupt_probability(proxy.country, rdomain.mta_country)
         if rng.chance(interrupt_p):
             ndr = world.bank.render(
@@ -178,7 +268,7 @@ class DeliveryEngine:
                 latency_ms=world.network.interrupt_latency_ms(rng),
                 truth_type=ndr.truth_type,
                 ambiguous=ndr.ambiguous,
-            )
+            ), mx_host
 
         # 3. the receiver's policy gauntlet.
         sender_domain = spec.sender_domain
@@ -211,7 +301,7 @@ class DeliveryEngine:
                 result=render_success(),
                 latency_ms=latency,
                 truth_type=None,
-            )
+            ), mx_host
 
         assert decision.ndr is not None
         return AttemptRecord(
@@ -222,7 +312,7 @@ class DeliveryEngine:
             latency_ms=int(rng.uniform(800, 12_000)),
             truth_type=decision.ndr.truth_type,
             ambiguous=decision.ndr.ambiguous,
-        )
+        ), mx_host
 
     def _reject_unknown_service(
         self, spec: EmailSpec, proxy: ProxyMTA, t: float, mx_host: str

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.geo.ipaddr import IPAllocator
-from repro.geo.asn import AutonomousSystem, make_generic_as
+from repro.geo.asn import make_generic_as
 from repro.util.rng import RandomSource, WeightedSampler
 
 #: (country, proxy count, per-proxy selection weight).

@@ -13,11 +13,23 @@ detection pipelines can be *scored*.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.taxonomy import BounceDegree
 from repro.smtp.ndr import is_success
+
+
+def compute_message_id(sender: str, receiver: str, start_time: float) -> str:
+    """Deterministic 16-hex id of one email.
+
+    Derived from the record's identity fields only, so live traces,
+    reconstructed traces, and shard records agree on ids across runs and
+    replays without widening the Figure 3 serialisation format.
+    """
+    payload = f"{sender}|{receiver}|{start_time:.6f}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(slots=True)
@@ -65,6 +77,11 @@ class DeliveryRecord:
     @property
     def receiver_user(self) -> str:
         return self.receiver.split("@", 1)[0]
+
+    @property
+    def message_id(self) -> str:
+        """Deterministic trace/lookup id (see :func:`compute_message_id`)."""
+        return compute_message_id(self.sender, self.receiver, self.start_time)
 
     # -- outcome helpers ---------------------------------------------------------
 

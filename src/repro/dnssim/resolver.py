@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.dnssim.records import RecordType, ResolveResult, ResolveStatus
 from repro.dnssim.zone import Zone
+from repro.obs import metrics as obs_metrics
 from repro.util.rng import RandomSource
 
 
@@ -24,6 +25,16 @@ class Resolver:
     def __init__(self, transient_failure_rate: float = 0.0005) -> None:
         self._zones: dict[str, Zone] = {}
         self.transient_failure_rate = transient_failure_rate
+        # Telemetry (no-op unless repro.obs is enabled at construction).
+        self._obs_on = obs_metrics.enabled()
+        self._m_queries = obs_metrics.counter(
+            "repro_dns_queries_total",
+            "DNS queries answered, by record type and resolution status",
+            label="result",
+        )
+        # Label children keyed by (rtype, status) so the per-query hot
+        # path skips both the f-string format and the labels() lookup.
+        self._m_query_children: dict = {}
 
     def register_zone(self, zone: Zone) -> None:
         key = zone.domain.lower()
@@ -44,6 +55,23 @@ class Resolver:
         return list(self._zones.values())
 
     def query(
+        self,
+        domain: str,
+        rtype: RecordType,
+        t: float,
+        rng: RandomSource | None = None,
+    ) -> ResolveResult:
+        result = self._answer(domain, rtype, t, rng)
+        if self._obs_on:
+            key = (rtype, result.status)
+            child = self._m_query_children.get(key)
+            if child is None:
+                child = self._m_queries.labels(f"{rtype.value}:{result.status.value}")
+                self._m_query_children[key] = child
+            child.inc()
+        return result
+
+    def _answer(
         self,
         domain: str,
         rtype: RecordType,

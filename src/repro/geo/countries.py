@@ -22,7 +22,7 @@ breadth of the dataset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 FAST_INTERNET_THRESHOLD_MBPS = 25.0
 

@@ -9,7 +9,7 @@ limits, size limits, and content-filter strictness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 

@@ -27,6 +27,7 @@ from repro.dnsbl.service import DNSBLService
 from repro.mta.filters import SpamFilter, SpamVerdict
 from repro.mta.greylist import Greylist
 from repro.mta.policies import ReceiverPolicy, TLSRequirement
+from repro.obs import metrics as obs_metrics
 from repro.smtp.ndr import NDR
 from repro.smtp.templates import NDRTemplateBank, TemplateDialect
 from repro.util.rng import RandomSource
@@ -119,6 +120,13 @@ class ReceiverMTA:
             if policy.greylisting
             else None
         )
+        # Telemetry (no-op unless repro.obs is enabled at construction).
+        self._obs_on = obs_metrics.enabled()
+        self._m_verdicts = obs_metrics.counter(
+            "repro_receiver_verdicts_total",
+            "Receiver-MTA policy verdicts (accepted or rendered bounce type)",
+            label="verdict",
+        )
 
     # -- main entry -----------------------------------------------------------
 
@@ -197,6 +205,8 @@ class ReceiverMTA:
                 receiver_verdict=verdict,
             )
 
+        if self._obs_on:
+            self._m_verdicts.labels("accepted").inc()
         return Decision(accepted=True, receiver_verdict=verdict)
 
     # -- helpers ------------------------------------------------------------------
@@ -223,6 +233,8 @@ class ReceiverMTA:
                     "mx": ctx.mx_host,
                 },
             )
+            if self._obs_on:
+                self._m_verdicts.labels(BounceType.T16.value).inc()
             return Decision(
                 accepted=False,
                 bounce_type=BounceType.T16,
@@ -244,6 +256,8 @@ class ReceiverMTA:
             ambiguity=self.policy.ambiguity,
             tag=tag,
         )
+        if self._obs_on:
+            self._m_verdicts.labels(bounce_type.value).inc()
         return Decision(
             accepted=False,
             bounce_type=bounce_type,

@@ -1,0 +1,171 @@
+"""Metric exporters: Prometheus text exposition and JSON snapshots.
+
+Both formats render from the same plain-dict snapshot (the output of
+:meth:`MetricsRegistry.snapshot` plus the stage profile), so a snapshot
+written to disk with ``--metrics-out`` can be re-rendered later by
+``repro metrics saved.json --format prometheus`` without the process that
+produced it.
+
+The Prometheus output follows the text exposition format 0.0.4: one
+``# HELP``/``# TYPE`` header per family, escaped label values, histograms
+as cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+from repro.obs import metrics as _metrics
+from repro.obs import profile as _profile
+
+__all__ = [
+    "build_snapshot",
+    "load_snapshot",
+    "prometheus_text",
+    "snapshot_json",
+    "write_metrics",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+def build_snapshot(registry=None, profiler=None) -> dict:
+    """One JSON-ready dict of everything the process has recorded."""
+    registry = registry if registry is not None else _metrics.get_registry()
+    profiler = profiler if profiler is not None else _profile.get_profiler()
+    return {
+        "version": SNAPSHOT_VERSION,
+        "metrics": registry.snapshot(),
+        "stages": profiler.snapshot(),
+    }
+
+
+def snapshot_json(snapshot: dict | None = None, indent: int = 2) -> str:
+    return json.dumps(snapshot if snapshot is not None else build_snapshot(),
+                      indent=indent) + "\n"
+
+
+def load_snapshot(path: str | Path) -> dict:
+    snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "metrics" not in snapshot:
+        raise ValueError(f"{path}: not a metrics snapshot (missing 'metrics')")
+    return snapshot
+
+
+# -- prometheus --------------------------------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _series_name(name: str, label: str | None, value: str | None,
+                 extra: str = "") -> str:
+    pairs = []
+    if label is not None and value is not None:
+        pairs.append(f'{label}="{_escape_label(value)}"')
+    if extra:
+        pairs.append(extra)
+    return f"{name}{{{','.join(pairs)}}}" if pairs else name
+
+
+def _render_scalar(lines: list[str], family: dict) -> None:
+    name, label = family["name"], family.get("label")
+    series = family.get("series", {})
+    if label is None or family["value"]:
+        lines.append(f"{_series_name(name, None, None)} {_fmt(family['value'])}")
+    for value, sample in series.items():
+        lines.append(f"{_series_name(name, label, value)} {_fmt(sample)}")
+
+
+def _render_histogram_one(lines: list[str], name: str, label: str | None,
+                          value: str | None, data: dict) -> None:
+    for le, count in data["buckets"]:
+        le_str = "+Inf" if le == "+Inf" else _fmt(float(le))
+        extra = 'le="%s"' % le_str
+        lines.append(f"{_series_name(name + '_bucket', label, value, extra)} {count}")
+    lines.append(f"{_series_name(name + '_sum', label, value)} {_fmt(data['sum'])}")
+    lines.append(f"{_series_name(name + '_count', label, value)} {data['count']}")
+
+
+def _render_histogram(lines: list[str], family: dict) -> None:
+    name, label = family["name"], family.get("label")
+    series = family.get("series", {})
+    if label is None or family["count"]:
+        _render_histogram_one(lines, name, None, None, family)
+    for value, data in series.items():
+        _render_histogram_one(lines, name, label, value, data)
+
+
+def prometheus_text(snapshot: dict | None = None) -> str:
+    """Render a snapshot (default: the live registry) as a text exposition."""
+    snapshot = snapshot if snapshot is not None else build_snapshot()
+    lines: list[str] = []
+    for family in snapshot.get("metrics", []):
+        name, kind = family["name"], family["type"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            _render_histogram(lines, family)
+        else:
+            _render_scalar(lines, family)
+    stages = snapshot.get("stages", [])
+    if stages:
+        lines.append(
+            "# HELP repro_stage_seconds_total Wall seconds spent per pipeline stage"
+        )
+        lines.append("# TYPE repro_stage_seconds_total counter")
+        for row in stages:
+            lines.append(
+                f'repro_stage_seconds_total{{stage="{_escape_label(row["stage"])}"}}'
+                f" {_fmt(row['seconds'])}"
+            )
+        lines.append(
+            "# HELP repro_stage_calls_total Calls recorded per pipeline stage"
+        )
+        lines.append("# TYPE repro_stage_calls_total counter")
+        for row in stages:
+            lines.append(
+                f'repro_stage_calls_total{{stage="{_escape_label(row["stage"])}"}}'
+                f" {row['calls']}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+# -- file output -------------------------------------------------------------------
+
+
+def write_metrics(
+    out: str | Path,
+    fmt: str = "prometheus",
+    snapshot: dict | None = None,
+) -> None:
+    """Write a snapshot to ``out`` (``-`` = stdout) as ``prometheus`` or
+    ``json``."""
+    if fmt == "prometheus":
+        text = prometheus_text(snapshot)
+    elif fmt == "json":
+        text = snapshot_json(snapshot)
+    else:
+        raise ValueError(f"unknown metrics format: {fmt!r}")
+    if str(out) == "-":
+        sys.stdout.write(text)
+    else:
+        Path(out).write_text(text, encoding="utf-8")

@@ -1,0 +1,411 @@
+"""Process-wide metrics registry: counters, gauges, log-bucketed histograms.
+
+Dependency-free and cheap by construction.  The registry is **off by
+default** (the simulator's output must stay byte-identical whether or not
+telemetry exists); it turns on via :func:`enable`, the ``REPRO_OBS=1``
+environment variable, or the CLI's ``--metrics-out`` flag.  While
+disabled, the module-level instrument factories (:func:`counter`,
+:func:`gauge`, :func:`histogram`) hand out shared no-op singletons whose
+``inc``/``set``/``observe`` methods do nothing and allocate nothing, so
+instrumented hot paths pay one attribute call per event at most —
+instrumented *call sites* additionally cache :func:`enabled` at
+construction time and skip label formatting entirely when off.
+
+Metric families carry at most **one** label dimension (``label=``); a
+family's series are materialised lazily via :meth:`Metric.labels` and
+cached, so steady-state label lookup is a single dict hit.
+
+Naming follows the Prometheus convention: ``repro_<subsystem>_<what>``
+with ``_total`` suffixes on counters; see docs/OBSERVABILITY.md for the
+full catalogue.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_COUNTER",
+    "NOOP_GAUGE",
+    "NOOP_HISTOGRAM",
+    "counter",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "reset",
+]
+
+
+# -- real instruments --------------------------------------------------------------
+
+
+class Metric:
+    """Base of one metric family (a name, optionally one label dimension)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", label: str | None = None) -> None:
+        self.name = name
+        self.help = help
+        self.label = label
+        self._children: dict[str, "Metric"] = {}
+
+    def _new_child(self) -> "Metric":
+        raise NotImplementedError
+
+    def labels(self, value: str) -> "Metric":
+        """The child series for one label value (created on first use)."""
+        child = self._children.get(value)
+        if child is None:
+            if self.label is None:
+                raise ValueError(f"metric {self.name} has no label dimension")
+            child = self._new_child()
+            self._children[value] = child
+        return child
+
+    def child_items(self) -> list[tuple[str, "Metric"]]:
+        return sorted(self._children.items())
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str = "", help: str = "", label: str | None = None) -> None:
+        super().__init__(name, help, label)
+        self._value = 0.0
+
+    def _new_child(self) -> "Counter":
+        return Counter()
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters can only increase")
+        self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def total(self) -> float:
+        """The unlabeled value plus every child series."""
+        return self._value + sum(c._value for c in self._children.values())
+
+    def snapshot(self) -> dict:
+        data: dict = {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "value": self._value,
+        }
+        if self.label is not None:
+            data["label"] = self.label
+            data["series"] = {k: c._value for k, c in self.child_items()}
+        return data
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str = "", help: str = "", label: str | None = None) -> None:
+        super().__init__(name, help, label)
+        self._value = 0.0
+
+    def _new_child(self) -> "Gauge":
+        return Gauge()
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self._value -= n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        data: dict = {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "value": self._value,
+        }
+        if self.label is not None:
+            data["label"] = self.label
+            data["series"] = {k: c._value for k, c in self.child_items()}
+        return data
+
+
+class Histogram(Metric):
+    """Log-bucketed value distribution.
+
+    Bucket ``i`` covers ``(min_bound * base**(i-1), min_bound * base**i]``;
+    bucket 0 covers ``(-inf, min_bound]``.  Buckets are stored sparsely,
+    so wide dynamic ranges (microseconds to minutes) cost nothing until
+    observed.  Export is Prometheus-compatible: cumulative ``le`` buckets
+    plus ``_sum`` and ``_count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str = "",
+        help: str = "",
+        label: str | None = None,
+        base: float = 2.0,
+        min_bound: float = 1.0,
+    ) -> None:
+        if base <= 1.0:
+            raise ValueError("histogram base must be > 1")
+        if min_bound <= 0:
+            raise ValueError("histogram min_bound must be positive")
+        super().__init__(name, help, label)
+        self.base = base
+        self.min_bound = min_bound
+        self._log_base = math.log(base)
+        self._base2 = base == 2.0
+        self._counts: dict[int, int] = {}
+        self._sum = 0.0
+        self._count = 0
+
+    def _new_child(self) -> "Histogram":
+        return Histogram(base=self.base, min_bound=self.min_bound)
+
+    def observe(self, value: float) -> None:
+        self._sum += value
+        self._count += 1
+        if value <= self.min_bound:
+            index = 0
+        elif self._base2:
+            # ceil(log2(q)) without the transcendental call: q = m * 2**e
+            # with 0.5 <= m < 1, so the ceiling is e except exactly at a
+            # power of two (m == 0.5), where it is e - 1.
+            mantissa, exponent = math.frexp(value / self.min_bound)
+            index = exponent - 1 if mantissa == 0.5 else exponent
+        else:
+            index = int(math.ceil(math.log(value / self.min_bound) / self._log_base - 1e-12))
+        counts = self._counts
+        counts[index] = counts.get(index, 0) + 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def bound(self, index: int) -> float:
+        """Upper (inclusive) bound of bucket ``index``."""
+        return self.min_bound * self.base ** index
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs ending with ``(inf, count)``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for index in sorted(self._counts):
+            running += self._counts[index]
+            out.append((self.bound(index), running))
+        out.append((math.inf, self._count))
+        return out
+
+    def snapshot(self) -> dict:
+        def one(h: "Histogram") -> dict:
+            return {
+                "sum": h._sum,
+                "count": h._count,
+                "buckets": [
+                    [le if math.isfinite(le) else "+Inf", n]
+                    for le, n in h.cumulative_buckets()
+                ],
+            }
+
+        data: dict = {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "base": self.base,
+            "min_bound": self.min_bound,
+            **one(self),
+        }
+        if self.label is not None:
+            data["label"] = self.label
+            data["series"] = {k: one(c) for k, c in self.child_items()}  # type: ignore[arg-type]
+        return data
+
+
+# -- no-op instruments --------------------------------------------------------------
+
+
+class _NoopMetric:
+    """Shared do-nothing instrument; every method is allocation-free."""
+
+    __slots__ = ()
+
+    def labels(self, value):
+        return self
+
+    def inc(self, n=1.0):
+        pass
+
+    def dec(self, n=1.0):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+NOOP_COUNTER = _NoopMetric()
+NOOP_GAUGE = NOOP_COUNTER
+NOOP_HISTOGRAM = NOOP_COUNTER
+
+
+# -- registry ----------------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """Name-keyed store of metric families (get-or-create semantics)."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str, label: str | None, **kw) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, label, **kw)
+                self._metrics[name] = metric
+                return metric
+        if not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        if label is not None and metric.label != label:
+            raise ValueError(
+                f"metric {name} already registered with label "
+                f"{metric.label!r}, requested {label!r}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", label: str | None = None) -> Counter:
+        return self._get_or_create(Counter, name, help, label)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", label: str | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, label)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        label: str | None = None,
+        base: float = 2.0,
+        min_bound: float = 1.0,
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            Histogram, name, help, label, base=base, min_bound=min_bound
+        )
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> list[dict]:
+        """All families, sorted by name, as plain JSON-ready dicts."""
+        return [self._metrics[name].snapshot() for name in sorted(self._metrics)]
+
+
+# -- global state -------------------------------------------------------------------
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_OBS", "0").strip().lower() not in ("", "0", "false", "no")
+
+
+class _ObsState:
+    __slots__ = ("enabled", "registry")
+
+    def __init__(self) -> None:
+        self.enabled = _env_enabled()
+        self.registry = MetricsRegistry()
+
+
+_STATE = _ObsState()
+
+
+def enabled() -> bool:
+    """Whether telemetry is currently collecting."""
+    return _STATE.enabled
+
+
+def enable() -> MetricsRegistry:
+    """Turn telemetry on (instrumented objects built *after* this call
+    record into the global registry)."""
+    _STATE.enabled = True
+    return _STATE.registry
+
+
+def disable() -> None:
+    _STATE.enabled = False
+
+
+def reset() -> MetricsRegistry:
+    """Drop every recorded value (fresh registry); keeps the enabled flag."""
+    _STATE.registry = MetricsRegistry()
+    return _STATE.registry
+
+
+def get_registry() -> MetricsRegistry:
+    return _STATE.registry
+
+
+def counter(name: str, help: str = "", label: str | None = None):
+    """Global counter, or the shared no-op when telemetry is off."""
+    if not _STATE.enabled:
+        return NOOP_COUNTER
+    return _STATE.registry.counter(name, help, label)
+
+
+def gauge(name: str, help: str = "", label: str | None = None):
+    if not _STATE.enabled:
+        return NOOP_GAUGE
+    return _STATE.registry.gauge(name, help, label)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    label: str | None = None,
+    base: float = 2.0,
+    min_bound: float = 1.0,
+):
+    if not _STATE.enabled:
+        return NOOP_HISTOGRAM
+    return _STATE.registry.histogram(name, help, label, base=base, min_bound=min_bound)

@@ -1,0 +1,180 @@
+"""Pipeline stage profiling: wall-time per stage of a simulation run.
+
+The instrumented stages mirror the pipeline phases of DESIGN.md:
+``world-build``, ``workload-gen``, ``delivery``, ``ndr-render``,
+``ebrc-fit``, ``ebrc-classify``, and ``shard-io``.  Each stage
+accumulates total wall seconds and call counts; :func:`report` renders
+the per-stage share table that perf PRs cite.
+
+Profiling shares the on/off switch of :mod:`repro.obs.metrics` — when
+telemetry is off, :func:`stage` returns a shared null context manager and
+:func:`profiled_iter` returns its iterable untouched, so the disabled
+cost of an instrumented call site is one boolean check.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Iterable, Iterator
+
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "StageProfiler",
+    "StageStat",
+    "add",
+    "get_profiler",
+    "profiled_iter",
+    "report",
+    "reset",
+    "stage",
+]
+
+
+class StageStat:
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.calls = 0
+
+
+class StageProfiler:
+    """Accumulates wall time and call counts per named stage."""
+
+    def __init__(self) -> None:
+        self._stages: dict[str, StageStat] = {}
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        stat = self._stages.get(name)
+        if stat is None:
+            stat = self._stages[name] = StageStat()
+        stat.seconds += seconds
+        stat.calls += calls
+
+    def seconds(self, name: str) -> float:
+        stat = self._stages.get(name)
+        return stat.seconds if stat else 0.0
+
+    def calls(self, name: str) -> int:
+        stat = self._stages.get(name)
+        return stat.calls if stat else 0
+
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self._stages.values())
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def snapshot(self) -> list[dict]:
+        """Stages sorted by descending wall time, JSON-ready."""
+        return [
+            {"stage": name, "seconds": stat.seconds, "calls": stat.calls}
+            for name, stat in sorted(
+                self._stages.items(), key=lambda kv: -kv[1].seconds
+            )
+        ]
+
+    def report(self) -> str:
+        """An aligned per-stage table with time shares."""
+        rows = self.snapshot()
+        if not rows:
+            return "stage profile: (no stages recorded)"
+        total = sum(r["seconds"] for r in rows) or 1.0
+        width = max(len("stage"), *(len(r["stage"]) for r in rows))
+        lines = [
+            f"{'stage':<{width}}  {'seconds':>10}  {'calls':>10}  {'share':>6}",
+            f"{'-' * width}  {'-' * 10}  {'-' * 10}  {'-' * 6}",
+        ]
+        for r in rows:
+            lines.append(
+                f"{r['stage']:<{width}}  {r['seconds']:>10.3f}  "
+                f"{r['calls']:>10,}  {r['seconds'] / total:>6.1%}"
+            )
+        lines.append(
+            f"{'total':<{width}}  {total:>10.3f}  "
+            f"{sum(r['calls'] for r in rows):>10,}  {'100.0%':>6}"
+        )
+        return "\n".join(lines)
+
+
+# -- context managers ---------------------------------------------------------------
+
+
+class _NullStage:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullStage":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_STAGE = _NullStage()
+
+
+class _StageCtx:
+    __slots__ = ("_profiler", "_name", "_t0")
+
+    def __init__(self, profiler: StageProfiler, name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_StageCtx":
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._profiler.add(self._name, perf_counter() - self._t0)
+        return False
+
+
+# -- global profiler ----------------------------------------------------------------
+
+_PROFILER = StageProfiler()
+
+
+def get_profiler() -> StageProfiler:
+    return _PROFILER
+
+
+def reset() -> StageProfiler:
+    global _PROFILER
+    _PROFILER = StageProfiler()
+    return _PROFILER
+
+
+def stage(name: str):
+    """``with stage("world-build"): ...`` — null context when telemetry is off."""
+    if not _metrics.enabled():
+        return _NULL_STAGE
+    return _StageCtx(_PROFILER, name)
+
+
+def add(name: str, seconds: float, calls: int = 1) -> None:
+    """Record pre-measured time (for call sites that cannot use ``with``)."""
+    if _metrics.enabled():
+        _PROFILER.add(name, seconds, calls)
+
+
+def profiled_iter(name: str, iterable: Iterable) -> Iterator:
+    """Wrap an iterator so time spent *producing* items is charged to
+    ``name``; returns the iterable unwrapped when telemetry is off."""
+    if not _metrics.enabled():
+        return iter(iterable)
+    return _profiled(name, iterable)
+
+
+def _profiled(name: str, iterable: Iterable) -> Iterator:
+    profiler = _PROFILER
+    it = iter(iterable)
+    while True:
+        t0 = perf_counter()
+        try:
+            item = next(it)
+        except StopIteration:
+            profiler.add(name, perf_counter() - t0, calls=0)
+            return
+        profiler.add(name, perf_counter() - t0)
+        yield item

@@ -1,0 +1,317 @@
+"""Delivery tracing: per-email span trees over the delivery pipeline.
+
+A traced email becomes a tree of :class:`Span` objects mirroring the
+pipeline stages of Figure 2:
+
+.. code-block:: text
+
+    email (message_id, sender, receiver, degree)
+    ├── attempt #1
+    │   ├── proxy_select   (proxy ip)
+    │   ├── mx_resolve     (mx host | error)
+    │   ├── smtp_session   (stage reached, outcome)
+    │   └── policy_verdict (accepted | T1..T16, ambiguous)
+    ├── retry_wait         (scheduled backoff gap)
+    └── attempt #2 ...
+
+Spans carry **simulation** timestamps (POSIX seconds), not wall time —
+they describe where in the delivery path an email failed, which is the
+question every analysis in the paper reduces to.
+
+Two ways to obtain a tree:
+
+* **Live**: :class:`Tracer` samples every Nth delivered email inside the
+  engine and keeps finished trees in a bounded ring buffer
+  (:meth:`Tracer.export_jsonl` dumps them as JSONL).
+* **Reconstructed**: :func:`span_tree_from_record` rebuilds the identical
+  stage structure from any stored :class:`DeliveryRecord`, because every
+  stage outcome is recoverable from the attempt's result line and truth
+  type — so ``repro trace`` works on any shard dir, traced or not.
+
+Message identity is :func:`compute_message_id` over
+``(sender, receiver, start_time)`` — deterministic, so live traces,
+reconstructions, and shard records all agree on ids.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+from repro.delivery.records import compute_message_id
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.delivery.records import AttemptRecord, DeliveryRecord
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "add_attempt_spans",
+    "compute_message_id",
+    "configure_tracer",
+    "get_tracer",
+    "reset_tracer",
+    "span_tree_from_record",
+]
+
+
+# -- spans -------------------------------------------------------------------------
+
+
+@dataclass
+class Span:
+    """One timed node of a delivery trace (simulation seconds)."""
+
+    name: str
+    t0: float
+    t1: float | None = None
+    status: str = "ok"
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def child(self, name: str, t0: float, **attrs) -> "Span":
+        span = Span(name=name, t0=t0, attrs=attrs)
+        self.children.append(span)
+        return span
+
+    def end(self, t1: float, status: str | None = None) -> "Span":
+        self.t1 = t1
+        if status is not None:
+            self.status = status
+        return self
+
+    def set(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration(self) -> float:
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        return [s for s in self.walk() if s.name == name]
+
+    # -- serialisation -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data: dict = {"name": self.name, "t0": self.t0, "t1": self.t1,
+                      "status": self.status}
+        if self.attrs:
+            data["attrs"] = self.attrs
+        if self.children:
+            data["children"] = [c.to_dict() for c in self.children]
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            t0=data["t0"],
+            t1=data.get("t1"),
+            status=data.get("status", "ok"),
+            attrs=dict(data.get("attrs", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+    # -- display -------------------------------------------------------------------
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        bits = [f"{pad}{self.name}"]
+        if self.t1 is not None and self.t1 > self.t0:
+            bits.append(f"+{self.duration:.3f}s")
+        if self.status != "ok":
+            bits.append(f"[{self.status}]")
+        if self.attrs:
+            bits.append(
+                " ".join(f"{k}={v}" for k, v in self.attrs.items())
+            )
+        lines = [" ".join(bits)]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+# -- tracer ------------------------------------------------------------------------
+
+
+class Tracer:
+    """Count-based sampler plus bounded ring buffer of finished trees.
+
+    ``sample_every=N`` keeps email 0, N, 2N, ... — deterministic, so a
+    traced run samples the same emails every time (and never touches the
+    simulation's random streams).
+    """
+
+    def __init__(self, sample_every: int = 1, capacity: int = 256) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sample_every = sample_every
+        self.capacity = capacity
+        self.n_seen = 0
+        self.n_sampled = 0
+        self.n_dropped = 0
+        self._spans: deque[Span] = deque(maxlen=capacity)
+
+    def maybe_start(self, name: str, t0: float, **attrs) -> Span | None:
+        """Root span for the next unit of work, or ``None`` when the
+        sampler skips it."""
+        index = self.n_seen
+        self.n_seen += 1
+        if index % self.sample_every:
+            return None
+        self.n_sampled += 1
+        return Span(name=name, t0=t0, attrs=attrs)
+
+    def finish(self, span: Span) -> None:
+        if len(self._spans) == self._spans.maxlen:
+            self.n_dropped += 1
+        self._spans.append(span)
+
+    @property
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    def find(self, message_id: str) -> Span | None:
+        for span in self._spans:
+            if span.attrs.get("message_id") == message_id:
+                return span
+        return None
+
+    def export_jsonl(self, path) -> int:
+        """Write one JSON object per root span; returns the span count."""
+        if hasattr(path, "write"):
+            for span in self._spans:
+                path.write(span.to_json() + "\n")
+            return len(self._spans)
+        with Path(path).open("w", encoding="utf-8") as fh:
+            for span in self._spans:
+                fh.write(span.to_json() + "\n")
+        return len(self._spans)
+
+
+_TRACER: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    """The configured tracer, or ``None`` when tracing is off (default)."""
+    return _TRACER
+
+
+def configure_tracer(sample_every: int = 1, capacity: int = 256) -> Tracer:
+    global _TRACER
+    _TRACER = Tracer(sample_every=sample_every, capacity=capacity)
+    return _TRACER
+
+
+def reset_tracer() -> None:
+    global _TRACER
+    _TRACER = None
+
+
+# -- stage reconstruction -----------------------------------------------------------
+
+#: truth types decided on the sender/transport side (never reached a
+#: receiver policy verdict).
+_SENDER_SIDE = {"T2"}
+_TRANSPORT_STATUS = {"T14": "timeout", "T15": "interrupted"}
+
+
+def add_attempt_spans(
+    parent: Span,
+    attempt: "AttemptRecord",
+    index: int,
+    mx_host: str | None,
+) -> Span:
+    """Append the stage spans of one attempt under ``parent``.
+
+    Shared by the live engine path and :func:`span_tree_from_record`, so a
+    reconstructed tree has the same shape as a live one.  ``mx_host`` is
+    the resolved MX (``None`` when resolution failed).
+    """
+    from repro.core.taxonomy import BounceType
+    from repro.smtp.session import REJECTION_STAGE, SmtpStage
+
+    t0 = attempt.t
+    t1 = attempt.t + attempt.latency_ms / 1000.0
+    truth = attempt.truth_type
+    span = parent.child("attempt", t0, index=index, proxy=attempt.from_ip)
+    if attempt.to_ip:
+        span.attrs["to_ip"] = attempt.to_ip
+    span.end(t1, status="ok" if attempt.succeeded else "error")
+
+    span.child("proxy_select", t0, proxy=attempt.from_ip).end(t0)
+
+    mx = span.child("mx_resolve", t0)
+    if truth in _SENDER_SIDE:
+        mx.end(t0, status="error")
+        span.child("policy_verdict", t1, verdict=truth, origin="sender").end(t1)
+        return span
+    mx.set(mx=mx_host).end(t0)
+
+    session = span.child("smtp_session", t0)
+    if truth in _TRANSPORT_STATUS:
+        stage = REJECTION_STAGE[BounceType(truth)]
+        session.set(stage=stage.value).end(t1, status=_TRANSPORT_STATUS[truth])
+        span.child(
+            "policy_verdict", t1, verdict=truth, origin="transport"
+        ).end(t1)
+        return span
+    if truth is None:
+        session.set(stage=SmtpStage.DONE.value).end(t1)
+        span.child("policy_verdict", t1, verdict="accepted").end(t1)
+        return span
+
+    try:
+        stage = REJECTION_STAGE[BounceType(truth)]
+    except ValueError:
+        stage = SmtpStage.DATA
+    session.set(stage=stage.value).end(t1, status="rejected")
+    verdict = span.child(
+        "policy_verdict", t1, verdict=truth, origin="receiver"
+    )
+    if attempt.ambiguous:
+        verdict.attrs["ambiguous"] = True
+    verdict.end(t1)
+    return span
+
+
+def span_tree_from_record(record: "DeliveryRecord") -> Span:
+    """Rebuild the full span tree of one stored delivery record."""
+    root = Span(
+        name="email",
+        t0=record.start_time,
+        attrs={
+            "message_id": record.message_id,
+            "sender": record.sender,
+            "receiver": record.receiver,
+            "flag": record.email_flag,
+        },
+    )
+    mx_guess = f"mx1.{record.receiver_domain}"
+    previous = None
+    for i, attempt in enumerate(record.attempts):
+        if previous is not None:
+            root.child("retry_wait", previous.t + previous.latency_ms / 1000.0).end(
+                attempt.t
+            )
+        mx_host = None if attempt.truth_type in _SENDER_SIDE else mx_guess
+        add_attempt_spans(root, attempt, i, mx_host)
+        previous = attempt
+    degree = record.bounce_degree
+    root.set(degree=degree.value, n_attempts=record.n_attempts)
+    root.end(record.end_time, status="ok" if record.delivered else "error")
+    return root

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.core.taxonomy import BounceType
+from repro.obs import metrics as obs_metrics
 from repro.smtp.ndr import is_success
 
 
@@ -89,6 +90,37 @@ def simulate_session(
     size_bytes: int = 20_000,
 ) -> SessionTranscript:
     """Reconstruct the SMTP dialogue behind one attempt result line."""
+    transcript = _simulate_session_impl(
+        result_line,
+        truth_type,
+        sender,
+        receiver,
+        mx_host=mx_host,
+        client_name=client_name,
+        uses_tls=uses_tls,
+        size_bytes=size_bytes,
+    )
+    if obs_metrics.enabled():
+        # Transcripts are debug-path (on-demand), so the counter is looked
+        # up lazily rather than cached at import time.
+        obs_metrics.counter(
+            "repro_smtp_transcripts_total",
+            "SMTP transcripts reconstructed, by session outcome",
+            label="outcome",
+        ).labels(transcript.outcome).inc()
+    return transcript
+
+
+def _simulate_session_impl(
+    result_line: str,
+    truth_type: str | None,
+    sender: str,
+    receiver: str,
+    mx_host: str = "mx1.example.com",
+    client_name: str = "proxy1.coremail-out.net",
+    uses_tls: bool = False,
+    size_bytes: int = 20_000,
+) -> SessionTranscript:
     transcript = SessionTranscript()
     accepted = is_success(result_line)
     bounce_type = None

@@ -16,7 +16,7 @@ condition the paper's classifier pipeline has to detect and exclude.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.core.taxonomy import BounceType

@@ -23,6 +23,7 @@ from typing import Iterable, Iterator
 
 from repro.core.taxonomy import BounceType
 from repro.delivery.records import DeliveryRecord
+from repro.obs import metrics as obs_metrics
 from repro.stream.online import OnlineEBRC
 from repro.util.clock import DAY_SECONDS, SimClock
 
@@ -115,9 +116,19 @@ class BounceRateMonitor:
         if record.bounced:
             self._window.add(t, "bounced")
         volume = self._window.count("emails")
+        rate = self.rate()
+        # Clears are NOT gated on min_volume: a window that slides empty
+        # (rate falls to 0 over 0 emails) must still emit the falling edge,
+        # or an alert raised before a quiet spell would stay active forever.
+        if self._active and rate < self.threshold * 0.8:
+            self._active = False
+            return [Alert(
+                t=t, kind="bounce-rate", subject="stream",
+                message=f"bounce rate recovered to {rate:.1%}",
+                severity="info", cleared=True,
+            )]
         if volume < self.min_volume:
             return []
-        rate = self.rate()
         if not self._active and rate >= self.threshold:
             self._active = True
             return [Alert(
@@ -125,13 +136,6 @@ class BounceRateMonitor:
                 message=f"windowed bounce rate {rate:.1%} over "
                         f"{volume:,} emails (threshold {self.threshold:.0%})",
                 severity="critical",
-            )]
-        if self._active and rate < self.threshold * 0.8:
-            self._active = False
-            return [Alert(
-                t=t, kind="bounce-rate", subject="stream",
-                message=f"bounce rate recovered to {rate:.1%}",
-                severity="info", cleared=True,
             )]
         return []
 
@@ -154,20 +158,20 @@ class BounceTypeMonitor:
 
     def observe(self, record: DeliveryRecord, bounce_type: BounceType | None) -> list[Alert]:
         t = record.start_time
-        if bounce_type is None:
+        if bounce_type is None or (
+            self.watch is not None and bounce_type not in self.watch
+        ):
+            # Still advance time and re-check falling edges: a stretch of
+            # clean (or unwatched) traffic can slide the whole window out,
+            # and the spike's clear must fire then, not at the next bounce.
             self._window.advance(t)
-            return []
-        if self.watch is not None and bounce_type not in self.watch:
-            return []
+            return self._falling_edges(t)
         self._window.add(t, bounce_type.value)
         counts = self._window.counts()
         total = sum(counts.values())
         alerts: list[Alert] = []
-        still_high: set[str] = set()
         for value, n in counts.items():
             share = n / total if total else 0.0
-            if n >= self.min_count and share >= self.share_threshold * 0.8:
-                still_high.add(value)
             if (n >= self.min_count and share >= self.share_threshold
                     and value not in self._active):
                 self._active.add(value)
@@ -176,6 +180,20 @@ class BounceTypeMonitor:
                     message=f"{value} ({BounceType(value).description}) is "
                             f"{share:.0%} of {total:,} windowed bounces",
                 ))
+        alerts.extend(self._falling_edges(t))
+        return alerts
+
+    def _falling_edges(self, t: float) -> list[Alert]:
+        """Clear active spikes that have dropped below the hysteresis band
+        (including to zero, when the window empties entirely)."""
+        counts = self._window.counts()
+        total = sum(counts.values())
+        still_high: set[str] = set()
+        for value, n in counts.items():
+            share = n / total if total else 0.0
+            if n >= self.min_count and share >= self.share_threshold * 0.8:
+                still_high.add(value)
+        alerts: list[Alert] = []
         for value in sorted(self._active - still_high):
             self._active.discard(value)
             alerts.append(Alert(
@@ -394,6 +412,17 @@ class DeliverabilityMonitor:
         self.n_records = 0
         self.n_bounced = 0
         self.alert_counts: Counter = Counter()
+        # Telemetry (no-op unless repro.obs is enabled at construction).
+        self._obs_on = obs_metrics.enabled()
+        self._m_records = obs_metrics.counter(
+            "repro_monitor_records_total",
+            "Delivery records observed by the deliverability monitor",
+        )
+        self._m_alerts = obs_metrics.counter(
+            "repro_monitor_alerts_total",
+            "Monitoring events emitted, by kind (clears carry a .clear suffix)",
+            label="kind",
+        )
 
     def observe(
         self, record: DeliveryRecord, bounce_type: BounceType | None
@@ -407,6 +436,11 @@ class DeliverabilityMonitor:
         for alert in alerts:
             if not alert.cleared:
                 self.alert_counts[alert.kind] += 1
+        if self._obs_on:
+            self._m_records.inc()
+            for alert in alerts:
+                kind = alert.kind + (".clear" if alert.cleared else "")
+                self._m_alerts.labels(kind).inc()
         return alerts
 
     def watch(

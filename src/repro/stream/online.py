@@ -36,6 +36,7 @@ from repro.core.drain import Drain
 from repro.core.ebrc import EBRC, EBRCConfig
 from repro.core.labeling import is_ambiguous_text
 from repro.core.taxonomy import BounceType
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass
@@ -84,6 +85,23 @@ class OnlineEBRC:
         #: incremental miner for structures the fitted tree doesn't know.
         self.novel_drain = self._fresh_drain()
         self._since_refit = 0
+        # Telemetry (no-op unless repro.obs is enabled at construction);
+        # mirrors the OnlineEBRCStats counters a scraper cares about.
+        self._obs_on = obs_metrics.enabled()
+        self._m_observed = obs_metrics.counter(
+            "repro_online_messages_total",
+            "NDR lines fed to the online classifier, by disposition",
+            label="disposition",
+        )
+        self._m_refits = obs_metrics.counter(
+            "repro_online_refits_total",
+            "Online EBRC (re)fits, by outcome",
+            label="outcome",
+        )
+        self._m_templates = obs_metrics.gauge(
+            "repro_online_templates",
+            "Templates known to the currently fitted online model",
+        )
 
     def _fresh_drain(self) -> Drain:
         return Drain(
@@ -157,6 +175,9 @@ class OnlineEBRC:
         self._cache = {}
         self.novel_drain = self._fresh_drain()
         self.stats.n_fits += 1
+        if self._obs_on:
+            self._m_refits.labels("ok").inc()
+            self._m_templates.set(ebrc.n_templates)
         flushed = [self._classify_one(m) for m in self._buffer]
         self.stats.n_flushed += len(flushed)
         self._buffer = []
@@ -181,12 +202,17 @@ class OnlineEBRC:
         except ValueError:
             self.stats.n_failed_refits += 1
             self._since_refit = 0
+            if self._obs_on:
+                self._m_refits.labels("failed").inc()
             return False
         self.ebrc = ebrc
         self._cache = {}
         self.novel_drain = self._fresh_drain()
         self.stats.n_fits += 1
         self._since_refit = 0
+        if self._obs_on:
+            self._m_refits.labels("ok").inc()
+            self._m_templates.set(ebrc.n_templates)
         if self.on_refit is not None:
             self.on_refit(self)
         return True
@@ -200,6 +226,8 @@ class OnlineEBRC:
             # Unseen structure: mine it incrementally, classify the raw
             # text exactly as the batch path would.
             self.stats.n_unmatched += 1
+            if self._obs_on:
+                self._m_observed.labels("novel").inc()
             self.novel_drain.add(message)
             if is_ambiguous_text(message):
                 return None
@@ -210,7 +238,11 @@ class OnlineEBRC:
         tid = template.template_id
         if tid in self._cache:
             self.stats.n_cache_hits += 1
+            if self._obs_on:
+                self._m_observed.labels("cache-hit").inc()
             return self._cache[tid]
+        if self._obs_on:
+            self._m_observed.labels("template-miss").inc()
         if tid in ebrc.ambiguous_template_ids:
             result: BounceType | None = None
         else:

@@ -31,6 +31,7 @@ from typing import Callable, Iterable, Iterator
 
 from repro.delivery.engine import DeliveryEngine
 from repro.delivery.records import DeliveryRecord
+from repro.obs import profile as obs_profile
 from repro.util.rng import RandomSource
 from repro.workload.attackers import AttackerGenerator
 from repro.workload.spec import EmailSpec
@@ -95,9 +96,12 @@ def stream_simulation(
 ) -> StreamingSimulation:
     """Build the world and return a lazy, time-ordered record stream."""
     config = config or SimulationConfig()
-    world = build_world(config)
+    with obs_profile.stage("world-build"):
+        world = build_world(config)
     rng = RandomSource(config.seed, name="sim")
-    specs = merge_spec_streams(world, rng, extra_workloads)
+    specs = obs_profile.profiled_iter(
+        "workload-gen", merge_spec_streams(world, rng, extra_workloads)
+    )
     engine = DeliveryEngine(world, rng.child("engine"))
     return StreamingSimulation(world=world, records=engine.deliver_all(specs))
 

@@ -23,9 +23,12 @@ import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import Iterator
 
 from repro.delivery.records import DeliveryRecord
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
@@ -149,6 +152,17 @@ class ShardWriter:
         self._shard_t_max = 0.0
         self._closed = False
         self.manifest: ShardManifest | None = None
+        # Telemetry (no-op unless repro.obs is enabled at construction).
+        self._obs_on = obs_metrics.enabled()
+        self._m_records = obs_metrics.counter(
+            "repro_shard_records_total", "Delivery records written to shards"
+        )
+        self._m_bytes = obs_metrics.counter(
+            "repro_shard_bytes_total", "Uncompressed JSONL bytes written to shards"
+        )
+        self._m_shards = obs_metrics.counter(
+            "repro_shards_total", "Shard files finalised"
+        )
 
     # -- writing ---------------------------------------------------------------
 
@@ -185,15 +199,29 @@ class ShardWriter:
         )
         self._fh = None
         self._hash = None
+        if self._obs_on:
+            self._m_shards.inc()
 
     def write(self, record: DeliveryRecord) -> None:
         if self._closed:
             raise RuntimeError("writer is closed")
+        if not self._obs_on:
+            self._write_impl(record)
+            return
+        t0 = perf_counter()
+        self._write_impl(record)
+        obs_profile.add("shard-io", perf_counter() - t0)
+
+    def _write_impl(self, record: DeliveryRecord) -> None:
         if self._fh is None:
             self._open_shard()
         line = record.to_json() + "\n"
         self._fh.write(line)
-        self._hash.update(line.encode("utf-8"))
+        payload = line.encode("utf-8")
+        self._hash.update(payload)
+        if self._obs_on:
+            self._m_records.inc()
+            self._m_bytes.inc(len(payload))
         t = record.start_time
         if self._shard_count == 0:
             self._shard_t_min = t

@@ -8,7 +8,7 @@ with fixed seeds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import datetime
 
 from repro.util.clock import DEFAULT_END, DEFAULT_START

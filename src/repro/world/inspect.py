@@ -11,7 +11,6 @@ from dataclasses import dataclass
 
 from repro.mta.policies import TLSRequirement
 from repro.world.model import WorldModel
-from repro.world.senders import SenderKind
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,7 @@ each default is set where it is.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from datetime import datetime, timezone
 
 from repro.delivery.proxies import ProxyFleet
@@ -27,7 +27,7 @@ from repro.dnssim.records import RecordType
 from repro.dnssim.resolver import Resolver
 from repro.dnssim.zone import Zone
 from repro.geo.asn import AS_REGISTRY, AutonomousSystem, as_by_number, make_generic_as
-from repro.geo.countries import COUNTRIES, Country, country_by_code
+from repro.geo.countries import COUNTRIES, Country
 from repro.geo.ipaddr import GeoLookup, IPAllocator
 from repro.mta.filters import COREMAIL_FILTER, SpamFilter
 from repro.mta.policies import ReceiverPolicy, TLSRequirement

@@ -1,6 +1,6 @@
 """Tests for the labeling layer (rule labeler + labeled dataset)."""
 
-from repro.analysis.label import LabeledDataset, RuleLabeler
+from repro.analysis.label import RuleLabeler
 from repro.core.taxonomy import BounceType
 
 

@@ -46,17 +46,17 @@ class TestStream:
     def test_watch_shards_online(self, shard_dir, capsys):
         code = main(["watch", str(shard_dir), "--warmup", "500"])
         assert code == 0
-        out = capsys.readouterr().out
-        assert "watch summary: records=" in out
-        assert "online EBRC:" in out
+        err = capsys.readouterr().err
+        assert "watch summary: records=" in err
+        assert "online EBRC:" in err
 
     def test_watch_file_with_rules_labeler(self, saved_log, capsys):
         code = main(["watch", str(saved_log), "--labeler", "rules",
                      "--max-alerts", "3"])
         assert code == 0
-        out = capsys.readouterr().out
-        assert "watch summary: records=" in out
-        assert "online EBRC:" not in out
+        err = capsys.readouterr().err
+        assert "watch summary: records=" in err
+        assert "online EBRC:" not in err
 
 
 class TestReport:
@@ -118,3 +118,150 @@ class TestFullReport:
         for section in ("Overview", "Root causes", "Blocklists", "Squatting",
                         "NDR quality", "receiver domains"):
             assert section in out
+
+
+class TestVersion:
+    def test_version_flag_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro-bounce 1." in capsys.readouterr().out
+
+    def test_version_subcommand(self, capsys):
+        assert main(["version"]) == 0
+        assert "repro-bounce 1." in capsys.readouterr().out
+
+
+class TestQuiet:
+    def test_quiet_suppresses_status(self, tmp_path, capsys):
+        out = tmp_path / "log.jsonl"
+        assert main(["--quiet", "simulate", "--scale", "0.002",
+                     "--seed", "5", "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert captured.out == ""
+        assert out.exists()
+
+    def test_quiet_after_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "log.jsonl"
+        assert main(["simulate", "--scale", "0.002", "--seed", "5",
+                     "--out", str(out), "--quiet"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_status_goes_to_stderr_not_stdout(self, tmp_path, capsys):
+        out = tmp_path / "log.jsonl"
+        assert main(["simulate", "--scale", "0.002", "--seed", "5",
+                     "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "simulated" in captured.err
+        assert captured.out == ""
+
+
+class TestObsFlags:
+    def test_metrics_out_writes_prometheus(self, tmp_path, capsys):
+        out = tmp_path / "log.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        assert main(["simulate", "--scale", "0.002", "--seed", "5",
+                     "--out", str(out), "--metrics-out", str(metrics)]) == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_delivery_emails_total counter" in text
+        assert "repro_delivery_attempts_total" in text
+        assert "repro_stage_seconds_total" in text
+
+    def test_metrics_out_stdout(self, tmp_path, capsys):
+        out = tmp_path / "log.jsonl"
+        assert main(["--quiet", "simulate", "--scale", "0.002", "--seed", "5",
+                     "--out", str(out), "--metrics-out", "-"]) == 0
+        assert "repro_delivery_emails_total" in capsys.readouterr().out
+
+    def test_output_byte_identical_with_telemetry(self, tmp_path):
+        plain = tmp_path / "plain.jsonl"
+        metered = tmp_path / "metered.jsonl"
+        assert main(["--quiet", "simulate", "--scale", "0.002", "--seed", "5",
+                     "--out", str(plain)]) == 0
+        assert main(["--quiet", "simulate", "--scale", "0.002", "--seed", "5",
+                     "--out", str(metered),
+                     "--metrics-out", str(tmp_path / "m.prom"),
+                     "--trace-sample", "3",
+                     "--trace-out", str(tmp_path / "t.jsonl")]) == 0
+        assert plain.read_bytes() == metered.read_bytes()
+
+    def test_trace_sample_writes_span_trees(self, tmp_path):
+        out = tmp_path / "log.jsonl"
+        traces = tmp_path / "traces.jsonl"
+        assert main(["--quiet", "simulate", "--scale", "0.002", "--seed", "5",
+                     "--out", str(out), "--trace-sample", "10",
+                     "--trace-out", str(traces)]) == 0
+        import json as _json
+
+        lines = traces.read_text().strip().splitlines()
+        assert lines
+        tree = _json.loads(lines[0])
+        assert tree["name"] == "email"
+        assert "message_id" in tree["attrs"]
+
+    def test_telemetry_state_restored_after_run(self, tmp_path):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.trace import get_tracer
+
+        assert main(["--quiet", "simulate", "--scale", "0.002", "--seed", "5",
+                     "--out", str(tmp_path / "log.jsonl"),
+                     "--metrics-out", str(tmp_path / "m.prom"),
+                     "--trace-sample", "5",
+                     "--trace-out", str(tmp_path / "t.jsonl")]) == 0
+        assert not obs_metrics.enabled()
+        assert get_tracer() is None
+
+
+class TestMetricsCommand:
+    def test_fresh_run_prometheus(self, capsys):
+        assert main(["--quiet", "metrics", "--scale", "0.002",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_delivery_emails_total counter" in out
+        assert 'repro_stage_seconds_total{stage="delivery"}' in out
+
+    def test_snapshot_round_trip(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        assert main(["--quiet", "metrics", "--scale", "0.002", "--seed", "5",
+                     "--format", "json", "--out", str(snap)]) == 0
+        # re-render the saved snapshot without running anything
+        assert main(["metrics", str(snap), "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_delivery_emails_total" in out
+
+
+class TestTraceCommand:
+    def test_list_and_tree(self, saved_log, capsys):
+        assert main(["trace", str(saved_log), "--list", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "message_id" in out
+        rows = [line for line in out.splitlines() if line[:1].isdigit()]
+        ids = [row.split()[1] for row in rows]
+        assert len(ids) == 5
+
+        assert main(["trace", str(saved_log), "--message-id", ids[0]]) == 0
+        tree = capsys.readouterr().out
+        assert tree.startswith("email ")
+        assert "attempt" in tree
+        assert "policy_verdict" in tree
+
+    def test_trace_by_index_json(self, saved_log, capsys):
+        import json as _json
+
+        assert main(["trace", str(saved_log), "--index", "2", "--json"]) == 0
+        tree = _json.loads(capsys.readouterr().out)
+        assert tree["name"] == "email"
+        assert tree["attrs"]["n_attempts"] >= 1
+
+    def test_trace_unknown_message_id(self, saved_log, capsys):
+        assert main(["trace", str(saved_log),
+                     "--message-id", "doesnotexist00"]) == 1
+
+    def test_trace_shard_dir(self, tmp_path, capsys):
+        shard_dir = tmp_path / "shards"
+        assert main(["--quiet", "stream", "--scale", "0.002", "--seed", "5",
+                     "--out-dir", str(shard_dir), "--shard-size", "100",
+                     "--progress-every", "0"]) == 0
+        assert main(["trace", str(shard_dir), "--index", "0"]) == 0
+        assert capsys.readouterr().out.startswith("email ")

@@ -1,6 +1,5 @@
 """Tests for the paper-comparison scorecard."""
 
-import pytest
 
 from repro.analysis.comparison import Comparison, compare_to_paper, scorecard
 

@@ -13,7 +13,7 @@ from repro.dnssim.misconfig import (
 from repro.dnssim.records import DnsRecord, RecordType, ResolveResult, ResolveStatus
 from repro.dnssim.resolver import Resolver
 from repro.dnssim.zone import Zone
-from repro.util.clock import DAY_SECONDS, SimClock, Window
+from repro.util.clock import SimClock, Window
 from repro.util.rng import RandomSource
 
 

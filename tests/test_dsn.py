@@ -1,9 +1,8 @@
 """Tests for DSN (RFC 3464) rendering and parsing."""
 
-import pytest
 
 from repro.delivery.records import AttemptRecord, DeliveryRecord
-from repro.smtp.dsn import Dsn, dsn_for_record, parse_dsn, render_dsn
+from repro.smtp.dsn import dsn_for_record, parse_dsn, render_dsn
 
 
 def make_record(results, sender="a@s.cn", receiver="b@r.com"):

@@ -1,7 +1,6 @@
 """Unit tests for the receiver-MTA policy engine: greylisting, filters,
 and the decision gauntlet branch by branch."""
 
-import pytest
 
 from repro.auth.dkim import DkimVerdict
 from repro.auth.dmarc import DmarcDisposition

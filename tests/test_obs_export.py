@@ -1,0 +1,132 @@
+"""Tests for metric exporters (repro.obs.export)."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs.export import (
+    build_snapshot,
+    load_snapshot,
+    prometheus_text,
+    snapshot_json,
+    write_metrics,
+)
+
+#: One Prometheus exposition sample line: name{labels} value
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (\+Inf|-?[0-9.e+-]+)$"
+)
+
+
+@pytest.fixture()
+def populated():
+    obs_metrics.enable()
+    obs_metrics.reset()
+    obs_profile.reset()
+    obs_metrics.counter("t_emails_total", "emails", label="degree").labels("hard").inc(3)
+    obs_metrics.counter("t_emails_total").labels("non").inc(10)
+    obs_metrics.gauge("t_templates", "templates").set(42)
+    h = obs_metrics.histogram("t_latency_ms", "latency", min_bound=1.0)
+    for v in (0.5, 3.0, 900.0):
+        h.observe(v)
+    obs_profile.add("delivery", 1.25, calls=10)
+    yield
+    obs_metrics.disable()
+    obs_metrics.reset()
+    obs_profile.reset()
+
+
+class TestSnapshot:
+    def test_build_snapshot_shape(self, populated):
+        snap = build_snapshot()
+        assert snap["version"] == 1
+        assert {f["name"] for f in snap["metrics"]} == {
+            "t_emails_total", "t_templates", "t_latency_ms"
+        }
+        assert snap["stages"] == [
+            {"stage": "delivery", "seconds": 1.25, "calls": 10}
+        ]
+
+    def test_json_round_trip(self, populated, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(snapshot_json(build_snapshot()))
+        loaded = load_snapshot(path)
+        assert loaded == build_snapshot()
+
+    def test_load_rejects_non_snapshot(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ValueError):
+            load_snapshot(path)
+
+
+class TestPrometheus:
+    def test_every_sample_line_is_valid(self, populated):
+        text = prometheus_text()
+        lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+        assert lines
+        for line in lines:
+            assert _SAMPLE_RE.match(line), f"bad exposition line: {line!r}"
+
+    def test_help_and_type_headers(self, populated):
+        text = prometheus_text()
+        assert "# HELP t_emails_total emails" in text
+        assert "# TYPE t_emails_total counter" in text
+        assert "# TYPE t_templates gauge" in text
+        assert "# TYPE t_latency_ms histogram" in text
+
+    def test_counter_series(self, populated):
+        text = prometheus_text()
+        assert 't_emails_total{degree="hard"} 3' in text
+        assert 't_emails_total{degree="non"} 10' in text
+
+    def test_histogram_cumulative_buckets(self, populated):
+        text = prometheus_text()
+        assert 't_latency_ms_bucket{le="1"} 1' in text
+        assert 't_latency_ms_bucket{le="4"} 2' in text
+        assert 't_latency_ms_bucket{le="1024"} 3' in text
+        assert 't_latency_ms_bucket{le="+Inf"} 3' in text
+        assert "t_latency_ms_sum 903.5" in text
+        assert "t_latency_ms_count 3" in text
+
+    def test_stage_profile_rendered(self, populated):
+        text = prometheus_text()
+        assert 'repro_stage_seconds_total{stage="delivery"} 1.25' in text
+        assert 'repro_stage_calls_total{stage="delivery"} 10' in text
+
+    def test_label_escaping(self, populated):
+        obs_metrics.counter("t_esc_total", label="v").labels('a"b\\c\nd').inc()
+        text = prometheus_text()
+        assert 't_esc_total{v="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_renders_saved_snapshot_without_live_registry(self, populated, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text(snapshot_json())
+        obs_metrics.reset()  # live registry now empty
+        text = prometheus_text(load_snapshot(path))
+        assert 't_emails_total{degree="hard"} 3' in text
+
+
+class TestWriteMetrics:
+    def test_write_to_file(self, populated, tmp_path):
+        out = tmp_path / "metrics.prom"
+        write_metrics(out, "prometheus")
+        assert "t_emails_total" in out.read_text()
+
+    def test_write_json(self, populated, tmp_path):
+        out = tmp_path / "metrics.json"
+        write_metrics(out, "json")
+        assert json.loads(out.read_text())["version"] == 1
+
+    def test_write_stdout(self, populated, capsys):
+        write_metrics("-", "prometheus")
+        assert "t_emails_total" in capsys.readouterr().out
+
+    def test_unknown_format(self, populated, tmp_path):
+        with pytest.raises(ValueError):
+            write_metrics(tmp_path / "x", "xml")

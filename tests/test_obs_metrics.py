@@ -1,0 +1,159 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import math
+
+import pytest
+
+from repro.obs import metrics as obs
+
+
+@pytest.fixture()
+def enabled_registry():
+    """Telemetry on with a fresh registry; always restored to off."""
+    obs.enable()
+    registry = obs.reset()
+    yield registry
+    obs.disable()
+    obs.reset()
+
+
+class TestCounter:
+    def test_inc_and_value(self, enabled_registry):
+        c = obs.counter("t_events_total", "help text")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self, enabled_registry):
+        c = obs.counter("t_events_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels_and_total(self, enabled_registry):
+        c = obs.counter("t_by_kind_total", label="kind")
+        c.labels("a").inc(3)
+        c.labels("b").inc()
+        c.labels("a").inc()
+        assert c.labels("a").value == 4
+        assert c.total == 5
+
+    def test_labels_without_dimension_raises(self, enabled_registry):
+        c = obs.counter("t_plain_total")
+        with pytest.raises(ValueError):
+            c.labels("x")
+
+    def test_label_children_cached(self, enabled_registry):
+        c = obs.counter("t_cache_total", label="k")
+        assert c.labels("x") is c.labels("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self, enabled_registry):
+        g = obs.gauge("t_level")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13
+
+
+class TestHistogram:
+    def test_log_bucketing(self, enabled_registry):
+        h = obs.histogram("t_latency", min_bound=1.0, base=2.0)
+        for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(106.0)
+        buckets = dict(h.cumulative_buckets())
+        # 0.5 and 1.0 fall in (-inf, 1]; 1.5 in (1, 2]; 3.0 in (2, 4]
+        assert buckets[1.0] == 2
+        assert buckets[2.0] == 3
+        assert buckets[4.0] == 4
+        assert buckets[math.inf] == 5
+
+    def test_bucket_boundaries_inclusive(self, enabled_registry):
+        h = obs.histogram("t_edges", min_bound=1.0, base=2.0)
+        h.observe(2.0)  # exactly on the (1, 2] upper bound
+        assert dict(h.cumulative_buckets())[2.0] == 1
+
+    def test_cumulative_is_monotone(self, enabled_registry):
+        h = obs.histogram("t_mono", min_bound=1.0)
+        for v in (0.3, 7, 19, 400, 2.2, 1000000):
+            h.observe(v)
+        counts = [n for _, n in h.cumulative_buckets()]
+        assert counts == sorted(counts)
+        assert counts[-1] == h.count
+
+    def test_invalid_params(self, enabled_registry):
+        with pytest.raises(ValueError):
+            obs.histogram("t_bad_base", base=1.0)
+        with pytest.raises(ValueError):
+            obs.histogram("t_bad_bound", min_bound=0)
+
+
+class TestRegistry:
+    def test_get_or_create_same_instance(self, enabled_registry):
+        assert obs.counter("t_one_total") is obs.counter("t_one_total")
+
+    def test_kind_conflict_raises(self, enabled_registry):
+        obs.counter("t_conflict")
+        with pytest.raises(ValueError):
+            obs.gauge("t_conflict")
+
+    def test_label_conflict_raises(self, enabled_registry):
+        obs.counter("t_lbl_total", label="a")
+        with pytest.raises(ValueError):
+            obs.counter("t_lbl_total", label="b")
+
+    def test_snapshot_sorted_by_name(self, enabled_registry):
+        obs.counter("t_zz_total").inc()
+        obs.counter("t_aa_total").inc()
+        names = [f["name"] for f in enabled_registry.snapshot()]
+        assert names == sorted(names)
+
+    def test_contains_and_len(self, enabled_registry):
+        obs.counter("t_here_total")
+        assert "t_here_total" in enabled_registry
+        assert "t_absent" not in enabled_registry
+        assert len(enabled_registry) == 1
+
+
+class TestDisabledState:
+    def test_default_off(self):
+        assert not obs.enabled()
+
+    def test_factories_return_shared_noop(self):
+        assert obs.counter("t_off_total") is obs.NOOP_COUNTER
+        assert obs.gauge("t_off") is obs.NOOP_GAUGE
+        assert obs.histogram("t_off_hist") is obs.NOOP_HISTOGRAM
+
+    def test_noop_methods_are_inert(self):
+        noop = obs.counter("t_noop_total", label="k")
+        noop.inc()
+        noop.labels("x").inc(5)
+        noop.set(3)
+        noop.observe(1.5)
+        noop.dec()
+        # nothing registered anywhere
+        assert len(obs.get_registry()) == 0
+
+    def test_enable_disable_roundtrip(self):
+        obs.enable()
+        try:
+            assert obs.enabled()
+            c = obs.counter("t_rt_total")
+            assert c is not obs.NOOP_COUNTER
+        finally:
+            obs.disable()
+            obs.reset()
+        assert obs.counter("t_rt_total") is obs.NOOP_COUNTER
+
+    def test_reset_drops_values_keeps_flag(self):
+        obs.enable()
+        try:
+            obs.counter("t_reset_total").inc()
+            obs.reset()
+            assert obs.enabled()
+            assert len(obs.get_registry()) == 0
+        finally:
+            obs.disable()
+            obs.reset()

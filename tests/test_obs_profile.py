@@ -1,0 +1,82 @@
+"""Tests for the stage profiler (repro.obs.profile)."""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs.profile import StageProfiler, _NULL_STAGE
+
+
+@pytest.fixture()
+def obs_on():
+    obs_metrics.enable()
+    obs_metrics.reset()
+    profiler = obs_profile.reset()
+    yield profiler
+    obs_metrics.disable()
+    obs_metrics.reset()
+    obs_profile.reset()
+
+
+class TestStageProfiler:
+    def test_accumulates_seconds_and_calls(self):
+        p = StageProfiler()
+        p.add("delivery", 0.5)
+        p.add("delivery", 0.25, calls=3)
+        p.add("ebrc-fit", 1.0)
+        assert p.seconds("delivery") == pytest.approx(0.75)
+        assert p.calls("delivery") == 4
+        assert p.total_seconds() == pytest.approx(1.75)
+        assert len(p) == 2
+
+    def test_snapshot_sorted_by_time_desc(self):
+        p = StageProfiler()
+        p.add("small", 0.1)
+        p.add("big", 9.0)
+        snap = p.snapshot()
+        assert [row["stage"] for row in snap] == ["big", "small"]
+        assert snap[0] == {"stage": "big", "seconds": 9.0, "calls": 1}
+
+    def test_report_renders_table(self):
+        p = StageProfiler()
+        p.add("world-build", 2.0)
+        p.add("delivery", 6.0)
+        report = p.report()
+        assert "world-build" in report
+        assert "delivery" in report
+        assert "75.0%" in report
+        assert report.splitlines()[-1].startswith("total")
+
+    def test_report_empty(self):
+        assert "no stages" in StageProfiler().report()
+
+
+class TestGlobalHooks:
+    def test_stage_context_records(self, obs_on):
+        with obs_profile.stage("unit-test"):
+            pass
+        assert obs_on.calls("unit-test") == 1
+        assert obs_on.seconds("unit-test") >= 0.0
+
+    def test_stage_is_null_when_disabled(self):
+        assert obs_profile.stage("anything") is _NULL_STAGE
+
+    def test_add_gated_on_enabled(self, obs_on):
+        obs_profile.add("timed", 1.5)
+        assert obs_on.seconds("timed") == pytest.approx(1.5)
+        obs_metrics.disable()
+        obs_profile.add("timed", 1.5)
+        assert obs_on.seconds("timed") == pytest.approx(1.5)
+        obs_metrics.enable()
+
+    def test_profiled_iter_counts_items(self, obs_on):
+        items = list(obs_profile.profiled_iter("gen", range(5)))
+        assert items == [0, 1, 2, 3, 4]
+        assert obs_on.calls("gen") == 5
+
+    def test_profiled_iter_unwrapped_when_disabled(self):
+        data = [1, 2, 3]
+        it = obs_profile.profiled_iter("gen", data)
+        assert list(it) == data
+        # no generator wrapper: a plain list_iterator
+        assert type(it) is type(iter([]))

@@ -1,0 +1,244 @@
+"""Tests for delivery tracing (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.delivery.records import AttemptRecord, DeliveryRecord, compute_message_id
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    configure_tracer,
+    reset_tracer,
+    span_tree_from_record,
+)
+
+T0 = 1_655_000_000.0
+
+
+def _record(*attempt_specs, sender="a@x.com.cn", receiver="b@example.com"):
+    """Build a DeliveryRecord from (result, truth_type, latency_ms) triples."""
+    t = T0
+    attempts = []
+    for result, truth, latency in attempt_specs:
+        attempts.append(AttemptRecord(
+            t=t, from_ip="10.0.0.1", to_ip="198.51.100.2",
+            result=result, latency_ms=latency, truth_type=truth,
+        ))
+        t += 600
+    return DeliveryRecord(
+        sender=sender, receiver=receiver,
+        start_time=T0, end_time=attempts[-1].t + attempts[-1].latency_ms / 1000.0,
+        email_flag="Normal", attempts=attempts,
+    )
+
+
+class TestSpan:
+    def test_child_end_set(self):
+        root = Span("email", T0)
+        child = root.child("attempt", T0 + 1, index=0)
+        child.end(T0 + 2, status="error")
+        root.set(degree="hard")
+        assert root.children == [child]
+        assert child.duration == pytest.approx(1.0)
+        assert root.attrs["degree"] == "hard"
+
+    def test_walk_and_find(self):
+        root = Span("email", T0)
+        a = root.child("attempt", T0)
+        a.child("mx_resolve", T0)
+        root.child("retry_wait", T0)
+        assert [s.name for s in root.walk()] == [
+            "email", "attempt", "mx_resolve", "retry_wait"
+        ]
+        assert len(root.find("attempt")) == 1
+
+    def test_dict_round_trip(self):
+        root = Span("email", T0, attrs={"message_id": "abc"})
+        root.child("attempt", T0, index=0).end(T0 + 1, status="error")
+        root.end(T0 + 2)
+        clone = Span.from_dict(json.loads(root.to_json()))
+        assert clone.to_dict() == root.to_dict()
+
+    def test_render_contains_structure(self):
+        root = Span("email", T0)
+        root.child("attempt", T0).end(T0 + 1, status="error")
+        root.end(T0 + 2)
+        text = root.render()
+        assert "email" in text
+        assert "  attempt" in text
+        assert "[error]" in text
+
+
+class TestMessageId:
+    def test_deterministic(self):
+        a = compute_message_id("a@x.com", "b@y.com", T0)
+        b = compute_message_id("a@x.com", "b@y.com", T0)
+        assert a == b
+        assert len(a) == 16
+
+    def test_distinct_inputs_distinct_ids(self):
+        assert compute_message_id("a@x.com", "b@y.com", T0) != \
+            compute_message_id("a@x.com", "b@y.com", T0 + 1)
+
+    def test_record_property_matches(self):
+        record = _record(("250 2.0.0 ok", None, 40))
+        assert record.message_id == compute_message_id(
+            record.sender, record.receiver, record.start_time
+        )
+
+
+class TestTracer:
+    def test_samples_every_nth(self):
+        tracer = Tracer(sample_every=3)
+        spans = [tracer.maybe_start("email", T0 + i) for i in range(9)]
+        kept = [s for s in spans if s is not None]
+        assert len(kept) == 3  # indices 0, 3, 6
+        assert tracer.n_seen == 9
+        assert tracer.n_sampled == 3
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(sample_every=1, capacity=2)
+        for i in range(4):
+            span = tracer.maybe_start("email", T0 + i, message_id=str(i))
+            tracer.finish(span)
+        assert tracer.n_dropped == 2
+        assert [s.attrs["message_id"] for s in tracer.spans] == ["2", "3"]
+
+    def test_find_by_message_id(self):
+        tracer = Tracer()
+        span = tracer.maybe_start("email", T0, message_id="deadbeef")
+        tracer.finish(span)
+        assert tracer.find("deadbeef") is span
+        assert tracer.find("missing") is None
+
+    def test_export_jsonl(self, tmp_path):
+        tracer = Tracer()
+        tracer.finish(tracer.maybe_start("email", T0, message_id="m1"))
+        path = tmp_path / "traces.jsonl"
+        assert tracer.export_jsonl(path) == 1
+        line = path.read_text().strip()
+        assert json.loads(line)["attrs"]["message_id"] == "m1"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_global_tracer_lifecycle(self):
+        from repro.obs.trace import get_tracer
+
+        assert get_tracer() is None
+        tracer = configure_tracer(sample_every=2)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            reset_tracer()
+        assert get_tracer() is None
+
+
+class TestReconstruction:
+    def test_delivered_first_try(self):
+        record = _record(("250 2.0.0 ok", None, 40))
+        tree = span_tree_from_record(record)
+        assert tree.status == "ok"
+        assert tree.attrs["degree"] == "non-bounced"
+        (attempt,) = tree.find("attempt")
+        (verdict,) = tree.find("policy_verdict")
+        assert verdict.attrs["verdict"] == "accepted"
+        (session,) = tree.find("smtp_session")
+        assert session.attrs["stage"] == "done"
+        assert not tree.find("retry_wait")
+
+    def test_sender_side_t2_has_no_session(self):
+        record = _record(("unrouteable mail domain", "T2", 900))
+        tree = span_tree_from_record(record)
+        (mx,) = tree.find("mx_resolve")
+        assert mx.status == "error"
+        assert not tree.find("smtp_session")
+        (verdict,) = tree.find("policy_verdict")
+        assert verdict.attrs["origin"] == "sender"
+
+    def test_transport_timeout_status(self):
+        record = _record(("connection timed out", "T14", 30_000))
+        tree = span_tree_from_record(record)
+        (session,) = tree.find("smtp_session")
+        assert session.status == "timeout"
+        assert session.attrs["stage"] == "connect"
+        (verdict,) = tree.find("policy_verdict")
+        assert verdict.attrs["origin"] == "transport"
+
+    def test_receiver_rejection_stage(self):
+        record = _record(("550 5.1.1 user unknown", "T8", 1_200))
+        tree = span_tree_from_record(record)
+        (session,) = tree.find("smtp_session")
+        assert session.status == "rejected"
+        assert session.attrs["stage"] == "rcpt_to"
+        (verdict,) = tree.find("policy_verdict")
+        assert verdict.attrs["verdict"] == "T8"
+        assert verdict.attrs["origin"] == "receiver"
+
+    def test_retry_wait_spans_between_attempts(self):
+        record = _record(
+            ("451 greylisted", "T6", 500),
+            ("451 greylisted", "T6", 500),
+            ("250 2.0.0 ok", None, 40),
+        )
+        tree = span_tree_from_record(record)
+        names = [c.name for c in tree.children]
+        assert names == [
+            "attempt", "retry_wait", "attempt", "retry_wait", "attempt"
+        ]
+        waits = tree.find("retry_wait")
+        # each wait runs from the previous attempt's end to the next start
+        assert waits[0].t0 == pytest.approx(T0 + 0.5)
+        assert waits[0].t1 == pytest.approx(T0 + 600)
+        assert tree.attrs["n_attempts"] == 3
+        assert tree.status == "ok"
+
+
+class TestLiveMatchesReconstruction:
+    """A live-traced run and reconstruction from its records must agree."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        from repro.stream.runner import iter_simulation
+        from repro.world.config import SimulationConfig
+
+        obs_metrics.enable()
+        obs_metrics.reset()
+        tracer = configure_tracer(sample_every=7, capacity=512)
+        try:
+            records = list(iter_simulation(SimulationConfig(scale=0.002, seed=5)))
+        finally:
+            reset_tracer()
+            obs_metrics.disable()
+            obs_metrics.reset()
+        return records, tracer
+
+    @staticmethod
+    def _strip_mx(tree_dict):
+        """Drop mx host names: reconstruction guesses mx1.<domain>, the
+        live path records the actually-resolved host."""
+        tree_dict.get("attrs", {}).pop("mx", None)
+        for child in tree_dict.get("children", []):
+            TestLiveMatchesReconstruction._strip_mx(child)
+        return tree_dict
+
+    def test_sampled_ids_are_every_nth(self, traced_run):
+        records, tracer = traced_run
+        expected = [r.message_id for r in records[::7]][-len(tracer.spans):]
+        got = [s.attrs["message_id"] for s in tracer.spans]
+        assert got == expected
+
+    def test_trees_match_reconstruction(self, traced_run):
+        records, tracer = traced_run
+        by_id = {r.message_id: r for r in records}
+        assert tracer.spans, "sampler kept no spans"
+        for span in tracer.spans:
+            record = by_id[span.attrs["message_id"]]
+            live = self._strip_mx(span.to_dict())
+            rebuilt = self._strip_mx(span_tree_from_record(record).to_dict())
+            assert live == rebuilt

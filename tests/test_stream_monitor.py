@@ -281,3 +281,95 @@ class TestDeliverabilityMonitor:
         cleared = Alert(t=T0, kind="blocklist", subject="ip", message="m",
                         cleared=True)
         assert "CLEAR" in cleared.render()
+
+
+class TestFallingEdgeOnEmptyWindow:
+    """Clears must fire even when the window slides completely empty."""
+
+    def test_bounce_rate_clears_when_window_empties(self):
+        monitor = BounceRateMonitor(
+            window_s=DAY_SECONDS, threshold=0.5, min_volume=10
+        )
+        alerts: list[Alert] = []
+        t = T0
+        for _ in range(20):
+            alerts += monitor.observe(make_record(t, ok=False), BounceType.T16)
+            t += 60
+        assert [a.cleared for a in alerts] == [False]
+        # one lone success days later: every bounce has slid out of the
+        # window, volume (1) is far below min_volume — the clear must
+        # still fire or the alert would stay active forever.
+        alerts += monitor.observe(
+            make_record(t + 10 * DAY_SECONDS, ok=True), None
+        )
+        assert [a.cleared for a in alerts] == [False, True]
+        assert alerts[-1].kind == "bounce-rate"
+        assert monitor.rate() == 0.0
+
+    def test_bounce_type_clears_on_clean_traffic(self):
+        monitor = BounceTypeMonitor(
+            window_s=DAY_SECONDS, share_threshold=0.5, min_count=5
+        )
+        alerts: list[Alert] = []
+        t = T0
+        for _ in range(10):
+            alerts += monitor.observe(make_record(t, ok=False), BounceType.T2)
+            t += 60
+        assert [a.subject for a in alerts] == ["T2"]
+        # a stretch of delivered (bounce_type=None) records slides the
+        # whole bounce window out; the spike's clear must fire on the
+        # None path, not wait for the next bounce.
+        alerts += monitor.observe(
+            make_record(t + 10 * DAY_SECONDS, ok=True), None
+        )
+        cleared = [a for a in alerts if a.cleared]
+        assert [a.subject for a in cleared] == ["T2"]
+        assert "subsided" in cleared[0].message
+
+    def test_bounce_type_clears_on_unwatched_traffic(self):
+        monitor = BounceTypeMonitor(
+            window_s=DAY_SECONDS, share_threshold=0.5, min_count=3,
+            watch={BounceType.T5},
+        )
+        alerts: list[Alert] = []
+        t = T0
+        for _ in range(5):
+            alerts += monitor.observe(make_record(t, ok=False), BounceType.T5)
+            t += 60
+        assert [a.subject for a in alerts] == ["T5"]
+        # watch-filtered types still advance time and release clears
+        alerts += monitor.observe(
+            make_record(t + 10 * DAY_SECONDS, ok=False), BounceType.T2
+        )
+        assert [a.cleared for a in alerts] == [False, True]
+
+
+class TestFirstWindowAlert:
+    """The very first window can already exceed the threshold."""
+
+    def test_bounce_rate_alerts_at_min_volume(self):
+        monitor = BounceRateMonitor(
+            window_s=DAY_SECONDS, threshold=0.5, min_volume=10
+        )
+        alerts: list[Alert] = []
+        fired_at: int | None = None
+        for i in range(15):
+            got = monitor.observe(make_record(T0 + i * 60, ok=False), BounceType.T16)
+            if got and fired_at is None:
+                fired_at = i
+            alerts += got
+        # fires exactly when the volume gate opens, not later
+        assert fired_at == 9
+        assert [a.severity for a in alerts] == ["critical"]
+
+    def test_bounce_type_alerts_in_first_window(self):
+        monitor = BounceTypeMonitor(
+            window_s=DAY_SECONDS, share_threshold=0.4, min_count=5
+        )
+        alerts: list[Alert] = []
+        for i in range(5):
+            alerts += monitor.observe(
+                make_record(T0 + i * 60, ok=False), BounceType.T8
+            )
+        assert [a.subject for a in alerts] == ["T8"]
+        assert not alerts[0].cleared

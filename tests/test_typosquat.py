@@ -1,6 +1,5 @@
 """Unit tests for the typo generators (the dnstwist stand-in)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.typosquat.generate import (

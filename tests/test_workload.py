@@ -2,7 +2,7 @@
 
 from collections import Counter
 
-from repro.util.clock import CHINESE_NEW_YEAR_2023, DAY_SECONDS, SimClock
+from repro.util.clock import CHINESE_NEW_YEAR_2023, SimClock
 from repro.util.rng import RandomSource
 from repro.util.text import is_valid_address
 from repro.workload.attackers import AttackerGenerator

@@ -1,6 +1,5 @@
 """Tests for world inspection and recovery-timing analysis."""
 
-import pytest
 
 from repro.analysis.degrees import recovery_timing
 from repro.world.inspect import (
