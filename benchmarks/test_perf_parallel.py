@@ -1,0 +1,80 @@
+"""Parallel runtime scaling: wall-clock at 1/2/4 workers.
+
+Measures end-to-end `run_parallel_simulation` (spawn + per-slice shards +
+k-way merge) against the serial streaming runner at the same scale, and
+writes the measurements to ``BENCH_parallel.json`` next to the repo root
+so perf PRs can diff them.
+
+The speedup assertion only arms on runners with >= 4 cores: on a 1-core
+box the parallel path is pure overhead (process spawn, world rebuilt per
+worker, shard round-trip) and a wall-clock ratio proves nothing.  The
+determinism property is what CI asserts everywhere; scaling is asserted
+where the hardware can express it.
+"""
+
+import json
+import multiprocessing
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import SimulationConfig
+from repro.parallel import run_parallel_simulation
+
+PERF_SCALE = 0.04
+PERF_SEED = 11
+WORKER_COUNTS = (1, 2, 4)
+
+_CORES = multiprocessing.cpu_count()
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def _run(workers: int) -> tuple[int, float]:
+    config = SimulationConfig(scale=PERF_SCALE, seed=PERF_SEED)
+    t0 = time.perf_counter()
+    with run_parallel_simulation(config, workers=workers) as run:
+        n = sum(1 for _ in run.iter_records())
+    return n, time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def timings():
+    # Warm-up so import/compile costs don't land on the workers=1 row.
+    _run(1)
+    rows = {}
+    for workers in WORKER_COUNTS:
+        n, elapsed = _run(workers)
+        rows[workers] = {"workers": workers, "n_records": n,
+                         "elapsed_s": round(elapsed, 3)}
+        print(f"workers={workers}: {n:,} records in {elapsed:.2f}s")
+    _OUT.write_text(json.dumps({
+        "scale": PERF_SCALE,
+        "seed": PERF_SEED,
+        "cpu_count": _CORES,
+        "runs": [rows[w] for w in WORKER_COUNTS],
+        "speedup_4w": round(rows[1]["elapsed_s"] / rows[4]["elapsed_s"], 3),
+    }, indent=2) + "\n", encoding="utf-8")
+    return rows
+
+
+def test_every_worker_count_yields_same_record_count(timings):
+    counts = {row["n_records"] for row in timings.values()}
+    assert len(counts) == 1 and counts.pop() > 5000
+
+
+@pytest.mark.skipif(
+    _CORES < 4,
+    reason=f"speedup needs >= 4 cores (runner has {_CORES}); "
+    "determinism is asserted in tests/test_parallel.py regardless",
+)
+def test_four_workers_beat_serial(timings):
+    speedup = timings[1]["elapsed_s"] / timings[4]["elapsed_s"]
+    print(f"4-worker speedup: {speedup:.2f}x on {_CORES} cores")
+    assert speedup >= 1.5
+
+
+def test_bench_artifact_written(timings):
+    payload = json.loads(_OUT.read_text(encoding="utf-8"))
+    assert [r["workers"] for r in payload["runs"]] == list(WORKER_COUNTS)
+    assert payload["cpu_count"] == _CORES

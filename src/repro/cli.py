@@ -72,6 +72,14 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="ring-buffer size for kept traces")
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run the simulation across N worker processes; output is "
+             "byte-identical to a single-process run for every N "
+             "(1 = in-process, the default)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bounce",
@@ -87,6 +95,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--out", default="delivery_log.jsonl")
+    _add_workers(p)
     _add_obs_flags(p)
     _add_quiet(p)
 
@@ -97,6 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-size", type=int, default=50_000,
                    help="records per shard before rotation")
     p.add_argument("--gzip", action="store_true", help="compress shards")
+    _add_workers(p)
     p.add_argument("--progress-every", type=int, default=10_000,
                    help="print progress every N records (0 = quiet)")
     _add_obs_flags(p)
@@ -191,10 +201,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_simulate(args) -> int:
     config = SimulationConfig(scale=args.scale, seed=args.seed)
-    result = run_simulation(config)
-    result.dataset.write_jsonl(args.out)
-    breakdown = degree_breakdown(result.dataset)
-    _status(f"simulated {len(result.dataset):,} emails "
+    workers = getattr(args, "workers", 1)
+    if workers > 1:
+        from repro.delivery.dataset import DeliveryDataset
+        from repro.parallel import run_parallel_simulation
+
+        with run_parallel_simulation(config, workers=workers) as run:
+            dataset = DeliveryDataset(list(run.iter_records()))
+        _status(f"parallel run: {run.workers} worker(s), "
+                f"{len(run.slices)} slice(s), {run.elapsed_s:.1f}s")
+    else:
+        dataset = run_simulation(config).dataset
+    dataset.write_jsonl(args.out)
+    breakdown = degree_breakdown(dataset)
+    _status(f"simulated {len(dataset):,} emails "
             f"(scale={args.scale}, seed={args.seed})")
     _status(f"non/soft/hard: {pct(breakdown.non_fraction)} / "
             f"{pct(breakdown.soft_fraction)} / {pct(breakdown.hard_fraction)}")
@@ -203,22 +223,41 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_stream(args) -> int:
-    from repro.stream.runner import stream_simulation
     from repro.stream.sink import ShardWriter
+    from repro.util.clock import SimClock
 
     config = SimulationConfig(scale=args.scale, seed=args.seed)
-    run = stream_simulation(config)
-    clock = run.world.clock
-    with ShardWriter(
-        args.out_dir, shard_size=args.shard_size, compress=args.gzip
-    ) as writer:
-        for record in run.records:
-            writer.write(record)
-            n = writer.n_written
-            if args.progress_every and n % args.progress_every == 0:
-                _status(f"  {n:,} records "
-                        f"(sim day {clock.day_index(record.start_time)}"
-                        f"/{clock.n_days})")
+    workers = getattr(args, "workers", 1)
+    if workers > 1:
+        from repro.parallel import run_parallel_simulation
+
+        parallel_run = run_parallel_simulation(config, workers=workers)
+        records = parallel_run.iter_records()
+        clock = SimClock(config.start, config.end)
+        _status(f"parallel run: {parallel_run.workers} worker(s), "
+                f"{len(parallel_run.slices)} slice(s), "
+                f"{parallel_run.elapsed_s:.1f}s; merging into {args.out_dir}")
+    else:
+        from repro.stream.runner import stream_simulation
+
+        parallel_run = None
+        run = stream_simulation(config)
+        records = run.records
+        clock = run.world.clock
+    try:
+        with ShardWriter(
+            args.out_dir, shard_size=args.shard_size, compress=args.gzip
+        ) as writer:
+            for record in records:
+                writer.write(record)
+                n = writer.n_written
+                if args.progress_every and n % args.progress_every == 0:
+                    _status(f"  {n:,} records "
+                            f"(sim day {clock.day_index(record.start_time)}"
+                            f"/{clock.n_days})")
+    finally:
+        if parallel_run is not None:
+            parallel_run.cleanup()
     manifest = writer.manifest
     _status(f"streamed {manifest.n_records:,} records into "
             f"{len(manifest.shards)} shard(s) under {args.out_dir} "
@@ -248,19 +287,23 @@ def _cmd_watch(args) -> int:
     )
 
     # Watch has no delivery engine, so --trace-sample reconstructs trees
-    # from every Nth replayed record instead of tracing live.
+    # from replayed records instead of tracing live — using the same
+    # content-keyed 1-in-N rule as the live tracer, so a watch over a
+    # shard dir traces exactly the emails a live traced run would have.
     trace_fh = None
     n_traced = 0
     if args.trace_sample:
-        from repro.obs.trace import span_tree_from_record
+        from repro.obs.trace import sample_hit, span_tree_from_record
 
         trace_fh = (sys.stdout if args.trace_out == "-"
                     else open(args.trace_out, "w", encoding="utf-8"))
 
     def records():
         nonlocal n_traced
-        for i, record in enumerate(iter_delivery_log(args.log)):
-            if trace_fh is not None and i % args.trace_sample == 0:
+        for record in iter_delivery_log(args.log):
+            if trace_fh is not None and sample_hit(
+                record.message_id, args.trace_sample
+            ):
                 trace_fh.write(span_tree_from_record(record).to_json() + "\n")
                 n_traced += 1
             yield record
@@ -584,6 +627,10 @@ def main(argv: list[str] | None = None) -> int:
         if getattr(args, "trace_sample", 0) and args.command in (
             "simulate", "stream"
         ):
+            if getattr(args, "workers", 1) > 1:
+                _status("note: --trace-sample collects live spans only "
+                        "in-process; with --workers > 1, reconstruct "
+                        "traces from the output instead (repro trace)")
             from repro.obs.trace import configure_tracer
 
             tracer = configure_tracer(

@@ -14,9 +14,13 @@ For each email the engine
    full budget for source-level failures, a short confirmation budget for
    recipient-level ones.
 
-The engine learns per-(proxy, domain) TLS requirements the way Coremail
-does: the first plaintext attempt at a mandatory-TLS domain bounces T4,
-and that proxy remembers to use STARTTLS next time.
+The engine learns per-domain TLS requirements the way Coremail does:
+the first plaintext attempt at a mandatory-TLS domain bounces T4, and
+the fleet remembers to use STARTTLS with that domain next time (STARTTLS
+support is operator-level configuration, shared across all proxies).
+Greylist deferrals (T6) retry from the *same* proxy: the deferred message
+sits in that proxy's queue, and the queue host performs the retry — which
+is also what lets the retry match the greylist tuple it was deferred on.
 """
 
 from __future__ import annotations
@@ -43,6 +47,10 @@ from repro.world.model import WorldModel
 #: Dialect of sender-side (Coremail proxy) generated error text.
 _SENDER_DIALECT = TemplateDialect.POSTFIX
 
+#: Sentinel distinguishing "no greylist store created yet" from a cached
+#: ``None`` ("this domain doesn't greylist").
+_GREYLIST_UNSET = object()
+
 
 class DeliveryEngine:
     def __init__(
@@ -54,8 +62,18 @@ class DeliveryEngine:
         self.world = world
         self.rng = rng
         self._auth = AuthEvaluator(world.resolver)
-        #: (proxy index, domain) pairs known to require STARTTLS.
-        self._tls_learned: set[tuple[int, str]] = set()
+        #: Receiver domains known to require STARTTLS (fleet-wide: one
+        #: T4 bounce teaches every proxy, mirroring operator-level
+        #: TLS-policy configuration shared across the fleet).
+        self._tls_learned: set[str] = set()
+        #: Engine-owned proxy selection: draws come from this engine's
+        #: random stream, so proxy choices are independent of any other
+        #: engine sharing the world's fleet (parallel slices).
+        self._fleet = world.fleet.session(rng.child("fleet"))
+        #: Engine-owned greylist stores, one per receiver domain (lazily
+        #: created).  Greylist state accumulates per execution slice, not
+        #: in the shared world, so slices are order-independent.
+        self._greylists: dict[str, object] = {}
         # Telemetry: instruments resolve to shared no-ops when repro.obs is
         # disabled (the default); the cached flag keeps the disabled cost
         # of a delivery to one boolean check.  None of this touches the
@@ -115,7 +133,8 @@ class DeliveryEngine:
         nonretryable_seen = 0
 
         while len(attempts) < budget:
-            proxy = self._pick_proxy(proxy)
+            last_type = attempts[-1].truth_type if attempts else None
+            proxy = self._pick_proxy(proxy, last_type)
             if span is not None and attempts:
                 previous = attempts[-1]
                 span.child(
@@ -132,8 +151,8 @@ class DeliveryEngine:
             if succeeded:
                 break
             if attempt.truth_type == BounceType.T4.value:
-                # Learned: this domain requires STARTTLS from this proxy.
-                self._tls_learned.add((proxy.index, spec.receiver_domain))
+                # Learned (fleet-wide): this domain requires STARTTLS.
+                self._tls_learned.add(spec.receiver_domain)
             if not self._retryable(attempt):
                 nonretryable_seen += 1
                 if nonretryable_seen >= config.nonretryable_attempts:
@@ -190,13 +209,26 @@ class DeliveryEngine:
 
     # -- internals ---------------------------------------------------------------------
 
-    def _pick_proxy(self, previous: ProxyMTA | None) -> ProxyMTA:
-        fleet = self.world.fleet
+    def _pick_proxy(
+        self, previous: ProxyMTA | None, last_type: str | None = None
+    ) -> ProxyMTA:
+        fleet = self._fleet
         if previous is None:
             return fleet.pick_random()
         if self.world.config.proxy_policy == "sticky":
             return previous
+        if last_type == BounceType.T6.value:
+            # Greylist deferral: the message sits in `previous`'s queue and
+            # that host retries, so the retry matches the deferred tuple.
+            return previous
         return fleet.pick_different(previous)
+
+    def _greylist_for(self, domain: str, mta) -> object:
+        store = self._greylists.get(domain, _GREYLIST_UNSET)
+        if store is _GREYLIST_UNSET:
+            store = mta.new_greylist()
+            self._greylists[domain] = store
+        return store
 
     def _attempt(
         self, spec: EmailSpec, proxy: ProxyMTA, t: float
@@ -281,7 +313,7 @@ class DeliveryEngine:
             proxy_ip=proxy.ip,
             sender_address=spec.sender,
             receiver_address=spec.receiver,
-            uses_tls=(proxy.index, receiver_domain) in self._tls_learned,
+            uses_tls=receiver_domain in self._tls_learned,
             spamminess=spec.spamminess,
             size_bytes=spec.size_bytes,
             recipient_count=spec.recipient_count,
@@ -290,7 +322,9 @@ class DeliveryEngine:
             recipient_status=world.recipient_status(spec.receiver, t),
             mx_host=mx_host,
         )
-        decision = mta.evaluate(ctx, rng)
+        decision = mta.evaluate(
+            ctx, rng, greylist=self._greylist_for(receiver_domain, mta)
+        )
 
         if decision.accepted:
             latency = world.network.latency_ms(proxy.country, rdomain.mta_country, rng)

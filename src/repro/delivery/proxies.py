@@ -83,6 +83,18 @@ class ProxyFleet:
                 return candidate
         return previous
 
+    def session(self, rng: RandomSource) -> "ProxySession":
+        """A selection session drawing from ``rng`` instead of the fleet's
+        own (world-build) stream.
+
+        Each delivery engine owns one session, so proxy choices depend only
+        on the engine's seed — not on how many other engines (slices,
+        workers) share the fleet.  The fleet-level ``pick_random`` /
+        ``pick_different`` remain for callers that don't need that
+        isolation.
+        """
+        return ProxySession(self.proxies, self._sampler.with_rng(rng))
+
     @property
     def ips(self) -> list[str]:
         return [p.ip for p in self.proxies]
@@ -95,3 +107,24 @@ class ProxyFleet:
 
     def __len__(self) -> int:
         return len(self.proxies)
+
+
+class ProxySession:
+    """Per-engine proxy selection over a shared fleet (see
+    :meth:`ProxyFleet.session`)."""
+
+    def __init__(self, proxies: list[ProxyMTA], sampler: WeightedSampler[ProxyMTA]) -> None:
+        self.proxies = proxies
+        self._sampler = sampler
+
+    def pick_random(self) -> ProxyMTA:
+        return self._sampler.draw()
+
+    def pick_different(self, previous: ProxyMTA) -> ProxyMTA:
+        if len(self.proxies) == 1:
+            return previous
+        for _ in range(8):
+            candidate = self._sampler.draw()
+            if candidate.index != previous.index:
+                return candidate
+        return previous

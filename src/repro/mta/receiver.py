@@ -94,6 +94,11 @@ RETRYABLE_TYPES = frozenset(
 )
 
 
+#: Sentinel for :meth:`ReceiverMTA.evaluate`'s ``greylist`` parameter:
+#: "use the MTA's own shared greylist" (``None`` means "no greylisting").
+_SHARED_GREYLIST = object()
+
+
 class ReceiverMTA:
     """One receiver domain's incoming MTA."""
 
@@ -128,10 +133,38 @@ class ReceiverMTA:
             label="verdict",
         )
 
+    def new_greylist(self) -> Greylist | None:
+        """A fresh greylist store for this MTA's policy (``None`` when the
+        policy doesn't greylist).
+
+        The delivery engine holds one store per (engine, domain) so that
+        greylist state — inherently an accumulating side effect — is owned
+        by the execution slice, not shared across slices or workers.
+        """
+        if not self.policy.greylisting:
+            return None
+        return Greylist(
+            delay_s=self.policy.greylist_delay_s,
+            network_prefix=self.policy.greylist_network_prefix,
+        )
+
     # -- main entry -----------------------------------------------------------
 
-    def evaluate(self, ctx: AttemptContext, rng: RandomSource) -> Decision:
+    def evaluate(
+        self,
+        ctx: AttemptContext,
+        rng: RandomSource,
+        greylist: Greylist | None = _SHARED_GREYLIST,  # type: ignore[assignment]
+    ) -> Decision:
+        """Walk one attempt through the gauntlet.
+
+        ``greylist`` overrides the MTA's shared greylist store with a
+        caller-owned one (pass ``None`` to disable greylisting for the
+        call); when omitted, the MTA's own store is used.
+        """
         policy = self.policy
+        if greylist is _SHARED_GREYLIST:
+            greylist = self.greylist
 
         # 1. transport: mandatory TLS rejects plaintext sessions.
         if policy.tls is TLSRequirement.MANDATORY and not ctx.uses_tls:
@@ -147,8 +180,8 @@ class ReceiverMTA:
             return self._reject(BounceType.T5, ctx, rng)
 
         # 3. greylisting.
-        if self.greylist is not None:
-            if not self.greylist.check(
+        if greylist is not None:
+            if not greylist.check(
                 ctx.proxy_ip, ctx.sender_address, ctx.receiver_address, ctx.t
             ):
                 return self._reject(BounceType.T6, ctx, rng)

@@ -24,6 +24,7 @@ from repro.obs import profile as _profile
 __all__ = [
     "build_snapshot",
     "load_snapshot",
+    "merge_snapshot",
     "prometheus_text",
     "snapshot_json",
     "write_metrics",
@@ -53,6 +54,23 @@ def load_snapshot(path: str | Path) -> dict:
     if "metrics" not in snapshot:
         raise ValueError(f"{path}: not a metrics snapshot (missing 'metrics')")
     return snapshot
+
+
+def merge_snapshot(snapshot: dict, registry=None, profiler=None) -> None:
+    """Fold a :func:`build_snapshot` payload (this process's own earlier
+    one, a loaded file, or a parallel worker's) into the live registry
+    and stage profiler.
+
+    Counters and histograms add, gauges assign last-wins
+    (:meth:`repro.obs.metrics.MetricsRegistry.merge`), stage wall-time
+    and call counts add (:meth:`repro.obs.profile.StageProfiler.merge`).
+    Merging worker snapshots in worker-index order keeps the combined
+    registry deterministic.
+    """
+    registry = registry if registry is not None else _metrics.get_registry()
+    profiler = profiler if profiler is not None else _profile.get_profiler()
+    registry.merge(snapshot.get("metrics") or [])
+    profiler.merge(snapshot.get("stages") or [])
 
 
 # -- prometheus --------------------------------------------------------------------

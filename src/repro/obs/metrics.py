@@ -341,6 +341,97 @@ class MetricsRegistry:
         """All families, sorted by name, as plain JSON-ready dicts."""
         return [self._metrics[name].snapshot() for name in sorted(self._metrics)]
 
+    # -- merging (parallel workers) -------------------------------------------------
+
+    def merge(self, families: list[dict]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        This is how per-worker telemetry comes home from a parallel run:
+        each worker snapshots its own registry and the parent merges them
+        in worker-index order.  Counters add (root value and every label
+        series); gauges assign last-wins, so with the deterministic merge
+        order a gauge ends at the last worker's reading; histograms add
+        bucket-by-bucket, which is lossless because every registry uses
+        the same log-bucket layout (``base``/``min_bound`` are validated).
+        """
+        for family in families:
+            kind = family.get("type")
+            if kind == "counter":
+                self._merge_counter(family)
+            elif kind == "gauge":
+                self._merge_gauge(family)
+            elif kind == "histogram":
+                self._merge_histogram(family)
+            else:
+                raise ValueError(
+                    f"cannot merge metric family {family.get('name')!r}: "
+                    f"unknown type {kind!r}"
+                )
+
+    def _merge_counter(self, family: dict) -> None:
+        metric = self.counter(
+            family["name"], family.get("help", ""), family.get("label")
+        )
+        metric.inc(float(family.get("value", 0.0)))
+        for key, value in (family.get("series") or {}).items():
+            metric.labels(key).inc(float(value))
+
+    def _merge_gauge(self, family: dict) -> None:
+        metric = self.gauge(
+            family["name"], family.get("help", ""), family.get("label")
+        )
+        metric.set(float(family.get("value", 0.0)))
+        for key, value in (family.get("series") or {}).items():
+            metric.labels(key).set(float(value))
+
+    def _merge_histogram(self, family: dict) -> None:
+        base = float(family.get("base", 2.0))
+        min_bound = float(family.get("min_bound", 1.0))
+        metric = self.histogram(
+            family["name"],
+            family.get("help", ""),
+            family.get("label"),
+            base=base,
+            min_bound=min_bound,
+        )
+        if metric.base != base or metric.min_bound != min_bound:
+            raise ValueError(
+                f"cannot merge histogram {family['name']}: bucket layout "
+                f"mismatch (base {metric.base} vs {base}, min_bound "
+                f"{metric.min_bound} vs {min_bound})"
+            )
+        self._merge_histogram_data(metric, family)
+        for key, data in (family.get("series") or {}).items():
+            self._merge_histogram_data(metric.labels(key), data)  # type: ignore[arg-type]
+
+    @staticmethod
+    def _merge_histogram_data(metric: "Histogram", data: dict) -> None:
+        """Add one snapshotted histogram's buckets into ``metric``.
+
+        Cumulative ``[le, n]`` pairs are de-accumulated back into sparse
+        per-bucket counts; the bucket index is recovered from the bound
+        (``le = min_bound * base**i``).  Finite observations never land in
+        the ``+Inf`` bucket with this layout, so a non-zero ``+Inf``
+        residue means the snapshot came from an incompatible histogram.
+        """
+        previous = 0
+        log_base = math.log(metric.base)
+        for le, cumulative in data.get("buckets", []):
+            count = int(cumulative) - previous
+            previous = int(cumulative)
+            if count == 0:
+                continue
+            if le == "+Inf" or (isinstance(le, float) and math.isinf(le)):
+                raise ValueError(
+                    f"cannot merge histogram {metric.name or '<series>'}: "
+                    f"{count} observations in the +Inf bucket (incompatible "
+                    f"bucket layout?)"
+                )
+            index = round(math.log(float(le) / metric.min_bound) / log_base)
+            metric._counts[index] = metric._counts.get(index, 0) + count
+        metric._sum += float(data.get("sum", 0.0))
+        metric._count += int(data.get("count", 0))
+
 
 # -- global state -------------------------------------------------------------------
 

@@ -66,6 +66,13 @@ class StageProfiler:
     def __len__(self) -> int:
         return len(self._stages)
 
+    def merge(self, stages: list[dict]) -> None:
+        """Fold another profiler's :meth:`snapshot` into this one
+        (seconds and call counts add; used to combine per-worker stage
+        profiles after a parallel run)."""
+        for row in stages:
+            self.add(row["stage"], float(row["seconds"]), int(row["calls"]))
+
     def snapshot(self) -> list[dict]:
         """Stages sorted by descending wall time, JSON-ready."""
         return [

@@ -20,9 +20,12 @@ question every analysis in the paper reduces to.
 
 Two ways to obtain a tree:
 
-* **Live**: :class:`Tracer` samples every Nth delivered email inside the
-  engine and keeps finished trees in a bounded ring buffer
-  (:meth:`Tracer.export_jsonl` dumps them as JSONL).
+* **Live**: :class:`Tracer` samples a deterministic 1-in-N subset of
+  delivered emails inside the engine (keyed on the message id, so the
+  same emails are traced no matter what order — or in which process —
+  they are delivered; see :func:`sample_hit`) and keeps finished trees
+  in a bounded ring buffer (:meth:`Tracer.export_jsonl` dumps them as
+  JSONL).
 * **Reconstructed**: :func:`span_tree_from_record` rebuilds the identical
   stage structure from any stored :class:`DeliveryRecord`, because every
   stage outcome is recoverable from the attempt's result line and truth
@@ -36,6 +39,7 @@ reconstructions, and shard records all agree on ids.
 from __future__ import annotations
 
 import json
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -54,8 +58,23 @@ __all__ = [
     "configure_tracer",
     "get_tracer",
     "reset_tracer",
+    "sample_hit",
     "span_tree_from_record",
 ]
+
+
+def sample_hit(message_id: str, sample_every: int) -> bool:
+    """Deterministic 1-in-N sampling decision, keyed on content.
+
+    CRC32 of the message id (stable across processes and Python
+    versions, unlike the seeded builtin ``hash``) modulo ``sample_every``.
+    Because the decision depends only on the id, a serial run, a
+    parallel run at any worker count, and an offline replay of the same
+    records all sample the *same* emails.
+    """
+    if sample_every <= 1:
+        return True
+    return zlib.crc32(message_id.encode("utf-8")) % sample_every == 0
 
 
 # -- spans -------------------------------------------------------------------------
@@ -147,11 +166,14 @@ class Span:
 
 
 class Tracer:
-    """Count-based sampler plus bounded ring buffer of finished trees.
+    """Content-keyed sampler plus bounded ring buffer of finished trees.
 
-    ``sample_every=N`` keeps email 0, N, 2N, ... — deterministic, so a
-    traced run samples the same emails every time (and never touches the
-    simulation's random streams).
+    ``sample_every=N`` keeps the deterministic 1-in-N subset of units
+    whose ``message_id`` satisfies :func:`sample_hit` — the same emails
+    every run, in every process, at every worker count (and the sampler
+    never touches the simulation's random streams).  Units started
+    without a ``message_id`` fall back to count-based sampling (index
+    0, N, 2N, ...).
     """
 
     def __init__(self, sample_every: int = 1, capacity: int = 256) -> None:
@@ -171,7 +193,11 @@ class Tracer:
         sampler skips it."""
         index = self.n_seen
         self.n_seen += 1
-        if index % self.sample_every:
+        message_id = attrs.get("message_id")
+        if message_id is not None:
+            if not sample_hit(message_id, self.sample_every):
+                return None
+        elif index % self.sample_every:
             return None
         self.n_sampled += 1
         return Span(name=name, t0=t0, attrs=attrs)

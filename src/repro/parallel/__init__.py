@@ -1,0 +1,60 @@
+"""Deterministic multiprocess execution runtime.
+
+``repro.parallel`` partitions a simulation into disjoint, independently
+seeded slices (:mod:`repro.parallel.partition`), runs them across worker
+processes that write checksummed shards (:mod:`repro.parallel.worker`),
+and k-way merges the per-slice streams back into the canonical record
+order (:mod:`repro.parallel.runner`) — byte-identical to the serial
+:func:`repro.stream.iter_simulation` for every worker count.  EBRC
+classification fans out the same way (:mod:`repro.parallel.classify`).
+
+See docs/PARALLELISM.md for the determinism model and failure semantics.
+
+The runner/classify halves are loaded lazily (PEP 562): the serial
+streaming runner imports :mod:`repro.parallel.partition` for the slice
+plan, and an eager package import here would close that cycle.
+"""
+
+from repro.parallel.errors import (
+    ParallelExecutionError,
+    ParallelTimeoutError,
+    SliceExecutionError,
+    WorkerCrashError,
+)
+from repro.parallel.partition import (
+    SimSlice,
+    assign_slices,
+    count_attacker_campaigns,
+    plan_slices,
+)
+
+__all__ = [
+    "ParallelExecutionError",
+    "ParallelSimulation",
+    "ParallelTimeoutError",
+    "SimSlice",
+    "SliceExecutionError",
+    "WorkerCrashError",
+    "assign_slices",
+    "classify_many_parallel",
+    "count_attacker_campaigns",
+    "iter_parallel_simulation",
+    "plan_slices",
+    "run_parallel_simulation",
+]
+
+_LAZY = {
+    "ParallelSimulation": "repro.parallel.runner",
+    "iter_parallel_simulation": "repro.parallel.runner",
+    "run_parallel_simulation": "repro.parallel.runner",
+    "classify_many_parallel": "repro.parallel.classify",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,86 @@
+"""Parallel EBRC classification: a chunked map over a process pool.
+
+Classification is embarrassingly parallel — the paper's pipeline labels
+190M NDRs with a *fitted* classifier, and fitted-EBRC inference touches
+no shared mutable state.  The fitted pipeline (Drain templates,
+vocabulary, weights) is serialised once to a payload file and loaded
+once per worker by the pool initializer
+(:func:`repro.parallel.worker.init_classifier`); chunks of messages are
+then mapped in order, so the concatenated result is **identical** to
+``ebrc.classify_many(messages)`` — the classifier is deterministic and
+order has no effect on per-message output.
+
+``workers <= 1`` (or an input smaller than one chunk) short-circuits to
+the serial path: no pool, no payload file.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+from typing import TYPE_CHECKING
+
+from repro.parallel.errors import ParallelTimeoutError, SliceExecutionError
+from repro.parallel.worker import classify_chunk, init_classifier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.ebrc import EBRC
+    from repro.core.taxonomy import BounceType
+
+#: Messages per mapped task.  Large enough to amortise pickling, small
+#: enough that a pool of 4-16 workers load-balances a skewed corpus.
+DEFAULT_CHUNK_SIZE = 5_000
+
+
+def classify_many_parallel(
+    ebrc: "EBRC",
+    messages: list[str],
+    workers: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    timeout: float | None = None,
+) -> list["BounceType | None"]:
+    """Classify ``messages`` across ``workers`` processes.
+
+    Returns exactly what ``ebrc.classify_many(messages)`` returns, in
+    the same order.  Raises :class:`SliceExecutionError` if a chunk
+    fails inside a worker and :class:`ParallelTimeoutError` if the pool
+    exceeds ``timeout`` (the pool is terminated either way — no hung
+    pools).
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    if workers <= 1 or len(messages) <= chunk_size:
+        return ebrc.classify_many(messages)
+
+    chunks = [
+        messages[i : i + chunk_size] for i in range(0, len(messages), chunk_size)
+    ]
+    fd, payload_path = tempfile.mkstemp(prefix="repro-ebrc-", suffix=".json")
+    os.close(fd)
+    ctx = multiprocessing.get_context("spawn")
+    try:
+        ebrc.save(payload_path)
+        with ctx.Pool(
+            processes=min(workers, len(chunks)),
+            initializer=init_classifier,
+            initargs=(payload_path,),
+        ) as pool:
+            async_result = pool.map_async(classify_chunk, chunks)
+            try:
+                mapped = async_result.get(timeout)
+            except multiprocessing.TimeoutError:
+                pool.terminate()
+                raise ParallelTimeoutError(
+                    f"parallel classification of {len(messages):,} messages "
+                    f"in {len(chunks)} chunk(s) exceeded {timeout:.1f}s"
+                ) from None
+            except Exception as exc:
+                pool.terminate()
+                raise SliceExecutionError(
+                    f"classification chunk failed in a worker: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+    finally:
+        os.unlink(payload_path)
+    return [label for chunk in mapped for label in chunk]

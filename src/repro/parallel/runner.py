@@ -1,0 +1,330 @@
+"""Parent-side orchestration of a parallel simulation.
+
+The lifecycle:
+
+1. :func:`repro.parallel.partition.plan_slices` fixes the slice plan (a
+   pure function of the config — never of the worker count).
+2. :func:`repro.parallel.partition.assign_slices` deals slices to ``N``
+   worker processes (``spawn`` context: everything crossing the boundary
+   is pickled, nothing is inherited by accident).
+3. Each worker runs its slices serially and writes one checksummed shard
+   directory per slice (:mod:`repro.parallel.worker`).
+4. The parent k-way merges the slice directories **in slice-plan order**
+   by record start time (:class:`repro.stream.sink.MultiShardReader`
+   with ``order="time"``) — the same stable-merge discipline the serial
+   runner uses in process, so the record stream is byte-identical to
+   :func:`repro.stream.runner.iter_simulation` at every worker count.
+5. Per-worker telemetry snapshots are folded into the parent's registry
+   in worker-index order (:meth:`repro.obs.metrics.MetricsRegistry.merge`).
+
+Failure semantics: a worker that raises writes an error file naming the
+slice, and the parent raises :class:`SliceExecutionError` with that text;
+a worker that dies silently (signal, OOM) raises
+:class:`WorkerCrashError` naming the slices it held; a run that exceeds
+``timeout`` terminates every worker and raises
+:class:`ParallelTimeoutError` naming the unfinished slices.  In every
+case all remaining workers are terminated first — no hung pools.
+
+``workers <= 1`` falls back to plain in-process streaming (no processes,
+no shard round-trip) and yields the same records.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.delivery.records import DeliveryRecord
+from repro.parallel.errors import (
+    ParallelTimeoutError,
+    SliceExecutionError,
+    WorkerCrashError,
+)
+from repro.parallel.partition import SimSlice, assign_slices, plan_slices
+from repro.parallel.worker import (
+    error_path,
+    result_path,
+    run_worker,
+    slice_dir,
+)
+from repro.world.config import SimulationConfig
+from repro.world.model import WorldModel, build_world
+
+#: How often the parent polls worker liveness (seconds).  Short enough
+#: that crash/timeout surfacing feels immediate, long enough to stay off
+#: the profiler's radar.
+_POLL_S = 0.05
+
+
+@dataclass
+class ParallelSimulation:
+    """A finished parallel run: the slice plan, the per-slice shard
+    directories, and the merged telemetry.
+
+    Iterate :meth:`iter_records` (or the object itself) for the canonical
+    record stream.  Usable as a context manager; exiting cleans up the
+    shard root if it was runtime-created (``owns_shards``).
+    """
+
+    config: SimulationConfig
+    workers: int
+    slices: list[SimSlice]
+    shard_root: Path | None
+    #: Per-worker result payloads (worker-index order).
+    worker_results: list[dict] = field(default_factory=list)
+    #: True when the runtime created (and should remove) ``shard_root``.
+    owns_shards: bool = False
+    elapsed_s: float = 0.0
+    _world: WorldModel | None = field(default=None, repr=False)
+    _inline_records: Iterator[DeliveryRecord] | None = field(default=None, repr=False)
+
+    @property
+    def world(self) -> WorldModel:
+        """The world model (built on first access; workers build their
+        own copies, so the parent only pays for this when asked)."""
+        if self._world is None:
+            self._world = build_world(self.config)
+        return self._world
+
+    @property
+    def n_records(self) -> int:
+        if self.shard_root is None:
+            raise RuntimeError("record count unavailable for an in-process run")
+        return sum(
+            sum(result["n_records"].values()) for result in self.worker_results
+        )
+
+    def iter_records(self, verify: bool = False) -> Iterator[DeliveryRecord]:
+        """The canonical time-ordered record stream (identical to the
+        serial runner's).  ``verify=True`` re-hashes every shard payload
+        against its manifest while reading."""
+        if self._inline_records is not None:
+            records, self._inline_records = self._inline_records, None
+            return records
+        if self.shard_root is None:
+            raise RuntimeError("records of an in-process run can be read once")
+        from repro.stream.sink import MultiShardReader
+
+        reader = MultiShardReader(
+            [slice_dir(self.shard_root, s.index) for s in self.slices],
+            order="time",
+        )
+        return reader.iter_records(verify=verify)
+
+    def __iter__(self) -> Iterator[DeliveryRecord]:
+        return self.iter_records()
+
+    def cleanup(self) -> None:
+        if self.owns_shards and self.shard_root is not None:
+            shutil.rmtree(self.shard_root, ignore_errors=True)
+            self.owns_shards = False
+
+    def __enter__(self) -> "ParallelSimulation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.cleanup()
+        return False
+
+
+def run_parallel_simulation(
+    config: SimulationConfig,
+    workers: int,
+    shard_root: str | Path | None = None,
+    extra_workloads: list[Callable] | None = None,
+    timeout: float | None = None,
+    shard_size: int = 100_000,
+    compress: bool = False,
+) -> ParallelSimulation:
+    """Run ``config`` across ``workers`` processes; byte-identical output
+    to the serial runner for every worker count.
+
+    ``shard_root`` keeps the per-slice shard directories for later reads
+    (e.g. the ``stream`` CLI); when omitted, a temporary directory is
+    created and owned by the returned object (use it as a context
+    manager, or call :meth:`ParallelSimulation.cleanup`).
+
+    ``extra_workloads`` are materialised in the parent (their callables
+    are often closures and need not be picklable) and shipped to workers
+    as spec lists.
+    """
+    t0 = time.perf_counter()
+    if workers <= 1:
+        from repro.stream.runner import stream_simulation
+
+        run = stream_simulation(config, extra_workloads=extra_workloads)
+        return ParallelSimulation(
+            config=config,
+            workers=1,
+            slices=plan_slices(config, n_extra=len(extra_workloads or [])),
+            shard_root=None,
+            _world=run.world,
+            _inline_records=run.records,
+            elapsed_s=time.perf_counter() - t0,
+        )
+
+    parent_world: WorldModel | None = None
+    extra_specs: list[list] = []
+    if extra_workloads:
+        from repro.stream.runner import materialize_extra_workloads
+        from repro.util.rng import RandomSource
+
+        parent_world = build_world(config)
+        extra_specs = materialize_extra_workloads(
+            parent_world, RandomSource(config.seed, name="sim"), extra_workloads
+        )
+
+    slices = plan_slices(config, n_extra=len(extra_specs))
+    shipped = [
+        s.with_specs(extra_specs[s.extra_index]) if s.kind == "extra" else s
+        for s in slices
+    ]
+    buckets = assign_slices(shipped, workers)
+
+    owns = shard_root is None
+    root = Path(
+        tempfile.mkdtemp(prefix="repro-parallel-") if owns else shard_root
+    )
+    root.mkdir(parents=True, exist_ok=True)
+
+    from repro.obs import metrics as obs_metrics
+
+    options = {
+        "shard_size": shard_size,
+        "compress": compress,
+        "metrics": obs_metrics.enabled(),
+    }
+
+    ctx = multiprocessing.get_context("spawn")
+    procs = [
+        ctx.Process(
+            target=run_worker,
+            args=(i, config, bucket, str(root), options),
+            name=f"repro-parallel-{i}",
+            daemon=True,
+        )
+        for i, bucket in enumerate(buckets)
+    ]
+    try:
+        for proc in procs:
+            proc.start()
+        _join_workers(procs, buckets, root, timeout)
+    except BaseException:
+        _terminate(procs)
+        if owns:
+            shutil.rmtree(root, ignore_errors=True)
+        raise
+
+    worker_results = [
+        _load_result(root, i, bucket) for i, bucket in enumerate(buckets)
+    ]
+    if options["metrics"]:
+        from repro.obs.export import merge_snapshot
+
+        for result in worker_results:
+            if result.get("snapshot"):
+                merge_snapshot(result["snapshot"])
+
+    return ParallelSimulation(
+        config=config,
+        workers=len(buckets),
+        slices=slices,
+        shard_root=root,
+        worker_results=worker_results,
+        owns_shards=owns,
+        _world=parent_world,
+        elapsed_s=time.perf_counter() - t0,
+    )
+
+
+def iter_parallel_simulation(
+    config: SimulationConfig,
+    workers: int,
+    extra_workloads: list[Callable] | None = None,
+    timeout: float | None = None,
+) -> Iterator[DeliveryRecord]:
+    """Generator form: run in parallel, yield the canonical record
+    stream, then remove the runtime-owned shard directory."""
+    run = run_parallel_simulation(
+        config, workers, extra_workloads=extra_workloads, timeout=timeout
+    )
+    with run:
+        yield from run.iter_records()
+
+
+# -- worker supervision --------------------------------------------------------------
+
+
+def _bucket_keys(bucket: list[SimSlice]) -> str:
+    return ", ".join(s.key for s in bucket)
+
+
+def _load_result(root: Path, worker_index: int, bucket: list[SimSlice]) -> dict:
+    import json
+
+    path = result_path(root, worker_index)
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise WorkerCrashError(
+            f"worker {worker_index} (slices: {_bucket_keys(bucket)}) exited "
+            f"cleanly but left no readable result file: {exc}"
+        ) from exc
+
+
+def _terminate(procs: list) -> None:
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        if proc.is_alive():
+            proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - last resort
+            proc.kill()
+            proc.join(timeout=5.0)
+
+
+def _join_workers(
+    procs: list,
+    buckets: list[list[SimSlice]],
+    root: Path,
+    timeout: float | None,
+) -> None:
+    """Wait for every worker, surfacing the first failure immediately.
+
+    Raises :class:`SliceExecutionError` (worker reported an error file),
+    :class:`WorkerCrashError` (worker died silently), or
+    :class:`ParallelTimeoutError` (deadline passed; names the slices of
+    the workers still running).  Siblings are terminated by the caller.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    pending = set(range(len(procs)))
+    while pending:
+        for i in sorted(pending):
+            proc = procs[i]
+            proc.join(timeout=_POLL_S)
+            if proc.is_alive():
+                continue
+            pending.discard(i)
+            if proc.exitcode == 0 and result_path(root, i).exists():
+                continue
+            err = error_path(root, i)
+            if err.exists():
+                raise SliceExecutionError(err.read_text(encoding="utf-8").strip())
+            raise WorkerCrashError(
+                f"worker {i} (slices: {_bucket_keys(buckets[i])}) died with "
+                f"exit code {proc.exitcode} and no result"
+            )
+        if deadline is not None and pending and time.monotonic() > deadline:
+            unfinished = ", ".join(
+                _bucket_keys(buckets[i]) for i in sorted(pending)
+            )
+            raise ParallelTimeoutError(
+                f"parallel run exceeded {timeout:.1f}s; terminated "
+                f"{len(pending)} worker(s) still holding: {unfinished}"
+            )

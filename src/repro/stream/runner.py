@@ -4,23 +4,29 @@ The batch runner (:func:`repro.simulate.run_simulation`) materialises every
 :class:`~repro.workload.spec.EmailSpec` and every
 :class:`~repro.delivery.records.DeliveryRecord` before anything downstream
 runs.  This module is the bounded-memory alternative: the world is built
-once, the workload generators are *lazily* heap-merged in time order, and
-delivery records are yielded one at a time.
+once, the workload is decomposed into independent **slices** (see
+:mod:`repro.parallel.partition`), and each slice's delivery records are
+lazily k-way merged back into one time-ordered stream.
 
-Output equivalence is exact, not approximate: for the same config (and
-extra workloads) the record sequence is byte-identical to the batch path,
-because
+The slice discipline is what makes the record sequence *canonical* — the
+same for the in-process runner here and for
+:func:`repro.parallel.run_parallel_simulation` at any worker count:
 
-* each workload stream is yielded pre-sorted by send time (the benign
-  generator one day at a time, attacker campaigns per domain),
-* ``heapq.merge`` is stable across its input iterables, which makes a
-  merge of sorted streams equal to concat-then-stable-sort, and
+* every slice's spec stream is yielded pre-sorted by send time (benign
+  traffic one day at a time, attacker campaigns per domain),
 * every random stream is a *named* child of the run seed
-  (:meth:`repro.util.rng.RandomSource.child`), so generation order cannot
-  perturb any other consumer's randomness.
+  (:meth:`repro.util.rng.RandomSource.child`) — per-day generation
+  streams, per-campaign streams, and a per-slice delivery engine seeded
+  from ``child(f"engine/{slice.key}")`` — so no slice's randomness
+  depends on any other slice, on generation order, or on which process
+  runs it,
+* ``heapq.merge`` is stable across its input iterables, which makes a
+  merge of sorted streams equal to concat-then-stable-sort; merging
+  per-slice record streams in slice-plan order therefore fixes the order
+  of simultaneous records once, for every execution strategy.
 
-Peak memory is O(one day of specs + attacker campaigns + the world), never
-O(total records).
+Peak memory is O(one day of specs per traffic slice + attacker campaigns
++ the world), never O(total records).
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ from typing import Callable, Iterable, Iterator
 from repro.delivery.engine import DeliveryEngine
 from repro.delivery.records import DeliveryRecord
 from repro.obs import profile as obs_profile
+from repro.parallel.partition import SimSlice, plan_slices
 from repro.util.rng import RandomSource
 from repro.workload.attackers import AttackerGenerator
 from repro.workload.spec import EmailSpec
@@ -44,23 +51,18 @@ from repro.world.model import WorldModel, build_world
 WorkloadFn = Callable[[WorldModel, RandomSource], Iterable[EmailSpec]]
 
 
-def merge_spec_streams(
+def materialize_extra_workloads(
     world: WorldModel,
     rng: RandomSource,
-    extra_workloads: list[WorkloadFn] | None = None,
-) -> Iterator[EmailSpec]:
-    """Lazily merge all workload streams into one time-ordered spec stream.
+    extra_workloads: list[WorkloadFn] | None,
+) -> list[list[EmailSpec]]:
+    """Run every extra workload eagerly, validate, and sort.
 
-    Extra workloads are materialised and validated *eagerly* (they must stay
-    inside the measurement window), so a bad workload raises before any
-    delivery happens — same contract as the batch path.
+    Extra workloads must stay inside the measurement window, so a bad
+    workload raises before any delivery happens — same contract as the
+    batch path.  Each gets its own named stream (``extra/<i>``).
     """
-    traffic = TrafficGenerator(world, rng.child("traffic"))
-    attackers = AttackerGenerator(world, rng.child("attackers"))
-    streams: list[Iterator[EmailSpec]] = [
-        traffic.iter_specs(),
-        attackers.iter_specs(),
-    ]
+    out: list[list[EmailSpec]] = []
     for i, workload in enumerate(extra_workloads or []):
         extra = list(workload(world, rng.child(f"extra/{i}")))
         for spec in extra:
@@ -70,8 +72,97 @@ def merge_spec_streams(
                     f"measurement window (t={spec.t})"
                 )
         extra.sort(key=lambda s: s.t)
-        streams.append(iter(extra))
+        out.append(extra)
+    return out
+
+
+def merge_spec_streams(
+    world: WorldModel,
+    rng: RandomSource,
+    extra_workloads: list[WorkloadFn] | None = None,
+) -> Iterator[EmailSpec]:
+    """Lazily merge all workload streams into one time-ordered spec stream
+    (the spec-level view; delivery uses the per-slice streams below)."""
+    traffic = TrafficGenerator(world, rng.child("traffic"))
+    attackers = AttackerGenerator(world, rng.child("attackers"))
+    streams: list[Iterator[EmailSpec]] = [
+        traffic.iter_specs(),
+        attackers.iter_specs(),
+    ]
+    streams.extend(
+        iter(extra)
+        for extra in materialize_extra_workloads(world, rng, extra_workloads)
+    )
     return heapq.merge(*streams, key=lambda s: s.t)
+
+
+def iter_slice_specs(
+    world: WorldModel,
+    rng: RandomSource,
+    sim_slice: SimSlice,
+    extra_specs: list[list[EmailSpec]] | None = None,
+) -> Iterator[EmailSpec]:
+    """One slice's spec stream, sorted by send time.
+
+    ``rng`` is the run-level stream (``RandomSource(seed, name="sim")``);
+    the per-kind child streams derived here are exactly the ones the
+    serial generators use, so slice-wise generation reproduces the serial
+    spec sequence slice by slice.
+    """
+    if sim_slice.kind == "traffic":
+        traffic = TrafficGenerator(world, rng.child("traffic"))
+        yield from traffic.iter_day_range(sim_slice.day_start, sim_slice.day_end)
+        return
+    if sim_slice.kind == "campaign":
+        attackers = AttackerGenerator(world, rng.child("attackers"))
+        domains = world.attacker_domains()
+        if not 0 <= sim_slice.campaign_index < len(domains):
+            raise ValueError(
+                f"slice {sim_slice.key}: campaign index out of range "
+                f"(world has {len(domains)} attacker domains)"
+            )
+        yield from attackers.domain_specs(domains[sim_slice.campaign_index])
+        return
+    # extra: shipped specs (workers) or the parent's materialised lists.
+    if sim_slice.specs is not None:
+        yield from sim_slice.specs
+        return
+    if extra_specs is None or not 0 <= sim_slice.extra_index < len(extra_specs):
+        raise ValueError(f"slice {sim_slice.key}: extra workload specs unavailable")
+    yield from extra_specs[sim_slice.extra_index]
+
+
+def run_slice(
+    world: WorldModel,
+    rng: RandomSource,
+    sim_slice: SimSlice,
+    extra_specs: list[list[EmailSpec]] | None = None,
+) -> Iterator[DeliveryRecord]:
+    """Deliver one slice with a fresh, slice-seeded engine.
+
+    The engine stream is ``child(f"engine/{slice.key}")``, so delivery
+    randomness (proxy picks, retry gaps, NDR renderings) is a pure
+    function of the run seed and the slice — independent of every other
+    slice and of the process running it.
+    """
+    specs = obs_profile.profiled_iter(
+        "workload-gen", iter_slice_specs(world, rng, sim_slice, extra_specs)
+    )
+    engine = DeliveryEngine(world, rng.child(f"engine/{sim_slice.key}"))
+    return engine.deliver_all(specs)
+
+
+def merge_record_streams(
+    streams: Iterable[Iterator[DeliveryRecord]],
+) -> Iterator[DeliveryRecord]:
+    """Stable k-way merge of per-slice record streams by start time.
+
+    Records inside a slice are already time-ordered (specs are sorted and
+    ``start_time`` is the spec's send time), and ``heapq.merge``'s
+    stability resolves cross-slice ties by input position — which is why
+    every consumer must pass streams in slice-plan order.
+    """
+    return heapq.merge(*streams, key=lambda r: r.start_time)
 
 
 @dataclass
@@ -99,11 +190,12 @@ def stream_simulation(
     with obs_profile.stage("world-build"):
         world = build_world(config)
     rng = RandomSource(config.seed, name="sim")
-    specs = obs_profile.profiled_iter(
-        "workload-gen", merge_spec_streams(world, rng, extra_workloads)
+    extra_specs = materialize_extra_workloads(world, rng, extra_workloads)
+    slices = plan_slices(config, n_extra=len(extra_specs))
+    records = merge_record_streams(
+        run_slice(world, rng, s, extra_specs) for s in slices
     )
-    engine = DeliveryEngine(world, rng.child("engine"))
-    return StreamingSimulation(world=world, records=engine.deliver_all(specs))
+    return StreamingSimulation(world=world, records=records)
 
 
 def iter_simulation(

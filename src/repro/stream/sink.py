@@ -20,11 +20,13 @@ from __future__ import annotations
 
 import gzip
 import hashlib
+import heapq
+import itertools
 import json
 from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.delivery.records import DeliveryRecord
 from repro.obs import metrics as obs_metrics
@@ -323,6 +325,73 @@ class ShardReader:
         for info in self.manifest.shards:
             for _ in self.iter_lines(info, verify=True):
                 pass
+
+
+class MultiShardReader:
+    """Reads several shard directories (each with its own manifest) as one
+    delivery log — the per-worker outputs of a parallel run, or any set of
+    runs a caller wants to analyse together.
+
+    ``order="concat"`` yields each directory fully before the next, in the
+    given directory order.  ``order="time"`` k-way merges the directories
+    by record start time; the merge is stable across directories (ties
+    resolve by directory position), which is exactly the discipline the
+    parallel runtime's canonical merge relies on.  Integrity checking
+    (``verify=True``) re-hashes every shard payload against its manifest,
+    same as :class:`ShardReader`.
+    """
+
+    def __init__(
+        self,
+        directories: Iterable[str | Path],
+        order: str = "concat",
+    ) -> None:
+        if order not in ("concat", "time"):
+            raise ValueError(f"unknown order {order!r} (use 'concat' or 'time')")
+        self.directories = [Path(d) for d in directories]
+        if not self.directories:
+            raise ValueError("need at least one shard directory")
+        self.order = order
+        self.readers = [ShardReader(d) for d in self.directories]
+
+    @property
+    def n_records(self) -> int:
+        return sum(len(r) for r in self.readers)
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    @property
+    def t_min(self) -> float | None:
+        starts = [r.manifest.t_min for r in self.readers if r.manifest.t_min is not None]
+        return min(starts) if starts else None
+
+    @property
+    def t_max(self) -> float | None:
+        ends = [r.manifest.t_max for r in self.readers if r.manifest.t_max is not None]
+        return max(ends) if ends else None
+
+    def iter_records(
+        self,
+        verify: bool = False,
+        t_min: float | None = None,
+        t_max: float | None = None,
+    ) -> Iterator[DeliveryRecord]:
+        streams = (
+            reader.iter_records(verify=verify, t_min=t_min, t_max=t_max)
+            for reader in self.readers
+        )
+        if self.order == "time":
+            return heapq.merge(*streams, key=lambda record: record.start_time)
+        return itertools.chain.from_iterable(streams)
+
+    def __iter__(self) -> Iterator[DeliveryRecord]:
+        return self.iter_records()
+
+    def verify(self) -> None:
+        """Re-hash every shard of every directory; raises on mismatch."""
+        for reader in self.readers:
+            reader.verify()
 
 
 def iter_delivery_log(path: str | Path) -> Iterator[DeliveryRecord]:

@@ -198,5 +198,20 @@ class WeightedSampler(Generic[T]):
             index = len(self._items) - 1
         return self._items[index]
 
+    def with_rng(self, rng: RandomSource) -> "WeightedSampler[T]":
+        """A view over the same items/weights drawing from ``rng``.
+
+        The cumulative table is shared (never copied), so slice-local
+        samplers — one per day, per worker, per partition — cost O(1) to
+        create while their draw sequences stay fully independent of each
+        other and of this sampler.
+        """
+        view: WeightedSampler[T] = object.__new__(WeightedSampler)
+        view._items = self._items
+        view._cumulative = self._cumulative
+        view._total = self._total
+        view._rng = rng
+        return view
+
     def __len__(self) -> int:
         return len(self._items)

@@ -27,18 +27,29 @@ class AttackerGenerator:
     def generate(self) -> list[EmailSpec]:
         return list(self.iter_specs())
 
+    def domain_specs(self, domain: SenderDomain) -> list[EmailSpec]:
+        """One attacker domain's full campaign, sorted by send time.
+
+        Each campaign draws only from its own named random stream
+        (``child(domain.name)``), so campaigns can be generated in any
+        order — or in different processes — without affecting each other.
+        """
+        stream = self.rng.child(domain.name)
+        if domain.kind is SenderKind.GUESSER:
+            specs = self._guess_campaign(domain, stream)
+        elif domain.kind is SenderKind.BULK_SPAMMER:
+            specs = self._spam_campaign(domain, stream)
+        else:
+            raise ValueError(f"{domain.name} is not an attacker domain")
+        specs.sort(key=lambda s: s.t)
+        return specs
+
     def campaign_chunks(self) -> Iterator[list[EmailSpec]]:
         """One sorted spec list per attacker domain, in domain order."""
         for domain in self.world.attacker_domains():
-            stream = self.rng.child(domain.name)
-            if domain.kind is SenderKind.GUESSER:
-                specs = self._guess_campaign(domain, stream)
-            elif domain.kind is SenderKind.BULK_SPAMMER:
-                specs = self._spam_campaign(domain, stream)
-            else:
+            if domain.kind not in (SenderKind.GUESSER, SenderKind.BULK_SPAMMER):
                 continue
-            specs.sort(key=lambda s: s.t)
-            yield specs
+            yield self.domain_specs(domain)
 
     def iter_specs(self) -> Iterator[EmailSpec]:
         """The attacker stream in time order.

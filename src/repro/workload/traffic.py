@@ -40,16 +40,19 @@ class TrafficGenerator:
     def day_specs(self, day: int) -> list[EmailSpec]:
         """One day's benign emails, sorted by send time.
 
-        Times, typos and content draw from the day's own named random
-        stream; sender identities come from the world's shared (stateful)
-        popularity sampler, so days must be generated in order — which is
-        exactly what :meth:`iter_specs` does.
+        Every random input of a day — times, typos, content, *and* sender
+        identities — draws from the day's own named random stream (sender
+        picks go through a per-day view of the world's shared popularity
+        sampler), so any day can be generated independently of any other.
+        That independence is what lets the parallel runtime partition the
+        window into day-range slices without perturbing the output.
         """
         out: list[EmailSpec] = []
         day_rng = self.rng.child(f"day/{day}")
         volume = self.schedule.day_volume(day, day_rng)
+        sender_sampler = self._sender_sampler.with_rng(day_rng.child("senders"))
         for i in range(volume):
-            spec = self._compose(day, day_rng.child(str(i)))
+            spec = self._compose(day, day_rng.child(str(i)), sender_sampler)
             if spec is not None:
                 out.append(spec)
         out.sort(key=lambda s: s.t)
@@ -63,11 +66,16 @@ class TrafficGenerator:
         concatenate into the exact sequence a global stable sort of the
         whole window would produce.
         """
-        for day in range(self.world.clock.n_days):
+        return self.iter_day_range(0, self.world.clock.n_days)
+
+    def iter_day_range(self, day_start: int, day_end: int) -> Iterator[EmailSpec]:
+        """Lazily yield days ``[day_start, day_end)`` in time order — the
+        per-slice entry point of the parallel runtime."""
+        for day in range(day_start, day_end):
             yield from self.day_specs(day)
 
-    def _compose(self, day: int, rng: RandomSource) -> EmailSpec | None:
-        user = self._sender_sampler.draw()
+    def _compose(self, day: int, rng: RandomSource, sender_sampler) -> EmailSpec | None:
+        user = sender_sampler.draw()
         contact = self._pick_contact(user, rng)
         if contact is None:
             return None

@@ -130,3 +130,40 @@ class TestWriteMetrics:
     def test_unknown_format(self, populated, tmp_path):
         with pytest.raises(ValueError):
             write_metrics(tmp_path / "x", "xml")
+
+
+class TestMergeSnapshot:
+    def test_fold_worker_snapshot_into_live(self, populated):
+        from repro.obs.export import merge_snapshot
+
+        worker_reg = obs_metrics.MetricsRegistry()
+        worker_reg.counter("t_emails_total", label="degree").labels("hard").inc(2)
+        worker_prof = obs_profile.StageProfiler()
+        worker_prof.add("delivery", 0.75, calls=5)
+        worker = build_snapshot(registry=worker_reg, profiler=worker_prof)
+
+        merge_snapshot(worker)
+        c = obs_metrics.counter("t_emails_total", label="degree")
+        assert c.labels("hard").value == 5  # 3 live + 2 worker
+        prof = obs_profile.get_profiler()
+        assert prof.seconds("delivery") == pytest.approx(2.0)
+        assert prof.calls("delivery") == 15
+
+    def test_explicit_targets(self, populated):
+        from repro.obs.export import merge_snapshot
+
+        target_reg = obs_metrics.MetricsRegistry()
+        target_prof = obs_profile.StageProfiler()
+        merge_snapshot(build_snapshot(), registry=target_reg,
+                       profiler=target_prof)
+        # live registry untouched, target got the copy
+        assert target_reg.counter(
+            "t_emails_total", label="degree"
+        ).labels("hard").value == 3
+        assert target_prof.calls("delivery") == 10
+
+    def test_missing_sections_tolerated(self, populated):
+        from repro.obs.export import merge_snapshot
+
+        merge_snapshot({"version": 1})  # no metrics, no stages: no-op
+        assert obs_metrics.gauge("t_templates").value == 42

@@ -157,3 +157,111 @@ class TestDisabledState:
         finally:
             obs.disable()
             obs.reset()
+
+
+class TestMerge:
+    """MetricsRegistry.merge — folding a worker snapshot into a live
+    registry (the parallel runtime's telemetry path)."""
+
+    @staticmethod
+    def _source():
+        return obs.MetricsRegistry()
+
+    def test_counter_values_add(self, enabled_registry):
+        obs.counter("t_m_total").inc(3)
+        src = self._source()
+        src.counter("t_m_total").inc(4)
+        enabled_registry.merge(src.snapshot())
+        assert obs.counter("t_m_total").value == 7
+
+    def test_counter_label_series_add(self, enabled_registry):
+        c = obs.counter("t_mk_total", label="kind")
+        c.labels("a").inc(2)
+        src = self._source()
+        sc = src.counter("t_mk_total", label="kind")
+        sc.labels("a").inc(5)
+        sc.labels("b").inc(1)
+        enabled_registry.merge(src.snapshot())
+        assert c.labels("a").value == 7
+        assert c.labels("b").value == 1
+        assert c.total == 8
+
+    def test_new_family_created_on_merge(self, enabled_registry):
+        src = self._source()
+        src.counter("t_fresh_total", "from worker").inc(9)
+        enabled_registry.merge(src.snapshot())
+        assert obs.counter("t_fresh_total").value == 9
+
+    def test_gauge_last_wins(self, enabled_registry):
+        obs.gauge("t_g").set(1.0)
+        src = self._source()
+        src.gauge("t_g").set(42.0)
+        enabled_registry.merge(src.snapshot())
+        assert obs.gauge("t_g").value == 42.0
+
+    def test_gauge_label_series_last_wins(self, enabled_registry):
+        g = obs.gauge("t_gl", label="queue")
+        g.labels("x").set(1.0)
+        src = self._source()
+        src.gauge("t_gl", label="queue").labels("x").set(7.0)
+        enabled_registry.merge(src.snapshot())
+        assert g.labels("x").value == 7.0
+
+    def test_histogram_buckets_add_losslessly(self, enabled_registry):
+        h = obs.histogram("t_h_seconds")
+        for v in (0.5, 3.0, 100.0):
+            h.observe(v)
+        src = self._source()
+        sh = src.histogram("t_h_seconds")
+        for v in (0.5, 9.0):
+            sh.observe(v)
+        enabled_registry.merge(src.snapshot())
+        expect = obs.MetricsRegistry()
+        eh = expect.histogram("t_h_seconds")
+        for v in (0.5, 3.0, 100.0, 0.5, 9.0):
+            eh.observe(v)
+        assert h.snapshot() == eh.snapshot()
+
+    def test_histogram_label_series_merge(self, enabled_registry):
+        h = obs.histogram("t_hl_seconds", label="stage")
+        h.labels("a").observe(2.0)
+        src = self._source()
+        src.histogram("t_hl_seconds", label="stage").labels("a").observe(2.0)
+        enabled_registry.merge(src.snapshot())
+        assert h.labels("a").count == 2
+        assert h.labels("a").sum == 4.0
+
+    def test_histogram_layout_mismatch_rejected(self, enabled_registry):
+        obs.histogram("t_layout_seconds", base=2.0)
+        src = self._source()
+        src.histogram("t_layout_seconds", base=10.0).observe(5.0)
+        with pytest.raises(ValueError, match="bucket layout"):
+            enabled_registry.merge(src.snapshot())
+
+    def test_inf_bucket_residue_rejected(self, enabled_registry):
+        obs.histogram("t_inf_seconds")
+        snap = [{
+            "name": "t_inf_seconds", "type": "histogram", "help": "",
+            "base": 2.0, "min_bound": 1.0, "sum": 1.0, "count": 1,
+            "buckets": [["+Inf", 1]],
+        }]
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            enabled_registry.merge(snap)
+
+    def test_unknown_family_type_rejected(self, enabled_registry):
+        with pytest.raises(ValueError, match="unknown type"):
+            enabled_registry.merge([{"name": "t_x", "type": "summary"}])
+
+    def test_merge_is_associative_over_workers(self, enabled_registry):
+        """Merging worker snapshots one-by-one equals merging their sum
+        — the property the parallel runner relies on."""
+        snaps = []
+        for k in (2, 5):
+            src = self._source()
+            src.counter("t_assoc_total").inc(k)
+            src.histogram("t_assoc_seconds").observe(float(k))
+            snaps.append(src.snapshot())
+        for snap in snaps:
+            enabled_registry.merge(snap)
+        assert obs.counter("t_assoc_total").value == 7
+        assert obs.histogram("t_assoc_seconds").count == 2

@@ -80,3 +80,18 @@ class TestGlobalHooks:
         assert list(it) == data
         # no generator wrapper: a plain list_iterator
         assert type(it) is type(iter([]))
+
+
+class TestMerge:
+    def test_snapshot_merge_adds_time_and_calls(self):
+        from repro.obs.profile import StageProfiler
+
+        a, b = StageProfiler(), StageProfiler()
+        a.add("delivery", 1.0, calls=3)
+        b.add("delivery", 0.5, calls=2)
+        b.add("shard-io", 0.25)
+        a.merge(b.snapshot())
+        assert a.seconds("delivery") == 1.5
+        assert a.calls("delivery") == 5
+        assert a.seconds("shard-io") == 0.25
+        assert len(a) == 2

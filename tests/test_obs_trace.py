@@ -227,11 +227,19 @@ class TestLiveMatchesReconstruction:
             TestLiveMatchesReconstruction._strip_mx(child)
         return tree_dict
 
-    def test_sampled_ids_are_every_nth(self, traced_run):
+    def test_sampled_ids_are_content_keyed_subset(self, traced_run):
+        from repro.obs.trace import sample_hit
+
         records, tracer = traced_run
-        expected = [r.message_id for r in records[::7]][-len(tracer.spans):]
+        expected = [r.message_id for r in records if sample_hit(r.message_id, 7)]
         got = [s.attrs["message_id"] for s in tracer.spans]
-        assert got == expected
+        # The ring buffer holds spans in delivery-completion order, which
+        # the lazy k-way slice merge keeps only approximately equal to
+        # record order — so compare the sampled *sets* (and sanity-check
+        # the 1-in-7 rate), not the sequences.
+        assert tracer.n_dropped == 0, "capacity too small for this scale"
+        assert sorted(got) == sorted(expected)
+        assert 0 < len(got) < len(records) / 3
 
     def test_trees_match_reconstruction(self, traced_run):
         records, tracer = traced_run
