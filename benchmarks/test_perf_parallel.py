@@ -48,12 +48,22 @@ def timings():
         rows[workers] = {"workers": workers, "n_records": n,
                          "elapsed_s": round(elapsed, 3)}
         print(f"workers={workers}: {n:,} records in {elapsed:.2f}s")
+    # On a small runner (< 4 cores) the 4-worker wall-clock ratio is pure
+    # spawn/merge overhead, not a scaling measurement: record it as
+    # unarmed rather than checking in a misleading sub-1.0 number.
+    if _CORES >= 4:
+        speedup_4w = round(rows[1]["elapsed_s"] / rows[4]["elapsed_s"], 3)
+        gate = "armed"
+    else:
+        speedup_4w = None
+        gate = "unarmed"
     _OUT.write_text(json.dumps({
         "scale": PERF_SCALE,
         "seed": PERF_SEED,
         "cpu_count": _CORES,
         "runs": [rows[w] for w in WORKER_COUNTS],
-        "speedup_4w": round(rows[1]["elapsed_s"] / rows[4]["elapsed_s"], 3),
+        "speedup_4w": speedup_4w,
+        "gate": gate,
     }, indent=2) + "\n", encoding="utf-8")
     return rows
 

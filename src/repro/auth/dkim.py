@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from enum import Enum
 
+from repro.core import fastpath
 from repro.dnssim.records import RecordType
 from repro.dnssim.resolver import Resolver
 
@@ -21,8 +22,20 @@ class DkimVerdict(str, Enum):
     NONE = "none"  # no record resolvable
 
 
+_PARSE_MEMO = fastpath.register(fastpath.LruMemo("dkim-parse", capacity=2048))
+
+
 def parse_dkim_record(text: str) -> bool:
-    """Shape validation of a ``v=DKIM1`` key record."""
+    """Shape validation of a ``v=DKIM1`` key record (pure; memoised)."""
+    if fastpath.enabled():
+        cached = _PARSE_MEMO.get(text)
+        if cached is fastpath.MISSING:
+            cached = _PARSE_MEMO.put(text, _parse_dkim_impl(text))
+        return cached
+    return _parse_dkim_impl(text)
+
+
+def _parse_dkim_impl(text: str) -> bool:
     parts = [p.strip() for p in text.strip().split(";") if p.strip()]
     if not parts or not parts[0].lower().replace(" ", "") == "v=dkim1":
         return False

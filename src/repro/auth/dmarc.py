@@ -14,6 +14,7 @@ from enum import Enum
 
 from repro.auth.dkim import DkimVerdict
 from repro.auth.spf import SpfVerdict
+from repro.core import fastpath
 from repro.dnssim.records import RecordType
 from repro.dnssim.resolver import Resolver
 
@@ -35,7 +36,20 @@ class DmarcPolicy:
         return cls(policy="none")
 
 
+_PARSE_MEMO = fastpath.register(fastpath.LruMemo("dmarc-parse", capacity=2048))
+
+
 def parse_dmarc(text: str) -> DmarcPolicy | None:
+    """Parse a ``v=DMARC1`` policy record (pure; memoised)."""
+    if fastpath.enabled():
+        cached = _PARSE_MEMO.get(text)
+        if cached is fastpath.MISSING:
+            cached = _PARSE_MEMO.put(text, _parse_dmarc_impl(text))
+        return cached
+    return _parse_dmarc_impl(text)
+
+
+def _parse_dmarc_impl(text: str) -> DmarcPolicy | None:
     parts = [p.strip() for p in text.strip().split(";") if p.strip()]
     if not parts or parts[0].lower().replace(" ", "") != "v=dmarc1":
         return None

@@ -8,6 +8,8 @@ from enum import Enum
 from repro.auth.dkim import DkimVerdict, evaluate_dkim
 from repro.auth.dmarc import DmarcDisposition, evaluate_dmarc
 from repro.auth.spf import SpfVerdict, evaluate_spf
+from repro.core import fastpath
+from repro.dnssim.records import RecordType
 from repro.dnssim.resolver import Resolver
 
 
@@ -51,14 +53,90 @@ class AuthResult:
         return self.spf_pass or self.dkim_pass
 
 
+class _RecordingResolver:
+    """Resolver proxy that remembers every (domain, rtype) consulted.
+
+    The auth stack queries the resolver without an rng, so its outcome
+    is a pure function of the consulted zones' states — recording which
+    states were read lets the evaluator bound a cached result's
+    validity exactly.
+    """
+
+    __slots__ = ("_inner", "queried")
+
+    def __init__(self, inner: Resolver) -> None:
+        self._inner = inner
+        self.queried: set[tuple[str, RecordType]] = set()
+
+    def query(self, domain, rtype, t, rng=None):
+        self.queried.add((domain, rtype))
+        return self._inner.query(domain, rtype, t, rng)
+
+
+class _AuthEntry:
+    __slots__ = ("result", "start", "end", "guards")
+
+    def __init__(self, result, start, end, guards) -> None:
+        self.result = result
+        self.start = start
+        self.end = end
+        #: tuple of (zone-or-None, token) pairs, one per consulted zone.
+        self.guards = guards
+
+
 class AuthEvaluator:
-    """Evaluates a sender domain's authentication at a point in time."""
+    """Evaluates a sender domain's authentication at a point in time.
+
+    SPF/DKIM/DMARC evaluation draws no randomness, so for a fixed
+    ``(sender_domain, client_ip)`` the result only changes when one of
+    the consulted zones crosses a misconfiguration/registration window
+    boundary.  Results are cached with that exact validity interval
+    (plus zone mutation tokens), discovered by recording which zone
+    states each evaluation read.
+    """
 
     def __init__(self, resolver: Resolver) -> None:
         self._resolver = resolver
+        self._cache: dict[tuple[str, str], _AuthEntry] = {}
+        self._stats = fastpath.CacheStats("auth-eval")
 
     def evaluate(self, sender_domain: str, client_ip: str, t: float) -> AuthResult:
-        spf = evaluate_spf(sender_domain, client_ip, self._resolver, t)
-        dkim = evaluate_dkim(sender_domain, self._resolver, t)
-        dmarc = evaluate_dmarc(sender_domain, spf, dkim, self._resolver, t)
+        if not fastpath.enabled():
+            return self._evaluate_impl(sender_domain, client_ip, self._resolver, t)
+        key = (sender_domain, client_ip)
+        entry = self._cache.get(key)
+        if (
+            entry is not None
+            and entry.start <= t < entry.end
+            and self._guards_valid(entry.guards)
+        ):
+            self._stats.hit()
+            return entry.result
+        self._stats.miss()
+        recording = _RecordingResolver(self._resolver)
+        result = self._evaluate_impl(sender_domain, client_ip, recording, t)
+        start, end = float("-inf"), float("inf")
+        guards = []
+        for domain, rtype in recording.queried:
+            s, e, zone, token = self._resolver.state_span(domain, rtype, t)
+            if s > start:
+                start = s
+            if e < end:
+                end = e
+            guards.append((zone, token))
+        self._cache[key] = _AuthEntry(result, start, end, tuple(guards))
+        return result
+
+    def _guards_valid(self, guards) -> bool:
+        state_token = self._resolver.state_token
+        for zone, token in guards:
+            if state_token(zone) != token:
+                return False
+        return True
+
+    @staticmethod
+    def _evaluate_impl(sender_domain, client_ip, resolver, t) -> AuthResult:
+        spf = evaluate_spf(sender_domain, client_ip, resolver, t)
+        dkim = evaluate_dkim(sender_domain, resolver, t)
+        dmarc = evaluate_dmarc(sender_domain, spf, dkim, resolver, t)
         return AuthResult(spf=spf, dkim=dkim, dmarc=dmarc)

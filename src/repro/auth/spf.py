@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.core import fastpath
 from repro.dnssim.records import RecordType
 from repro.dnssim.resolver import Resolver
 
@@ -44,8 +45,24 @@ class SpfRecord:
         return any(m.kind == "all" for m in self.mechanisms)
 
 
+_PARSE_MEMO = fastpath.register(fastpath.LruMemo("spf-parse", capacity=2048))
+
+
 def parse_spf(text: str) -> SpfRecord | None:
-    """Parse a ``v=spf1 ...`` TXT record; None when malformed."""
+    """Parse a ``v=spf1 ...`` TXT record; None when malformed.
+
+    Parsing is pure and records repeat across millions of evaluations,
+    so results are memoised by record text (unless the fast path is off).
+    """
+    if fastpath.enabled():
+        cached = _PARSE_MEMO.get(text)
+        if cached is fastpath.MISSING:
+            cached = _PARSE_MEMO.put(text, _parse_spf_impl(text))
+        return cached
+    return _parse_spf_impl(text)
+
+
+def _parse_spf_impl(text: str) -> SpfRecord | None:
     parts = text.strip().split()
     if not parts or parts[0].lower() != "v=spf1":
         return None

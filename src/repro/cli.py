@@ -72,6 +72,14 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="ring-buffer size for kept traces")
 
 
+def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the fast-path caches (repro.core.fastpath); output "
+             "is byte-identical either way — this exists for verification "
+             "and benchmarking")
+
+
 def _add_workers(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
@@ -96,6 +104,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--out", default="delivery_log.jsonl")
     _add_workers(p)
+    _add_cache_flag(p)
     _add_obs_flags(p)
     _add_quiet(p)
 
@@ -109,6 +118,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workers(p)
     p.add_argument("--progress-every", type=int, default=10_000,
                    help="print progress every N records (0 = quiet)")
+    _add_cache_flag(p)
     _add_obs_flags(p)
     _add_quiet(p)
 
@@ -371,6 +381,11 @@ def _cmd_metrics(args) -> int:
     obs_metrics.enable()
     obs_metrics.reset()
     obs_profile.reset()
+    # Module-level fastpath memos bound their (no-op) counters at import;
+    # rebind them now that telemetry is live.
+    from repro.core import fastpath
+
+    fastpath.reset()
     try:
         config = SimulationConfig(scale=args.scale, seed=args.seed)
         n = 0
@@ -613,6 +628,14 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     _QUIET = getattr(args, "quiet", False)
 
+    from repro.core import fastpath
+
+    no_cache = getattr(args, "no_cache", False)
+    if no_cache:
+        # Verification/benchmark mode: run every hot path on the reference
+        # implementations.  Output is byte-identical either way.
+        fastpath.disable()
+
     live_obs = _wants_live_obs(args)
     tracer = None
     if live_obs:
@@ -624,6 +647,10 @@ def main(argv: list[str] | None = None) -> int:
         obs_metrics.enable()
         obs_metrics.reset()
         obs_profile.reset()
+        # Rebind module-level fastpath memo counters to the now-live
+        # registry (instance-level caches bind at construction, which
+        # happens after this point).
+        fastpath.reset()
         if getattr(args, "trace_sample", 0) and args.command in (
             "simulate", "stream"
         ):
@@ -664,6 +691,11 @@ def main(argv: list[str] | None = None) -> int:
             obs_metrics.reset()
             obs_profile.reset()
             reset_tracer()
+        if no_cache:
+            fastpath.enable()
+        elif live_obs:
+            # Drop the live-bound memo counters again.
+            fastpath.reset()
 
 
 if __name__ == "__main__":

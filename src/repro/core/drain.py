@@ -20,6 +20,9 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
+from repro.core import fastpath
+from repro.util.text import HOSTNAME_PATTERN
+
 WILDCARD = "<*>"
 
 _MASKS = [
@@ -27,13 +30,25 @@ _MASKS = [
     (re.compile(r"\b\d{1,3}(?:\.\d{1,3}){3}\b"), WILDCARD),  # IPv4
     (re.compile(r"https?://\S+"), WILDCARD),  # URLs
     (re.compile(r"\b[0-9A-Fa-f]{8,}\b"), WILDCARD),  # hex queue ids
-    (re.compile(r"\b[a-z0-9.-]+\.(?:com|net|org|edu|gov|cn|de|uk|io|fr)\b"), WILDCARD),  # hostnames
+    (re.compile(HOSTNAME_PATTERN), WILDCARD),  # hostnames (shared pattern)
     (re.compile(r"\b\d+\b"), WILDCARD),  # bare numbers
 ]
 
 
 def mask_message(message: str) -> str:
-    """Replace variable-looking substrings with the wildcard token."""
+    """Replace variable-looking substrings with the wildcard token.
+
+    Dispatches to the fused + memoised fast path unless the fast path
+    is disabled; :func:`mask_message_reference` is the original
+    six-pass cascade the fast path is pinned against.
+    """
+    if fastpath.enabled():
+        return fastpath.mask_message_fast(message)
+    return mask_message_reference(message)
+
+
+def mask_message_reference(message: str) -> str:
+    """The original multi-pass masking (fast-path reference)."""
     for pattern, repl in _MASKS:
         message = pattern.sub(repl, message)
     return message
@@ -177,6 +192,49 @@ class Drain:
         return token
 
     def _best_match(self, leaf: _Node, tokens: list[str]) -> LogTemplate | None:
+        """Pick the most similar cluster, early-exiting dominated scans.
+
+        Equivalent to scoring every cluster with :meth:`_similarity` and
+        keeping the first strict maximum (see
+        :meth:`_best_match_reference`): all clusters of matching length
+        share the denominator ``len(tokens)``, so comparing raw
+        same-token counts preserves the ordering exactly, and a scan can
+        abandon a template as soon as even matching every remaining
+        position (``same + remaining``) could not beat the incumbent.
+        The ``<=`` bound keeps first-wins tie-breaking intact.
+        """
+        n = len(tokens)
+        if n == 0:
+            return self._best_match_reference(leaf, tokens)
+        best: LogTemplate | None = None
+        best_same = -1
+        for template in leaf.clusters:
+            template_tokens = template.tokens
+            if len(template_tokens) != n:
+                same = 0
+            else:
+                same = 0
+                remaining = n
+                for a, b in zip(template_tokens, tokens):
+                    if a == b or a == WILDCARD:
+                        same += 1
+                    remaining -= 1
+                    if same + remaining <= best_same:
+                        same = -1
+                        break
+                if same < 0:
+                    continue
+            if same > best_same:
+                best = template
+                best_same = same
+        if best is not None and best_same / n >= self.sim_threshold:
+            return best
+        return None
+
+    def _best_match_reference(
+        self, leaf: _Node, tokens: list[str]
+    ) -> LogTemplate | None:
+        """Original exhaustive scan (kept as the equivalence oracle)."""
         best: LogTemplate | None = None
         best_sim = -1.0
         for template in leaf.clusters:

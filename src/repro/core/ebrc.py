@@ -24,6 +24,7 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core import fastpath
 from repro.core.classifier import ConfusionMatrix, SoftmaxClassifier
 from repro.core.drain import Drain
 from repro.core.features import TfidfVectorizer
@@ -79,6 +80,12 @@ class EBRC:
         self.ambiguous_template_ids: set[int] = set()
         #: Labelled (expert) template ids, for introspection.
         self.expert_labeled_ids: set[int] = set()
+        #: Precomputed template id -> final label (None = ambiguous,
+        #: excluded).  Built at fit/load time so steady-state classify is
+        #: one Drain walk plus one dict hit.  Empty until fitted.
+        self._template_labels: dict[int, BounceType | None] = {}
+        #: Exact-raw-string LRU in front of classify (fast path only).
+        self._classify_memo: fastpath.LruMemo | None = None
         self._fitted = False
         # Telemetry (no-op unless repro.obs is enabled at construction).
         self._obs_on = obs_metrics.enabled()
@@ -187,13 +194,58 @@ class EBRC:
                 self.template_types[tid] = BounceType.T16.value
 
         self._fitted = True
+        self._rebuild_template_labels()
+
+    def _rebuild_template_labels(self) -> None:
+        """Precompute every template's final label (tentpole cache #2).
+
+        The mapping is a pure function of ``template_types`` and
+        ``ambiguous_template_ids``, so precomputing it cannot change any
+        output — it only removes the per-message set-membership check
+        and ``BounceType(...)`` enum construction from the hot loop.
+        """
+        labels: dict[int, BounceType | None] = {}
+        ambiguous = self.ambiguous_template_ids
+        types = self.template_types
+        default = BounceType.T16.value
+        for template in self.drain._templates:
+            tid = template.template_id
+            labels[tid] = (
+                None if tid in ambiguous else BounceType(types.get(tid, default))
+            )
+        self._template_labels = labels
+        self._classify_memo = fastpath.LruMemo("ebrc-classify")
+
+    def template_label(self, template_id: int) -> BounceType | None:
+        """Final label of one mined template (``None`` = ambiguous/excluded)."""
+        labels = self._template_labels
+        if template_id in labels:
+            return labels[template_id]
+        if template_id in self.ambiguous_template_ids:
+            return None
+        return BounceType(self.template_types.get(template_id, BounceType.T16.value))
 
     # -- inference -------------------------------------------------------------------
 
     def classify(self, message: str) -> BounceType | None:
-        """Type of one NDR line; ``None`` means ambiguous (excluded)."""
+        """Type of one NDR line; ``None`` means ambiguous (excluded).
+
+        With the fast path on, an exact-raw-string LRU short-circuits
+        repeats and template matches resolve through the precomputed
+        template→label table; results are identical either way
+        (asserted in ``tests/test_fastpath.py``).
+        """
         if not self._fitted:
             raise RuntimeError("EBRC is not fitted")
+        memo = self._classify_memo
+        if memo is not None and fastpath.enabled():
+            result = memo.get(message)
+            if result is fastpath.MISSING:
+                result = memo.put(message, self._classify_impl(message, fast=True))
+            return result
+        return self._classify_impl(message, fast=False)
+
+    def _classify_impl(self, message: str, fast: bool) -> BounceType | None:
         template = self.drain.match(message)
         if template is None:
             # Unseen structure: classify the raw message directly.
@@ -201,6 +253,8 @@ class EBRC:
                 return None
             predicted = self.classifier.predict(self.vectorizer.transform([message]))[0]
             return BounceType(predicted)
+        if fast:
+            return self.template_label(template.template_id)
         if template.template_id in self.ambiguous_template_ids:
             return None
         value = self.template_types.get(template.template_id, BounceType.T16.value)
@@ -277,6 +331,12 @@ class EBRC:
                 for t in self.drain.templates
             ],
             "template_types": {str(k): v for k, v in self.template_types.items()},
+            # Precomputed template -> final label table, so load() starts
+            # with a warm classification cache (None = ambiguous/excluded).
+            "template_labels": {
+                str(k): (v.value if v is not None else None)
+                for k, v in self._template_labels.items()
+            },
             "ambiguous_ids": sorted(self.ambiguous_template_ids),
             "expert_ids": sorted(self.expert_labeled_ids),
             "vocabulary": self.vectorizer.vocabulary_,
@@ -317,6 +377,16 @@ class EBRC:
         ebrc.classifier.W_ = np.array(payload["W"], dtype=np.float32)
         ebrc.classifier.b_ = np.array(payload["b"], dtype=np.float32)
         ebrc._fitted = True
+        saved_labels = payload.get("template_labels")
+        if saved_labels is not None:
+            ebrc._template_labels = {
+                int(k): (BounceType(v) if v is not None else None)
+                for k, v in saved_labels.items()
+            }
+            ebrc._classify_memo = fastpath.LruMemo("ebrc-classify")
+        else:
+            # Payload from before the table existed: derive it.
+            ebrc._rebuild_template_labels()
         return ebrc
 
     # -- introspection ---------------------------------------------------------------------

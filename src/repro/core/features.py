@@ -14,7 +14,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import fastpath
 from repro.core.tokenize import normalize_ndr
+
+#: NEP 50 (numpy >= 2.0): ``float32_scalar * python_float`` stays float32,
+#: so the scalar reference path does its arithmetic in float32 and the
+#: batched path must use a float32 tf table to stay bitwise identical.
+#: Pre-NEP-50 numpy promotes to float64 and casts on store; the batched
+#: path then computes in float64 and lets the store cast, matching again.
+_NEP50_SCALARS = bool((np.float32(1.0) * 1.5).dtype == np.float32)
 
 
 def _word_ngrams(tokens: list[str], n_min: int, n_max: int) -> list[str]:
@@ -41,6 +49,12 @@ class TfidfVectorizer:
 
     vocabulary_: dict[str, int] = field(default_factory=dict, repr=False)
     idf_: np.ndarray | None = field(default=None, repr=False)
+
+    # Lazy per-instance caches for the batched transform (derived from
+    # idf_/sublinear_tf only; rebuilt if idf_ is swapped, e.g. by load).
+    _tf_table: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _idf64: np.ndarray | None = field(default=None, repr=False, compare=False)
+    _idf64_src: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     # -- fitting -------------------------------------------------------------
 
@@ -72,8 +86,20 @@ class TfidfVectorizer:
         return self
 
     def transform(self, texts: list[str]) -> np.ndarray:
+        """Dense TF-IDF matrix for ``texts`` (rows L2-normalised).
+
+        Dispatches to the batched numpy path unless the fast path is
+        disabled; both paths produce bitwise-identical matrices
+        (asserted in ``tests/test_fastpath.py``).
+        """
         if self.idf_ is None:
             raise RuntimeError("vectorizer is not fitted")
+        if fastpath.enabled():
+            return self._transform_batched(texts)
+        return self._transform_reference(texts)
+
+    def _transform_reference(self, texts: list[str]) -> np.ndarray:
+        """Original per-document scalar loop (fast-path reference)."""
         X = np.zeros((len(texts), len(self.vocabulary_)), dtype=np.float32)
         for row, text in enumerate(texts):
             counts: dict[int, float] = {}
@@ -87,6 +113,67 @@ class TfidfVectorizer:
                 if self.sublinear_tf:
                     tf = 1.0 + math.log(tf)
                 X[row, col] = tf * self.idf_[col]
+            norm = np.linalg.norm(X[row])
+            if norm > 0:
+                X[row] /= norm
+        return X
+
+    def _tf_values(self, max_count: int) -> np.ndarray:
+        """Lookup table ``k -> 1 + log(k)`` (index 0 unused), grown on demand.
+
+        Entries are the exact floats the scalar path feeds into its
+        multiply: float32 under NEP 50 scalar semantics (the python
+        float would be demoted to float32 anyway), float64 otherwise.
+        """
+        table = self._tf_table
+        if table is None or len(table) <= max_count:
+            size = max(max_count + 1, 64)
+            dtype = np.float32 if _NEP50_SCALARS else np.float64
+            table = np.array(
+                [0.0] + [1.0 + math.log(k) for k in range(1, size)], dtype=dtype
+            )
+            self._tf_table = table
+        return table
+
+    def _idf_for_products(self) -> np.ndarray:
+        if _NEP50_SCALARS:
+            return self.idf_
+        if self._idf64 is None or self._idf64_src is not self.idf_:
+            self._idf64 = self.idf_.astype(np.float64)
+            self._idf64_src = self.idf_
+        return self._idf64
+
+    def _transform_batched(self, texts: list[str]) -> np.ndarray:
+        """Vectorised transform: feature-id arrays instead of dicts.
+
+        Per document: map features to column ids, count duplicates with
+        ``np.unique``, look sublinear tf up in a precomputed table and
+        multiply by the idf slice in one vector op.  Every elementwise
+        operation reproduces the scalar reference exactly (same inputs,
+        same IEEE ops, same dtype), so the output is bitwise identical.
+        """
+        n_features = len(self.vocabulary_)
+        X = np.zeros((len(texts), n_features), dtype=np.float32)
+        if n_features == 0:
+            return X
+        vocab_get = self.vocabulary_.get
+        idf = self._idf_for_products()
+        for row, text in enumerate(texts):
+            ids = [
+                col
+                for feat in self._features_of(text)
+                if (col := vocab_get(feat)) is not None
+            ]
+            if not ids:
+                continue
+            ucols, counts = np.unique(np.array(ids, dtype=np.intp), return_counts=True)
+            if self.sublinear_tf:
+                tf = self._tf_values(int(counts.max()))[counts]
+            elif _NEP50_SCALARS:
+                tf = counts.astype(np.float32)
+            else:
+                tf = counts.astype(np.float64)
+            X[row, ucols] = tf * idf[ucols]
             norm = np.linalg.norm(X[row])
             if norm > 0:
                 X[row] /= norm

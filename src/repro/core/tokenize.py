@@ -9,11 +9,14 @@ from __future__ import annotations
 
 import re
 
+from repro.core import fastpath
+from repro.util.text import HOSTNAME_PATTERN
+
 _EMAIL = re.compile(r"[\w.+-]+@[\w.-]+\.[a-zA-Z]{2,}")
 _IPV4 = re.compile(r"\b\d{1,3}(?:\.\d{1,3}){3}\b")
 _URL = re.compile(r"https?://\S+")
 _HEX = re.compile(r"\b[0-9A-Fa-f]{8,}\b")
-_HOST = re.compile(r"\b[a-z0-9-]+(?:\.[a-z0-9-]+)+\b")
+_HOST = re.compile(HOSTNAME_PATTERN)
 _ENHANCED = re.compile(r"\b([245])\.(\d{1,3})\.(\d{1,3})\b")
 _REPLY = re.compile(r"^\s*(\d{3})[ \-]")
 _NUM = re.compile(r"\b\d+\b")
@@ -26,7 +29,18 @@ def normalize_ndr(text: str) -> str:
     Reply and enhanced codes are kept as dedicated tokens (``rc_550``,
     ``ec_5.1.1``) because they carry real signal; free entities (emails,
     IPs, hosts, hex ids) collapse to placeholder tokens.
+
+    Dispatches to the fused + memoised fast path unless the fast path
+    is disabled; :func:`normalize_ndr_reference` is the original
+    eight-pass cascade the fast path is pinned against.
     """
+    if fastpath.enabled():
+        return fastpath.normalize_ndr_fast(text)
+    return normalize_ndr_reference(text)
+
+
+def normalize_ndr_reference(text: str) -> str:
+    """The original multi-pass normalisation (fast-path reference)."""
     text = text.strip()
     tokens: list[str] = []
 

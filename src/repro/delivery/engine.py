@@ -29,6 +29,7 @@ from time import perf_counter
 from typing import Iterable
 
 from repro.auth.evaluator import AuthEvaluator
+from repro.core import fastpath
 from repro.core.taxonomy import BounceDegree, BounceType
 from repro.delivery.proxies import ProxyMTA
 from repro.delivery.records import AttemptRecord, DeliveryRecord, compute_message_id
@@ -50,6 +51,20 @@ _SENDER_DIALECT = TemplateDialect.POSTFIX
 #: Sentinel distinguishing "no greylist store created yet" from a cached
 #: ``None`` ("this domain doesn't greylist").
 _GREYLIST_UNSET = object()
+
+#: Bounce types that justify a full retry budget (see ``_retryable``).
+_RETRYABLE_TYPES = frozenset(
+    t.value
+    for t in (
+        BounceType.T4,
+        BounceType.T5,
+        BounceType.T6,
+        BounceType.T7,
+        BounceType.T11,
+        BounceType.T14,
+        BounceType.T15,
+    )
+)
 
 
 class DeliveryEngine:
@@ -74,6 +89,13 @@ class DeliveryEngine:
         #: created).  Greylist state accumulates per execution slice, not
         #: in the shared world, so slices are order-independent.
         self._greylists: dict[str, object] = {}
+        # Fast-path caches (captured once; the CLI toggles fastpath
+        # before the engine is constructed).  Both are pure lookups:
+        # per-receiver-domain policy snapshots and per-country-pair
+        # network probabilities never touch the random streams.
+        self._fast = fastpath.enabled()
+        self._domain_snap: dict[str, list] = {}
+        self._net_probs: dict[tuple[str, str], tuple[float, float]] = {}
         # Telemetry: instruments resolve to shared no-ops when repro.obs is
         # disabled (the default); the cached flag keeps the disabled cost
         # of a delivery to one boolean check.  None of this touches the
@@ -258,7 +280,15 @@ class DeliveryEngine:
                 ambiguous=ndr.ambiguous,
             ), None
 
-        rdomain = world.receiver_domains.get(receiver_domain)
+        snap = None
+        if self._fast:
+            snap = self._domain_snap.get(receiver_domain)
+            if snap is None:
+                snap = [world.receiver_domains.get(receiver_domain), None]
+                self._domain_snap[receiver_domain] = snap
+            rdomain = snap[0]
+        else:
+            rdomain = world.receiver_domains.get(receiver_domain)
         if rdomain is None:
             # Registered domain without a mail service we model (e.g. a
             # re-registered squat without mailboxes): treat as unknown user.
@@ -267,7 +297,19 @@ class DeliveryEngine:
         to_ip = rng.choice(rdomain.ips)
 
         # 2. network leg.
-        timeout_p = world.network.timeout_probability(proxy.country, rdomain.mta_country)
+        interrupt_p = None
+        if self._fast:
+            pair = (proxy.country, rdomain.mta_country)
+            probs = self._net_probs.get(pair)
+            if probs is None:
+                probs = (
+                    world.network.timeout_probability(*pair),
+                    world.network.interrupt_probability(*pair),
+                )
+                self._net_probs[pair] = probs
+            timeout_p, interrupt_p = probs
+        else:
+            timeout_p = world.network.timeout_probability(proxy.country, rdomain.mta_country)
         if rdomain.dead_server or rng.chance(timeout_p):
             ndr = world.bank.render(
                 BounceType.T14,
@@ -284,7 +326,10 @@ class DeliveryEngine:
                 truth_type=ndr.truth_type,
                 ambiguous=ndr.ambiguous,
             ), mx_host
-        interrupt_p = world.network.interrupt_probability(proxy.country, rdomain.mta_country)
+        if interrupt_p is None:
+            interrupt_p = world.network.interrupt_probability(
+                proxy.country, rdomain.mta_country
+            )
         if rng.chance(interrupt_p):
             ndr = world.bank.render(
                 BounceType.T15,
@@ -304,7 +349,13 @@ class DeliveryEngine:
 
         # 3. the receiver's policy gauntlet.
         sender_domain = spec.sender_domain
-        mta = world.receiver_mtas[receiver_domain]
+        if snap is not None:
+            mta = snap[1]
+            if mta is None:
+                mta = world.receiver_mtas[receiver_domain]
+                snap[1] = mta
+        else:
+            mta = world.receiver_mtas[receiver_domain]
         auth_result = None
         if mta.policy.enforces_auth:
             auth_result = self._auth.evaluate(sender_domain, proxy.ip, t)
@@ -382,13 +433,4 @@ class DeliveryEngine:
     def _retryable(attempt: AttemptRecord) -> bool:
         """Source-level and transport failures justify a full retry budget;
         recipient-level rejections only get a confirmation retry."""
-        retryable = {
-            BounceType.T4.value,
-            BounceType.T5.value,
-            BounceType.T6.value,
-            BounceType.T7.value,
-            BounceType.T11.value,
-            BounceType.T14.value,
-            BounceType.T15.value,
-        }
-        return attempt.truth_type in retryable
+        return attempt.truth_type in _RETRYABLE_TYPES

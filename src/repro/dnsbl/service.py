@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core import fastpath
 from repro.util.clock import DAY_SECONDS, SimClock, Window
 from repro.util.rng import RandomSource
 
@@ -25,12 +26,34 @@ class DNSBLService:
     name: str = "zen.spamhaus.org"
     _listings: dict[str, list[Window]] = field(default_factory=dict)
     _domain_listings: dict[str, Window] = field(default_factory=dict)
+    # Fast-path interval cache: ip -> (start, end, listed, windows, n).
+    # Valid while t stays in [start, end) and the ip's window list is the
+    # same object with the same length (add_listing appends in place).
+    _ip_state: dict[str, tuple] = field(default_factory=dict, repr=False, compare=False)
 
     def add_listing(self, ip: str, window: Window) -> None:
         self._listings.setdefault(ip, []).append(window)
 
     def is_listed(self, ip: str, t: float) -> bool:
-        return any(w.contains(t) for w in self._listings.get(ip, ()))
+        if not fastpath.enabled():
+            return any(w.contains(t) for w in self._listings.get(ip, ()))
+        entry = self._ip_state.get(ip)
+        windows = self._listings.get(ip)
+        if (
+            entry is not None
+            and entry[0] <= t < entry[1]
+            and entry[3] is windows
+            and entry[4] == (0 if windows is None else len(windows))
+        ):
+            return entry[2]
+        if windows is None:
+            entry = (float("-inf"), float("inf"), False, None, 0)
+        else:
+            start, end = fastpath.stable_interval(t, (windows,))
+            listed = any(w.contains(t) for w in windows)
+            entry = (start, end, listed, windows, len(windows))
+        self._ip_state[ip] = entry
+        return entry[2]
 
     def listings(self, ip: str) -> list[Window]:
         return list(self._listings.get(ip, ()))

@@ -2,10 +2,46 @@
 
 from __future__ import annotations
 
+from repro.core import fastpath
 from repro.dnssim.records import RecordType, ResolveResult, ResolveStatus
 from repro.dnssim.zone import Zone
 from repro.obs import metrics as obs_metrics
 from repro.util.rng import RandomSource
+
+# Shared terminal results.  ResolveResult is frozen (and DnsRecords are
+# frozen), so handing the same instance to every caller is safe.
+_NXDOMAIN = ResolveResult(ResolveStatus.NXDOMAIN)
+_SERVFAIL = ResolveResult(ResolveStatus.SERVFAIL)
+_NO_DATA = ResolveResult(ResolveStatus.NO_DATA)
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+class _ZoneState:
+    """Cached pure zone state for one (domain, rtype) over ``[start, end)``.
+
+    Only the rng-free predicates are cached (registered? broken? which
+    records?); the transient-failure and broken-MX coin flips stay in
+    :meth:`Resolver._answer` so the caller's rng stream is consumed
+    exactly as without the cache.
+    """
+
+    __slots__ = ("start", "end", "token", "zone", "registered", "broken", "result", "mx_host")
+
+    def __init__(self, start, end, token, zone, registered, broken, result, mx_host=None) -> None:
+        self.start = start
+        self.end = end
+        self.token = token
+        #: the Zone this entry guards (None for unknown domains) — kept on
+        #: the entry so cache hits skip the zone-registry lookup.
+        self.zone = zone
+        self.registered = registered
+        self.broken = broken
+        self.result = result
+        #: preferred MX hostname precomputed from ``result`` (MX entries
+        #: only), so ``resolve_mx_host`` skips the per-call best-MX scan.
+        self.mx_host = mx_host
 
 
 class Resolver:
@@ -25,6 +61,13 @@ class Resolver:
     def __init__(self, transient_failure_rate: float = 0.0005) -> None:
         self._zones: dict[str, Zone] = {}
         self.transient_failure_rate = transient_failure_rate
+        # Interval ("TTL") cache: (domain, rtype) -> _ZoneState valid on
+        # [start, end), where the interval edges are the nearest
+        # misconfiguration/registration window boundaries.  Entries also
+        # carry a zone state token so mutations invalidate them.
+        self._state_cache: dict[tuple[str, RecordType], _ZoneState] = {}
+        self._registration_epoch = 0
+        self._state_stats = fastpath.CacheStats("dns-state")
         # Telemetry (no-op unless repro.obs is enabled at construction).
         self._obs_on = obs_metrics.enabled()
         self._m_queries = obs_metrics.counter(
@@ -41,6 +84,8 @@ class Resolver:
         if key in self._zones:
             raise ValueError(f"zone already registered: {zone.domain}")
         self._zones[key] = zone
+        # Invalidates any cached "unknown domain" entries.
+        self._registration_epoch += 1
 
     def zone(self, domain: str) -> Zone | None:
         return self._zones.get(domain.lower())
@@ -63,15 +108,121 @@ class Resolver:
     ) -> ResolveResult:
         result = self._answer(domain, rtype, t, rng)
         if self._obs_on:
-            key = (rtype, result.status)
-            child = self._m_query_children.get(key)
-            if child is None:
-                child = self._m_queries.labels(f"{rtype.value}:{result.status.value}")
-                self._m_query_children[key] = child
-            child.inc()
+            self._count_query(rtype, result.status)
         return result
 
+    def _count_query(self, rtype: RecordType, status: "ResolveStatus") -> None:
+        key = (rtype, status)
+        child = self._m_query_children.get(key)
+        if child is None:
+            child = self._m_queries.labels(f"{rtype.value}:{status.value}")
+            self._m_query_children[key] = child
+        child.inc()
+
     def _answer(
+        self,
+        domain: str,
+        rtype: RecordType,
+        t: float,
+        rng: RandomSource | None = None,
+    ) -> ResolveResult:
+        if not fastpath.enabled():
+            return self._answer_reference(domain, rtype, t, rng)
+        state = self._zone_state(domain.lower(), rtype, t)
+        if not state.registered:
+            return _NXDOMAIN
+        # rng draws below happen in exactly the same cases and order as
+        # in the reference path — the cache covers only pure predicates.
+        if rng is not None and rng.chance(self.transient_failure_rate):
+            return _SERVFAIL
+        if state.broken:
+            if rtype is RecordType.MX and rng is not None and rng.chance(0.5):
+                return _SERVFAIL
+            return _NO_DATA
+        return state.result
+
+    def _zone_state(self, key: str, rtype: RecordType, t: float) -> _ZoneState:
+        cache_key = (key, rtype)
+        entry = self._state_cache.get(cache_key)
+        if entry is not None:
+            zone = entry.zone
+            if zone is None:
+                # Unknown-domain entry: valid until any zone registration.
+                if entry.token == self._registration_epoch:
+                    self._state_stats.hit()
+                    return entry
+            else:
+                # Compare the token components in place (no tuple build on
+                # the hit path); equivalent to token == zone.state_token().
+                tok = entry.token
+                if (
+                    tok[0] == zone._epoch
+                    and tok[1] == len(zone.registrations)
+                    and tok[2] == len(zone.records)
+                    and entry.start <= t < entry.end
+                ):
+                    self._state_stats.hit()
+                    return entry
+        self._state_stats.miss()
+        zone = self._zones.get(key)
+        if zone is None:
+            entry = _ZoneState(
+                _NEG_INF, _POS_INF, self._registration_epoch, None, False, False, None
+            )
+        else:
+            entry = self._build_state(zone, rtype, t, zone.state_token())
+        self._state_cache[cache_key] = entry
+        return entry
+
+    def _build_state(
+        self, zone: Zone, rtype: RecordType, t: float, token
+    ) -> _ZoneState:
+        window_lists: list = [zone.registrations]
+        points: tuple = ()
+        if rtype is RecordType.MX:
+            window_lists.append(zone.mx_error_windows)
+            points = (zone.mx_disabled_from,)
+            broken = zone.mx_broken_at(t)
+        elif rtype is RecordType.TXT_SPF:
+            window_lists.extend((zone.spf_error_windows, zone.auth_error_windows))
+            broken = zone.spf_broken_at(t)
+        elif rtype is RecordType.TXT_DKIM:
+            window_lists.extend((zone.dkim_error_windows, zone.auth_error_windows))
+            broken = zone.dkim_broken_at(t)
+        elif rtype is RecordType.TXT_DMARC:
+            window_lists.append(zone.dmarc_error_windows)
+            broken = zone.dmarc_broken_at(t)
+        else:
+            broken = False
+        start, end = fastpath.stable_interval(t, tuple(window_lists), points)
+        registered = zone.registered_at(t)
+        result = None
+        mx_host = None
+        if registered and not broken:
+            records = tuple(zone.records_of(rtype))
+            result = ResolveResult(ResolveStatus.OK, records) if records else _NO_DATA
+            if rtype is RecordType.MX and result.ok:
+                best = result.best_mx()
+                mx_host = best.value if best else None
+        return _ZoneState(start, end, token, zone, registered, broken, result, mx_host)
+
+    def state_span(
+        self, domain: str, rtype: RecordType, t: float
+    ) -> tuple[float, float, Zone | None, object]:
+        """``(start, end, zone, token)`` of the stable state interval at ``t``.
+
+        Consumers caching anything derived from this resolver's answers
+        (e.g. the auth evaluator) intersect these spans and re-check the
+        tokens with :meth:`state_token` on every cache hit.
+        """
+        entry = self._zone_state(domain.lower(), rtype, t)
+        return entry.start, entry.end, entry.zone, entry.token
+
+    def state_token(self, zone: Zone | None) -> object:
+        """Current validation token for a zone (or the unknown-domain set)."""
+        return self._registration_epoch if zone is None else zone.state_token()
+
+    def _answer_reference(
         self,
         domain: str,
         rtype: RecordType,
@@ -106,6 +257,25 @@ class Resolver:
 
     def resolve_mx_host(self, domain: str, t: float, rng: RandomSource | None = None) -> str | None:
         """Convenience: preferred MX hostname, or None when unroutable."""
+        if fastpath.enabled():
+            # Same state lookup, rng draws, and telemetry as query(MX), but
+            # the preferred host comes precomputed off the state entry
+            # instead of a per-call scan over the record set.
+            state = self._zone_state(domain.lower(), RecordType.MX, t)
+            if not state.registered:
+                result = _NXDOMAIN
+            elif rng is not None and rng.chance(self.transient_failure_rate):
+                result = _SERVFAIL
+            elif state.broken:
+                if rng is not None and rng.chance(0.5):
+                    result = _SERVFAIL
+                else:
+                    result = _NO_DATA
+            else:
+                result = state.result
+            if self._obs_on:
+                self._count_query(RecordType.MX, result.status)
+            return state.mx_host if result.ok else None
         result = self.query(domain, RecordType.MX, t, rng)
         if not result.ok:
             return None

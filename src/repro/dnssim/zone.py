@@ -42,6 +42,29 @@ class Zone:
     #: deploys no mail service).  ``None`` = records always served.
     mx_disabled_from: float | None = None
 
+    #: Mutation epoch.  Bumped whenever zone state is (re)assigned so
+    #: the resolver's interval cache can validate entries cheaply.
+    #: Class-level default keeps it out of the dataclass fields.
+    _epoch = 0
+
+    def __setattr__(self, name: str, value) -> None:
+        # Any state assignment (including replacing a window list in a
+        # test) invalidates cached derived state.  In-place *mutation* of
+        # a window list is not observable here — callers doing that must
+        # call invalidate(); list growth is additionally caught by the
+        # length checks in the resolver's cache token.
+        object.__setattr__(self, name, value)
+        if name != "_epoch":
+            object.__setattr__(self, "_epoch", self._epoch + 1)
+
+    def invalidate(self) -> None:
+        """Mark derived caches stale after in-place window mutation."""
+        self._epoch += 1
+
+    def state_token(self) -> tuple[int, int, int]:
+        """Cheap fingerprint of mutable zone state for cache validation."""
+        return (self._epoch, len(self.registrations), len(self.records))
+
     def registered_at(self, t: float) -> bool:
         return any(w.contains(t) for w in self.registrations)
 

@@ -10,6 +10,11 @@ then mapped in order, so the concatenated result is **identical** to
 ``ebrc.classify_many(messages)`` — the classifier is deterministic and
 order has no effect on per-message output.
 
+The serialised payload carries the precomputed template -> label table
+(see ``EBRC.save``), so every worker's classifier starts *warm*:
+steady-state classification in a worker is a Drain tree walk plus a
+dict hit, the same fast path the in-process classifier uses.
+
 ``workers <= 1`` (or an input smaller than one chunk) short-circuits to
 the serial path: no pool, no payload file.
 """

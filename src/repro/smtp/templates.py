@@ -18,7 +18,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from itertools import accumulate
 
+from repro.core import fastpath
 from repro.core.taxonomy import BounceType
 from repro.smtp.ndr import NDR
 from repro.util.rng import RandomSource
@@ -279,6 +281,10 @@ AMBIGUOUS_TEMPLATES: list[tuple[str, float]] = [
     ("454 Relay access denied {qid}", 4.26),
 ]
 
+_AMBIG_ITEMS: list[str] = [t for t, _ in AMBIGUOUS_TEMPLATES]
+_AMBIG_CUM: list[float] = list(accumulate(w for _, w in AMBIGUOUS_TEMPLATES))
+_AMBIG_TOTAL: float = _AMBIG_CUM[-1] + 0.0
+
 #: The Exchange "Access denied. AS(201806281)" template dominates the
 #: ambiguous pool (76.99% in Table 6); it is emitted by Exchange-dialect
 #: receivers for a mix of true reasons.
@@ -348,6 +354,10 @@ class NDRTemplateBank:
             for dialect in spec.dialects:
                 self._by_type_dialect.setdefault((spec.bounce_type, dialect), []).append(spec)
             self._by_type_generic.setdefault(spec.bounce_type, []).append(spec)
+        # (bounce_type, dialect, tag) -> (pool, cumulative weights, total).
+        # The pools are fixed at construction, so the fast path resolves a
+        # render's candidate set and weight table with one dict hit.
+        self._pool_cache: dict[tuple, tuple[list[TemplateSpec], list[float], float]] = {}
 
     def templates_for(self, bounce_type: BounceType, dialect: TemplateDialect) -> list[TemplateSpec]:
         """Dialect-specific templates, falling back to the full type pool."""
@@ -388,6 +398,24 @@ class NDRTemplateBank:
             text = self._render_ambiguous(dialect, rng, ctx)
             return NDR(text=text, truth_type=bounce_type.value, ambiguous=True)
 
+        if fastpath.enabled():
+            key = (bounce_type, dialect, tag)
+            entry = self._pool_cache.get(key)
+            if entry is None:
+                pool = self._tagged_pool(bounce_type, dialect, tag)
+                cum = list(accumulate(spec.weight for spec in pool))
+                entry = (pool, cum, cum[-1] + 0.0)
+                self._pool_cache[key] = entry
+            spec = rng.weighted_choice_cum(entry[0], entry[1], entry[2])
+        else:
+            pool = self._tagged_pool(bounce_type, dialect, tag)
+            weights = [spec.weight for spec in pool]
+            spec = rng.weighted_choice(pool, weights)
+        return NDR(text=spec.text.format(**ctx), truth_type=bounce_type.value)
+
+    def _tagged_pool(
+        self, bounce_type: BounceType, dialect: TemplateDialect, tag: str
+    ) -> list[TemplateSpec]:
         pool = self.templates_for(bounce_type, dialect)
         pool = [s for s in pool if s.tag == tag]
         if not pool:
@@ -400,9 +428,7 @@ class NDRTemplateBank:
             pool = self._by_type_generic.get(bounce_type, [])
         if not pool:
             raise KeyError(f"no templates for {bounce_type} tag={tag!r}")
-        weights = [spec.weight for spec in pool]
-        spec = rng.weighted_choice(pool, weights)
-        return NDR(text=spec.text.format(**ctx), truth_type=bounce_type.value)
+        return pool
 
     def render_unknown(
         self,
@@ -427,6 +453,8 @@ class NDRTemplateBank:
         if dialect is TemplateDialect.EXCHANGE:
             # Exchange's overloaded "Access denied" dominates (Table 6 row 1).
             template = AMBIGUOUS_TEMPLATES[0][0]
+        elif fastpath.enabled():
+            template = rng.weighted_choice_cum(_AMBIG_ITEMS, _AMBIG_CUM, _AMBIG_TOTAL)
         else:
             templates = [t for t, _ in AMBIGUOUS_TEMPLATES]
             weights = [w for _, w in AMBIGUOUS_TEMPLATES]

@@ -243,11 +243,10 @@ class OnlineEBRC:
             return self._cache[tid]
         if self._obs_on:
             self._m_observed.labels("template-miss").inc()
-        if tid in ebrc.ambiguous_template_ids:
-            result: BounceType | None = None
-        else:
-            result = BounceType(
-                ebrc.template_types.get(tid, BounceType.T16.value)
-            )
+        # The batch pipeline precomputes template labels at fit time;
+        # reuse that table instead of re-deriving the label here.  The
+        # local cache (and with it the hit-rate stats) is still warmed
+        # one template at a time, exactly as before.
+        result = ebrc.template_label(tid)
         self._cache[tid] = result
         return result

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.core import fastpath
 from repro.util.rng import RandomSource
 
 
@@ -80,8 +81,29 @@ def _emit(seen: set[str], out: list[TypoCandidate], text: str, kind: TypoKind, o
         out.append(TypoCandidate(text, kind, original))
 
 
+_TYPO_MEMO = fastpath.register(fastpath.LruMemo("label-typos", capacity=4096))
+
+
 def label_typos(label: str, allow_separators: bool = False) -> list[TypoCandidate]:
-    """All single-edit typo candidates of ``label``, tagged by class."""
+    """All single-edit typo candidates of ``label``, tagged by class.
+
+    Pure enumeration; memoised by ``(label, allow_separators)`` on the
+    fast path (the workload generator asks for the same popular labels
+    thousands of times).  Callers get a fresh list each time — the
+    cached tuple is never exposed.
+    """
+    if fastpath.enabled():
+        key = (label, allow_separators)
+        cached = _TYPO_MEMO.get(key)
+        if cached is fastpath.MISSING:
+            cached = _TYPO_MEMO.put(
+                key, tuple(_label_typos_impl(label, allow_separators))
+            )
+        return list(cached)
+    return _label_typos_impl(label, allow_separators)
+
+
+def _label_typos_impl(label: str, allow_separators: bool) -> list[TypoCandidate]:
     label = label.lower()
     out: list[TypoCandidate] = []
     seen: set[str] = set()

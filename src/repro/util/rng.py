@@ -91,6 +91,23 @@ class RandomSource:
             raise IndexError("cannot choose from an empty sequence")
         return self._rng.choices(items, weights=weights, k=1)[0]
 
+    def weighted_choice_cum(
+        self, items: Sequence[T], cum_weights: Sequence[float], total: float
+    ) -> T:
+        """:meth:`weighted_choice` with a caller-precomputed cumulative table.
+
+        Draw-for-draw identical to ``weighted_choice(items, weights)`` when
+        ``cum_weights = list(accumulate(weights))`` and
+        ``total = cum_weights[-1] + 0.0`` — it replays the exact arithmetic
+        of :meth:`random.Random.choices` (one ``random()`` scaled by the
+        float total, then a right-bisect capped at ``len(items) - 1``), so
+        hot paths can cache the table without perturbing the stream.
+        """
+        if total <= 0.0:
+            raise ValueError("total of weights must be greater than zero")
+        u = self._rng.random() * total
+        return items[bisect.bisect_right(cum_weights, u, 0, len(items) - 1)]
+
     def zipf_rank(self, n: int, alpha: float = 1.1) -> int:
         """Sample a rank in ``[0, n)`` from a truncated Zipf distribution.
 

@@ -6,6 +6,17 @@ import re
 
 _NON_ALNUM = re.compile(r"[^a-z0-9]+")
 
+#: One hostname pattern shared by every masking layer.  Historically
+#: ``repro.core.drain`` matched a hard-coded TLD list while
+#: ``repro.core.tokenize`` matched any dotted label sequence; the two
+#: drifted, so the same NDR could mask differently depending on which
+#: path saw it first.  Both now use this pattern: two or more
+#: dot-separated labels of ``[a-z0-9-]`` (masking runs on lowercased or
+#: lowercase-ish NDR text, so uppercase variants are out of scope here).
+HOSTNAME_PATTERN = r"\b[a-z0-9-]+(?:\.[a-z0-9-]+)+\b"
+
+HOSTNAME_RE = re.compile(HOSTNAME_PATTERN)
+
 
 def levenshtein(a: str, b: str) -> int:
     """Classic edit distance (insert/delete/substitute, all cost 1)."""

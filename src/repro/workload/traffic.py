@@ -12,8 +12,10 @@ borderline; Coremail's outgoing filter flag is applied by the engine.
 
 from __future__ import annotations
 
+from itertools import accumulate
 from typing import Iterator
 
+from repro.core import fastpath
 from repro.typosquat.generate import sample_domain_typo, sample_username_typo
 from repro.util.rng import RandomSource
 from repro.util.text import split_address
@@ -31,6 +33,10 @@ class TrafficGenerator:
         self.rng = rng
         self.schedule = ArrivalSchedule(world.clock, world.config.emails_per_day_scaled)
         self._sender_sampler = world.sender_sampler(rng.child("senders"))
+        # Per-user cumulative contact weights (fast path only).  Guarded by
+        # the contact list's identity and length so a rebuilt or extended
+        # list recomputes the table.
+        self._contact_cum: dict[str, tuple[list, list[float], float]] = {}
 
     def generate(self) -> list[EmailSpec]:
         """The full benign stream across the measurement window, in time
@@ -96,10 +102,22 @@ class TrafficGenerator:
         )
 
     def _pick_contact(self, user: SenderUser, rng: RandomSource):
-        if not user.contacts:
+        contacts = user.contacts
+        if not contacts:
             return None
-        weights = [c.weight for c in user.contacts]
-        return rng.weighted_choice(user.contacts, weights)
+        if fastpath.enabled():
+            entry = self._contact_cum.get(user.address)
+            if (
+                entry is None
+                or entry[0] is not contacts
+                or len(entry[1]) != len(contacts)
+            ):
+                cum = list(accumulate(c.weight for c in contacts))
+                entry = (contacts, cum, cum[-1] + 0.0)
+                self._contact_cum[user.address] = entry
+            return rng.weighted_choice_cum(contacts, entry[1], entry[2])
+        weights = [c.weight for c in contacts]
+        return rng.weighted_choice(contacts, weights)
 
     def _apply_typos(self, address: str, rng: RandomSource) -> tuple[str, tuple[str, ...]]:
         config = self.world.config

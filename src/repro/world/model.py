@@ -17,9 +17,10 @@ each default is set where it is.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from datetime import datetime, timezone
 
+from repro.core import fastpath
 from repro.delivery.proxies import ProxyFleet
 from repro.dnsbl.service import DNSBLService, build_spamhaus_listings
 from repro.dnssim.misconfig import AUTH_PROFILE, MX_HEAD_PROFILE, MX_PROFILE, QUOTA_PROFILE, MisconfigModel
@@ -58,6 +59,55 @@ GUESS_TARGET_COUNTRIES = ("TJ", "KG", "NZ", "RO")
 STALE_LIST_COUNTRIES = ("QA", "LV", "IR", "MM")
 
 
+class _StatusEntry:
+    """Cached recipient status for one address over ``[start, end)``.
+
+    Mailbox predicates are piecewise-constant in time (full/inactive
+    windows, a deletion point), so the status computed at ``t`` holds
+    until the next window edge.  Guards capture the mailbox state the
+    answer was derived from; any reassignment or growth of the window
+    lists invalidates the entry.
+    """
+
+    __slots__ = (
+        "status", "start", "end", "rdomain", "n_boxes", "box",
+        "full_windows", "n_full", "inactive_windows", "n_inactive",
+        "deleted_at", "high_volume",
+    )
+
+    def __init__(self, status, start, end, rdomain, n_boxes, box) -> None:
+        self.status = status
+        self.start = start
+        self.end = end
+        self.rdomain = rdomain
+        self.n_boxes = n_boxes
+        self.box = box
+        if box is not None:
+            self.full_windows = box.full_windows
+            self.n_full = len(box.full_windows)
+            self.inactive_windows = box.inactive_windows
+            self.n_inactive = len(box.inactive_windows)
+            self.deleted_at = box.deleted_at
+            self.high_volume = box.high_volume
+
+    def valid(self, world: "WorldModel", t: float) -> bool:
+        if not self.start <= t < self.end:
+            return False
+        if self.rdomain is None:
+            return len(world.receiver_domains) == self.n_boxes
+        box = self.box
+        if box is None:
+            return len(self.rdomain.mailboxes) == self.n_boxes
+        return (
+            box.full_windows is self.full_windows
+            and len(box.full_windows) == self.n_full
+            and box.inactive_windows is self.inactive_windows
+            and len(box.inactive_windows) == self.n_inactive
+            and box.deleted_at == self.deleted_at
+            and box.high_volume == self.high_volume
+        )
+
+
 @dataclass
 class WorldModel:
     config: SimulationConfig
@@ -79,6 +129,9 @@ class WorldModel:
     _domain_sampler: WeightedSampler[ReceiverDomain] | None = None
     #: Flat list of benign sender users with activity weights.
     _sender_sampler: WeightedSampler[SenderUser] | None = None
+    #: Fast-path interval caches (address -> _StatusEntry, domain -> tuple).
+    _status_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _sender_dns_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     # -- samplers -------------------------------------------------------------
 
@@ -110,7 +163,18 @@ class WorldModel:
 
     def recipient_status(self, address: str, t: float) -> RecipientStatus:
         """Receiver-side recipient validation (the engine feeds this into
-        the MTA's AttemptContext)."""
+        the MTA's AttemptContext).  Answers are cached per address with
+        an exact validity interval when the fast path is on."""
+        if not fastpath.enabled():
+            return self._recipient_status_impl(address, t)
+        entry = self._status_cache.get(address)
+        if entry is not None and entry.valid(self, t):
+            return entry.status
+        entry = self._build_status_entry(address, t)
+        self._status_cache[address] = entry
+        return entry.status
+
+    def _recipient_status_impl(self, address: str, t: float) -> RecipientStatus:
         user, domain = split_address(address)
         rdomain = self.receiver_domains.get(domain)
         if rdomain is None:
@@ -126,6 +190,29 @@ class WorldModel:
             return RecipientStatus.OVER_RATE
         return RecipientStatus.OK
 
+    def _build_status_entry(self, address: str, t: float) -> _StatusEntry:
+        neg_inf, pos_inf = float("-inf"), float("inf")
+        user, domain = split_address(address)
+        rdomain = self.receiver_domains.get(domain)
+        if rdomain is None:
+            return _StatusEntry(
+                RecipientStatus.NO_SUCH_USER, neg_inf, pos_inf,
+                None, len(self.receiver_domains), None,
+            )
+        box = rdomain.mailbox(user)
+        if box is None:
+            return _StatusEntry(
+                RecipientStatus.NO_SUCH_USER, neg_inf, pos_inf,
+                rdomain, len(rdomain.mailboxes), None,
+            )
+        status = self._recipient_status_impl(address, t)
+        start, end = fastpath.stable_interval(
+            t,
+            (box.full_windows, box.inactive_windows),
+            (box.deleted_at,),
+        )
+        return _StatusEntry(status, start, end, rdomain, len(rdomain.mailboxes), box)
+
     def sender_zone(self, domain: str) -> Zone | None:
         return self.resolver.zone(domain)
 
@@ -134,8 +221,23 @@ class WorldModel:
         return zone is not None and zone.auth_broken_at(t)
 
     def sender_dns_broken(self, domain: str, t: float) -> bool:
+        if not fastpath.enabled():
+            zone = self.resolver.zone(domain)
+            return zone is not None and zone.dns_broken_at(t)
+        entry = self._sender_dns_cache.get(domain)
+        if entry is not None:
+            zone, token, start, end, value = entry
+            if start <= t < end and self.resolver.state_token(zone) == token:
+                return value
         zone = self.resolver.zone(domain)
-        return zone is not None and zone.dns_broken_at(t)
+        token = self.resolver.state_token(zone)
+        if zone is None:
+            value, start, end = False, float("-inf"), float("inf")
+        else:
+            value = zone.dns_broken_at(t)
+            start, end = fastpath.stable_interval(t, (zone.dns_error_windows,))
+        self._sender_dns_cache[domain] = (zone, token, start, end, value)
+        return value
 
     def benign_sender_domains(self) -> list[SenderDomain]:
         return [d for d in self.sender_domains if d.kind is SenderKind.BENIGN]

@@ -157,6 +157,37 @@ class TestQuiet:
         assert captured.out == ""
 
 
+class TestNoCacheFlag:
+    def test_simulate_byte_identical_without_caches(self, tmp_path):
+        cached = tmp_path / "cached.jsonl"
+        uncached = tmp_path / "uncached.jsonl"
+        assert main(["--quiet", "simulate", "--scale", "0.004", "--seed", "5",
+                     "--out", str(cached)]) == 0
+        assert main(["--quiet", "simulate", "--scale", "0.004", "--seed", "5",
+                     "--out", str(uncached), "--no-cache"]) == 0
+        assert cached.read_bytes() == uncached.read_bytes()
+
+    def test_stream_byte_identical_without_caches(self, tmp_path):
+        cached = tmp_path / "cached"
+        uncached = tmp_path / "uncached"
+        for out_dir, flags in ((cached, []), (uncached, ["--no-cache"])):
+            assert main(["--quiet", "stream", "--scale", "0.004", "--seed", "5",
+                         "--out-dir", str(out_dir), "--shard-size", "500",
+                         "--progress-every", "0", *flags]) == 0
+        cached_shards = sorted(p.name for p in cached.glob("shard-*.jsonl"))
+        uncached_shards = sorted(p.name for p in uncached.glob("shard-*.jsonl"))
+        assert cached_shards == uncached_shards and cached_shards
+        for name in cached_shards:
+            assert (cached / name).read_bytes() == (uncached / name).read_bytes()
+
+    def test_caches_restored_after_no_cache_run(self, tmp_path):
+        from repro.core import fastpath
+
+        assert main(["--quiet", "simulate", "--scale", "0.002", "--seed", "5",
+                     "--out", str(tmp_path / "x.jsonl"), "--no-cache"]) == 0
+        assert fastpath.enabled()
+
+
 class TestObsFlags:
     def test_metrics_out_writes_prometheus(self, tmp_path, capsys):
         out = tmp_path / "log.jsonl"
