@@ -306,8 +306,18 @@ def _join_workers(
     pending = set(range(len(procs)))
     while pending:
         for i in sorted(pending):
+            # Check the deadline per worker, not per sweep: joining every
+            # pending worker for _POLL_S each would let the overshoot grow
+            # with the worker count (~1.6s/loop at 32 workers).
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    _raise_timeout(buckets, pending, timeout)
+                join_s = min(_POLL_S, remaining)
+            else:
+                join_s = _POLL_S
             proc = procs[i]
-            proc.join(timeout=_POLL_S)
+            proc.join(timeout=join_s)
             if proc.is_alive():
                 continue
             pending.discard(i)
@@ -321,10 +331,14 @@ def _join_workers(
                 f"exit code {proc.exitcode} and no result"
             )
         if deadline is not None and pending and time.monotonic() > deadline:
-            unfinished = ", ".join(
-                _bucket_keys(buckets[i]) for i in sorted(pending)
-            )
-            raise ParallelTimeoutError(
-                f"parallel run exceeded {timeout:.1f}s; terminated "
-                f"{len(pending)} worker(s) still holding: {unfinished}"
-            )
+            _raise_timeout(buckets, pending, timeout)
+
+
+def _raise_timeout(
+    buckets: list[list[SimSlice]], pending: set, timeout: float
+) -> None:
+    unfinished = ", ".join(_bucket_keys(buckets[i]) for i in sorted(pending))
+    raise ParallelTimeoutError(
+        f"parallel run exceeded {timeout:.1f}s; terminated "
+        f"{len(pending)} worker(s) still holding: {unfinished}"
+    )

@@ -23,6 +23,7 @@ import hashlib
 import heapq
 import itertools
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from time import perf_counter
@@ -36,8 +37,36 @@ MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
 
 
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Durably replace ``path`` with ``text``: write a sibling temp file,
+    fsync it, then ``os.replace`` (atomic on POSIX) and fsync the
+    directory.  A crash at any point leaves either the old file or the
+    new one — never a torn half-write."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return path
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+    return path
+
+
 class ShardIntegrityError(RuntimeError):
     """A shard's payload does not match its manifest checksum."""
+
+
+class ShardDecodeError(ShardIntegrityError):
+    """A shard line is not a decodable delivery record (torn write or
+    on-disk corruption); the message names the file and record index."""
 
 
 @dataclass(frozen=True)
@@ -109,11 +138,12 @@ class ShardManifest:
         )
 
     def save(self, directory: str | Path) -> Path:
-        path = Path(directory) / MANIFEST_NAME
-        path.write_text(
-            json.dumps(self.to_json_dict(), indent=2) + "\n", encoding="utf-8"
+        # Atomic + fsync'd: a crash mid-save must never leave a torn
+        # manifest.json that makes the whole directory unreadable.
+        return atomic_write_text(
+            Path(directory) / MANIFEST_NAME,
+            json.dumps(self.to_json_dict(), indent=2) + "\n",
         )
-        return path
 
     @classmethod
     def load(cls, directory: str | Path) -> "ShardManifest":
@@ -255,11 +285,31 @@ class ShardWriter:
         self.manifest.save(self.directory)
         return self.manifest
 
+    def abort(self) -> None:
+        """Abnormal-exit path: close the open shard file without writing
+        a final manifest — a crashed producer must stay distinguishable
+        from a complete one."""
+        if self._closed:
+            return
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            self._fh = None
+            self._hash = None
+        self._closed = True
+
     def __enter__(self) -> "ShardWriter":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        # Only a clean exit finalises the manifest; on an exception the
+        # directory is left manifest-less (detectably incomplete).
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
 
 
 class ShardReader:
@@ -294,8 +344,17 @@ class ShardReader:
             )
 
     def iter_shard(self, info: ShardInfo, verify: bool = False) -> Iterator[DeliveryRecord]:
-        for line in self.iter_lines(info, verify=verify):
-            yield DeliveryRecord.from_json(line)
+        for n, line in enumerate(self.iter_lines(info, verify=verify), 1):
+            try:
+                yield DeliveryRecord.from_json(line)
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ShardDecodeError(
+                    f"{self.directory / info.name}: record {n}: undecodable "
+                    f"line ({exc.__class__.__name__}: {exc}); if the "
+                    f"producing run crashed mid-write, "
+                    f"repro.stream.sink.recover_shards() can salvage the "
+                    f"directory"
+                ) from exc
 
     def iter_records(
         self,

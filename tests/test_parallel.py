@@ -163,6 +163,33 @@ class TestFailures:
         with pytest.raises(ParallelTimeoutError, match="traffic/days-000"):
             run_parallel_simulation(SMALL, workers=2, timeout=5.0)
 
+    def test_deadline_overshoot_bounded_by_poll_not_worker_count(self, tmp_path):
+        """The join loop must honour the deadline per worker: pre-fix, a
+        full sweep joined every pending worker for the poll interval each
+        before consulting the deadline, so 32 stuck workers overran a
+        0.3s timeout by ~1.6s per loop."""
+        import time
+        from types import SimpleNamespace
+
+        from repro.parallel.runner import _join_workers
+
+        class StuckProc:
+            exitcode = None
+
+            def join(self, timeout=None):
+                if timeout:
+                    time.sleep(timeout)
+
+            def is_alive(self):
+                return True
+
+        procs = [StuckProc() for _ in range(32)]
+        buckets = [[SimpleNamespace(key=f"stuck/{i}")] for i in range(32)]
+        t0 = time.monotonic()
+        with pytest.raises(ParallelTimeoutError, match="stuck/"):
+            _join_workers(procs, buckets, tmp_path, timeout=0.3)
+        assert time.monotonic() - t0 < 1.0
+
     def test_failed_run_removes_owned_shards(self, fail_hook):
         import tempfile
 

@@ -8,6 +8,7 @@ import pytest
 from repro.delivery.dataset import DeliveryDataset
 from repro.stream.sink import (
     MANIFEST_NAME,
+    ShardDecodeError,
     ShardIntegrityError,
     ShardManifest,
     ShardReader,
@@ -127,6 +128,46 @@ class TestIntegrity:
         m1 = _write(records, tmp_path / "a", shard_size=200, compress=True)
         m2 = _write(records, tmp_path / "b", shard_size=200, compress=True)
         assert [s.sha256 for s in m1.shards] == [s.sha256 for s in m2.shards]
+
+
+class TestCrashSafety:
+    def test_exception_in_with_body_writes_no_manifest(self, records, tmp_path):
+        """A crashed producer must not leave a manifest claiming the
+        directory is complete (regression: __exit__ used to finalise
+        unconditionally)."""
+        with pytest.raises(RuntimeError, match="boom"):
+            with ShardWriter(tmp_path, shard_size=100) as writer:
+                writer.write_all(records[:150])
+                raise RuntimeError("boom")
+        assert not (tmp_path / MANIFEST_NAME).exists()
+        assert writer.manifest is None
+        # the shards written so far stay on disk for salvage
+        assert list(tmp_path.glob("shard-*.jsonl"))
+
+    def test_abort_then_write_raises(self, records, tmp_path):
+        writer = ShardWriter(tmp_path)
+        writer.write(records[0])
+        writer.abort()
+        with pytest.raises(RuntimeError):
+            writer.write(records[1])
+
+    def test_manifest_save_leaves_no_temp_files(self, records, tmp_path):
+        manifest = _write(records[:20], tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert ShardManifest.load(tmp_path) == manifest
+
+    def test_decode_error_names_shard_and_record(self, records, tmp_path):
+        _write(records[:100], tmp_path, shard_size=50)
+        victim = tmp_path / "shard-00001.jsonl"
+        with victim.open("a", encoding="utf-8") as fh:
+            fh.write('{"torn": \n')
+        reader = ShardReader(tmp_path)
+        with pytest.raises(
+            ShardDecodeError, match=r"shard-00001\.jsonl: record 51"
+        ):
+            list(reader.iter_records())
+        with pytest.raises(ShardDecodeError, match="recover_shards"):
+            list(reader.iter_records())
 
 
 class TestTimeFiltering:
