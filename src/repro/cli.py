@@ -6,6 +6,8 @@ Subcommands:
   (the paper's Figure 3 record format).
 * ``stream``   — streaming simulate: records go straight into rotating
   JSONL shards with a checksummed manifest (bounded memory).
+* ``recover``  — salvage a shard directory left behind by a crashed
+  producer (truncate torn tails, re-hash, rebuild the manifest).
 * ``watch``    — replay a saved log (file or shard dir) through the
   online EBRC and the sliding-window deliverability monitors.
 * ``report``   — bounce-degree and bounce-type report over a saved log.
@@ -86,6 +88,12 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
         help="run the simulation across N worker processes; output is "
              "byte-identical to a single-process run for every N "
              "(1 = in-process, the default)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="keep per-slice shards in a persistent <output>.slices "
+             "directory and reuse verified-complete slices from a "
+             "previous (killed) run; output stays byte-identical to an "
+             "uninterrupted run")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -120,6 +128,15 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="print progress every N records (0 = quiet)")
     _add_cache_flag(p)
     _add_obs_flags(p)
+    _add_quiet(p)
+
+    p = sub.add_parser("recover", help="salvage a shard directory whose "
+                                       "producer crashed mid-write")
+    p.add_argument("directory", help="shard directory to salvage")
+    p.add_argument("--finalize", action="store_true",
+                   help="write a final manifest for the salvaged shards "
+                        "(default: record them in manifest.partial.json, "
+                        "keeping the directory detectably incomplete)")
     _add_quiet(p)
 
     p = sub.add_parser("watch", help="replay a log through the online "
@@ -212,14 +229,20 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_simulate(args) -> int:
     config = SimulationConfig(scale=args.scale, seed=args.seed)
     workers = getattr(args, "workers", 1)
-    if workers > 1:
+    resume = getattr(args, "resume", False)
+    if workers > 1 or resume:
         from repro.delivery.dataset import DeliveryDataset
         from repro.parallel import run_parallel_simulation
 
-        with run_parallel_simulation(config, workers=workers) as run:
+        with run_parallel_simulation(
+            config, workers=workers,
+            shard_root=f"{args.out}.slices" if resume else None,
+            resume=resume,
+        ) as run:
             dataset = DeliveryDataset(list(run.iter_records()))
         _status(f"parallel run: {run.workers} worker(s), "
                 f"{len(run.slices)} slice(s), {run.elapsed_s:.1f}s")
+        _status_resume(run, f"{args.out}.slices")
     else:
         dataset = run_simulation(config).dataset
     dataset.write_jsonl(args.out)
@@ -232,21 +255,34 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _status_resume(run, slices_dir: str) -> None:
+    """One status line about what a resumed run reused vs redid."""
+    if run.resumed_slices or run.rerun_slices:
+        _status(f"resume: reused {len(run.resumed_slices)} slice(s), "
+                f"re-ran {len(run.rerun_slices)}; slices kept in {slices_dir}")
+
+
 def _cmd_stream(args) -> int:
     from repro.stream.sink import ShardWriter
     from repro.util.clock import SimClock
 
     config = SimulationConfig(scale=args.scale, seed=args.seed)
     workers = getattr(args, "workers", 1)
-    if workers > 1:
+    resume = getattr(args, "resume", False)
+    if workers > 1 or resume:
         from repro.parallel import run_parallel_simulation
 
-        parallel_run = run_parallel_simulation(config, workers=workers)
+        parallel_run = run_parallel_simulation(
+            config, workers=workers,
+            shard_root=f"{args.out_dir}.slices" if resume else None,
+            resume=resume,
+        )
         records = parallel_run.iter_records()
         clock = SimClock(config.start, config.end)
         _status(f"parallel run: {parallel_run.workers} worker(s), "
                 f"{len(parallel_run.slices)} slice(s), "
                 f"{parallel_run.elapsed_s:.1f}s; merging into {args.out_dir}")
+        _status_resume(parallel_run, f"{args.out_dir}.slices")
     else:
         from repro.stream.runner import stream_simulation
 
@@ -273,6 +309,30 @@ def _cmd_stream(args) -> int:
             f"{len(manifest.shards)} shard(s) under {args.out_dir} "
             f"(scale={args.scale}, seed={args.seed})")
     _status(f"manifest: {args.out_dir}/manifest.json")
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.stream.sink import recover_shards
+
+    report = recover_shards(args.directory, finalize=args.finalize)
+    if report.already_complete:
+        _status(f"{args.directory}: final manifest is valid; nothing to do")
+        return 0
+    for shard in report.shards:
+        note = ""
+        if shard.rewritten:
+            note = f"  (truncated, dropped {shard.n_dropped_lines} line(s))"
+        print(f"{shard.name}  records={shard.n_records}{note}")
+    print(f"salvaged {report.n_records:,} record(s) in "
+          f"{len(report.shards)} shard(s)"
+          + (f", dropped {report.n_dropped_lines} torn line(s)"
+             if report.torn else ""))
+    if report.finalized:
+        _status(f"wrote final manifest: {args.directory}/manifest.json")
+    else:
+        _status(f"recorded salvage in {args.directory}/manifest.partial.json "
+                "(--finalize writes a final manifest)")
     return 0
 
 
@@ -602,6 +662,7 @@ def _cmd_version(args) -> int:
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "stream": _cmd_stream,
+    "recover": _cmd_recover,
     "watch": _cmd_watch,
     "metrics": _cmd_metrics,
     "trace": _cmd_trace,

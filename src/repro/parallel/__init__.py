@@ -18,6 +18,7 @@ plan, and an eager package import here would close that cycle.
 from repro.parallel.errors import (
     ParallelExecutionError,
     ParallelTimeoutError,
+    ResumeError,
     SliceExecutionError,
     WorkerCrashError,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "ParallelExecutionError",
     "ParallelSimulation",
     "ParallelTimeoutError",
+    "ResumeError",
     "SimSlice",
     "SliceExecutionError",
     "WorkerCrashError",
@@ -39,8 +41,10 @@ __all__ = [
     "classify_many_parallel",
     "count_attacker_campaigns",
     "iter_parallel_simulation",
+    "load_completed_slice",
     "plan_slices",
     "run_parallel_simulation",
+    "slice_fingerprint",
 ]
 
 _LAZY = {
@@ -48,6 +52,8 @@ _LAZY = {
     "iter_parallel_simulation": "repro.parallel.runner",
     "run_parallel_simulation": "repro.parallel.runner",
     "classify_many_parallel": "repro.parallel.classify",
+    "load_completed_slice": "repro.parallel.resume",
+    "slice_fingerprint": "repro.parallel.resume",
 }
 
 

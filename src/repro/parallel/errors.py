@@ -29,3 +29,8 @@ class WorkerCrashError(ParallelExecutionError):
 
 class ParallelTimeoutError(ParallelExecutionError):
     """The run exceeded its deadline; pending workers were terminated."""
+
+
+class ResumeError(ParallelExecutionError):
+    """A resumable run was requested in a way that cannot work (e.g. no
+    persistent shard root to resume from)."""

@@ -27,6 +27,12 @@ case all remaining workers are terminated first — no hung pools.
 
 ``workers <= 1`` falls back to plain in-process streaming (no processes,
 no shard round-trip) and yields the same records.
+
+Resume (``resume=True`` with a persistent ``shard_root``) turns a killed
+run into a warm start: slice directories with a final, fingerprint-
+matching, checksum-clean manifest are reused; everything else is wiped
+and re-executed.  See :mod:`repro.parallel.resume` and
+docs/ROBUSTNESS.md.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from typing import Callable, Iterator
 from repro.delivery.records import DeliveryRecord
 from repro.parallel.errors import (
     ParallelTimeoutError,
+    ResumeError,
     SliceExecutionError,
     WorkerCrashError,
 )
@@ -80,6 +87,10 @@ class ParallelSimulation:
     #: True when the runtime created (and should remove) ``shard_root``.
     owns_shards: bool = False
     elapsed_s: float = 0.0
+    #: Resume bookkeeping: slice keys whose directories were verified
+    #: complete and reused, and those that were (re-)executed.
+    resumed_slices: list[str] = field(default_factory=list)
+    rerun_slices: list[str] = field(default_factory=list)
     _world: WorldModel | None = field(default=None, repr=False)
     _inline_records: Iterator[DeliveryRecord] | None = field(default=None, repr=False)
 
@@ -140,6 +151,8 @@ def run_parallel_simulation(
     timeout: float | None = None,
     shard_size: int = 100_000,
     compress: bool = False,
+    resume: bool = False,
+    verify_resume: bool = True,
 ) -> ParallelSimulation:
     """Run ``config`` across ``workers`` processes; byte-identical output
     to the serial runner for every worker count.
@@ -152,9 +165,23 @@ def run_parallel_simulation(
     ``extra_workloads`` are materialised in the parent (their callables
     are often closures and need not be picklable) and shipped to workers
     as spec lists.
+
+    ``resume=True`` reuses ``shard_root`` from a previous (killed) run:
+    every slice directory holding a final manifest whose fingerprint
+    matches this run — re-hashed against its checksums unless
+    ``verify_resume=False`` — is skipped; missing, partial, mismatched
+    or corrupt directories are wiped and re-executed.  The merged stream
+    is byte-identical to an uninterrupted run (docs/ROBUSTNESS.md).
+    Requires a persistent ``shard_root`` and always uses the
+    process-based runtime, even at ``workers=1``.
     """
     t0 = time.perf_counter()
-    if workers <= 1:
+    if resume and shard_root is None:
+        raise ResumeError(
+            "resume=True needs a persistent shard_root: a temporary, "
+            "runtime-owned directory cannot outlive the run being resumed"
+        )
+    if workers <= 1 and not resume:
         from repro.stream.runner import stream_simulation
 
         run = stream_simulation(config, extra_workloads=extra_workloads)
@@ -184,7 +211,6 @@ def run_parallel_simulation(
         s.with_specs(extra_specs[s.extra_index]) if s.kind == "extra" else s
         for s in slices
     ]
-    buckets = assign_slices(shipped, workers)
 
     owns = shard_root is None
     root = Path(
@@ -200,25 +226,61 @@ def run_parallel_simulation(
         "metrics": obs_metrics.enabled(),
     }
 
-    ctx = multiprocessing.get_context("spawn")
-    procs = [
-        ctx.Process(
-            target=run_worker,
-            args=(i, config, bucket, str(root), options),
-            name=f"repro-parallel-{i}",
-            daemon=True,
+    to_run = shipped
+    skipped: list[tuple[SimSlice, int]] = []  # (slice, on-disk record count)
+    if resume:
+        from repro.parallel.resume import (
+            clean_stale_run_files,
+            load_completed_slice,
+            slice_fingerprint,
         )
-        for i, bucket in enumerate(buckets)
-    ]
-    try:
-        for proc in procs:
-            proc.start()
-        _join_workers(procs, buckets, root, timeout)
-    except BaseException:
-        _terminate(procs)
-        if owns:
-            shutil.rmtree(root, ignore_errors=True)
-        raise
+
+        to_run = []
+        for s in shipped:
+            directory = slice_dir(root, s.index)
+            manifest = load_completed_slice(
+                directory,
+                slice_fingerprint(config, s, options),
+                verify_payload=verify_resume,
+            )
+            if manifest is not None:
+                skipped.append((s, manifest.n_records))
+            else:
+                # Wipe partial/stale state so the re-run starts clean.
+                shutil.rmtree(directory, ignore_errors=True)
+                to_run.append(s)
+        clean_stale_run_files(root)
+        obs_metrics.counter(
+            "repro_resume_slices_skipped_total",
+            "Slices whose shard directories were verified and reused on resume",
+        ).inc(len(skipped))
+        obs_metrics.counter(
+            "repro_resume_slices_rerun_total",
+            "Slices re-executed on resume (missing, partial, or corrupt)",
+        ).inc(len(to_run))
+
+    buckets = assign_slices(to_run, max(workers, 1)) if to_run else []
+    procs = []
+    if buckets:
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(
+                target=run_worker,
+                args=(i, config, bucket, str(root), options),
+                name=f"repro-parallel-{i}",
+                daemon=True,
+            )
+            for i, bucket in enumerate(buckets)
+        ]
+        try:
+            for proc in procs:
+                proc.start()
+            _join_workers(procs, buckets, root, timeout)
+        except BaseException:
+            _terminate(procs)
+            if owns:
+                shutil.rmtree(root, ignore_errors=True)
+            raise
 
     worker_results = [
         _load_result(root, i, bucket) for i, bucket in enumerate(buckets)
@@ -229,14 +291,27 @@ def run_parallel_simulation(
         for result in worker_results:
             if result.get("snapshot"):
                 merge_snapshot(result["snapshot"])
+    if skipped:
+        # Synthetic result for the reused slices, so n_records and the
+        # result log stay complete under resume.
+        worker_results.insert(0, {
+            "worker": None,
+            "slices": [s.key for s, _ in skipped],
+            "n_records": {s.key: n for s, n in skipped},
+            "elapsed_s": 0.0,
+            "snapshot": None,
+            "resumed": True,
+        })
 
     return ParallelSimulation(
         config=config,
-        workers=len(buckets),
+        workers=max(len(buckets), 1),
         slices=slices,
         shard_root=root,
         worker_results=worker_results,
         owns_shards=owns,
+        resumed_slices=[s.key for s, _ in skipped],
+        rerun_slices=[s.key for s in to_run] if resume else [],
         _world=parent_world,
         elapsed_s=time.perf_counter() - t0,
     )

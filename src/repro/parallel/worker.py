@@ -30,6 +30,7 @@ import time
 import traceback
 from pathlib import Path
 
+from repro import faults
 from repro.world.config import SimulationConfig
 
 #: Environment hook for the failure-path tests: ``"<slice-key-substring>:<mode>"``
@@ -86,13 +87,15 @@ def run_worker(
         from repro.obs import export as obs_export
         from repro.obs import metrics as obs_metrics
         from repro.obs import profile as obs_profile
+        from repro.parallel.resume import slice_fingerprint
         from repro.stream.runner import run_slice
-        from repro.stream.sink import ShardWriter
+        from repro.stream.sink import ShardWriter, atomic_write_text
         from repro.util.rng import RandomSource
         from repro.world.model import build_world
 
         if options.get("metrics"):
             obs_metrics.enable()
+        fault_plan = faults.active_plan()
         t0 = time.perf_counter()
         with obs_profile.stage("world-build"):
             world = build_world(config)
@@ -101,10 +104,13 @@ def run_worker(
         for sim_slice in slices:
             current = sim_slice.key
             _apply_fail_hook(sim_slice.key)
+            if fault_plan is not None:
+                fault_plan.on_slice_start(sim_slice.key)
             with ShardWriter(
                 slice_dir(root, sim_slice.index),
                 shard_size=options.get("shard_size", 100_000),
                 compress=options.get("compress", False),
+                fingerprint=slice_fingerprint(config, sim_slice, options),
             ) as writer:
                 for record in run_slice(world, rng, sim_slice):
                     writer.write(record)
@@ -117,9 +123,9 @@ def run_worker(
             "elapsed_s": time.perf_counter() - t0,
             "snapshot": obs_export.build_snapshot() if options.get("metrics") else None,
         }
-        result_path(root, worker_index).write_text(
-            json.dumps(result), encoding="utf-8"
-        )
+        # Atomic: the parent treats the result file's existence as "this
+        # worker finished", so it must never observe a torn one.
+        atomic_write_text(result_path(root, worker_index), json.dumps(result))
     except BaseException:
         where = f"slice {current}" if current else "setup"
         error_path(root, worker_index).write_text(

@@ -14,6 +14,14 @@ A :class:`ShardReader` iterates a shard directory back in order, with
 optional checksum verification, shard-level time filtering, and the same
 record type the batch :class:`~repro.delivery.dataset.DeliveryDataset`
 uses — ``DeliveryDataset.read_jsonl`` and a shard round-trip agree.
+
+Durability contract (docs/ROBUSTNESS.md): manifests are written
+atomically (temp file + fsync + ``os.replace``); a writer that exits
+abnormally records its progress in ``manifest.partial.json`` and never
+finalises ``manifest.json``; and :func:`recover_shards` salvages a
+crashed directory by truncating torn trailing data and re-hashing what
+survived.  :mod:`repro.faults` hooks into the write path for chaos
+testing.
 """
 
 from __future__ import annotations
@@ -29,11 +37,15 @@ from pathlib import Path
 from time import perf_counter
 from typing import Iterable, Iterator
 
+from repro import faults
 from repro.delivery.records import DeliveryRecord
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
 
 MANIFEST_NAME = "manifest.json"
+#: Written on abnormal writer exit (and by :func:`recover_shards`): the
+#: directory is detectably incomplete but its progress is recorded.
+PARTIAL_MANIFEST_NAME = "manifest.partial.json"
 MANIFEST_VERSION = 1
 
 
@@ -106,6 +118,10 @@ class ShardManifest:
     shards: list[ShardInfo]
     compression: str = "none"  # "none" | "gzip"
     version: int = MANIFEST_VERSION
+    #: Optional producer identity (config hash + slice key + shard
+    #: options); the resume machinery uses it to decide whether a slice
+    #: directory on disk belongs to the run being resumed.
+    fingerprint: str | None = None
 
     @property
     def n_records(self) -> int:
@@ -122,12 +138,15 @@ class ShardManifest:
         return max(ends) if ends else None
 
     def to_json_dict(self) -> dict:
-        return {
+        data = {
             "version": self.version,
             "compression": self.compression,
             "n_records": self.n_records,
             "shards": [s.to_json_dict() for s in self.shards],
         }
+        if self.fingerprint is not None:
+            data["fingerprint"] = self.fingerprint
+        return data
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "ShardManifest":
@@ -135,6 +154,7 @@ class ShardManifest:
             shards=[ShardInfo.from_json_dict(s) for s in data["shards"]],
             compression=data.get("compression", "none"),
             version=int(data.get("version", MANIFEST_VERSION)),
+            fingerprint=data.get("fingerprint"),
         )
 
     def save(self, directory: str | Path) -> Path:
@@ -168,6 +188,7 @@ class ShardWriter:
         shard_size: int = 100_000,
         compress: bool = False,
         prefix: str = "shard",
+        fingerprint: str | None = None,
     ) -> None:
         if shard_size < 1:
             raise ValueError("shard_size must be >= 1")
@@ -176,6 +197,10 @@ class ShardWriter:
         self.shard_size = shard_size
         self.compress = compress
         self.prefix = prefix
+        self.fingerprint = fingerprint
+        # Chaos hooks (None outside fault-injection runs; cached once so
+        # the write path pays a single attribute check).
+        self._fault_plan = faults.active_plan()
         self._shards: list[ShardInfo] = []
         self._fh = None
         self._hash = None
@@ -220,9 +245,10 @@ class ShardWriter:
         if self._fh is None:
             return
         self._fh.close()
+        name = self._shard_name(len(self._shards))
         self._shards.append(
             ShardInfo(
-                name=self._shard_name(len(self._shards)),
+                name=name,
                 n_records=self._shard_count,
                 t_min=self._shard_t_min,
                 t_max=self._shard_t_max,
@@ -231,8 +257,17 @@ class ShardWriter:
         )
         self._fh = None
         self._hash = None
+        # Reset so ``n_written`` never double-counts the shard that was
+        # just folded into ``_shards`` (it previously did between a
+        # rotation and the next write, and after close()).
+        self._shard_count = 0
         if self._obs_on:
             self._m_shards.inc()
+        if self._fault_plan is not None:
+            # Bit-rot injection happens after hashing, so the manifest
+            # checksum records the true payload and verification catches
+            # the corruption.
+            self._fault_plan.on_shard_close(self.directory / name)
 
     def write(self, record: DeliveryRecord) -> None:
         if self._closed:
@@ -245,6 +280,8 @@ class ShardWriter:
         obs_profile.add("shard-io", perf_counter() - t0)
 
     def _write_impl(self, record: DeliveryRecord) -> None:
+        if self._fault_plan is not None:
+            self._fault_plan.on_shard_write(str(self.directory), self.n_written + 1)
         if self._fh is None:
             self._open_shard()
         line = record.to_json() + "\n"
@@ -281,24 +318,54 @@ class ShardWriter:
         self.manifest = ShardManifest(
             shards=self._shards,
             compression="gzip" if self.compress else "none",
+            fingerprint=self.fingerprint,
         )
         self.manifest.save(self.directory)
+        # A clean finalise supersedes any earlier partial state (ours, a
+        # previous crashed run's, or recover_shards' salvage record).
+        (self.directory / PARTIAL_MANIFEST_NAME).unlink(missing_ok=True)
         return self.manifest
 
     def abort(self) -> None:
-        """Abnormal-exit path: close the open shard file without writing
-        a final manifest — a crashed producer must stay distinguishable
-        from a complete one."""
+        """Abnormal-exit path: close the open shard file and record the
+        progress made in ``manifest.partial.json`` — never the final
+        manifest, so a crashed producer stays distinguishable from a
+        complete one."""
         if self._closed:
             return
+        open_shard = None
         if self._fh is not None:
             try:
                 self._fh.close()
             except OSError:  # pragma: no cover - best effort
                 pass
+            open_shard = {
+                "name": self._shard_name(len(self._shards)),
+                "n_records": self._shard_count,
+                "t_min": self._shard_t_min,
+                "t_max": self._shard_t_max,
+                # What the producer *handed* the writer; the file tail may
+                # hold less (buffering), which recover_shards detects.
+                "sha256": self._hash.hexdigest(),
+            }
             self._fh = None
             self._hash = None
         self._closed = True
+        partial = {
+            "version": MANIFEST_VERSION,
+            "compression": "gzip" if self.compress else "none",
+            "complete_shards": [s.to_json_dict() for s in self._shards],
+            "open_shard": open_shard,
+        }
+        if self.fingerprint is not None:
+            partial["fingerprint"] = self.fingerprint
+        try:
+            atomic_write_text(
+                self.directory / PARTIAL_MANIFEST_NAME,
+                json.dumps(partial, indent=2) + "\n",
+            )
+        except OSError:  # pragma: no cover - must not mask the original error
+            pass
 
     def __enter__(self) -> "ShardWriter":
         return self
@@ -462,3 +529,191 @@ def iter_delivery_log(path: str | Path) -> Iterator[DeliveryRecord]:
     if path.is_dir():
         return ShardReader(path).iter_records()
     return DeliveryDataset.iter_jsonl(path)
+
+
+# -- crash recovery ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SalvagedShard:
+    """The outcome of salvaging one shard file."""
+
+    name: str
+    n_records: int
+    #: Torn/undecodable trailing lines dropped from the file.
+    n_dropped_lines: int
+    #: True when the file was rewritten (something was truncated, or a
+    #: torn gzip stream was re-encoded).
+    rewritten: bool
+    sha256: str
+    t_min: float
+    t_max: float
+
+    def to_info(self) -> ShardInfo:
+        return ShardInfo(
+            name=self.name,
+            n_records=self.n_records,
+            t_min=self.t_min,
+            t_max=self.t_max,
+            sha256=self.sha256,
+        )
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover_shards` found (and fixed) in a directory."""
+
+    directory: Path
+    shards: list[SalvagedShard]
+    #: The directory already had a valid final manifest; nothing was done.
+    already_complete: bool = False
+    #: A final manifest was written for the salvaged shards.
+    finalized: bool = False
+
+    @property
+    def n_records(self) -> int:
+        return sum(s.n_records for s in self.shards)
+
+    @property
+    def n_dropped_lines(self) -> int:
+        return sum(s.n_dropped_lines for s in self.shards)
+
+    @property
+    def torn(self) -> bool:
+        return any(s.rewritten for s in self.shards)
+
+
+def _salvage_payload(path: Path, compressed: bool) -> tuple[bytes, bool]:
+    """The decodable payload prefix of a shard file, plus whether the
+    byte stream itself was torn (truncated gzip)."""
+    raw = path.read_bytes()
+    if not compressed:
+        return raw, False
+    import zlib
+
+    out = bytearray()
+    torn = False
+    decoder = zlib.decompressobj(wbits=31)
+    try:
+        for i in range(0, len(raw), 1 << 16):
+            out += decoder.decompress(raw[i : i + (1 << 16)])
+        out += decoder.flush()
+        if not decoder.eof:
+            torn = True  # stream ended mid-member (killed producer)
+    except zlib.error:
+        torn = True  # corrupt tail; keep the decodable prefix
+    return bytes(out), torn
+
+
+def _salvage_shard(path: Path) -> SalvagedShard:
+    """Validate one shard file line by line, truncating a torn tail.
+
+    A *trailing* run of undecodable bytes — an unterminated final line, a
+    half-flushed gzip member, garbage after a kill — is dropped and the
+    file rewritten in place (atomically).  The salvaged payload is
+    re-hashed so the returned checksum matches what a reader will see.
+    """
+    compressed = path.name.endswith(".gz")
+    payload, stream_torn = _salvage_payload(path, compressed)
+    lines = payload.split(b"\n")
+    tail = lines.pop()  # b"" for a cleanly terminated file
+    kept: list[bytes] = []
+    n_dropped = 1 if tail else 0
+    times: list[float] = []
+    for i, line in enumerate(lines):
+        try:
+            record = DeliveryRecord.from_json(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+            # Keep only the clean prefix: everything from the first
+            # undecodable line on is part of the torn tail.
+            n_dropped += len(lines) - i
+            break
+        kept.append(line)
+        times.append(record.start_time)
+
+    digest = hashlib.sha256()
+    for line in kept:
+        digest.update(line + b"\n")
+    rewritten = n_dropped > 0 or stream_torn
+    if rewritten:
+        tmp = path.with_name(path.name + ".tmp")
+        if compressed:
+            with gzip.open(tmp, "wb") as fh:
+                for line in kept:
+                    fh.write(line + b"\n")
+        else:
+            tmp.write_bytes(b"".join(line + b"\n" for line in kept))
+        os.replace(tmp, path)
+    return SalvagedShard(
+        name=path.name,
+        n_records=len(kept),
+        n_dropped_lines=n_dropped,
+        rewritten=rewritten,
+        sha256=digest.hexdigest(),
+        t_min=min(times) if times else 0.0,
+        t_max=max(times) if times else 0.0,
+    )
+
+
+def recover_shards(directory: str | Path, finalize: bool = False) -> RecoveryReport:
+    """Salvage a shard directory whose producer exited abnormally.
+
+    Scans every shard file, truncates torn trailing data (an interrupted
+    JSONL line, a half-flushed gzip stream), re-hashes the salvaged
+    payload, and records the result in ``manifest.partial.json`` — the
+    directory becomes readable again while staying detectably incomplete.
+    An unreadable (torn, pre-atomic-writer) ``manifest.json`` is treated
+    the same way: discarded and rebuilt from the files on disk.
+
+    ``finalize=True`` instead writes a **final** ``manifest.json`` for
+    the salvaged shards — an explicit declaration that the partial data
+    is acceptable as-is.  The finalized manifest carries no fingerprint,
+    so the resume machinery still treats the slice as incomplete and
+    re-runs it rather than trusting salvaged data.
+
+    A directory whose final manifest loads cleanly is returned untouched
+    (``already_complete=True``).
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if manifest_path.exists():
+        try:
+            ShardManifest.load(directory)
+            return RecoveryReport(directory, [], already_complete=True)
+        except (OSError, ValueError, KeyError):
+            manifest_path.unlink()  # torn manifest; rebuild from the shards
+    shard_files = sorted(
+        p for p in directory.iterdir()
+        if p.name.endswith(".jsonl") or p.name.endswith(".jsonl.gz")
+    )
+    shards = [_salvage_shard(path) for path in shard_files]
+    compression = (
+        "gzip" if any(s.name.endswith(".gz") for s in shards) else "none"
+    )
+    report = RecoveryReport(directory, shards, finalized=finalize)
+    if finalize:
+        ShardManifest(
+            shards=[s.to_info() for s in shards], compression=compression
+        ).save(directory)
+        (directory / PARTIAL_MANIFEST_NAME).unlink(missing_ok=True)
+    else:
+        atomic_write_text(
+            directory / PARTIAL_MANIFEST_NAME,
+            json.dumps(
+                {
+                    "version": MANIFEST_VERSION,
+                    "compression": compression,
+                    "complete_shards": [s.to_info().to_json_dict() for s in shards],
+                    "open_shard": None,
+                    "recovered": True,
+                    "n_dropped_lines": report.n_dropped_lines,
+                },
+                indent=2,
+            )
+            + "\n",
+        )
+    obs_metrics.counter(
+        "repro_shard_recoveries_total",
+        "Shard directories salvaged by recover_shards",
+    ).inc()
+    return report

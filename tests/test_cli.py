@@ -296,3 +296,92 @@ class TestTraceCommand:
                      "--progress-every", "0"]) == 0
         assert main(["trace", str(shard_dir), "--index", "0"]) == 0
         assert capsys.readouterr().out.startswith("email ")
+
+
+class TestResumeFlag:
+    def test_simulate_resume_byte_identical(self, tmp_path, capsys):
+        serial = tmp_path / "serial.jsonl"
+        resumed = tmp_path / "resumed.jsonl"
+        assert main(["--quiet", "simulate", "--scale", "0.005", "--seed", "3",
+                     "--out", str(serial)]) == 0
+        assert main(["simulate", "--scale", "0.005", "--seed", "3",
+                     "--out", str(resumed), "--workers", "2",
+                     "--resume"]) == 0
+        assert resumed.read_bytes() == serial.read_bytes()
+        slices = tmp_path / "resumed.jsonl.slices"
+        assert slices.is_dir()  # kept for the next resume
+
+        # Second invocation reuses every slice and still matches.
+        assert main(["simulate", "--scale", "0.005", "--seed", "3",
+                     "--out", str(resumed), "--workers", "2",
+                     "--resume"]) == 0
+        err = capsys.readouterr().err
+        assert "re-ran 0" in err
+        assert resumed.read_bytes() == serial.read_bytes()
+
+    def test_stream_resume_matches_serial_stream(self, tmp_path):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        common = ["--scale", "0.005", "--seed", "3", "--shard-size", "400",
+                  "--progress-every", "0"]
+        assert main(["--quiet", "stream", *common, "--out-dir", str(a)]) == 0
+        assert main(["--quiet", "stream", *common, "--out-dir", str(b),
+                     "--workers", "2", "--resume"]) == 0
+        shards = sorted(p.name for p in a.glob("shard-*"))
+        assert shards == sorted(p.name for p in b.glob("shard-*"))
+        for name in shards:
+            assert (a / name).read_bytes() == (b / name).read_bytes()
+
+    def test_without_resume_no_slices_dir_left(self, tmp_path):
+        out = tmp_path / "plain.jsonl"
+        assert main(["--quiet", "simulate", "--scale", "0.005", "--seed", "3",
+                     "--out", str(out), "--workers", "2"]) == 0
+        assert not (tmp_path / "plain.jsonl.slices").exists()
+
+
+class TestRecoverCommand:
+    @pytest.fixture()
+    def crashed_dir(self, tmp_path):
+        """A shard directory whose producer was killed mid-line."""
+        from repro.stream.runner import stream_simulation
+        from repro.stream.sink import ShardWriter
+        from repro import SimulationConfig
+
+        directory = tmp_path / "crashed"
+        run = stream_simulation(SimulationConfig(scale=0.005, seed=3))
+        writer = ShardWriter(directory, shard_size=200)
+        for i, record in enumerate(run.records):
+            if i >= 450:
+                break
+            writer.write(record)
+        writer._fh.close()
+        with (directory / "shard-00002.jsonl").open("a") as fh:
+            fh.write('{"half": ')
+        return directory
+
+    def test_recover_reports_salvage(self, crashed_dir, capsys):
+        assert main(["recover", str(crashed_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "salvaged 450 record(s) in 3 shard(s)" in out
+        assert "dropped 1 torn line(s)" in out
+        assert (crashed_dir / "manifest.partial.json").exists()
+        assert not (crashed_dir / "manifest.json").exists()
+
+    def test_recover_finalize_makes_directory_readable(
+        self, crashed_dir, capsys
+    ):
+        assert main(["recover", str(crashed_dir), "--finalize"]) == 0
+        assert (crashed_dir / "manifest.json").exists()
+        # The finalized directory works with every log-reading command.
+        assert main(["watch", str(crashed_dir), "--labeler", "rules"]) == 0
+        err = capsys.readouterr().err
+        assert "watch summary: records=450" in err
+
+    def test_recover_complete_directory_is_a_noop(self, tmp_path, capsys):
+        shard_dir = tmp_path / "ok"
+        assert main(["--quiet", "stream", "--scale", "0.002", "--seed", "5",
+                     "--out-dir", str(shard_dir), "--shard-size", "100",
+                     "--progress-every", "0"]) == 0
+        before = (shard_dir / "manifest.json").read_bytes()
+        assert main(["recover", str(shard_dir)]) == 0
+        assert (shard_dir / "manifest.json").read_bytes() == before

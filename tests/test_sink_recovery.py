@@ -1,0 +1,173 @@
+"""Tests for crash recovery of shard directories (repro.stream.sink).
+
+A killed producer leaves some mix of: complete shards, a torn trailing
+JSONL line (or half-flushed gzip member), a ``manifest.partial.json``
+from the abort path, or — for a hard kill — nothing but the shard files.
+``recover_shards`` must turn any of those into a readable directory
+while keeping it *detectably* incomplete, and must never present
+salvaged data as resumable.
+"""
+
+import json
+
+import pytest
+
+from repro.stream.sink import (
+    MANIFEST_NAME,
+    PARTIAL_MANIFEST_NAME,
+    ShardManifest,
+    ShardReader,
+    ShardWriter,
+    recover_shards,
+)
+
+
+@pytest.fixture()
+def torn_dir(tmp_path, dataset):
+    """A shard dir killed mid-write: two full shards plus a torn tail on
+    the last one, no manifest of any kind (hard kill)."""
+    directory = tmp_path / "torn"
+    writer = ShardWriter(directory, shard_size=40)
+    for record in dataset[:100]:
+        writer.write(record)
+    writer._fh.flush()
+    # Simulate the kill: the writer object just vanishes (no close, no
+    # abort), and the in-flight line is half-written.
+    writer._fh.close()
+    with (directory / "shard-00002.jsonl").open("a", encoding="utf-8") as fh:
+        fh.write('{"message_id": "m-torn", "sender"')
+    return directory
+
+
+class TestRecover:
+    def test_truncates_torn_line_and_rebuilds(self, torn_dir):
+        report = recover_shards(torn_dir)
+        assert report.torn
+        assert report.n_records == 100
+        assert report.n_dropped_lines == 1
+        assert not report.already_complete
+        # Readable again, but via the partial manifest only.
+        assert not (torn_dir / MANIFEST_NAME).exists()
+        partial = json.loads((torn_dir / PARTIAL_MANIFEST_NAME).read_text())
+        assert partial["recovered"] is True
+        assert partial["n_dropped_lines"] == 1
+        assert len(partial["complete_shards"]) == 3
+
+    def test_recovery_is_idempotent(self, torn_dir):
+        first = recover_shards(torn_dir)
+        second = recover_shards(torn_dir)
+        assert second.n_records == first.n_records
+        assert not second.torn  # nothing left to truncate
+
+    def test_salvaged_payload_rehashes_clean(self, torn_dir, dataset):
+        report = recover_shards(torn_dir, finalize=True)
+        reader = ShardReader(torn_dir)
+        reader.verify()  # checksums match the truncated files
+        salvaged = list(reader.iter_records(verify=True))
+        assert [r.message_id for r in salvaged] == [
+            r.message_id for r in dataset[:100]
+        ]
+        assert report.finalized
+
+    def test_finalize_writes_manifest_without_fingerprint(self, torn_dir):
+        recover_shards(torn_dir, finalize=True)
+        manifest = ShardManifest.load(torn_dir)
+        # Salvaged data must never look resumable: no fingerprint, so the
+        # resume machinery re-runs the slice instead of trusting it.
+        assert manifest.fingerprint is None
+        assert not (torn_dir / PARTIAL_MANIFEST_NAME).exists()
+
+    def test_complete_directory_left_untouched(self, tmp_path, dataset):
+        directory = tmp_path / "complete"
+        with ShardWriter(directory, shard_size=40) as writer:
+            for record in dataset[:100]:
+                writer.write(record)
+        before = (directory / MANIFEST_NAME).read_bytes()
+        report = recover_shards(directory)
+        assert report.already_complete
+        assert not report.shards
+        assert (directory / MANIFEST_NAME).read_bytes() == before
+
+    def test_torn_manifest_is_discarded_and_rebuilt(self, tmp_path, dataset):
+        directory = tmp_path / "half-manifest"
+        with ShardWriter(directory, shard_size=40) as writer:
+            for record in dataset[:100]:
+                writer.write(record)
+        full = (directory / MANIFEST_NAME).read_text()
+        (directory / MANIFEST_NAME).write_text(full[: len(full) // 2])
+        report = recover_shards(directory, finalize=True)
+        assert not report.already_complete
+        assert report.n_records == 100
+        ShardReader(directory).verify()
+
+    def test_torn_gzip_member_is_salvaged(self, tmp_path, dataset):
+        directory = tmp_path / "gz"
+        writer = ShardWriter(directory, shard_size=1000, compress=True)
+        for record in dataset[:60]:
+            writer.write(record)
+        writer._fh.close()  # flushes a complete gzip stream...
+        shard = directory / "shard-00000.jsonl.gz"
+        payload = shard.read_bytes()
+        shard.write_bytes(payload[: len(payload) - 7])  # ...then tear it
+        report = recover_shards(directory, finalize=True)
+        assert report.torn
+        assert 0 < report.n_records <= 60
+        salvaged = list(ShardReader(directory).iter_records(verify=True))
+        assert [r.message_id for r in salvaged] == [
+            r.message_id for r in dataset[: report.n_records]
+        ]
+
+    def test_recovery_counter_increments(self, torn_dir):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.enable()
+        try:
+            obs_metrics.reset()
+            recover_shards(torn_dir)
+            snap = {
+                f["name"]: f for f in obs_metrics.get_registry().snapshot()
+            }
+            assert snap["repro_shard_recoveries_total"]["value"] == 1.0
+        finally:
+            obs_metrics.disable()
+            obs_metrics.reset()
+
+
+class TestAbortPartialManifest:
+    def test_abort_records_progress(self, tmp_path, dataset):
+        directory = tmp_path / "aborted"
+        writer = ShardWriter(directory, shard_size=40)
+        try:
+            for i, record in enumerate(dataset[:100]):
+                if i == 90:
+                    raise OSError(28, "injected")
+                writer.write(record)
+        except OSError:
+            writer.abort()
+        partial = json.loads((directory / PARTIAL_MANIFEST_NAME).read_text())
+        assert len(partial["complete_shards"]) == 2
+        assert partial["open_shard"]["n_records"] == 10
+        assert not (directory / MANIFEST_NAME).exists()
+
+    def test_clean_close_removes_partial(self, tmp_path, dataset):
+        directory = tmp_path / "clean"
+        writer = ShardWriter(directory)
+        writer.write(dataset[0])
+        # A partial from an earlier crashed attempt must not survive a
+        # successful close of the retry.
+        (directory / PARTIAL_MANIFEST_NAME).write_text("{}")
+        writer.close()
+        assert (directory / MANIFEST_NAME).exists()
+        assert not (directory / PARTIAL_MANIFEST_NAME).exists()
+
+    def test_n_written_stays_correct_across_rotation(self, tmp_path, dataset):
+        # Regression: _close_shard used to leave the per-shard counter
+        # set, double-counting the just-closed shard in n_written (and
+        # in the worker result files of a parallel run).
+        directory = tmp_path / "count"
+        with ShardWriter(directory, shard_size=10) as writer:
+            for i, record in enumerate(dataset[:35], 1):
+                writer.write(record)
+                assert writer.n_written == i
+        assert writer.n_written == 35
+        assert writer.manifest.n_records == 35
