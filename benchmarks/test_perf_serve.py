@@ -1,0 +1,130 @@
+"""Serving-path throughput: the closed-loop load harness vs the daemon.
+
+Two measurements, both written to ``BENCH_serve.json`` next to the repo
+root so perf PRs can diff them:
+
+* **throughput** — a generously-gated daemon driven by the closed-loop
+  generator; every response is verified against a serial
+  ``EBRC.classify_many`` oracle, so the number is a *correct* req/s,
+  not a fire-and-forget one.  The >= 1000 msg/s floor only arms on
+  runners with >= 2 cores (client and server share the process; on a
+  1-core box the measurement is scheduling noise).
+* **saturation** — the same harness against a deliberately tiny gate
+  (1 in flight, queue 0) with a stretched handler section: the run must
+  shed load via 429 + Retry-After and still complete every request with
+  zero mismatches.  That property is hardware-independent and always
+  asserted.
+"""
+
+import json
+import multiprocessing
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.ebrc import EBRC
+from repro.serve import LoadConfig, ReproServer, ServeConfig, run_loadtest
+
+_CORES = multiprocessing.cpu_count()
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+THROUGHPUT_REQUESTS = 4000
+THROUGHPUT_FLOOR_MSG_S = 1000.0
+
+
+@pytest.fixture(scope="module")
+def corpus(dataset):
+    return dataset.ndr_messages()
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory, corpus):
+    path = tmp_path_factory.mktemp("perf-serve") / "ebrc.json"
+    EBRC().fit(corpus[:6000]).save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def reports(artifact, corpus):
+    # -- throughput: generous gate, verified responses ----------------------
+    config = ServeConfig(artifact=str(artifact), port=0,
+                         max_inflight=16, max_queue=64)
+    with ReproServer(config) as srv:
+        throughput = run_loadtest(
+            LoadConfig(
+                host=srv.host, port=srv.port, artifact=str(artifact),
+                n_requests=THROUGHPUT_REQUESTS, concurrency=8,
+            ),
+            corpus=corpus,
+        )
+    print(
+        f"serve throughput: {throughput.requests_per_s:,.0f} req/s "
+        f"(p50={throughput.latency_ms['p50']}ms "
+        f"p99={throughput.latency_ms['p99']}ms, "
+        f"{throughput.mismatches} mismatches)"
+    )
+
+    # -- saturation: tiny gate + stretched handler section ------------------
+    os.environ["REPRO_SERVE_TEST_DELAY_S"] = "0.02"
+    try:
+        config = ServeConfig(artifact=str(artifact), port=0,
+                             max_inflight=1, max_queue=0, max_wait_s=0.01)
+        server = ReproServer(config)
+    finally:
+        del os.environ["REPRO_SERVE_TEST_DELAY_S"]
+    with server as srv:
+        saturation = run_loadtest(
+            LoadConfig(
+                host=srv.host, port=srv.port, artifact=str(artifact),
+                n_requests=100, concurrency=8, retry_cap_s=0.05,
+                max_attempts=5000,
+            ),
+            corpus=corpus,
+        )
+    print(
+        f"serve saturation: {saturation.backpressure_429} x 429 over "
+        f"{saturation.n_requests} completed requests"
+    )
+
+    gate = "armed" if _CORES >= 2 else "unarmed"
+    _OUT.write_text(json.dumps({
+        "cpu_count": _CORES,
+        "gate": gate,
+        "floor_msg_per_s": THROUGHPUT_FLOOR_MSG_S if gate == "armed" else None,
+        "throughput": throughput.to_json_dict(),
+        "saturation": saturation.to_json_dict(),
+    }, indent=2) + "\n", encoding="utf-8")
+    return {"throughput": throughput, "saturation": saturation}
+
+
+def test_throughput_run_is_correct(reports):
+    report = reports["throughput"]
+    assert report.mismatches == 0
+    assert report.errors == []
+    assert report.n_requests == THROUGHPUT_REQUESTS
+
+
+@pytest.mark.skipif(
+    _CORES < 2,
+    reason=f"throughput floor needs >= 2 cores (runner has {_CORES}); "
+    "correctness is asserted regardless",
+)
+def test_throughput_floor(reports):
+    report = reports["throughput"]
+    assert report.messages_per_s >= THROUGHPUT_FLOOR_MSG_S
+
+
+def test_saturation_sheds_load_without_losing_work(reports):
+    report = reports["saturation"]
+    assert report.backpressure_429 > 0
+    assert report.n_requests == 100
+    assert report.mismatches == 0
+    assert report.errors == []
+
+
+def test_bench_artifact_written(reports):
+    payload = json.loads(_OUT.read_text(encoding="utf-8"))
+    assert payload["throughput"]["mismatches"] == 0
+    assert payload["saturation"]["backpressure_429"] > 0
+    assert payload["cpu_count"] == _CORES

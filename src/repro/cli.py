@@ -11,7 +11,15 @@ Subcommands:
 * ``watch``    — replay a saved log (file or shard dir) through the
   online EBRC and the sliding-window deliverability monitors.
 * ``report``   — bounce-degree and bounce-type report over a saved log.
-* ``classify`` — classify NDR lines with an EBRC trained on a saved log.
+* ``classify`` — classify NDR lines with an EBRC trained on a saved log
+  or loaded from a saved artifact; ``-`` reads lines from stdin.
+* ``fit``      — train an EBRC on a saved log and save the artifact
+  (the model file ``repro serve`` loads and hot-reloads).
+* ``serve``    — long-running classify/monitor HTTP daemon with
+  backpressure, hot model reload, and graceful drain (docs/SERVING.md).
+* ``loadtest`` — closed-loop load generator against a running daemon;
+  verifies responses against serial classification and writes
+  ``BENCH_serve.json``.
 * ``explain``  — reconstruct the SMTP dialogue behind one email's attempts.
 * ``trace``    — reconstruct delivery span trees from a saved log.
 * ``metrics``  — run with telemetry on and render the metrics, or
@@ -186,9 +194,71 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_quiet(p)
 
     p = sub.add_parser("classify", help="classify NDR lines (EBRC)")
-    p.add_argument("dataset", help="training corpus (saved delivery log)")
+    p.add_argument("dataset", nargs="?", default=None,
+                   help="training corpus (saved delivery log); optional "
+                        "with --artifact")
+    p.add_argument("lines", nargs="?", default=None,
+                   help="file of NDR lines to classify, '-' = stdin")
+    p.add_argument("--artifact", default=None, metavar="PATH",
+                   help="load a saved EBRC artifact (repro fit / EBRC.save) "
+                        "instead of training on the dataset")
     p.add_argument("--message", action="append", default=[],
                    help="NDR line to classify (repeatable); stdin otherwise")
+    _add_quiet(p)
+
+    p = sub.add_parser("fit", help="train an EBRC on a saved delivery log "
+                                   "and save the artifact")
+    p.add_argument("dataset", help="delivery log: JSONL file or shard directory")
+    p.add_argument("--out", default="ebrc.json",
+                   help="where the artifact goes (repro serve loads this)")
+    _add_quiet(p)
+
+    p = sub.add_parser("serve", help="long-running classify/monitor daemon "
+                                     "(docs/SERVING.md)")
+    p.add_argument("--artifact", required=True, metavar="PATH",
+                   help="saved EBRC artifact to serve (hot-reloaded on change)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321,
+                   help="listen port (0 = ephemeral; see --port-file)")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the bound port here once listening")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="requests executing at once before queueing")
+    p.add_argument("--max-queue", type=int, default=32,
+                   help="bounded request queue depth (429 beyond this)")
+    p.add_argument("--max-wait-ms", type=float, default=500.0,
+                   help="longest a queued request waits before 429")
+    p.add_argument("--reload-interval", type=float, default=2.0, metavar="S",
+                   help="artifact poll interval for hot reload (0 = off)")
+    p.add_argument("--trace-sample", type=int, default=0, metavar="N",
+                   help="keep a span tree for every Nth observed record")
+    p.add_argument("--trace-capacity", type=int, default=256,
+                   help="ring-buffer size for kept traces (GET /traces)")
+    p.add_argument("--snapshot-out", default=None, metavar="PATH",
+                   help="write a final metrics snapshot (JSON) on drain")
+    _add_quiet(p)
+
+    p = sub.add_parser("loadtest", help="closed-loop load harness against a "
+                                        "running repro serve")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="read the daemon's port from this file instead")
+    p.add_argument("--artifact", required=True, metavar="PATH",
+                   help="the SAME artifact the daemon serves — the serial "
+                        "oracle every response is verified against")
+    p.add_argument("--requests", type=int, default=2000)
+    p.add_argument("--concurrency", type=int, default=8)
+    p.add_argument("--batch", type=int, default=1,
+                   help="messages per request (1 = POST /classify, "
+                        ">1 = POST /classify_many)")
+    p.add_argument("--corpus-scale", type=float, default=0.01,
+                   help="simulation scale the NDR corpus is synthesized at")
+    p.add_argument("--corpus-seed", type=int, default=7)
+    p.add_argument("--retry-cap", type=float, default=1.0, metavar="S",
+                   help="cap on honoured Retry-After sleeps")
+    p.add_argument("--out", default="BENCH_serve.json",
+                   help="bench artifact path ('-' = skip)")
     _add_quiet(p)
 
     p = sub.add_parser("explain", help="show the SMTP dialogue of one email")
@@ -546,20 +616,135 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _read_ndr_lines(source: str) -> list[str]:
+    """NDR lines from a file path or ``-`` (stdin); blanks dropped."""
+    if source == "-":
+        return [l.strip() for l in sys.stdin if l.strip()]
+    with open(source, encoding="utf-8") as fh:
+        return [l.strip() for l in fh if l.strip()]
+
+
 def _cmd_classify(args) -> int:
-    dataset = DeliveryDataset.read_jsonl(args.dataset)
-    corpus = dataset.ndr_messages()
+    from repro.serve.handlers import classify_rows, render_row
+
+    # With --artifact the first positional is the lines source, so both
+    # `classify log.jsonl -` and `classify --artifact m.json -` read well.
+    dataset_path, lines_src = args.dataset, args.lines
+    if args.artifact is not None and lines_src is None:
+        dataset_path, lines_src = None, args.dataset
+
+    if args.artifact is not None:
+        from repro.core.ebrc import EBRC
+
+        classify = EBRC.load(args.artifact).classify
+    else:
+        if dataset_path is None:
+            print("classify: need a training dataset or --artifact",
+                  file=sys.stderr)
+            return 2
+        dataset = DeliveryDataset.read_jsonl(dataset_path)
+        corpus = dataset.ndr_messages()
+        if not corpus:
+            print("dataset has no NDR messages to train on", file=sys.stderr)
+            return 1
+        classify = EBRCLabeler().fit(corpus).classify
+
+    lines = list(args.message)
+    if lines_src is not None:
+        lines.extend(_read_ndr_lines(lines_src))
+    elif not lines:
+        lines = _read_ndr_lines("-")
+    # classify_rows is the exact code path POST /classify serves, so a
+    # shell pipeline and an HTTP client can never disagree on a label.
+    for row in classify_rows(classify, lines):
+        print(render_row(row))
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    from repro.core.ebrc import EBRC, artifact_fingerprint
+    from repro.stream.sink import iter_delivery_log
+
+    corpus = [
+        attempt.result
+        for record in iter_delivery_log(args.dataset)
+        for attempt in record.attempts
+        if not attempt.succeeded
+    ]
     if not corpus:
         print("dataset has no NDR messages to train on", file=sys.stderr)
         return 1
-    labeler = EBRCLabeler().fit(corpus)
-    lines = args.message or [l.strip() for l in sys.stdin if l.strip()]
-    for line in lines:
-        result = labeler.classify(line)
-        if result is None:
-            print(f"AMBIGUOUS\t{line}")
-        else:
-            print(f"{result.value}\t{result.description}\t{line}")
+    ebrc = EBRC().fit(corpus)
+    ebrc.save(args.out)
+    _status(f"fitted EBRC on {len(corpus):,} NDR lines: "
+            f"{ebrc.n_templates} templates")
+    _status(f"wrote {args.out} "
+            f"(fingerprint {artifact_fingerprint(args.out)[:12]})")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.server import ServeConfig, run_server
+
+    config = ServeConfig(
+        artifact=args.artifact,
+        host=args.host,
+        port=args.port,
+        port_file=args.port_file,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        reload_interval_s=args.reload_interval,
+        trace_sample=args.trace_sample,
+        trace_capacity=args.trace_capacity,
+        snapshot_out=args.snapshot_out,
+    )
+    return run_server(config, status=_status)
+
+
+def _cmd_loadtest(args) -> int:
+    from pathlib import Path
+
+    from repro.serve.loadgen import LoadConfig, run_loadtest
+
+    port = args.port
+    if port is None and args.port_file:
+        port = int(Path(args.port_file).read_text(encoding="utf-8").strip())
+    if port is None:
+        print("loadtest: need --port or --port-file", file=sys.stderr)
+        return 2
+    config = LoadConfig(
+        host=args.host,
+        port=port,
+        artifact=args.artifact,
+        n_requests=args.requests,
+        concurrency=args.concurrency,
+        batch=args.batch,
+        corpus_scale=args.corpus_scale,
+        corpus_seed=args.corpus_seed,
+        retry_cap_s=args.retry_cap,
+    )
+    _status(f"loadtest: {args.requests} requests x {args.batch} message(s), "
+            f"{args.concurrency} closed-loop workers -> "
+            f"http://{args.host}:{port}")
+    report = run_loadtest(config)
+    print(f"requests: {report.n_requests:,}  "
+          f"messages: {report.n_messages:,}  "
+          f"duration: {report.duration_s:.2f}s")
+    print(f"throughput: {report.requests_per_s:,.0f} req/s  "
+          f"{report.messages_per_s:,.0f} msg/s")
+    latency = report.latency_ms
+    print(f"latency ms: p50={latency['p50']} p95={latency['p95']} "
+          f"p99={latency['p99']} max={latency['max']}")
+    print(f"backpressure: {report.backpressure_429} x 429  "
+          f"mismatches: {report.mismatches}")
+    if args.out != "-":
+        report.write_bench(args.out)
+        _status(f"wrote {args.out}")
+    if report.mismatches or report.errors:
+        for err in report.errors:
+            print(f"error: {err}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -668,6 +853,9 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "report": _cmd_report,
     "classify": _cmd_classify,
+    "fit": _cmd_fit,
+    "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
     "explain": _cmd_explain,
     "squat": _cmd_squat,
     "recommend": _cmd_recommend,

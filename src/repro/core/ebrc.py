@@ -19,7 +19,9 @@ The pipeline mirrors the paper step by step:
 
 from __future__ import annotations
 
+import hashlib
 import json
+import threading
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 from pathlib import Path
@@ -398,3 +400,117 @@ class EBRC:
     def type_distribution(self, messages: list[str]) -> Counter:
         """Counter of predicted types over a corpus (None key = ambiguous)."""
         return Counter(self.classify(m) for m in messages)
+
+
+# -- reload-safe access ------------------------------------------------------------
+
+
+def artifact_fingerprint(path: str | Path) -> str:
+    """SHA-256 hex digest of a saved EBRC artifact's bytes.
+
+    This is the identity the serving layer hot-reloads on: two artifacts
+    with the same digest classify identically, so a swap is skipped.
+    """
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()
+
+
+class EBRCHandle:
+    """A reload-safe, thread-safe reference to a fitted :class:`EBRC`.
+
+    The serving daemon (:mod:`repro.serve`) classifies from many request
+    threads while a watcher thread may swap in a freshly loaded artifact
+    at any moment.  Two hazards make a bare ``EBRC`` reference unsafe
+    there:
+
+    * ``classify`` mutates shared state (the exact-string LRU memo
+      evicts; Drain templates count matches), so concurrent calls must
+      be serialized;
+    * a swap must never expose a half-initialised pipeline to a request
+      that is mid-classification.
+
+    One lock covers both: every accessor runs under it, and
+    :meth:`swap`/:meth:`reload` replace the reference atomically.  A
+    request observes either the old model or the new one, never a blend.
+    The handle also carries the provenance the service reports: the
+    source artifact path, its content fingerprint, and a monotonically
+    increasing generation number bumped on every successful swap.
+    """
+
+    def __init__(self, ebrc: EBRC, *, artifact: str | Path | None = None,
+                 fingerprint: str | None = None) -> None:
+        self._lock = threading.Lock()
+        self._ebrc = ebrc
+        self.artifact = str(artifact) if artifact is not None else None
+        self.fingerprint = fingerprint
+        self.generation = 1
+
+    @classmethod
+    def from_artifact(cls, path: str | Path) -> "EBRCHandle":
+        """Load a saved pipeline (:meth:`EBRC.save`) behind a handle."""
+        return cls(EBRC.load(path), artifact=path,
+                   fingerprint=artifact_fingerprint(path))
+
+    # -- accessors (serialized) ---------------------------------------------------
+
+    def classify(self, message: str) -> BounceType | None:
+        with self._lock:
+            return self._ebrc.classify(message)
+
+    def classify_many(self, messages: list[str]) -> list[BounceType | None]:
+        with self._lock:
+            return self._ebrc.classify_many(messages)
+
+    @property
+    def n_templates(self) -> int:
+        with self._lock:
+            return self._ebrc.n_templates
+
+    @property
+    def current(self) -> EBRC:
+        """The live pipeline (for read-only introspection; classification
+        must go through the handle so it stays serialized with swaps)."""
+        with self._lock:
+            return self._ebrc
+
+    def info(self) -> dict:
+        """Provenance summary the service exposes on /healthz and reload."""
+        with self._lock:
+            return {
+                "generation": self.generation,
+                "artifact": self.artifact,
+                "fingerprint": self.fingerprint,
+                "n_templates": self._ebrc.n_templates,
+            }
+
+    # -- swapping -----------------------------------------------------------------
+
+    def swap(self, ebrc: EBRC, *, artifact: str | Path | None = None,
+             fingerprint: str | None = None) -> int:
+        """Atomically replace the pipeline; returns the new generation."""
+        with self._lock:
+            self._ebrc = ebrc
+            if artifact is not None:
+                self.artifact = str(artifact)
+            self.fingerprint = fingerprint
+            self.generation += 1
+            return self.generation
+
+    def reload(self, path: str | Path | None = None, *,
+               force: bool = False) -> bool:
+        """Reload from ``path`` (default: the handle's source artifact).
+
+        The artifact is fingerprinted first; when the digest matches the
+        live one the load is skipped entirely (``False``) unless
+        ``force``.  The new pipeline is fully constructed *outside* the
+        lock, so requests keep classifying on the old model during the
+        load and only the pointer swap blocks them.
+        """
+        source = path if path is not None else self.artifact
+        if source is None:
+            raise ValueError("handle has no source artifact to reload from")
+        digest = artifact_fingerprint(source)
+        if not force and digest == self.fingerprint:
+            return False
+        fresh = EBRC.load(source)
+        self.swap(fresh, artifact=source, fingerprint=digest)
+        return True

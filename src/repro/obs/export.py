@@ -22,6 +22,7 @@ from repro.obs import metrics as _metrics
 from repro.obs import profile as _profile
 
 __all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
     "build_snapshot",
     "load_snapshot",
     "merge_snapshot",
@@ -31,6 +32,10 @@ __all__ = [
 ]
 
 SNAPSHOT_VERSION = 1
+
+#: The media type scrapers expect from a text-exposition endpoint
+#: (``repro serve`` sends this from ``GET /metrics``).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 def build_snapshot(registry=None, profiler=None) -> dict:
@@ -77,12 +82,28 @@ def merge_snapshot(snapshot: dict, registry=None, profiler=None) -> None:
 
 
 def _escape_label(value: str) -> str:
+    """Escape one label *value* per exposition format 0.0.4.
+
+    Backslash must go first (escaping the escapes), then the quote that
+    delimits the value, then newlines — a literal newline inside a label
+    would otherwise terminate the sample line mid-series.
+    """
     return (
         str(value)
         .replace("\\", "\\\\")
         .replace('"', '\\"')
         .replace("\n", "\\n")
     )
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text: only ``\\`` and newline (quotes stay raw).
+
+    Without this, a help string containing a newline splits the header
+    into an invalid continuation line and scrapers reject the whole
+    exposition.
+    """
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _fmt(value: float) -> str:
@@ -138,7 +159,7 @@ def prometheus_text(snapshot: dict | None = None) -> str:
     for family in snapshot.get("metrics", []):
         name, kind = family["name"], family["type"]
         if family.get("help"):
-            lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
         lines.append(f"# TYPE {name} {kind}")
         if kind == "histogram":
             _render_histogram(lines, family)

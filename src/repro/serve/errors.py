@@ -1,0 +1,85 @@
+"""Typed API errors.
+
+Every failure the daemon can hand a client maps to one exception class
+with a stable machine-readable ``code``; the handler layer renders them
+all through :func:`error_body` so clients never have to parse prose.
+Backpressure and drain rejections carry ``retry_after`` (whole seconds),
+which the server echoes as a ``Retry-After`` header — the contract the
+closed-loop load generator keys its retry pacing on.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "ApiError",
+    "BadRequest",
+    "Draining",
+    "MethodNotAllowed",
+    "NotFound",
+    "PayloadTooLarge",
+    "TooManyRequests",
+    "error_body",
+]
+
+
+class ApiError(Exception):
+    """Base of every typed API failure (HTTP status + stable code)."""
+
+    status = 500
+    code = "internal"
+
+    def __init__(self, message: str, *, retry_after: int | None = None,
+                 details: dict | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.retry_after = retry_after
+        self.details = details
+
+    def payload(self) -> dict:
+        error: dict = {"code": self.code, "message": self.message}
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        if self.details:
+            error["details"] = self.details
+        return {"error": error}
+
+
+class BadRequest(ApiError):
+    status = 400
+    code = "bad_request"
+
+
+class NotFound(ApiError):
+    status = 404
+    code = "not_found"
+
+
+class MethodNotAllowed(ApiError):
+    status = 405
+    code = "method_not_allowed"
+
+
+class PayloadTooLarge(ApiError):
+    status = 413
+    code = "payload_too_large"
+
+
+class TooManyRequests(ApiError):
+    """Backpressure: the bounded request queue is full."""
+
+    status = 429
+    code = "backpressure"
+
+
+class Draining(ApiError):
+    """The daemon is shutting down; in-flight work completes, new work
+    is turned away."""
+
+    status = 503
+    code = "draining"
+
+
+def error_body(exc: ApiError) -> bytes:
+    return (json.dumps(exc.payload()) + "\n").encode("utf-8")

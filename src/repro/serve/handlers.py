@@ -1,0 +1,236 @@
+"""Endpoint router: pure functions from (state, request) to Response.
+
+Keeping the handlers free of socket code means the CLI, the tests, and
+the HTTP layer all exercise the *same* classification path:
+:func:`classify_rows` is what ``POST /classify`` renders and what
+``repro classify`` prints, so a shell pipeline and an HTTP client can
+never disagree about a message's label.
+
+Routes (see docs/SERVING.md for the full contract):
+
+========  =================  ==========================================
+method    path               purpose
+========  =================  ==========================================
+GET       /                  service description + endpoint list
+GET       /healthz           liveness + model provenance
+POST      /classify          one NDR line -> bounce type
+POST      /classify_many     batch of NDR lines -> bounce types
+POST      /observe           feed one delivery record to the monitors
+GET       /monitors          live deliverability-monitor state
+GET       /metrics           Prometheus exposition (?format=json)
+GET       /traces            recent reconstructed span trees
+POST      /admin/reload      hot-reload the EBRC artifact
+========  =================  ==========================================
+
+``POST`` bodies are JSON; every error is a typed JSON body from
+:mod:`repro.serve.errors`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro import __version__
+from repro.core.taxonomy import BounceType
+from repro.delivery.records import DeliveryRecord
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    build_snapshot,
+    prometheus_text,
+    snapshot_json,
+)
+from repro.serve.errors import BadRequest, MethodNotAllowed, NotFound
+from repro.serve.state import ServerState, alert_payload
+
+__all__ = [
+    "GATED_PATHS",
+    "Response",
+    "classify_rows",
+    "dispatch",
+    "render_row",
+]
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+#: Paths whose work runs under the admission gate.  Health checks and
+#: metric scrapes bypass backpressure on purpose: a saturated server
+#: must stay observable.
+GATED_PATHS = frozenset({"/classify", "/classify_many", "/observe"})
+
+
+@dataclass
+class Response:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = JSON_CONTENT_TYPE
+    headers: dict = field(default_factory=dict)
+
+
+def _json_response(payload: dict, status: int = 200) -> Response:
+    body = (json.dumps(payload) + "\n").encode("utf-8")
+    return Response(status=status, body=body)
+
+
+def _json_body(body: bytes) -> dict:
+    if not body:
+        raise BadRequest("request body must be a JSON object")
+    try:
+        data = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise BadRequest(f"invalid JSON body: {exc}") from exc
+    if not isinstance(data, dict):
+        raise BadRequest("request body must be a JSON object")
+    return data
+
+
+# -- the shared classification path ------------------------------------------------
+
+
+def classify_rows(
+    classify: Callable[[str], BounceType | None], lines: list[str]
+) -> list[dict]:
+    """One JSON-ready row per NDR line — the single rendering of a
+    classification used by both the HTTP handlers and ``repro classify``."""
+    rows: list[dict] = []
+    for line in lines:
+        result = classify(line)
+        if result is None:
+            rows.append({"message": line, "type": None,
+                         "description": None, "ambiguous": True})
+        else:
+            rows.append({"message": line, "type": result.value,
+                         "description": result.description, "ambiguous": False})
+    return rows
+
+
+def render_row(row: dict) -> str:
+    """The CLI's tab-separated line for one classification row."""
+    if row["ambiguous"]:
+        return f"AMBIGUOUS\t{row['message']}"
+    return f"{row['type']}\t{row['description']}\t{row['message']}"
+
+
+# -- handlers ----------------------------------------------------------------------
+
+
+def _root(state: ServerState, body: bytes, query: str) -> Response:
+    return _json_response({
+        "service": "repro-serve",
+        "version": __version__,
+        "endpoints": sorted(_ROUTES),
+        "model": state.handle.info(),
+    })
+
+
+def _healthz(state: ServerState, body: bytes, query: str) -> Response:
+    return _json_response({
+        "status": "draining" if state.draining.is_set() else "ok",
+        "uptime_s": round(state.uptime_s, 3),
+        "model": state.handle.info(),
+    })
+
+
+def _classify(state: ServerState, body: bytes, query: str) -> Response:
+    data = _json_body(body)
+    message = data.get("message")
+    if not isinstance(message, str):
+        raise BadRequest("field 'message' must be a string")
+    row = classify_rows(state.handle.classify, [message])[0]
+    return _json_response({
+        "type": row["type"],
+        "description": row["description"],
+        "ambiguous": row["ambiguous"],
+    })
+
+
+def _classify_many(state: ServerState, body: bytes, query: str) -> Response:
+    data = _json_body(body)
+    messages = data.get("messages")
+    if not isinstance(messages, list) or any(
+        not isinstance(m, str) for m in messages
+    ):
+        raise BadRequest("field 'messages' must be a list of strings")
+    results = state.handle.classify_many(messages)
+    return _json_response({
+        "n": len(results),
+        "types": [r.value if r is not None else None for r in results],
+    })
+
+
+def _observe(state: ServerState, body: bytes, query: str) -> Response:
+    data = _json_body(body)
+    record_data = data.get("record", data)
+    try:
+        record = DeliveryRecord.from_json_dict(record_data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BadRequest(f"not a delivery record: {exc}") from exc
+    alerts = state.observe_record(record)
+    return _json_response({
+        "observed": state.monitor.n_records,
+        "alerts": [alert_payload(a) for a in alerts],
+    })
+
+
+def _monitors(state: ServerState, body: bytes, query: str) -> Response:
+    return _json_response(state.monitors_payload())
+
+
+def _metrics(state: ServerState, body: bytes, query: str) -> Response:
+    snapshot = build_snapshot()
+    if query and "format=json" in query:
+        return Response(body=snapshot_json(snapshot).encode("utf-8"))
+    return Response(body=prometheus_text(snapshot).encode("utf-8"),
+                    content_type=PROMETHEUS_CONTENT_TYPE)
+
+
+def _traces(state: ServerState, body: bytes, query: str) -> Response:
+    return _json_response({
+        "sample_every": state.trace_sample,
+        "n": len(state.traces),
+        "traces": list(state.traces),
+    })
+
+
+def _admin_reload(state: ServerState, body: bytes, query: str) -> Response:
+    data = _json_body(body) if body else {}
+    force = bool(data.get("force", False))
+    try:
+        reloaded = state.handle.reload(force=force)
+    except FileNotFoundError as exc:
+        raise BadRequest(f"artifact missing: {exc}") from exc
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise BadRequest(f"artifact unreadable: {exc}") from exc
+    if reloaded:
+        state.record_reload("admin")
+    return _json_response({"reloaded": reloaded, "model": state.handle.info()})
+
+
+_ROUTES: dict[str, dict[str, Callable[[ServerState, bytes, str], Response]]] = {
+    "/": {"GET": _root},
+    "/healthz": {"GET": _healthz},
+    "/classify": {"POST": _classify},
+    "/classify_many": {"POST": _classify_many},
+    "/observe": {"POST": _observe},
+    "/monitors": {"GET": _monitors},
+    "/metrics": {"GET": _metrics},
+    "/traces": {"GET": _traces},
+    "/admin/reload": {"POST": _admin_reload},
+}
+
+
+def dispatch(state: ServerState, method: str, path: str, body: bytes,
+             query: str = "") -> Response:
+    """Route one request; raises a typed ApiError for every failure."""
+    methods = _ROUTES.get(path)
+    if methods is None:
+        raise NotFound(f"no such endpoint: {path}",
+                       details={"endpoints": sorted(_ROUTES)})
+    handler = methods.get(method)
+    if handler is None:
+        raise MethodNotAllowed(
+            f"{method} not allowed on {path}",
+            details={"allowed": sorted(methods)},
+        )
+    return handler(state, body, query)

@@ -1,0 +1,142 @@
+"""Bounded request admission with explicit backpressure.
+
+The daemon's concurrency model: a request first has to be *admitted*
+before any classification work happens.  At most ``max_inflight``
+requests execute at once; up to ``max_queue`` more may wait (bounded —
+this is the "request queue"), each for at most ``max_wait_s``.  Anything
+beyond that is rejected immediately with
+:class:`~repro.serve.errors.TooManyRequests` (HTTP 429 + ``Retry-After``)
+instead of queueing without bound — under overload the server sheds
+load with a cheap, explicit signal rather than growing latency until
+clients time out blind.
+
+The gate is a plain condition variable with two counters; admitted work
+releases its slot in a ``finally``, so a crashing handler can never leak
+capacity.  Telemetry rides on the shared
+:class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import monotonic
+
+from repro.obs import metrics as obs_metrics
+from repro.serve.errors import Draining, TooManyRequests
+
+__all__ = ["AdmissionGate"]
+
+
+class AdmissionGate:
+    """Bounded-concurrency, bounded-queue admission control."""
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 32,
+        max_wait_s: float = 0.5,
+        retry_after_s: int = 1,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.max_wait_s = max_wait_s
+        self.retry_after_s = max(1, int(retry_after_s))
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._queued = 0
+        self._draining = False
+        # Telemetry (no-op unless repro.obs is enabled at construction).
+        self._m_admitted = obs_metrics.counter(
+            "repro_serve_admitted_total", "Requests admitted through the gate"
+        )
+        self._m_rejected = obs_metrics.counter(
+            "repro_serve_backpressure_total",
+            "Requests rejected by the admission gate, by reason",
+            label="reason",
+        )
+        self._m_inflight = obs_metrics.gauge(
+            "repro_serve_inflight", "Requests currently executing"
+        )
+        self._m_queued = obs_metrics.gauge(
+            "repro_serve_queued", "Requests currently waiting for a slot"
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    # -- admission ---------------------------------------------------------------
+
+    def _reject(self, reason: str) -> TooManyRequests:
+        self._m_rejected.labels(reason).inc()
+        return TooManyRequests(
+            f"server at capacity ({self.max_inflight} in flight, "
+            f"{self._queued}/{self.max_queue} queued): {reason}",
+            retry_after=self.retry_after_s,
+        )
+
+    def acquire(self) -> None:
+        """Take an execution slot or raise (429 full/timeout, 503 drain)."""
+        with self._cond:
+            if self._draining:
+                raise Draining("server is draining", retry_after=self.retry_after_s)
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self._m_admitted.inc()
+                self._m_inflight.set(self._inflight)
+                return
+            if self._queued >= self.max_queue:
+                raise self._reject("queue full")
+            self._queued += 1
+            self._m_queued.set(self._queued)
+            deadline = monotonic() + self.max_wait_s
+            try:
+                while self._inflight >= self.max_inflight:
+                    if self._draining:
+                        raise Draining("server is draining",
+                                       retry_after=self.retry_after_s)
+                    remaining = deadline - monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if self._inflight < self.max_inflight:
+                            break
+                        raise self._reject("wait timeout")
+                self._inflight += 1
+                self._m_admitted.inc()
+                self._m_inflight.set(self._inflight)
+            finally:
+                self._queued -= 1
+                self._m_queued.set(self._queued)
+
+    def release(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._m_inflight.set(self._inflight)
+            self._cond.notify()
+
+    @contextmanager
+    def admit(self):
+        """``with gate.admit(): <handle request>`` — slot held throughout."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    # -- drain -------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Stop admitting; waiters are woken and turned away (503)."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()

@@ -1,0 +1,73 @@
+"""Hot model reload: watch the EBRC artifact and swap on change.
+
+The watcher polls the artifact's ``(mtime, size)`` every
+``interval_s``; on an apparent change it defers to
+:meth:`~repro.core.ebrc.EBRCHandle.reload`, which fingerprints the
+bytes and swaps only when the content actually differs — so touch(1)
+and atomic same-content rewrites are free.  A load failure (torn write,
+malformed JSON) never takes the service down: the old model keeps
+serving and the error is held for ``/healthz``-style introspection
+until a subsequent poll succeeds.
+
+``POST /admin/reload`` is the explicit, synchronous variant of the same
+path (handled in :mod:`repro.serve.handlers`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from repro.serve.state import ServerState
+
+__all__ = ["ArtifactWatcher"]
+
+
+class ArtifactWatcher(threading.Thread):
+    """Background poller that hot-reloads the serving EBRC on change."""
+
+    def __init__(self, state: ServerState, interval_s: float = 2.0) -> None:
+        super().__init__(name="repro-serve-reload", daemon=True)
+        self.state = state
+        self.interval_s = interval_s
+        self.last_error: str | None = None
+        self.n_reloads = 0
+        self._stop = threading.Event()
+        self._seen = self._stat()
+
+    def _stat(self) -> tuple[float, int] | None:
+        artifact = self.state.handle.artifact
+        if artifact is None:
+            return None
+        try:
+            st = os.stat(artifact)
+        except OSError:
+            return None
+        return (st.st_mtime, st.st_size)
+
+    def poll_once(self) -> bool:
+        """One check-and-maybe-reload cycle; True when a swap happened."""
+        current = self._stat()
+        if current is None or current == self._seen:
+            return False
+        self._seen = current
+        try:
+            reloaded = self.state.handle.reload()
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            # Keep serving the old model; a half-written artifact will
+            # look changed again once the writer finishes.
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            return False
+        self.last_error = None
+        if reloaded:
+            self.n_reloads += 1
+            self.state.record_reload("watch")
+        return reloaded
+
+    def run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.poll_once()
+
+    def stop(self) -> None:
+        self._stop.set()

@@ -85,6 +85,91 @@ class TestClassify:
         assert lines[0].startswith("T8")
         assert lines[1].startswith("AMBIGUOUS")
 
+    def test_classify_reads_stdin_dash(self, saved_log, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            "550 5.1.1 The email account that you tried to reach does not exist\n"
+            "\n"   # blank lines are dropped
+            "QQQ 5.4.1 Recipient address rejected: Access denied.\n"
+        ))
+        assert main(["classify", str(saved_log), "-"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].split("\t")[0] == "T8"
+
+    def test_classify_with_artifact_skips_training(
+        self, saved_log, tmp_path, capsys, monkeypatch
+    ):
+        import io
+
+        artifact = tmp_path / "ebrc.json"
+        assert main(["fit", str(saved_log), "--out", str(artifact)]) == 0
+        capsys.readouterr()
+        # with --artifact, the single positional is the lines source
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            "550 5.1.1 The email account that you tried to reach does not exist\n"
+        ))
+        assert main(["classify", "--artifact", str(artifact), "-"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("T8\t")
+
+    def test_classify_without_dataset_or_artifact_errors(self, capsys,
+                                                         monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("550 x\n"))
+        assert main(["classify"]) == 2
+        assert "need a training dataset or --artifact" in capsys.readouterr().err
+
+
+class TestFit:
+    def test_fit_writes_loadable_artifact(self, saved_log, tmp_path, capsys):
+        from repro.core.ebrc import EBRC
+
+        out = tmp_path / "model.json"
+        assert main(["fit", str(saved_log), "--out", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "fitted EBRC on" in err
+        assert "fingerprint" in err
+        ebrc = EBRC.load(out)
+        assert ebrc.n_templates > 0
+        assert ebrc.classify(
+            "550 5.1.1 The email account that you tried to reach does not exist"
+        ) is not None
+
+    def test_fit_empty_dataset_errors(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["fit", str(empty), "--out", str(tmp_path / "m.json")]) == 1
+
+
+class TestServeLoadtest:
+    def test_loadtest_cli_against_live_daemon(self, saved_log, tmp_path,
+                                              capsys):
+        """`repro fit` -> in-process daemon -> `repro loadtest` exits 0
+        with zero mismatches and writes the bench artifact."""
+        import json as json_mod
+
+        from repro.serve import ReproServer, ServeConfig
+
+        artifact = tmp_path / "ebrc.json"
+        assert main(["fit", str(saved_log), "--out", str(artifact)]) == 0
+        bench = tmp_path / "BENCH_serve.json"
+        with ReproServer(ServeConfig(artifact=str(artifact), port=0)) as srv:
+            code = main([
+                "loadtest", "--artifact", str(artifact),
+                "--host", srv.host, "--port", str(srv.port),
+                "--requests", "60", "--concurrency", "4",
+                "--corpus-scale", "0.01", "--out", str(bench),
+            ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mismatches: 0" in out
+        payload = json_mod.loads(bench.read_text())
+        assert payload["mismatches"] == 0
+        assert payload["requests"] == 60
+
 
 class TestExplain:
     def test_explain_first_bounced(self, saved_log, capsys):

@@ -1,0 +1,123 @@
+"""Tests for the closed-loop load generator (repro.serve.loadgen)."""
+
+import json
+
+import pytest
+
+from repro.core.ebrc import EBRC
+from repro.serve import LoadConfig, ReproServer, ServeConfig, run_loadtest
+from repro.serve.loadgen import _percentiles_ms
+
+
+@pytest.fixture(scope="module")
+def corpus(dataset):
+    return dataset.ndr_messages()
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory, corpus):
+    path = tmp_path_factory.mktemp("loadgen") / "ebrc.json"
+    EBRC().fit(corpus[:4000]).save(path)
+    return path
+
+
+class TestPercentiles:
+    def test_exact_nearest_rank(self):
+        samples = [i / 1000.0 for i in range(1, 101)]  # 1..100 ms
+        stats = _percentiles_ms(samples)
+        assert stats["p50"] == pytest.approx(50.0, abs=1.0)
+        assert stats["p95"] == pytest.approx(95.0, abs=1.0)
+        assert stats["p99"] == pytest.approx(99.0, abs=1.0)
+        assert stats["max"] == 100.0
+
+    def test_empty_is_all_none(self):
+        assert _percentiles_ms([]) == {
+            "p50": None, "p95": None, "p99": None, "mean": None, "max": None
+        }
+
+
+class TestLoadtest:
+    def test_single_message_requests_zero_mismatches(self, artifact, corpus):
+        config = ServeConfig(artifact=str(artifact), port=0)
+        with ReproServer(config) as srv:
+            report = run_loadtest(
+                LoadConfig(
+                    host=srv.host, port=srv.port, artifact=str(artifact),
+                    n_requests=300, concurrency=4,
+                ),
+                corpus=corpus,
+            )
+        assert report.errors == []
+        assert report.mismatches == 0
+        assert report.n_requests == 300
+        assert report.n_messages == 300
+        assert report.requests_per_s > 0
+        assert report.latency_ms["p50"] is not None
+        assert report.latency_ms["p50"] <= report.latency_ms["p99"]
+
+    def test_batch_requests_zero_mismatches(self, artifact, corpus):
+        config = ServeConfig(artifact=str(artifact), port=0)
+        with ReproServer(config) as srv:
+            report = run_loadtest(
+                LoadConfig(
+                    host=srv.host, port=srv.port, artifact=str(artifact),
+                    n_requests=50, concurrency=4, batch=16,
+                ),
+                corpus=corpus,
+            )
+        assert report.errors == []
+        assert report.mismatches == 0
+        assert report.n_messages == 50 * 16
+        assert report.batch == 16
+
+    def test_saturation_sheds_load_then_completes(
+        self, artifact, corpus, monkeypatch
+    ):
+        """Against a deliberately tiny gate, the generator absorbs 429s
+        via Retry-After pacing and still finishes every request with
+        zero mismatches — backpressure, not failure."""
+        monkeypatch.setenv("REPRO_SERVE_TEST_DELAY_S", "0.05")
+        config = ServeConfig(
+            artifact=str(artifact), port=0,
+            max_inflight=1, max_queue=0, max_wait_s=0.01,
+        )
+        with ReproServer(config) as srv:
+            report = run_loadtest(
+                LoadConfig(
+                    host=srv.host, port=srv.port, artifact=str(artifact),
+                    n_requests=40, concurrency=8, retry_cap_s=0.05,
+                    max_attempts=2000,
+                ),
+                corpus=corpus,
+            )
+        assert report.backpressure_429 > 0
+        assert report.n_requests == 40  # every request eventually landed
+        assert report.mismatches == 0
+        assert report.errors == []
+
+    def test_write_bench_artifact(self, artifact, corpus, tmp_path):
+        config = ServeConfig(artifact=str(artifact), port=0)
+        with ReproServer(config) as srv:
+            report = run_loadtest(
+                LoadConfig(
+                    host=srv.host, port=srv.port, artifact=str(artifact),
+                    n_requests=50, concurrency=2,
+                ),
+                corpus=corpus,
+            )
+        out = tmp_path / "BENCH_serve.json"
+        report.write_bench(out, extra={"armed": True})
+        payload = json.loads(out.read_text())
+        assert payload["requests"] == 50
+        assert payload["mismatches"] == 0
+        assert payload["armed"] is True
+        assert set(payload["latency_ms"]) == {"p50", "p95", "p99", "mean", "max"}
+
+
+class TestSynthCorpus:
+    def test_corpus_is_ndr_lines(self):
+        from repro.serve.loadgen import synth_corpus
+
+        corpus = synth_corpus(scale=0.01, seed=7)
+        assert len(corpus) > 50
+        assert all(isinstance(m, str) and m for m in corpus)

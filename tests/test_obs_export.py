@@ -104,6 +104,52 @@ class TestPrometheus:
         text = prometheus_text()
         assert 't_esc_total{v="a\\"b\\\\c\\nd"} 1' in text
 
+    def test_label_escaping_each_special(self, populated):
+        """Exposition 0.0.4: inside a label value, `\\` -> `\\\\`,
+        `"` -> `\\"`, newline -> `\\n` — each on its own so one broken
+        rule can't hide behind another."""
+        cases = {
+            "back\\slash": 'v="back\\\\slash"',
+            'quo"te': 'v="quo\\"te"',
+            "new\nline": 'v="new\\nline"',
+        }
+        counter = obs_metrics.counter("t_esc_one_total", label="v")
+        for raw in cases:
+            counter.labels(raw).inc()
+        text = prometheus_text()
+        for raw, rendered in cases.items():
+            assert f"t_esc_one_total{{{rendered}}} 1" in text
+        # newline escaping kept every sample on a single line
+        assert all(
+            line.endswith(" 1")
+            for line in text.splitlines()
+            if line.startswith("t_esc_one_total{")
+        )
+
+    def test_help_text_escaping(self, populated):
+        """HELP lines escape `\\` and newline (but NOT quotes — the help
+        text is not quote-delimited); an unescaped newline would truncate
+        the HELP line and corrupt the next one."""
+        obs_metrics.counter(
+            "t_helped_total", 'multi\nline \\ "quoted" help'
+        ).inc()
+        text = prometheus_text()
+        assert (
+            '# HELP t_helped_total multi\\nline \\\\ "quoted" help' in text
+        )
+        # the exposition stays line-parseable: each line is a comment,
+        # blank, or a valid sample
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                assert _SAMPLE_RE.match(line), line
+
+    def test_prometheus_content_type_constant(self):
+        from repro.obs.export import PROMETHEUS_CONTENT_TYPE
+
+        assert PROMETHEUS_CONTENT_TYPE == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+
     def test_renders_saved_snapshot_without_live_registry(self, populated, tmp_path):
         path = tmp_path / "snap.json"
         path.write_text(snapshot_json())

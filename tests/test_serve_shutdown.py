@@ -1,0 +1,132 @@
+"""Graceful-shutdown contract of ``repro serve``, tested end to end.
+
+A real daemon subprocess gets SIGTERM while a request is in flight:
+the in-flight response must complete, new connections must be refused,
+the process must exit 0, and the final metrics snapshot must land on
+disk.  ``REPRO_SERVE_TEST_DELAY_S`` stretches the handled section so
+the signal reliably arrives mid-request.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.ebrc import EBRC
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory, dataset):
+    path = tmp_path_factory.mktemp("serve-shutdown") / "ebrc.json"
+    EBRC().fit(dataset.ndr_messages()[:3000]).save(path)
+    return path
+
+
+def _spawn_daemon(artifact, tmp_path, delay_s="0"):
+    """Start `repro serve` on an ephemeral port; returns (proc, port, snapshot)."""
+    port_file = tmp_path / "port.txt"
+    snapshot = tmp_path / "final.json"
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(_SRC) + os.pathsep + os.environ.get("PYTHONPATH", ""),
+        REPRO_SERVE_TEST_DELAY_S=delay_s,
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-c",
+            "from repro.cli import main; raise SystemExit(main())",
+            "serve", "--artifact", str(artifact),
+            "--port", "0", "--port-file", str(port_file),
+            "--snapshot-out", str(snapshot),
+        ],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + 30
+    while not port_file.exists() or not port_file.read_text().strip():
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon died early: {proc.stderr.read()}"
+            )
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise AssertionError("daemon never wrote its port file")
+        time.sleep(0.02)
+    return proc, int(port_file.read_text().strip()), snapshot
+
+
+def _classify(port, message, timeout=30):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(
+            "POST", "/classify", body=json.dumps({"message": message}),
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestSigtermDrain:
+    def test_inflight_completes_new_refused_exit_zero(self, artifact, tmp_path):
+        proc, port, snapshot = _spawn_daemon(artifact, tmp_path, delay_s="0.8")
+        try:
+            result = {}
+
+            def inflight():
+                result["response"] = _classify(
+                    port, "550 5.1.1 mailbox does not exist"
+                )
+
+            worker = threading.Thread(target=inflight)
+            worker.start()
+            time.sleep(0.3)  # request is now inside its 0.8s handled section
+            proc.send_signal(signal.SIGTERM)
+            worker.join(timeout=30)
+
+            # 1. the in-flight request completed with a real classification
+            status, body = result["response"]
+            assert status == 200
+            assert body["type"] is not None
+
+            # 2. clean exit 0
+            assert proc.wait(timeout=30) == 0
+
+            # 3. new connections are refused after the drain
+            with pytest.raises(OSError):
+                _classify(port, "550 another", timeout=5)
+
+            # 4. the final metrics snapshot was flushed, and it counted
+            #    the drained request
+            snap = json.loads(snapshot.read_text())
+            families = {f["name"]: f for f in snap["metrics"]}
+            assert "repro_serve_requests_total" in families
+            series = families["repro_serve_requests_total"]["series"]
+            assert series.get("/classify", 0) >= 1
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    def test_sigint_also_drains_cleanly(self, artifact, tmp_path):
+        proc, port, snapshot = _spawn_daemon(artifact, tmp_path)
+        try:
+            status, _ = _classify(port, "550 5.1.1 no such user")
+            assert status == 200
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30) == 0
+            assert snapshot.exists()
+            assert "drained cleanly" in proc.stderr.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
