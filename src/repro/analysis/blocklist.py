@@ -48,17 +48,12 @@ class SpamhausImpact:
         ) / len(days)
 
 
-def spamhaus_impact(
-    labeled: LabeledDataset,
-    dnsbl: DNSBLService,
-    proxy_ips: list[str],
-    clock: SimClock,
-) -> SpamhausImpact:
+def t5_daily_counts(labeled: LabeledDataset, clock: SimClock) -> tuple[list[int], list[int]]:
+    """The record-side half of Fig 6: per-day first-failure-T5 volumes
+    split by Coremail's own flag, as ``(normal, spam)`` series.  (The
+    world-side half — the DNSBL listing series — needs the simulator's
+    blocklist, not the record stream.)"""
     n_days = clock.n_days
-    listed = [
-        sum(1 for ip in proxy_ips if dnsbl.is_listed(ip, clock.day_start(d) + DAY_SECONDS / 2))
-        for d in range(n_days)
-    ]
     normal = [0] * n_days
     spam = [0] * n_days
     for record, bounce_type in labeled.classified_records():
@@ -71,6 +66,21 @@ def spamhaus_impact(
             spam[day] += 1
         else:
             normal[day] += 1
+    return normal, spam
+
+
+def spamhaus_impact(
+    labeled: LabeledDataset,
+    dnsbl: DNSBLService,
+    proxy_ips: list[str],
+    clock: SimClock,
+) -> SpamhausImpact:
+    n_days = clock.n_days
+    listed = [
+        sum(1 for ip in proxy_ips if dnsbl.is_listed(ip, clock.day_start(d) + DAY_SECONDS / 2))
+        for d in range(n_days)
+    ]
+    normal, spam = t5_daily_counts(labeled, clock)
     return SpamhausImpact(listed, normal, spam)
 
 

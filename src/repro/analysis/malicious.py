@@ -63,10 +63,10 @@ def detect_guessing_campaigns(
             )
 
     campaigns: list[GuessingCampaign] = []
-    for sender_domain, per_target in nonexistent.items():
+    for sender_domain, per_target in sorted(nonexistent.items()):
         sender_traffic = traffic[sender_domain]
         total = sum(sender_traffic.values())
-        for target, users in per_target.items():
+        for target, users in sorted(per_target.items()):
             if len(users) < min_distinct_nonexistent:
                 continue
             if sender_traffic[target] / total < min_target_share:
@@ -127,7 +127,7 @@ def detect_bulk_spammers(
         recipients[record.sender_domain].add(record.receiver.lower())
 
     reports: list[BulkSpamReport] = []
-    for sender_domain, addresses in recipients.items():
+    for sender_domain, addresses in sorted(recipients.items()):
         if len(addresses) < min_recipients:
             continue
         fraction = breach.pwned_fraction(sorted(addresses))
@@ -157,7 +157,7 @@ def detect_bulk_spammers(
                 spamhaus_flagged=flagged,
             )
         )
-    reports.sort(key=lambda r: r.n_emails, reverse=True)
+    reports.sort(key=lambda r: (-r.n_emails, r.sender_domain))
     return reports
 
 

@@ -57,7 +57,9 @@ def _rows_by_key(labeled: LabeledDataset, key_of) -> list[BounceRateRow]:
         major = None
         share = 0.0
         if type_counter:
-            major, count = type_counter.most_common(1)[0]
+            major, count = min(
+                type_counter.items(), key=lambda kv: (-kv[1], kv[0].value)
+            )
             share = count / sum(type_counter.values())
         rows.append(
             BounceRateRow(
@@ -69,7 +71,7 @@ def _rows_by_key(labeled: LabeledDataset, key_of) -> list[BounceRateRow]:
                 major_type_share=share,
             )
         )
-    rows.sort(key=lambda r: r.email_volume, reverse=True)
+    rows.sort(key=lambda r: (-r.email_volume, r.key))
     return rows
 
 

@@ -102,7 +102,7 @@ def identify_vulnerable_domains(
 
     out: list[VulnerableDomain] = []
     recheck_time = probe_time + 120 * 86_400
-    for domain, n_emails in failed_domains.items():
+    for domain, n_emails in sorted(failed_domains.items()):
         # (b) active probe: still NXDOMAIN?  (c) available for purchase?
         if not registrar.available_for_registration(domain, probe_time):
             continue
@@ -121,7 +121,7 @@ def identify_vulnerable_domains(
             )
             vd.serves_mail = registrar.serves_mail(domain, recheck_time)
         out.append(vd)
-    out.sort(key=lambda d: d.n_emails, reverse=True)
+    out.sort(key=lambda d: (-d.n_emails, d.domain))
     return out
 
 
@@ -153,7 +153,7 @@ def identify_vulnerable_usernames(
             delivered_ever.add(record.receiver.lower())
 
     out: list[VulnerableUsername] = []
-    for address, count in t8_counts.items():
+    for address, count in sorted(t8_counts.items()):
         if count < min_incoming:
             continue
         username, provider = address.split("@", 1)
@@ -184,7 +184,7 @@ def identify_vulnerable_usernames(
                 website_accounts=websites,
             )
         )
-    out.sort(key=lambda u: u.n_emails, reverse=True)
+    out.sort(key=lambda u: (-u.n_emails, u.address))
     return out
 
 

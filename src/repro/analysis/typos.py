@@ -63,7 +63,9 @@ def detect_domain_typos(
     """The full domain-typo pipeline; ``probe_time`` is when the active
     confirmation queries run (the paper probed after the window)."""
     volume = labeled.dataset.receiver_domain_volume()
-    top_domains = [d for d, _ in volume.most_common(top_k)]
+    top_domains = [
+        d for d, _ in sorted(volume.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
+    ]
 
     candidates: dict[str, tuple[str, TypoKind]] = {}
     for original in top_domains:
@@ -75,7 +77,7 @@ def detect_domain_typos(
         sender_sets[record.receiver_domain].add(record.sender)
 
     findings: list[DomainTypoFinding] = []
-    for domain, n_emails in _never_resolved_domains(labeled).items():
+    for domain, n_emails in sorted(_never_resolved_domains(labeled).items()):
         # Active confirmation: the domain (still) does not resolve.
         result = resolver.query(domain, RecordType.A, probe_time)
         if result.status is not ResolveStatus.NXDOMAIN:
@@ -93,7 +95,7 @@ def detect_domain_typos(
                 n_emails=n_emails,
             )
         )
-    findings.sort(key=lambda f: f.n_emails, reverse=True)
+    findings.sort(key=lambda f: (-f.n_emails, f.typo_domain))
     return findings
 
 
@@ -132,8 +134,8 @@ def detect_username_typos(
             bad_user, domain = split_address(address)
         except ValueError:
             continue
-        for sender in senders:
-            for candidate in delivered.get((sender, domain), ()):
+        for sender in sorted(senders):
+            for candidate in sorted(delivered.get((sender, domain), ())):
                 if similarity_ratio(bad_user, candidate) <= similarity_threshold:
                     continue
                 # Step 3: dnstwist verification.
@@ -151,7 +153,7 @@ def detect_username_typos(
             if address in findings:
                 break
     out = list(findings.values())
-    out.sort(key=lambda f: f.n_emails, reverse=True)
+    out.sort(key=lambda f: (-f.n_emails, f.typo_address))
     return out
 
 

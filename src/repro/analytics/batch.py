@@ -1,0 +1,176 @@
+"""The batch oracle: the same table payload from a materialized dataset.
+
+``batch_tables`` computes every number with the reference implementations
+in :mod:`repro.analysis` (plus the shared float helpers of the analytics
+package, so means and sketch quantiles follow the exact same arithmetic)
+and emits the payload structure of
+:meth:`repro.analytics.suite.TableSuite.tables`.  The streaming suite is
+asserted byte-identical against this on materialized corpora — in tests
+and in the CI ``analytics-diff`` job.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.blocklist import (
+    blocklist_recovery_rate,
+    dnsbl_adoption_counts,
+    filter_divergence,
+    greylist_pass_delays,
+    greylisting_domains,
+    t5_daily_counts,
+)
+from repro.analysis.degrees import daily_series, degree_breakdown, monthly_series
+from repro.analysis.label import LabeledDataset, NDRLabeler
+from repro.analysis.misconfig import (
+    auth_error_durations,
+    mx_error_durations,
+    quota_error_durations,
+)
+from repro.analysis.rankings import table3_top_domains
+from repro.analysis.squatting import PROBED_PROVIDERS
+from repro.analytics.accumulators import ScalarStat
+from repro.analytics.suite import (
+    SUITE_SNAPSHOT_VERSION,
+    episode_stats,
+    greylist_sketch,
+    recovery_sketch,
+)
+from repro.core.taxonomy import BounceDegree, BounceType
+from repro.delivery.dataset import DeliveryDataset
+from repro.util.clock import SimClock
+
+
+def batch_tables(
+    dataset: DeliveryDataset,
+    clock: SimClock | None = None,
+    top: int = 10,
+    labeler: NDRLabeler | None = None,
+) -> dict:
+    """Compute the full table payload the batch way (dataset in memory)."""
+    clock = clock if clock is not None else SimClock()
+    labeled = LabeledDataset(dataset, labeler)
+    breakdown = degree_breakdown(dataset)
+
+    soft_attempts = ScalarStat()
+    rec_stat = ScalarStat()
+    rec_sketch = recovery_sketch()
+    for record in dataset:
+        if record.bounce_degree is not BounceDegree.SOFT_BOUNCED:
+            continue
+        soft_attempts.observe(record.n_attempts)
+        success = next(a for a in record.attempts if a.succeeded)
+        delay_h = (success.t - record.start_time) / 3600.0
+        rec_stat.observe(delay_h)
+        rec_sketch.observe(delay_h)
+
+    distribution = labeled.type_distribution()
+    n_classified = sum(distribution.values())
+    type_rows = sorted(
+        ((t.value, n) for t, n in distribution.items()), key=lambda kv: (-kv[1], kv[0])
+    )
+
+    daily = daily_series(dataset, clock)
+    monthly = monthly_series(dataset, clock)
+
+    grey_stat = ScalarStat()
+    grey_sk = greylist_sketch()
+    for delay in greylist_pass_delays(labeled):
+        grey_stat.observe(delay)
+        grey_sk.observe(delay)
+    blocked_normal, blocked_spam = t5_daily_counts(labeled, clock)
+    divergence = filter_divergence(labeled)
+
+    failed_domains: Counter = Counter()
+    prov_t8: Counter = Counter()
+    delivered_domains: set[str] = set()
+    delivered_addrs: set[str] = set()
+    for record in dataset:
+        if record.delivered:
+            delivered_domains.add(record.receiver_domain)
+            delivered_addrs.add(record.receiver.lower())
+    for record, bounce_type in labeled.classified_records():
+        if bounce_type is BounceType.T2:
+            failed_domains[record.receiver_domain] += 1
+        elif bounce_type is BounceType.T8 and record.receiver_domain in PROBED_PROVIDERS:
+            prov_t8[record.receiver.lower()] += 1
+
+    return {
+        "version": SUITE_SNAPSHOT_VERSION,
+        "n_records": len(dataset),
+        "overview": {
+            "n_emails": breakdown.n_emails,
+            "n_non": breakdown.n_non,
+            "n_soft": breakdown.n_soft,
+            "n_hard": breakdown.n_hard,
+            "mean_attempts_soft": soft_attempts.mean,
+            "recovery": {
+                "n": rec_stat.n,
+                "mean_h": rec_stat.mean,
+                "p50_h": rec_sketch.quantile(0.5),
+                "p90_h": rec_sketch.quantile(0.9),
+            },
+        },
+        "types": {
+            "rows": [[t, n] for t, n in type_rows],
+            "n_classified": n_classified,
+            "n_ambiguous": labeled.n_ambiguous(),
+            "n_bounced": labeled.n_bounced(),
+        },
+        "volume": {
+            "monthly": [[k, v] for k, v in monthly.items()],
+            "daily": {
+                "non": daily.non_bounced,
+                "soft": daily.soft_bounced,
+                "hard": daily.hard_bounced,
+            },
+        },
+        "top_domains": [
+            [
+                r.key,
+                r.email_volume,
+                r.hard_fraction,
+                r.soft_fraction,
+                r.major_type.value if r.major_type else "",
+                r.major_type_share,
+            ]
+            for r in table3_top_domains(labeled, top=top)
+        ],
+        "blocklist": {
+            "blocked_normal": sum(blocked_normal),
+            "blocked_spam": sum(blocked_spam),
+            "blocked_normal_per_day": blocked_normal,
+            "blocked_spam_per_day": blocked_spam,
+            "recovery_rate": blocklist_recovery_rate(labeled),
+            "n_greylist_domains": len(greylisting_domains(labeled)),
+            "greylist_delay": {
+                "n": grey_stat.n,
+                "mean_s": grey_stat.mean,
+                "p50_s": grey_sk.quantile(0.5),
+                "p95_s": grey_sk.quantile(0.95),
+            },
+            "divergence": {
+                "spam_total": divergence.coremail_spam_total,
+                "spam_accepted": divergence.coremail_spam_receiver_accepts,
+                "t13_total": divergence.receiver_spam_total,
+                "t13_normal": divergence.receiver_spam_coremail_normal,
+            },
+            "adoption": sorted(
+                [k, v] for k, v in dnsbl_adoption_counts(labeled, clock).items()
+            ),
+        },
+        "misconfig": {
+            "auth": episode_stats(auth_error_durations(labeled, clock).episodes),
+            "mx": episode_stats(mx_error_durations(labeled, clock).episodes),
+            "quota": episode_stats(quota_error_durations(labeled, clock).episodes),
+        },
+        "squatting_inputs": {
+            "n_failed_domains": len(failed_domains),
+            "n_failed_domain_emails": sum(failed_domains.values()),
+            "n_provider_t8_addresses": len(prov_t8),
+            "n_provider_t8_emails": sum(prov_t8.values()),
+            "n_delivered_domains": len(delivered_domains),
+            "n_delivered_addresses": len(delivered_addrs),
+        },
+    }

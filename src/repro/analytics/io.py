@@ -1,0 +1,52 @@
+"""NDJSON record decoding for the report pipeline.
+
+`repro report -` and `repro classify -` share one idea: records arrive
+as newline-delimited JSON on stdin.  This module is the report side's
+decode path — it names the offending *source and line* on malformed
+input instead of dumping a bare traceback.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+from repro.delivery.records import DeliveryRecord
+
+
+class RecordDecodeError(ValueError):
+    """A line of the input stream could not be decoded into a record."""
+
+    def __init__(self, source: str, line_no: int, reason: str) -> None:
+        self.source = source
+        self.line_no = line_no
+        self.reason = reason
+        super().__init__(f"{source}: line {line_no}: {reason}")
+
+
+def iter_ndjson_records(
+    lines: Iterable[str], source: str = "<stdin>"
+) -> Iterator[DeliveryRecord]:
+    """Decode NDJSON lines into records, skipping blank lines.
+
+    Raises :class:`RecordDecodeError` naming ``source`` and the 1-based
+    line number on the first malformed line.
+    """
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise RecordDecodeError(source, line_no, f"invalid JSON ({exc.msg})") from exc
+        if not isinstance(data, dict):
+            raise RecordDecodeError(
+                source, line_no, f"expected a JSON object, got {type(data).__name__}"
+            )
+        try:
+            yield DeliveryRecord.from_json_dict(data)
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise RecordDecodeError(
+                source, line_no, f"not a delivery record ({exc.__class__.__name__}: {exc})"
+            ) from exc

@@ -1,0 +1,102 @@
+"""Parallel reduction of sharded delivery logs into one TableSuite.
+
+``suite_from_shards`` is the engine behind `repro report --shards`: it
+streams every shard of every directory through a :class:`TableSuite`
+without materializing the corpus.  With ``workers > 1`` the shard files
+are dealt round-robin to worker processes; each worker folds its share
+into a private suite, snapshots it to disk, and the parent merges the
+partials in worker-index order — the same shape as a
+:mod:`repro.parallel` run merging telemetry snapshots.  Merge is
+commutative and associative, so the result is identical for any worker
+count.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import tempfile
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analytics.suite import TableSuite, clock_from_ts
+from repro.stream.sink import ShardReader
+from repro.util.clock import SimClock
+
+
+def shard_units(directories: Sequence[str | Path]) -> list[tuple[str, str]]:
+    """All ``(directory, shard_name)`` pairs, in manifest order."""
+    units: list[tuple[str, str]] = []
+    for directory in directories:
+        reader = ShardReader(directory)
+        for info in reader.manifest.shards:
+            units.append((str(directory), info.name))
+    return units
+
+
+def _observe_units(
+    suite: TableSuite, units: Iterable[tuple[str, str]]
+) -> None:
+    readers: dict[str, ShardReader] = {}
+    for directory, shard_name in units:
+        reader = readers.get(directory)
+        if reader is None:
+            reader = readers[directory] = ShardReader(directory)
+        info = next(s for s in reader.manifest.shards if s.name == shard_name)
+        suite.observe_many(reader.iter_shard(info))
+
+
+def _report_worker(
+    units: list[tuple[str, str]],
+    clock_ts: tuple[float, float],
+    out_path: str,
+) -> None:
+    suite = TableSuite(clock_from_ts(*clock_ts))
+    _observe_units(suite, units)
+    Path(out_path).write_text(json.dumps(suite.snapshot()), encoding="utf-8")
+
+
+def suite_from_shards(
+    directories: Sequence[str | Path],
+    clock: SimClock | None = None,
+    workers: int = 1,
+) -> TableSuite:
+    """Stream every shard in ``directories`` into one merged TableSuite."""
+    clock = clock if clock is not None else SimClock()
+    units = shard_units(directories)
+    if workers <= 1 or len(units) <= 1:
+        suite = TableSuite(clock)
+        _observe_units(suite, units)
+        return suite
+
+    workers = min(workers, len(units))
+    assignments: list[list[tuple[str, str]]] = [[] for _ in range(workers)]
+    for i, unit in enumerate(units):
+        assignments[i % workers].append(unit)
+
+    suite = TableSuite(clock)
+    clock_ts = (clock.start_ts, clock.end_ts)
+    ctx = mp.get_context("spawn")
+    with tempfile.TemporaryDirectory(prefix="repro-report-") as tmp:
+        out_paths = [str(Path(tmp) / f"report-worker-{i:02d}.json") for i in range(workers)]
+        procs = [
+            ctx.Process(
+                target=_report_worker, args=(assignments[i], clock_ts, out_paths[i])
+            )
+            for i in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+        failures = [i for i, proc in enumerate(procs) if proc.exitcode != 0]
+        if failures:
+            raise RuntimeError(
+                f"report workers failed: {', '.join(str(i) for i in failures)}"
+            )
+        # Merge in worker-index order (merge is commutative, but a fixed
+        # order keeps runs reproducible down to accumulator internals).
+        for path in out_paths:
+            snapshot = json.loads(Path(path).read_text(encoding="utf-8"))
+            suite.merge_snapshot(snapshot)
+    return suite

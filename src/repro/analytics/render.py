@@ -1,0 +1,163 @@
+"""Plain-text rendering of the table-suite payload.
+
+One renderer serves both producers: the streaming path
+(:meth:`repro.analytics.suite.TableSuite.tables`) and the batch oracle
+(:func:`repro.analytics.batch.batch_tables`) emit the same payload
+structure, so identical payloads render to identical bytes — which is
+exactly what the CI ``analytics-diff`` job asserts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import pct, render_cdf, render_table, sparkline
+
+
+def _fmt_mean(value: float) -> str:
+    return f"{value:.4f}"
+
+
+def _episode_section(name: str, stats: dict) -> list[str]:
+    lines = [
+        f"{name}: {stats['n_episodes']} episodes over {stats['n_entities']} entities "
+        f"({stats['n_censored']} censored)",
+        f"  mean {stats['mean_days']:.3f} d  median {stats['median_days']:.3f} d  "
+        f">30d {pct(stats['over_30d'])}",
+    ]
+    unc = stats["uncensored"]
+    lines.append(
+        f"  uncensored: n={unc['n']}  mean {unc['mean_days']:.3f} d  "
+        f"median {unc['median_days']:.3f} d"
+    )
+    grid = [g for g, _ in stats["cdf"]]
+    cdf = [v for _, v in stats["cdf"]]
+    lines.append(render_cdf(f"{name} episode duration CDF", grid, cdf))
+    return lines
+
+
+def render_report(payload: dict, top: int = 10) -> str:
+    """Render the full table suite as the `repro report` text artifact."""
+    parts: list[str] = []
+    ov = payload["overview"]
+    n = ov["n_emails"]
+
+    def share(x: int) -> str:
+        return pct(x / n) if n else pct(0.0)
+
+    parts.append("== Overview ==")
+    parts.append(f"emails: {n}")
+    parts.append(
+        "non/soft/hard: "
+        f"{ov['n_non']} ({share(ov['n_non'])}) / "
+        f"{ov['n_soft']} ({share(ov['n_soft'])}) / "
+        f"{ov['n_hard']} ({share(ov['n_hard'])})"
+    )
+    parts.append(f"mean attempts (soft-bounced): {_fmt_mean(ov['mean_attempts_soft'])}")
+    rec = ov["recovery"]
+    parts.append(
+        f"soft-bounce recovery: n={rec['n']}  mean {rec['mean_h']:.3f} h  "
+        f"p50~{rec['p50_h']:.3f} h  p90~{rec['p90_h']:.3f} h"
+    )
+
+    types = payload["types"]
+    parts.append("")
+    parts.append(
+        render_table(
+            "== Bounce types (Table 1) ==",
+            ["type", "emails", "share"],
+            [
+                [t, c, pct(c / types["n_classified"]) if types["n_classified"] else pct(0.0)]
+                for t, c in types["rows"]
+            ],
+        )
+    )
+    parts.append(
+        f"classified: {types['n_classified']}  ambiguous: {types['n_ambiguous']}  "
+        f"bounced: {types['n_bounced']}"
+    )
+
+    vol = payload["volume"]
+    parts.append("")
+    parts.append(
+        render_table(
+            "== Monthly volume (Fig 5) ==",
+            ["month", "emails"],
+            [[k, v] for k, v in vol["monthly"]],
+        )
+    )
+    daily = vol["daily"]
+    for label in ("non", "soft", "hard"):
+        parts.append(f"daily {label}: {sparkline(daily[label])}")
+
+    parts.append("")
+    parts.append(
+        render_table(
+            f"== Top-{top} receiver domains (Table 3) ==",
+            ["domain", "emails", "hard", "soft", "major type", "share"],
+            [
+                [key, volume, pct(hard), pct(soft), major, pct(major_share)]
+                for key, volume, hard, soft, major, major_share in payload["top_domains"]
+            ],
+        )
+    )
+
+    bl = payload["blocklist"]
+    parts.append("")
+    parts.append("== Blocklists and filters (Fig 6) ==")
+    total_blocked = bl["blocked_normal"] + bl["blocked_spam"]
+    normal_share = bl["blocked_normal"] / total_blocked if total_blocked else 0.0
+    parts.append(
+        f"blocklist-bounced emails: {total_blocked} "
+        f"(normal {bl['blocked_normal']} = {pct(normal_share)}, spam {bl['blocked_spam']})"
+    )
+    parts.append(f"daily blocked (normal): {sparkline(bl['blocked_normal_per_day'])}")
+    parts.append(f"daily blocked (spam):   {sparkline(bl['blocked_spam_per_day'])}")
+    parts.append(f"blocklist recovery rate: {pct(bl['recovery_rate'])}")
+    grey = bl["greylist_delay"]
+    parts.append(
+        f"greylisting domains: {bl['n_greylist_domains']}  pass delay: n={grey['n']}  "
+        f"mean {grey['mean_s']:.3f} s  p50~{grey['p50_s']:.3f} s  p95~{grey['p95_s']:.3f} s"
+    )
+    div = bl["divergence"]
+    spam_acc = div["spam_accepted"] / div["spam_total"] if div["spam_total"] else 0.0
+    t13_norm = div["t13_normal"] / div["t13_total"] if div["t13_total"] else 0.0
+    parts.append(
+        f"filter divergence: Coremail-spam accepted elsewhere {pct(spam_acc)} "
+        f"({div['spam_accepted']}/{div['spam_total']}); "
+        f"receiver-spam flagged Normal {pct(t13_norm)} "
+        f"({div['t13_normal']}/{div['t13_total']})"
+    )
+    if bl["adoption"]:
+        parts.append(
+            render_table(
+                "blocklist adoption by receiver domains (first T5 month)",
+                ["month", "domains"],
+                bl["adoption"],
+            )
+        )
+
+    parts.append("")
+    parts.append("== Misconfiguration durations (Fig 7) ==")
+    mis = payload["misconfig"]
+    parts.extend(_episode_section("auth (T3, sender domains)", mis["auth"]))
+    parts.extend(_episode_section("mx (T2, receiver domains)", mis["mx"]))
+    parts.extend(_episode_section("quota (T9, receiver addresses)", mis["quota"]))
+
+    sq = payload["squatting_inputs"]
+    parts.append("")
+    parts.append("== Squatting surface (Section 5 inputs) ==")
+    parts.append(
+        f"DNS-failed receiver domains: {sq['n_failed_domains']} "
+        f"({sq['n_failed_domain_emails']} emails)"
+    )
+    parts.append(
+        f"provider T8 addresses: {sq['n_provider_t8_addresses']} "
+        f"({sq['n_provider_t8_emails']} emails)"
+    )
+    parts.append(
+        f"delivered-to receiver domains: {sq['n_delivered_domains']}  "
+        f"addresses: {sq['n_delivered_addresses']}"
+    )
+
+    parts.append("")
+    parts.append(f"records: {payload['n_records']}")
+    return "\n".join(parts) + "\n"

@@ -10,7 +10,10 @@ Subcommands:
   producer (truncate torn tails, re-hash, rebuild the manifest).
 * ``watch``    — replay a saved log (file or shard dir) through the
   online EBRC and the sliding-window deliverability monitors.
-* ``report``   — bounce-degree and bounce-type report over a saved log.
+* ``report``   — paper tables over a saved log, shard directories
+  (``--shards``, optionally fanned across ``--workers``), or NDJSON
+  records on stdin (``-``) — all through the streaming accumulator
+  suite (docs/ANALYTICS.md); ``--batch`` runs the in-memory oracle.
 * ``classify`` — classify NDR lines with an EBRC trained on a saved log
   or loaded from a saved artifact; ``-`` reads lines from stdin.
 * ``fit``      — train an EBRC on a saved log and save the artifact
@@ -42,9 +45,8 @@ import argparse
 import sys
 
 from repro import SimulationConfig, __version__, run_simulation
-from repro.analysis.degrees import degree_breakdown, mean_attempts_soft_bounced
+from repro.analysis.degrees import degree_breakdown
 from repro.analysis.label import EBRCLabeler, LabeledDataset, RuleLabeler
-from repro.analysis.rankings import table3_top_domains
 from repro.analysis.report import pct, render_table
 from repro.delivery.dataset import DeliveryDataset
 from repro.smtp.session import transcript_for_attempt
@@ -159,6 +161,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bounce-rate-threshold", type=float, default=0.35)
     p.add_argument("--max-alerts", type=int, default=0,
                    help="stop after N alerts (0 = no limit)")
+    p.add_argument("--report-every", type=int, default=0, metavar="N",
+                   help="print the live paper tables every N replayed "
+                        "records (0 = off); the final print matches "
+                        "`repro report` over the same log")
+    p.add_argument("--report-top", type=int, default=10, metavar="K",
+                   help="rows per ranking table in --report-every output")
     _add_obs_flags(p)
     _add_quiet(p)
 
@@ -187,9 +195,25 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="emit span trees as JSON instead of rendered text")
     _add_quiet(p)
 
-    p = sub.add_parser("report", help="summarise a saved delivery log")
-    p.add_argument("dataset")
-    p.add_argument("--labeler", choices=("rules", "ebrc"), default="rules")
+    p = sub.add_parser("report", help="paper tables over a saved delivery "
+                                      "log (streaming accumulators)")
+    p.add_argument("dataset", nargs="?", default=None,
+                   help="delivery log: JSONL file, shard directory, or '-' "
+                        "(NDJSON records on stdin)")
+    p.add_argument("--shards", action="append", default=[], metavar="DIR",
+                   help="stream a shard directory instead of a dataset "
+                        "(repeatable; directories merge in order)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="with --shards: fold shards across N processes and "
+                        "merge the partial suites; output is byte-identical "
+                        "for every N")
+    p.add_argument("--batch", action="store_true",
+                   help="compute with the in-memory batch oracle instead of "
+                        "the streaming suite; output is byte-identical — "
+                        "this exists for verification")
+    p.add_argument("--labeler", choices=("rules", "ebrc"), default="rules",
+                   help="'ebrc' trains on the dataset's NDRs and implies "
+                        "--batch (the streaming suite labels with rules)")
     p.add_argument("--top", type=int, default=10)
     _add_quiet(p)
 
@@ -438,6 +462,13 @@ def _cmd_watch(args) -> int:
         trace_fh = (sys.stdout if args.trace_out == "-"
                     else open(args.trace_out, "w", encoding="utf-8"))
 
+    reporter = None
+    if args.report_every:
+        from repro.stream.report_hook import PeriodicTableReporter
+
+        reporter = PeriodicTableReporter(args.report_every,
+                                         top=args.report_top)
+
     def records():
         nonlocal n_traced
         for record in iter_delivery_log(args.log):
@@ -446,6 +477,12 @@ def _cmd_watch(args) -> int:
             ):
                 trace_fh.write(span_tree_from_record(record).to_json() + "\n")
                 n_traced += 1
+            if reporter is not None:
+                rendered = reporter.feed(record)
+                if rendered is not None:
+                    print(f"--- live tables @ {reporter.n_records:,} "
+                          f"records ---")
+                    print(rendered, end="")
             yield record
 
     if args.labeler == "rules":
@@ -484,6 +521,11 @@ def _cmd_watch(args) -> int:
     finally:
         if trace_fh is not None and trace_fh is not sys.stdout:
             trace_fh.close()
+    if reporter is not None:
+        rendered = reporter.final()
+        if rendered is not None:
+            print(f"--- final tables @ {reporter.n_records:,} records ---")
+            print(rendered, end="")
     _status()
     _status(f"watch summary: {monitor.summary()}")
     if online is not None and online.fitted:
@@ -578,41 +620,55 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    dataset = DeliveryDataset.read_jsonl(args.dataset)
-    if not len(dataset):
+    from repro.analytics.render import render_report
+
+    batch = args.batch or args.labeler == "ebrc"
+    if args.shards:
+        if args.dataset is not None or batch:
+            print("report: --shards cannot be combined with a dataset "
+                  "positional, --batch, or --labeler ebrc", file=sys.stderr)
+            return 2
+        from repro.analytics.parallel import suite_from_shards
+
+        suite = suite_from_shards(args.shards, workers=args.workers)
+        payload = suite.tables(args.top)
+    elif args.dataset is None:
+        print("report: need a dataset path, '-' (stdin), or --shards",
+              file=sys.stderr)
+        return 2
+    elif args.dataset == "-":
+        if batch:
+            print("report: --batch/--labeler ebrc need a saved dataset, "
+                  "not stdin", file=sys.stderr)
+            return 2
+        from repro.analytics import RecordDecodeError, TableSuite
+        from repro.analytics.io import iter_ndjson_records
+
+        suite = TableSuite()
+        try:
+            suite.observe_many(iter_ndjson_records(sys.stdin))
+        except RecordDecodeError as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
+        payload = suite.tables(args.top)
+    elif batch:
+        from repro.analytics.batch import batch_tables
+        from repro.stream.sink import iter_delivery_log
+
+        dataset = DeliveryDataset(list(iter_delivery_log(args.dataset)))
+        labeler = RuleLabeler() if args.labeler == "rules" else EBRCLabeler()
+        payload = batch_tables(dataset, top=args.top, labeler=labeler)
+    else:
+        from repro.analytics import TableSuite
+        from repro.stream.sink import iter_delivery_log
+
+        suite = TableSuite()
+        suite.observe_many(iter_delivery_log(args.dataset))
+        payload = suite.tables(args.top)
+    if not payload["n_records"]:
         print("empty dataset", file=sys.stderr)
         return 1
-    labeler = RuleLabeler() if args.labeler == "rules" else EBRCLabeler()
-    labeled = LabeledDataset(dataset, labeler)
-
-    breakdown = degree_breakdown(dataset)
-    print(f"emails: {len(dataset):,}")
-    print(f"non/soft/hard: {pct(breakdown.non_fraction)} / "
-          f"{pct(breakdown.soft_fraction)} / {pct(breakdown.hard_fraction)}")
-    print(f"mean attempts of soft-bounced: "
-          f"{mean_attempts_soft_bounced(dataset):.2f}")
-
-    distribution = labeled.type_distribution()
-    total = sum(distribution.values()) or 1
-    print()
-    print(render_table(
-        "Bounce types",
-        ["type", "meaning", "count", "share"],
-        [
-            [t.value, t.description[:44], n, pct(n / total)]
-            for t, n in distribution.most_common()
-        ],
-    ))
-    print(f"ambiguous NDRs excluded: {labeled.n_ambiguous()}")
-    print()
-    print(render_table(
-        f"Top-{args.top} receiver domains",
-        ["domain", "emails", "hard", "soft"],
-        [
-            [r.key, r.email_volume, pct(r.hard_fraction), pct(r.soft_fraction)]
-            for r in table3_top_domains(labeled, top=args.top)
-        ],
-    ))
+    print(render_report(payload, args.top), end="")
     return 0
 
 

@@ -217,6 +217,28 @@ class Histogram(Metric):
         """Upper (inclusive) bound of bucket ``index``."""
         return self.min_bound * self.base ** index
 
+    def quantile(self, p: float) -> float:
+        """Estimated ``p``-quantile (bucket upper bound at the target rank).
+
+        The estimate inherits the bucket layout's relative error: at most
+        a factor of ``base`` above the true value (`base=2` → one octave).
+        """
+        if self._count == 0:
+            return 0.0
+        p = min(max(p, 0.0), 1.0)
+        rank = max(1, math.ceil(p * self._count))
+        running = 0
+        index = 0
+        for index in sorted(self._counts):
+            running += self._counts[index]
+            if running >= rank:
+                break
+        return self.bound(index)
+
+    def quantiles(self, ps: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict[str, float]:
+        """Named quantile estimates, e.g. ``{"p50": ..., "p95": ...}``."""
+        return {f"p{100 * p:g}": self.quantile(p) for p in ps}
+
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``(le, cumulative_count)`` pairs ending with ``(inf, count)``."""
         out: list[tuple[float, int]] = []
@@ -229,7 +251,7 @@ class Histogram(Metric):
 
     def snapshot(self) -> dict:
         def one(h: "Histogram") -> dict:
-            return {
+            data = {
                 "sum": h._sum,
                 "count": h._count,
                 "buckets": [
@@ -237,6 +259,9 @@ class Histogram(Metric):
                     for le, n in h.cumulative_buckets()
                 ],
             }
+            if h._count:
+                data["quantiles"] = h.quantiles()
+            return data
 
         data: dict = {
             "name": self.name,

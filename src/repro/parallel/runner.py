@@ -91,6 +91,10 @@ class ParallelSimulation:
     #: complete and reused, and those that were (re-)executed.
     resumed_slices: list[str] = field(default_factory=list)
     rerun_slices: list[str] = field(default_factory=list)
+    #: Merged streaming table suite (``analytics=True`` runs only):
+    #: per-worker partials folded in worker-index order, exactly like
+    #: telemetry snapshots.
+    analytics: object | None = None
     _world: WorldModel | None = field(default=None, repr=False)
     _inline_records: Iterator[DeliveryRecord] | None = field(default=None, repr=False)
 
@@ -153,6 +157,7 @@ def run_parallel_simulation(
     compress: bool = False,
     resume: bool = False,
     verify_resume: bool = True,
+    analytics: bool = False,
 ) -> ParallelSimulation:
     """Run ``config`` across ``workers`` processes; byte-identical output
     to the serial runner for every worker count.
@@ -174,6 +179,17 @@ def run_parallel_simulation(
     is byte-identical to an uninterrupted run (docs/ROBUSTNESS.md).
     Requires a persistent ``shard_root`` and always uses the
     process-based runtime, even at ``workers=1``.
+
+    ``analytics=True`` additionally folds every record into a
+    :class:`repro.analytics.TableSuite` inside each worker and merges the
+    per-worker partials — in worker-index order, like telemetry — into
+    :attr:`ParallelSimulation.analytics`.  Slices *reused* on resume are
+    streamed back from their shard directories in the parent, so the
+    merged suite always covers the full corpus.  The option never enters
+    the slice fingerprint: analytics on/off cannot invalidate resumable
+    directories.  It also forces the process-based runtime (the inline
+    ``workers <= 1`` fast path yields records lazily, so there is no
+    stream to fold).
     """
     t0 = time.perf_counter()
     if resume and shard_root is None:
@@ -181,7 +197,7 @@ def run_parallel_simulation(
             "resume=True needs a persistent shard_root: a temporary, "
             "runtime-owned directory cannot outlive the run being resumed"
         )
-    if workers <= 1 and not resume:
+    if workers <= 1 and not resume and not analytics:
         from repro.stream.runner import stream_simulation
 
         run = stream_simulation(config, extra_workloads=extra_workloads)
@@ -224,6 +240,7 @@ def run_parallel_simulation(
         "shard_size": shard_size,
         "compress": compress,
         "metrics": obs_metrics.enabled(),
+        "analytics": analytics,
     }
 
     to_run = shipped
@@ -291,6 +308,24 @@ def run_parallel_simulation(
         for result in worker_results:
             if result.get("snapshot"):
                 merge_snapshot(result["snapshot"])
+    analytics_suite = None
+    if analytics:
+        from repro.analytics.suite import TableSuite
+        from repro.util.clock import SimClock
+
+        analytics_suite = TableSuite(SimClock(config.start, config.end))
+        for result in worker_results:
+            if result.get("analytics"):
+                analytics_suite.merge_snapshot(result["analytics"])
+        if skipped:
+            # Reused slices never re-ran, so their workers left no
+            # partial; stream their shard directories back instead.
+            from repro.stream.sink import ShardReader
+
+            for s, _ in skipped:
+                analytics_suite.observe_many(
+                    ShardReader(slice_dir(root, s.index)).iter_records()
+                )
     if skipped:
         # Synthetic result for the reused slices, so n_records and the
         # result log stay complete under resume.
@@ -312,6 +347,7 @@ def run_parallel_simulation(
         owns_shards=owns,
         resumed_slices=[s.key for s, _ in skipped],
         rerun_slices=[s.key for s in to_run] if resume else [],
+        analytics=analytics_suite,
         _world=parent_world,
         elapsed_s=time.perf_counter() - t0,
     )

@@ -79,7 +79,9 @@ def run_worker(
 
     ``options`` keys: ``compress`` (bool), ``shard_size`` (int),
     ``metrics`` (bool — enable :mod:`repro.obs` in this process and
-    snapshot it into the result file).
+    snapshot it into the result file), ``analytics`` (bool — fold every
+    record into a :class:`repro.analytics.TableSuite` while writing and
+    snapshot the partial into the result file, exactly like telemetry).
     """
     root = Path(shard_root)
     current: str | None = None
@@ -100,6 +102,11 @@ def run_worker(
         with obs_profile.stage("world-build"):
             world = build_world(config)
         rng = RandomSource(config.seed, name="sim")
+        suite = None
+        if options.get("analytics"):
+            from repro.analytics.suite import TableSuite
+
+            suite = TableSuite(world.clock)
         counts: dict[str, int] = {}
         for sim_slice in slices:
             current = sim_slice.key
@@ -114,6 +121,8 @@ def run_worker(
             ) as writer:
                 for record in run_slice(world, rng, sim_slice):
                     writer.write(record)
+                    if suite is not None:
+                        suite.observe(record)
             counts[sim_slice.key] = writer.n_written
         current = None
         result = {
@@ -122,6 +131,7 @@ def run_worker(
             "n_records": counts,
             "elapsed_s": time.perf_counter() - t0,
             "snapshot": obs_export.build_snapshot() if options.get("metrics") else None,
+            "analytics": suite.snapshot() if suite is not None else None,
         }
         # Atomic: the parent treats the result file's existence as "this
         # worker finished", so it must never observe a torn one.

@@ -17,6 +17,7 @@ POST      /classify          one NDR line -> bounce type
 POST      /classify_many     batch of NDR lines -> bounce types
 POST      /observe           feed one delivery record to the monitors
 GET       /monitors          live deliverability-monitor state
+GET       /report            live streaming table suite (?format=text)
 GET       /metrics           Prometheus exposition (?format=json)
 GET       /traces            recent reconstructed span trees
 POST      /admin/reload      hot-reload the EBRC artifact
@@ -177,7 +178,26 @@ def _monitors(state: ServerState, body: bytes, query: str) -> Response:
     return _json_response(state.monitors_payload())
 
 
+def _query_top(query: str) -> int:
+    for part in (query or "").split("&"):
+        if part.startswith("top="):
+            try:
+                return max(1, int(part[4:]))
+            except ValueError as exc:
+                raise BadRequest(f"invalid top= value: {part[4:]!r}") from exc
+    return 10
+
+
+def _report(state: ServerState, body: bytes, query: str) -> Response:
+    top = _query_top(query)
+    if query and "format=text" in query:
+        return Response(body=state.report_text(top).encode("utf-8"),
+                        content_type="text/plain; charset=utf-8")
+    return _json_response(state.report_payload(top))
+
+
 def _metrics(state: ServerState, body: bytes, query: str) -> Response:
+    state.refresh_scrape_gauges()
     snapshot = build_snapshot()
     if query and "format=json" in query:
         return Response(body=snapshot_json(snapshot).encode("utf-8"))
@@ -214,6 +234,7 @@ _ROUTES: dict[str, dict[str, Callable[[ServerState, bytes, str], Response]]] = {
     "/classify_many": {"POST": _classify_many},
     "/observe": {"POST": _observe},
     "/monitors": {"GET": _monitors},
+    "/report": {"GET": _report},
     "/metrics": {"GET": _metrics},
     "/traces": {"GET": _traces},
     "/admin/reload": {"POST": _admin_reload},

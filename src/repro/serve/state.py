@@ -19,6 +19,8 @@ import threading
 from collections import deque
 from time import monotonic
 
+from repro import __version__
+from repro.analytics.suite import TableSuite
 from repro.core.ebrc import EBRCHandle
 from repro.delivery.records import DeliveryRecord
 from repro.obs import metrics as obs_metrics
@@ -57,6 +59,9 @@ class ServerState:
         self.handle = handle
         self.monitor = monitor if monitor is not None else DeliverabilityMonitor()
         self.clock = SimClock()
+        #: Live streaming analytics over every record POSTed to /observe;
+        #: read by ``GET /report`` and the sketch gauges on /metrics.
+        self.suite = TableSuite(self.clock)
         self.trace_sample = trace_sample
         self.traces: deque[dict] = deque(maxlen=max(1, trace_capacity))
         self.recent_alerts: deque[dict] = deque(maxlen=RECENT_ALERTS)
@@ -86,6 +91,27 @@ class ServerState:
             "Successful EBRC hot reloads, by trigger",
             label="trigger",
         )
+        self._m_build_info = obs_metrics.gauge(
+            "repro_build_info",
+            "Build metadata: constant 1 with the version as a label",
+            label="version",
+        )
+        self._m_build_info.labels(__version__).set(1.0)
+        self._m_uptime = obs_metrics.gauge(
+            "repro_serve_uptime_seconds",
+            "Seconds since this server process started",
+        )
+        self._m_report_quantiles = {
+            name: obs_metrics.gauge(
+                name, help_text, label="quantile"
+            )
+            for name, help_text in (
+                ("repro_report_recovery_hours",
+                 "Sketch-estimated soft-bounce recovery delay quantiles (hours)"),
+                ("repro_report_greylist_delay_seconds",
+                 "Sketch-estimated greylist pass delay quantiles (seconds)"),
+            )
+        }
 
     # -- request accounting -------------------------------------------------------
 
@@ -101,6 +127,19 @@ class ServerState:
     def uptime_s(self) -> float:
         return monotonic() - self._started
 
+    def refresh_scrape_gauges(self) -> None:
+        """Point-in-time gauges recomputed per /metrics scrape: uptime and
+        the sketch-derived quantile estimates of the live table suite."""
+        self._m_uptime.set(self.uptime_s)
+        with self._monitor_lock:
+            gauges = self.suite.sketch_gauges()
+        for name, quantiles in gauges.items():
+            metric = self._m_report_quantiles.get(name)
+            if metric is None:
+                continue
+            for label, value in quantiles.items():
+                metric.labels(label).set(value)
+
     # -- monitors -----------------------------------------------------------------
 
     def observe_record(self, record: DeliveryRecord) -> list[Alert]:
@@ -112,12 +151,28 @@ class ServerState:
         )
         with self._monitor_lock:
             alerts = self.monitor.observe(record, bounce_type)
+            self.suite.observe(record)
             self._m_observed.inc()
             for alert in alerts:
                 self.recent_alerts.append(alert_payload(alert))
         if self.trace_sample and sample_hit(record.message_id, self.trace_sample):
             self.traces.append(span_tree_from_record(record).to_dict())
         return alerts
+
+    def report_payload(self, top: int = 10) -> dict:
+        """The ``GET /report`` body: the live table payload plus the
+        approximate heavy-hitter lists."""
+        with self._monitor_lock:
+            return self.suite.live_payload(top)
+
+    def report_text(self, top: int = 10) -> str:
+        """The ``GET /report?format=text`` body — rendered by the same
+        deterministic renderer `repro report` uses."""
+        from repro.analytics.render import render_report
+
+        with self._monitor_lock:
+            payload = self.suite.tables(top)
+        return render_report(payload, top)
 
     def monitors_payload(self) -> dict:
         """The ``GET /monitors`` body: composite counters plus each

@@ -1,0 +1,59 @@
+"""Periodic live-table snapshots for replay streams.
+
+``repro watch --report-every N`` feeds every replayed record through a
+:class:`PeriodicTableReporter`: a :class:`~repro.analytics.TableSuite`
+that re-renders the paper tables every N records.  Because the suite is
+the same accumulator set ``repro report`` folds over a saved log, the
+*last* snapshot of a complete replay is byte-identical to the batch
+report of the same log — the live view converges on the paper's tables
+instead of approximating them.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.render import render_report
+from repro.analytics.suite import TableSuite
+from repro.delivery.records import DeliveryRecord
+from repro.util.clock import SimClock
+
+__all__ = ["PeriodicTableReporter"]
+
+
+class PeriodicTableReporter:
+    """Fold records into a live :class:`TableSuite`, emitting a rendered
+    report every ``every`` records (``feed`` returns ``None`` otherwise)."""
+
+    def __init__(
+        self,
+        every: int = 10_000,
+        *,
+        top: int = 10,
+        clock: SimClock | None = None,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = every
+        self.top = top
+        self.suite = TableSuite(clock if clock is not None else SimClock())
+
+    @property
+    def n_records(self) -> int:
+        return self.suite.n_records
+
+    def render(self) -> str:
+        """The current tables, rendered exactly like ``repro report``."""
+        return render_report(self.suite.tables(self.top), self.top)
+
+    def feed(self, record: DeliveryRecord) -> str | None:
+        """Observe one record; return the rendered report on every
+        ``every``-th record, ``None`` in between."""
+        self.suite.observe(record)
+        if self.suite.n_records % self.every == 0:
+            return self.render()
+        return None
+
+    def final(self) -> str | None:
+        """The end-of-stream report, unless ``feed`` just emitted it."""
+        if self.suite.n_records == 0 or self.suite.n_records % self.every == 0:
+            return None
+        return self.render()

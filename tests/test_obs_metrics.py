@@ -265,3 +265,61 @@ class TestMerge:
             enabled_registry.merge(snap)
         assert obs.counter("t_assoc_total").value == 7
         assert obs.histogram("t_assoc_seconds").count == 2
+
+
+class TestHistogramQuantiles:
+    def test_quantile_returns_bucket_upper_bound(self, enabled_registry):
+        h = obs.histogram("t_q_seconds")  # base 2, min_bound 1
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.5) == 64.0    # 50th value (50) is in (32, 64]
+        assert h.quantile(0.99) == 128.0  # 99th value (99) is in (64, 128]
+        assert h.quantile(0.01) == 1.0    # 1st value (1) is in (-inf, 1]
+
+    def test_quantile_empty_and_clamping(self, enabled_registry):
+        h = obs.histogram("t_q2_seconds")
+        assert h.quantile(0.5) == 0.0
+        h.observe(3.0)
+        # out-of-range p clamps rather than raising
+        assert h.quantile(-1.0) == h.quantile(0.0) == h.quantile(2.0)
+
+    def test_quantiles_naming(self, enabled_registry):
+        h = obs.histogram("t_q3_seconds")
+        h.observe(10.0)
+        named = h.quantiles()
+        assert set(named) == {"p50", "p95", "p99"}
+        assert named == h.quantiles((0.5, 0.95, 0.99))
+
+    def test_snapshot_carries_quantiles_when_nonempty(self, enabled_registry):
+        h = obs.histogram("t_q4_seconds")
+        empty_snap = next(f for f in enabled_registry.snapshot()
+                          if f["name"] == "t_q4_seconds")
+        assert "quantiles" not in empty_snap
+        h.observe(5.0)
+        snap = next(f for f in enabled_registry.snapshot()
+                    if f["name"] == "t_q4_seconds")
+        assert snap["quantiles"] == h.quantiles()
+
+    def test_snapshot_quantiles_survive_json_export(self, enabled_registry):
+        import json
+
+        from repro.obs.export import build_snapshot, snapshot_json
+
+        h = obs.histogram("t_q5_seconds")
+        for v in (1.0, 8.0, 40.0):
+            h.observe(v)
+        rendered = json.loads(snapshot_json(build_snapshot()))
+        family = next(f for f in rendered["metrics"]
+                      if f["name"] == "t_q5_seconds")
+        assert family["quantiles"] == h.quantiles()
+
+    def test_merge_ignores_quantiles_key(self, enabled_registry):
+        """Worker snapshots carry the derived quantiles; merging them
+        back must not double-count or choke on the extra key."""
+        dst = obs.histogram("t_q6_seconds")
+        dst.observe(2.0)
+        src = obs.MetricsRegistry()
+        src.histogram("t_q6_seconds").observe(16.0)
+        enabled_registry.merge(src.snapshot())
+        assert dst.count == 2
+        assert dst.quantile(1.0) == 16.0
