@@ -1,0 +1,143 @@
+"""Checkpoint performance: save/restore latency and warm-start speedup.
+
+Measures, at a fixed mid-size config:
+
+* ``save_checkpoint`` / ``load_checkpoint`` wall-clock (with and without
+  the deep digest verify) and the on-disk artifact sizes;
+* warm-start speedup — resuming the final eighth of the window from a
+  checkpoint vs replaying the whole run from day zero.
+
+Writes ``BENCH_checkpoint.json`` next to the repo root so perf PRs can
+diff the numbers.  Latency assertions are deliberately loose (shared CI
+runners); the speedup assertion only arms when the replayed head is
+long enough to dominate scheduling noise.
+"""
+
+import json
+import time
+from datetime import timedelta
+from pathlib import Path
+
+import pytest
+
+from repro import SimulationConfig
+from repro.checkpoint import (
+    fresh_progress,
+    load_checkpoint,
+    run_segment,
+    save_checkpoint,
+)
+from repro.util.clock import DEFAULT_START
+from repro.world.model import build_world
+
+PERF_SCALE = 0.1
+PERF_SEED = 11
+N_DAYS = 112
+CUT = 98
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_checkpoint.json"
+
+
+def _config() -> SimulationConfig:
+    return SimulationConfig(
+        scale=PERF_SCALE,
+        seed=PERF_SEED,
+        start=DEFAULT_START,
+        end=DEFAULT_START + timedelta(days=N_DAYS),
+    )
+
+
+@pytest.fixture(scope="module")
+def timings(tmp_path_factory):
+    root = tmp_path_factory.mktemp("bench-ckpt")
+    ckpt_dir = root / "cut"
+    config = _config()
+
+    # Head segment: replay-from-zero cost for the first CUT days.
+    world = build_world(config)
+    t0 = time.perf_counter()
+    segment = run_segment(world, fresh_progress(config), CUT)
+    n_head = sum(1 for _ in segment.records)
+    progress = segment.finish()
+    head_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    save_checkpoint(ckpt_dir, world, CUT, progress)
+    save_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    ckpt = load_checkpoint(ckpt_dir)
+    load_verified_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    load_checkpoint(ckpt_dir, verify=False)
+    load_unverified_s = time.perf_counter() - t0
+
+    # Warm start: the final eighth from the checkpoint...
+    t0 = time.perf_counter()
+    tail = run_segment(ckpt.world, ckpt.progress, N_DAYS)
+    n_tail = sum(1 for _ in tail.records)
+    tail.finish()
+    warm_s = load_verified_s + (time.perf_counter() - t0)
+
+    # ...vs replaying everything from day zero.
+    world2 = build_world(config)
+    t0 = time.perf_counter()
+    full = run_segment(world2, fresh_progress(config), N_DAYS)
+    n_full = sum(1 for _ in full.records)
+    full.finish()
+    cold_s = time.perf_counter() - t0
+
+    sizes = {
+        name: (ckpt_dir / name).stat().st_size
+        for name in ("world.pkl", "state.json", "meta.json")
+    }
+    rows = {
+        "scale": PERF_SCALE,
+        "seed": PERF_SEED,
+        "n_days": N_DAYS,
+        "cut_day": CUT,
+        "n_records": {"head": n_head, "tail": n_tail, "full": n_full},
+        "save_s": round(save_s, 4),
+        "load_verified_s": round(load_verified_s, 4),
+        "load_unverified_s": round(load_unverified_s, 4),
+        "head_segment_s": round(head_s, 3),
+        "warm_start_s": round(warm_s, 3),
+        "cold_replay_s": round(cold_s, 3),
+        "warm_speedup": round(cold_s / warm_s, 3),
+        "sizes_bytes": sizes,
+    }
+    _OUT.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(rows, indent=2))
+    return rows
+
+
+def test_chain_is_complete(timings):
+    n = timings["n_records"]
+    assert n["head"] + n["tail"] == n["full"]
+    assert n["full"] > 1000
+
+
+def test_artifact_sizes_non_trivial(timings):
+    sizes = timings["sizes_bytes"]
+    assert sizes["world.pkl"] > 10_000  # a real world, not an empty stub
+    assert sizes["state.json"] > 200
+    assert 0 < sizes["meta.json"] < 4_096
+
+
+def test_save_and_load_latency_bounded(timings):
+    # Loose ceilings: catching order-of-magnitude regressions only.
+    assert timings["save_s"] < 10.0
+    assert timings["load_verified_s"] < 10.0
+    assert timings["load_unverified_s"] <= timings["load_verified_s"] * 1.5
+
+
+def test_warm_start_beats_cold_replay(timings):
+    """Resuming the last eighth must beat replaying the whole window;
+    the margin scales with how much head work the checkpoint skips."""
+    assert timings["warm_speedup"] > 1.2
+
+
+def test_bench_artifact_written(timings):
+    payload = json.loads(_OUT.read_text(encoding="utf-8"))
+    assert payload["cut_day"] == CUT
+    assert payload["warm_speedup"] == timings["warm_speedup"]

@@ -1,0 +1,209 @@
+"""Per-table deltas between two delivery runs (baseline vs branch).
+
+Both runs stream through the mergeable :class:`repro.analytics.suite.
+TableSuite` — the same accumulator the CI analytics-diff job pins to the
+batch oracle — and the resulting payloads are diffed table by table.
+The renderer keeps the paper's table structure (bounce types, blocklist
+behaviour, misconfiguration episodes) but every count column becomes
+``baseline / branch / delta``, which is the artifact `repro diff-runs`
+prints and the checkpoint-chain CI job uploads.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.report import pct, render_table
+
+
+def table_payload(path: str | Path, top: int = 10) -> dict:
+    """The table-suite payload of a delivery log (JSONL file, ``.gz``, or
+    shard directory)."""
+    from repro.analytics import TableSuite
+    from repro.stream.sink import iter_delivery_log
+
+    suite = TableSuite()
+    suite.observe_many(iter_delivery_log(path))
+    return suite.tables(top)
+
+
+def _delta(a: float, b: float) -> str:
+    d = b - a
+    if isinstance(a, int) and isinstance(b, int):
+        return f"{d:+d}" if d else "0"
+    return f"{d:+.4f}" if d else "0"
+
+
+def diff_payloads(payload_a: dict, payload_b: dict, top: int = 10) -> dict:
+    """Structured deltas between two table payloads (JSON-encodable)."""
+    ov_a, ov_b = payload_a["overview"], payload_b["overview"]
+    overview = {
+        key: {"a": ov_a[key], "b": ov_b[key], "delta": ov_b[key] - ov_a[key]}
+        for key in ("n_emails", "n_non", "n_soft", "n_hard")
+    }
+
+    types_a = dict(payload_a["types"]["rows"])
+    types_b = dict(payload_b["types"]["rows"])
+    type_rows = []
+    for name in sorted(set(types_a) | set(types_b)):
+        a, b = types_a.get(name, 0), types_b.get(name, 0)
+        type_rows.append({"type": name, "a": a, "b": b, "delta": b - a})
+
+    bl_a, bl_b = payload_a["blocklist"], payload_b["blocklist"]
+    blocklist = {
+        key: {"a": bl_a[key], "b": bl_b[key], "delta": bl_b[key] - bl_a[key]}
+        for key in ("blocked_normal", "blocked_spam", "n_greylist_domains")
+    }
+    blocklist["recovery_rate"] = {
+        "a": bl_a["recovery_rate"],
+        "b": bl_b["recovery_rate"],
+        "delta": bl_b["recovery_rate"] - bl_a["recovery_rate"],
+    }
+
+    mis_a, mis_b = payload_a["misconfig"], payload_b["misconfig"]
+    misconfig = {}
+    for kind in ("auth", "mx", "quota"):
+        sa, sb = mis_a[kind], mis_b[kind]
+        misconfig[kind] = {
+            key: {"a": sa[key], "b": sb[key], "delta": sb[key] - sa[key]}
+            for key in ("n_episodes", "n_entities", "mean_days")
+        }
+
+    dom_a = {row[0]: row for row in payload_a["top_domains"]}
+    dom_b = {row[0]: row for row in payload_b["top_domains"]}
+    domains = []
+    for name in sorted(set(dom_a) | set(dom_b)):
+        va = dom_a.get(name)
+        vb = dom_b.get(name)
+        domains.append(
+            {
+                "domain": name,
+                "volume_a": va[1] if va else 0,
+                "volume_b": vb[1] if vb else 0,
+                "hard_a": va[2] if va else 0.0,
+                "hard_b": vb[2] if vb else 0.0,
+            }
+        )
+
+    return {
+        "overview": overview,
+        "types": type_rows,
+        "blocklist": blocklist,
+        "misconfig": misconfig,
+        "top_domains": domains,
+        "n_records": {"a": payload_a["n_records"], "b": payload_b["n_records"]},
+    }
+
+
+def render_diff(
+    diff: dict, label_a: str = "baseline", label_b: str = "branch"
+) -> str:
+    """Plain-text table-delta report for a :func:`diff_payloads` result."""
+    parts: list[str] = []
+    parts.append(f"== Run delta: {label_a} vs {label_b} ==")
+    ov = diff["overview"]
+    parts.append(
+        render_table(
+            "overview",
+            ["metric", label_a, label_b, "delta"],
+            [
+                [key, cell["a"], cell["b"], _delta(cell["a"], cell["b"])]
+                for key, cell in ov.items()
+            ],
+        )
+    )
+
+    parts.append("")
+    parts.append(
+        render_table(
+            "bounce types (Table 1)",
+            ["type", label_a, label_b, "delta"],
+            [
+                [row["type"], row["a"], row["b"], _delta(row["a"], row["b"])]
+                for row in diff["types"]
+                if row["a"] or row["b"]
+            ],
+        )
+    )
+
+    parts.append("")
+    bl = diff["blocklist"]
+    parts.append(
+        render_table(
+            "blocklists and filters (Fig 6)",
+            ["metric", label_a, label_b, "delta"],
+            [
+                ["blocked (normal)", bl["blocked_normal"]["a"],
+                 bl["blocked_normal"]["b"],
+                 _delta(bl["blocked_normal"]["a"], bl["blocked_normal"]["b"])],
+                ["blocked (spam)", bl["blocked_spam"]["a"],
+                 bl["blocked_spam"]["b"],
+                 _delta(bl["blocked_spam"]["a"], bl["blocked_spam"]["b"])],
+                ["greylisting domains", bl["n_greylist_domains"]["a"],
+                 bl["n_greylist_domains"]["b"],
+                 _delta(bl["n_greylist_domains"]["a"],
+                        bl["n_greylist_domains"]["b"])],
+                ["recovery rate", pct(bl["recovery_rate"]["a"]),
+                 pct(bl["recovery_rate"]["b"]),
+                 _delta(bl["recovery_rate"]["a"], bl["recovery_rate"]["b"])],
+            ],
+        )
+    )
+
+    parts.append("")
+    rows = []
+    for kind, stats in diff["misconfig"].items():
+        rows.append(
+            [
+                kind,
+                stats["n_episodes"]["a"],
+                stats["n_episodes"]["b"],
+                _delta(stats["n_episodes"]["a"], stats["n_episodes"]["b"]),
+                f"{stats['mean_days']['a']:.3f}",
+                f"{stats['mean_days']['b']:.3f}",
+                _delta(stats["mean_days"]["a"], stats["mean_days"]["b"]),
+            ]
+        )
+    parts.append(
+        render_table(
+            "misconfiguration episodes (Fig 7)",
+            ["kind", f"n {label_a}", f"n {label_b}", "delta",
+             f"mean-d {label_a}", f"mean-d {label_b}", "delta"],
+            rows,
+        )
+    )
+
+    parts.append("")
+    parts.append(
+        render_table(
+            "top receiver domains (Table 3)",
+            ["domain", f"emails {label_a}", f"emails {label_b}",
+             f"hard {label_a}", f"hard {label_b}"],
+            [
+                [row["domain"], row["volume_a"], row["volume_b"],
+                 pct(row["hard_a"]), pct(row["hard_b"])]
+                for row in diff["top_domains"]
+            ],
+        )
+    )
+
+    parts.append("")
+    nr = diff["n_records"]
+    parts.append(f"records: {label_a}={nr['a']}  {label_b}={nr['b']}")
+    return "\n".join(parts) + "\n"
+
+
+def diff_runs(
+    path_a: str | Path,
+    path_b: str | Path,
+    *,
+    top: int = 10,
+    label_a: str = "baseline",
+    label_b: str = "branch",
+) -> tuple[dict, str]:
+    """Stream both runs, diff their table payloads, and render the
+    report; returns ``(structured_diff, rendered_text)``."""
+    payload_a = table_payload(path_a, top)
+    payload_b = table_payload(path_b, top)
+    diff = diff_payloads(payload_a, payload_b, top)
+    return diff, render_diff(diff, label_a, label_b)

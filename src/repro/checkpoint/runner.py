@@ -1,0 +1,101 @@
+"""Serial segment execution: one process, the canonical merge.
+
+A *segment* runs every slice from its recorded progress up to a day
+boundary.  The merge is the same stable ``heapq.merge`` over slices in
+plan order that the uninterrupted streaming runner uses — and because a
+stable merge of per-slice prefixes is a prefix of the full merge, the
+concatenated record streams of chained segments are byte-identical to
+one uninterrupted run (asserted against the differential oracle in
+``tests/test_checkpoint.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.checkpoint.state import run_slice_segment, validate_progress
+from repro.delivery.records import DeliveryRecord
+from repro.parallel.partition import plan_slices
+from repro.stream.runner import materialize_extra_workloads
+from repro.util.rng import RandomSource
+from repro.world.model import WorldModel
+
+WorkloadFn = Callable
+
+
+@dataclass
+class SegmentRun:
+    """One segment's record stream plus its post-segment progress.
+
+    ``records`` must be consumed to exhaustion before ``progress`` is
+    complete (per-slice finalization happens when each slice's stream
+    ends); :meth:`finish` drains any remainder and returns the progress
+    dict re-ordered to the slice plan.
+    """
+
+    world: WorldModel
+    until_day: int
+    records: Iterator[DeliveryRecord]
+    _out: dict[str, dict] = field(default_factory=dict)
+    _plan_keys: list[str] = field(default_factory=list)
+
+    def finish(self) -> dict[str, dict]:
+        for _ in self.records:  # pragma: no cover - callers usually drained
+            pass
+        return {key: self._out[key] for key in self._plan_keys}
+
+    @property
+    def progress(self) -> dict[str, dict]:
+        return self.finish()
+
+
+def run_segment(
+    world: WorldModel,
+    progress: dict[str, dict],
+    until_day: int,
+    extra_workloads: list[WorkloadFn] | None = None,
+) -> SegmentRun:
+    """Run every slice from ``progress`` up to (exclusive) ``until_day``.
+
+    ``run_segment(world, p, clock.n_days)`` finishes the run; anything
+    past the measurement window raises :class:`ValueError`.
+    """
+    clock = world.clock
+    if until_day > clock.n_days:
+        raise ValueError(
+            f"until_day {until_day} is past the measurement window "
+            f"({clock.n_days} days)"
+        )
+    config = world.config
+    rng = RandomSource(config.seed, name="sim")
+    extra_specs = materialize_extra_workloads(world, rng, extra_workloads)
+    slices = plan_slices(config, len(extra_specs))
+    validate_progress(progress, slices)
+    out: dict[str, dict] = {}
+    streams: list[Iterator[DeliveryRecord]] = []
+    for sim_slice in slices:
+        stream = run_slice_segment(
+            world,
+            rng,
+            sim_slice,
+            progress[sim_slice.key],
+            until_day,
+            out,
+            extra_specs=(
+                extra_specs[sim_slice.extra_index]
+                if sim_slice.kind == "extra" and sim_slice.specs is None
+                else None
+            ),
+        )
+        if stream is not None:
+            streams.append(stream)
+    merged = heapq.merge(*streams, key=lambda r: r.start_time)
+    return SegmentRun(
+        world=world,
+        until_day=until_day,
+        records=merged,
+        _out=out,
+        _plan_keys=[s.key for s in slices],
+    )

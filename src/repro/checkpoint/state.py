@@ -1,0 +1,195 @@
+"""Per-slice temporal progress and day-bounded slice execution.
+
+The slice plan (:func:`repro.parallel.partition.plan_slices`) is a pure
+function of the config, so temporal progress is a dict keyed by slice
+key.  Each entry is one of:
+
+``{"status": "fresh", "n_delivered": 0}``
+    The slice has not started; a fresh engine picks it up from the top.
+
+``{"status": "partial", "n_delivered": N, "engine": ..., ["resume_day": D]}``
+    The slice delivered its first ``N`` specs; ``engine`` is the
+    :meth:`repro.delivery.engine.DeliveryEngine.state_snapshot` payload
+    (RNG cursors, greylist tuples, learned STARTTLS).  Traffic slices
+    also record ``resume_day`` — send times never cross day boundaries,
+    so they resume by generating days ``[resume_day, day_end)`` with
+    zero regeneration.  Campaign/extra slices resume by regenerating
+    their (cheap, deterministic) spec list and skipping the first ``N``.
+
+``{"status": "done", "n_delivered": N}``
+    The slice is exhausted; later segments skip it entirely.
+
+Engine construction consumes zero random draws and child-stream seeds
+derive from static parents, so restoring an engine snapshot into a
+freshly built engine continues every draw sequence exactly where the
+snapshotted engine stopped — the property the byte-identity tests in
+``tests/test_checkpoint.py`` pin down component by component.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.delivery.records import DeliveryRecord
+from repro.parallel.partition import SimSlice, plan_slices
+from repro.util.rng import RandomSource
+from repro.workload.spec import EmailSpec
+from repro.world.config import SimulationConfig
+from repro.world.model import WorldModel
+
+
+def fresh_progress(config: SimulationConfig, n_extra: int = 0) -> dict[str, dict]:
+    """Initial progress for a run that has not delivered anything."""
+    return {
+        s.key: {"status": "fresh", "n_delivered": 0}
+        for s in plan_slices(config, n_extra)
+    }
+
+
+def validate_progress(progress: dict, slices: list[SimSlice]) -> None:
+    """Progress keys must match the slice plan exactly — a mismatch means
+    the checkpoint belongs to a different config (or extra-workload set)."""
+    expected = {s.key for s in slices}
+    got = set(progress)
+    if expected != got:
+        missing = sorted(expected - got)
+        surplus = sorted(got - expected)
+        raise ValueError(
+            f"progress does not match the slice plan "
+            f"(missing: {missing[:3]}, unknown: {surplus[:3]})"
+        )
+
+
+def _until_ts(world: WorldModel, until_day: int) -> float:
+    clock = world.clock
+    if until_day >= clock.n_days:
+        return float("inf")
+    return clock.day_start(until_day)
+
+
+def run_slice_segment(
+    world: WorldModel,
+    rng: RandomSource,
+    sim_slice: SimSlice,
+    entry: dict,
+    until_day: int,
+    out: dict[str, dict],
+    extra_specs: list[EmailSpec] | None = None,
+) -> Iterator[DeliveryRecord] | None:
+    """One slice's contribution to the segment ending at ``until_day``.
+
+    Returns a record generator, or ``None`` when the slice contributes
+    nothing this segment (already done, or entirely after the cut).  In
+    both cases the slice's post-segment progress lands in ``out`` — for a
+    generator, only once it has been *fully consumed* (the canonical
+    merge consumes every stream to exhaustion, so by the time the merged
+    stream ends, ``out`` is complete).
+    """
+    key = sim_slice.key
+    if entry["status"] == "done":
+        out[key] = entry
+        return None
+    if sim_slice.kind == "traffic":
+        return _traffic_segment(world, rng, sim_slice, entry, until_day, out)
+    return _spec_list_segment(
+        world, rng, sim_slice, entry, until_day, out, extra_specs
+    )
+
+
+def _traffic_segment(
+    world: WorldModel,
+    rng: RandomSource,
+    sim_slice: SimSlice,
+    entry: dict,
+    until_day: int,
+    out: dict[str, dict],
+) -> Iterator[DeliveryRecord] | None:
+    key = sim_slice.key
+    start_day = (
+        entry["resume_day"] if entry["status"] == "partial" else sim_slice.day_start
+    )
+    stop_day = min(sim_slice.day_end, until_day)
+    if start_day >= stop_day:
+        out[key] = entry
+        return None
+
+    def records() -> Iterator[DeliveryRecord]:
+        from repro.delivery.engine import DeliveryEngine
+        from repro.workload.traffic import TrafficGenerator
+
+        engine = DeliveryEngine(world, rng.child(f"engine/{key}"))
+        if entry["status"] == "partial":
+            engine.restore_state(entry["engine"])
+        traffic = TrafficGenerator(world, rng.child("traffic"))
+        n = entry["n_delivered"]
+        for record in engine.deliver_all(traffic.iter_day_range(start_day, stop_day)):
+            n += 1
+            yield record
+        if stop_day >= sim_slice.day_end:
+            out[key] = {"status": "done", "n_delivered": n}
+        else:
+            out[key] = {
+                "status": "partial",
+                "n_delivered": n,
+                "resume_day": stop_day,
+                "engine": engine.state_snapshot(),
+            }
+
+    return records()
+
+
+def _spec_list_segment(
+    world: WorldModel,
+    rng: RandomSource,
+    sim_slice: SimSlice,
+    entry: dict,
+    until_day: int,
+    out: dict[str, dict],
+    extra_specs: list[EmailSpec] | None,
+) -> Iterator[DeliveryRecord]:
+    """Campaign and extra slices: a materialized, time-sorted spec list,
+    cut at the first spec past the boundary.  The list regenerates
+    deterministically from fresh child streams, so skipping the first
+    ``n_delivered`` specs replays exactly what earlier segments sent."""
+    key = sim_slice.key
+    until_ts = _until_ts(world, until_day)
+
+    def records() -> Iterator[DeliveryRecord]:
+        from repro.delivery.engine import DeliveryEngine
+
+        if sim_slice.kind == "campaign":
+            from repro.workload.attackers import AttackerGenerator
+
+            domains = world.attacker_domains()
+            generator = AttackerGenerator(world, rng.child("attackers"))
+            specs = generator.domain_specs(domains[sim_slice.campaign_index])
+        elif sim_slice.specs is not None:
+            specs = list(sim_slice.specs)
+        else:
+            assert extra_specs is not None, f"extra slice {key} without specs"
+            specs = extra_specs
+        start = entry["n_delivered"]
+        stop = start
+        while stop < len(specs) and specs[stop].t < until_ts:
+            stop += 1
+        if stop > start:
+            engine = DeliveryEngine(world, rng.child(f"engine/{key}"))
+            if entry["status"] == "partial":
+                engine.restore_state(entry["engine"])
+            yield from engine.deliver_all(specs[start:stop])
+            if stop >= len(specs):
+                out[key] = {"status": "done", "n_delivered": stop}
+            else:
+                out[key] = {
+                    "status": "partial",
+                    "n_delivered": stop,
+                    "engine": engine.state_snapshot(),
+                }
+        elif stop >= len(specs):
+            # Nothing left at all (e.g. an empty campaign): mark done so
+            # later segments skip the regeneration.
+            out[key] = {"status": "done", "n_delivered": stop}
+        else:
+            out[key] = entry
+
+    return records()

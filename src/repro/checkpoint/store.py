@@ -1,0 +1,176 @@
+"""Versioned, fingerprinted checkpoint directories.
+
+Layout of ``Ckpts/<name>/``::
+
+    world.pkl    pickled world model (caches purged)
+    state.json   {"version", "day", "slices": {key: progress, ...}}
+    meta.json    format version, config digest, content hashes, deep
+                 state digest, branch lineage
+
+All three files go down through the PR 5 atomic-write discipline (temp
+file, fsync, ``os.replace``, directory fsync); ``meta.json`` is written
+last, so its presence marks a complete checkpoint.  Loading verifies the
+format version, both content hashes, the config digest, and — unless
+``verify=False`` — recomputes the canonical deep digest of the restored
+world + progress and compares it against ``meta.json``; any mismatch
+raises :class:`CheckpointError` (the checkpoint twin of
+``repro.analytics.SnapshotError``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.parallel.resume import config_digest
+from repro.stream.sink import atomic_write_bytes, atomic_write_text
+from repro.world.config import SimulationConfig
+from repro.world.inspect import state_digest
+from repro.world.model import WorldModel
+
+#: Format version of the checkpoint directory layout and payloads.
+CHECKPOINT_VERSION = 1
+
+META_NAME = "meta.json"
+WORLD_NAME = "world.pkl"
+STATE_NAME = "state.json"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint directory is missing, version-incompatible, or fails
+    its integrity checks (content hash, config digest, or deep state
+    digest mismatch)."""
+
+
+@dataclass
+class Checkpoint:
+    """A loaded checkpoint: restored world + temporal progress + meta."""
+
+    path: Path
+    meta: dict
+    world: WorldModel
+    progress: dict[str, dict]
+
+    @property
+    def name(self) -> str:
+        return self.meta["name"]
+
+    @property
+    def day(self) -> int:
+        return self.meta["day"]
+
+    @property
+    def lineage(self) -> dict:
+        return self.meta["lineage"]
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self.world.config
+
+
+def save_checkpoint(
+    path: str | Path,
+    world: WorldModel,
+    day: int,
+    progress: dict[str, dict],
+    *,
+    parent: str | None = None,
+    interventions: list[str] | tuple[str, ...] = (),
+) -> Path:
+    """Write ``world`` + ``progress`` at day boundary ``day`` to ``path``.
+
+    ``parent``/``interventions`` record branch lineage (the parent
+    checkpoint's name and the intervention specs applied on top of it);
+    a plain temporal checkpoint leaves both empty.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    world.purge_caches()
+    world_blob = pickle.dumps(world, protocol=4)
+    state_payload = {
+        "version": CHECKPOINT_VERSION,
+        "day": int(day),
+        "slices": progress,
+    }
+    state_text = json.dumps(state_payload, sort_keys=True)
+    meta = {
+        "version": CHECKPOINT_VERSION,
+        "name": path.name,
+        "day": int(day),
+        "seed": world.config.seed,
+        "scale": world.config.scale,
+        "config_digest": config_digest(world.config),
+        "world_sha256": hashlib.sha256(world_blob).hexdigest(),
+        "state_sha256": hashlib.sha256(state_text.encode("utf-8")).hexdigest(),
+        "digest": state_digest(world, progress),
+        "lineage": {"parent": parent, "interventions": list(interventions)},
+    }
+    atomic_write_bytes(path / WORLD_NAME, world_blob)
+    atomic_write_text(path / STATE_NAME, state_text)
+    atomic_write_text(path / META_NAME, json.dumps(meta, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def read_meta(path: str | Path) -> dict:
+    """The ``meta.json`` of a checkpoint directory (version-checked)."""
+    path = Path(path)
+    meta_path = path / META_NAME
+    if not meta_path.is_file():
+        raise CheckpointError(f"{path} is not a checkpoint directory (no {META_NAME})")
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise CheckpointError(f"{meta_path} is not valid JSON: {exc}") from exc
+    version = meta.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint format version {version!r} is not "
+            f"{CHECKPOINT_VERSION}"
+        )
+    return meta
+
+
+def load_checkpoint(path: str | Path, *, verify: bool = True) -> Checkpoint:
+    """Restore a checkpoint: unpickle the world, purge caches, rebind
+    telemetry to this process, and verify integrity.
+
+    ``verify=False`` skips only the (deep-walk) state digest; the cheap
+    content hashes and the config digest are always checked.
+    """
+    path = Path(path)
+    meta = read_meta(path)
+
+    world_path = path / WORLD_NAME
+    state_path = path / STATE_NAME
+    for required in (world_path, state_path):
+        if not required.is_file():
+            raise CheckpointError(f"{path}: missing {required.name}")
+    world_blob = world_path.read_bytes()
+    if hashlib.sha256(world_blob).hexdigest() != meta["world_sha256"]:
+        raise CheckpointError(f"{path}: {WORLD_NAME} does not match its recorded hash")
+    state_text = state_path.read_text(encoding="utf-8")
+    if hashlib.sha256(state_text.encode("utf-8")).hexdigest() != meta["state_sha256"]:
+        raise CheckpointError(f"{path}: {STATE_NAME} does not match its recorded hash")
+    state = json.loads(state_text)
+    if state.get("version") != CHECKPOINT_VERSION or state.get("day") != meta["day"]:
+        raise CheckpointError(f"{path}: {STATE_NAME} disagrees with {META_NAME}")
+
+    try:
+        world = pickle.loads(world_blob)
+    except Exception as exc:
+        raise CheckpointError(f"{path}: cannot unpickle {WORLD_NAME}: {exc}") from exc
+    if not isinstance(world, WorldModel):
+        raise CheckpointError(f"{path}: {WORLD_NAME} is not a WorldModel")
+    world.rebind_runtime()
+    if config_digest(world.config) != meta["config_digest"]:
+        raise CheckpointError(f"{path}: restored config does not match its digest")
+    progress = state["slices"]
+    if verify and state_digest(world, progress) != meta["digest"]:
+        raise CheckpointError(
+            f"{path}: deep state digest mismatch — the checkpoint content "
+            f"does not reproduce the fingerprint it was saved with"
+        )
+    return Checkpoint(path=path, meta=meta, world=world, progress=progress)

@@ -28,7 +28,18 @@ Subcommands:
 * ``metrics``  — run with telemetry on and render the metrics, or
   re-render a saved JSON snapshot.
 * ``squat``    — run the squatting audit on a fresh simulation.
+* ``branch``   — apply declared what-if interventions to a saved
+  checkpoint and write the branched checkpoint with lineage
+  (docs/CHECKPOINTS.md; ``--list-interventions`` for the catalog).
+* ``diff-runs`` — per-bounce-type/per-table deltas between two delivery
+  logs, rendered through the streaming analytics suite.
 * ``version``  — print the package version (also ``--version``).
+
+``simulate`` also does temporal segmentation: ``--until DAY`` stops at
+a day boundary, ``--save-checkpoint DIR`` captures the complete
+simulation state there, and ``--from-checkpoint DIR`` resumes it —
+chained segments are byte-identical to one uninterrupted run at any
+worker count.
 
 Output conventions: *data* (tables, JSONL, traces, metric expositions)
 goes to stdout; progress and status chatter goes to stderr, and
@@ -121,6 +132,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.1)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--out", default="delivery_log.jsonl")
+    p.add_argument("--until", type=int, default=None, metavar="DAY",
+                   help="stop at this day boundary (records with t < day "
+                        "DAY only); combine with --save-checkpoint to "
+                        "resume later")
+    p.add_argument("--from-checkpoint", default=None, metavar="DIR",
+                   dest="from_checkpoint",
+                   help="resume simulated time from a checkpoint directory "
+                        "(--scale/--seed are taken from it)")
+    p.add_argument("--save-checkpoint", default=None, metavar="DIR",
+                   dest="save_checkpoint",
+                   help="save the end-of-run state as a checkpoint")
     _add_workers(p)
     _add_cache_flag(p)
     _add_obs_flags(p)
@@ -316,11 +338,41 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     _add_quiet(p)
 
+    p = sub.add_parser("branch", help="apply what-if interventions to a "
+                                      "saved checkpoint")
+    p.add_argument("checkpoint", nargs="?", default=None,
+                   help="source checkpoint directory")
+    p.add_argument("out", nargs="?", default=None,
+                   help="destination checkpoint directory")
+    p.add_argument("--apply", action="append", default=[],
+                   metavar="NAME[:ARG]",
+                   help="intervention spec (repeatable); see "
+                        "--list-interventions")
+    p.add_argument("--list-interventions", action="store_true",
+                   help="print the intervention catalog and exit")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the deep state-digest check on load")
+    _add_quiet(p)
+
+    p = sub.add_parser("diff-runs", help="per-table deltas between two "
+                                         "delivery logs")
+    p.add_argument("run_a", help="baseline log (JSONL file or shard dir)")
+    p.add_argument("run_b", help="branch log (JSONL file or shard dir)")
+    p.add_argument("--top", type=int, default=10,
+                   help="receiver domains per side in the domain table")
+    p.add_argument("--label-a", default="baseline")
+    p.add_argument("--label-b", default="branch")
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured diff as JSON instead of tables")
+    _add_quiet(p)
+
     sub.add_parser("version", help="print the package version")
     return parser
 
 
 def _cmd_simulate(args) -> int:
+    if args.until is not None or args.from_checkpoint or args.save_checkpoint:
+        return _cmd_simulate_segment(args)
     config = SimulationConfig(scale=args.scale, seed=args.seed)
     workers = getattr(args, "workers", 1)
     resume = getattr(args, "resume", False)
@@ -346,6 +398,128 @@ def _cmd_simulate(args) -> int:
     _status(f"non/soft/hard: {pct(breakdown.non_fraction)} / "
             f"{pct(breakdown.soft_fraction)} / {pct(breakdown.hard_fraction)}")
     _status(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_simulate_segment(args) -> int:
+    """Checkpoint-mode simulate: run days ``[from, until)``, optionally
+    saving/restoring the complete simulation state (docs/CHECKPOINTS.md)."""
+    from repro.checkpoint import (
+        CheckpointError,
+        fresh_progress,
+        load_checkpoint,
+        run_segment,
+        run_segment_parallel,
+        save_checkpoint,
+    )
+
+    workers = getattr(args, "workers", 1)
+    if getattr(args, "resume", False):
+        print("simulate: --resume restarts slices within one run; "
+              "checkpoints resume simulated time — use --from-checkpoint",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.from_checkpoint:
+            ckpt = load_checkpoint(args.from_checkpoint)
+            world, progress, from_day = ckpt.world, ckpt.progress, ckpt.day
+            checkpoint_path = args.from_checkpoint
+            _status(f"restored {ckpt.name!r} at day {from_day} "
+                    f"(digest {ckpt.meta['digest'][:12]})")
+        else:
+            from repro.world.model import build_world
+
+            config = SimulationConfig(scale=args.scale, seed=args.seed)
+            world = build_world(config)
+            progress = fresh_progress(config)
+            from_day = 0
+            checkpoint_path = None
+    except CheckpointError as exc:
+        print(f"simulate: {exc}", file=sys.stderr)
+        return 2
+    n_days = world.clock.n_days
+    until = args.until if args.until is not None else n_days
+    if not from_day < until <= n_days:
+        print(f"simulate: --until must be a day in ({from_day}, {n_days}]",
+              file=sys.stderr)
+        return 2
+
+    n = 0
+    if workers > 1:
+        with run_segment_parallel(
+            world, progress, until, workers, checkpoint_path=checkpoint_path
+        ) as segment:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                for record in segment.iter_records():
+                    fh.write(record.to_json() + "\n")
+                    n += 1
+            progress = segment.progress
+        _status(f"parallel segment: {workers} worker(s), "
+                f"{segment.elapsed_s:.1f}s")
+    else:
+        segment = run_segment(world, progress, until)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for record in segment.records:
+                fh.write(record.to_json() + "\n")
+                n += 1
+        progress = segment.finish()
+    _status(f"segment days [{from_day}, {until}): {n:,} records -> {args.out}")
+    if args.save_checkpoint:
+        save_checkpoint(args.save_checkpoint, world, until, progress)
+        _status(f"checkpoint saved: {args.save_checkpoint} (day {until})")
+    return 0
+
+
+def _cmd_branch(args) -> int:
+    from repro.checkpoint import (
+        CheckpointError,
+        branch_checkpoint,
+        intervention_catalog,
+    )
+
+    if args.list_interventions:
+        print(intervention_catalog())
+        return 0
+    if not args.checkpoint or not args.out:
+        print("branch: need SOURCE and DEST checkpoint directories "
+              "(or --list-interventions)", file=sys.stderr)
+        return 2
+    if not args.apply:
+        print("branch: need at least one --apply NAME[:ARG]; see "
+              "--list-interventions", file=sys.stderr)
+        return 2
+    try:
+        summaries = branch_checkpoint(
+            args.checkpoint, args.out, args.apply,
+            verify=not args.no_verify,
+        )
+    except (CheckpointError, ValueError) as exc:
+        print(f"branch: {exc}", file=sys.stderr)
+        return 2
+    for line in summaries:
+        _status(f"  {line}")
+    _status(f"branched {args.checkpoint} -> {args.out}")
+    print(args.out)
+    return 0
+
+
+def _cmd_diff_runs(args) -> int:
+    import json
+
+    from repro.checkpoint import diff_runs
+
+    try:
+        diff, text = diff_runs(
+            args.run_a, args.run_b, top=args.top,
+            label_a=args.label_a, label_b=args.label_b,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"diff-runs: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff, sort_keys=True))
+    else:
+        print(text, end="")
     return 0
 
 
@@ -914,6 +1088,8 @@ _COMMANDS = {
     "loadtest": _cmd_loadtest,
     "explain": _cmd_explain,
     "squat": _cmd_squat,
+    "branch": _cmd_branch,
+    "diff-runs": _cmd_diff_runs,
     "recommend": _cmd_recommend,
     "world-info": _cmd_world_info,
     "compare": _cmd_compare,

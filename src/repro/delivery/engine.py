@@ -34,6 +34,7 @@ from repro.core.taxonomy import BounceDegree, BounceType
 from repro.delivery.proxies import ProxyMTA
 from repro.delivery.records import AttemptRecord, DeliveryRecord, compute_message_id
 from repro.mta.filters import SpamVerdict
+from repro.mta.greylist import Greylist
 from repro.mta.receiver import AttemptContext
 from repro.obs import metrics as obs_metrics
 from repro.obs import profile as obs_profile
@@ -51,6 +52,9 @@ _SENDER_DIALECT = TemplateDialect.POSTFIX
 #: Sentinel distinguishing "no greylist store created yet" from a cached
 #: ``None`` ("this domain doesn't greylist").
 _GREYLIST_UNSET = object()
+
+#: Version of the :meth:`DeliveryEngine.state_snapshot` payload.
+ENGINE_STATE_VERSION = 1
 
 #: Bounce types that justify a full retry budget (see ``_retryable``).
 _RETRYABLE_TYPES = frozenset(
@@ -83,8 +87,11 @@ class DeliveryEngine:
         self._tls_learned: set[str] = set()
         #: Engine-owned proxy selection: draws come from this engine's
         #: random stream, so proxy choices are independent of any other
-        #: engine sharing the world's fleet (parallel slices).
-        self._fleet = world.fleet.session(rng.child("fleet"))
+        #: engine sharing the world's fleet (parallel slices).  The fleet
+        #: stream is kept addressable so checkpoints can snapshot and
+        #: restore its cursor alongside the main engine stream.
+        self._fleet_rng = rng.child("fleet")
+        self._fleet = world.fleet.session(self._fleet_rng)
         #: Engine-owned greylist stores, one per receiver domain (lazily
         #: created).  Greylist state accumulates per execution slice, not
         #: in the shared world, so slices are order-independent.
@@ -122,6 +129,43 @@ class DeliveryEngine:
             "Scheduled backoff before a retry attempt (log-2 buckets)",
             min_bound=1.0,
         )
+
+    # -- checkpoint support -------------------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """JSON-encodable snapshot of every simulation-mutable engine field.
+
+        Engine construction consumes zero random draws, so restoring this
+        payload into a freshly constructed engine (same world, same named
+        stream) resumes delivery exactly where the snapshotted engine
+        stopped.  Fast-path memos (`_domain_snap`, `_net_probs`) are pure
+        lookups and rebuild naturally; they are deliberately excluded.
+        """
+        greylists: dict[str, dict | None] = {}
+        for domain, store in self._greylists.items():
+            greylists[domain] = None if store is None else store.getstate()
+        return {
+            "version": ENGINE_STATE_VERSION,
+            "rng": self.rng.getstate(),
+            "fleet_rng": self._fleet_rng.getstate(),
+            "tls_learned": sorted(self._tls_learned),
+            "greylists": greylists,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_snapshot` payload into this engine."""
+        if state.get("version") != ENGINE_STATE_VERSION:
+            raise ValueError(
+                f"engine state version {state.get('version')!r} is not "
+                f"{ENGINE_STATE_VERSION}"
+            )
+        self.rng.setstate(state["rng"])
+        self._fleet_rng.setstate(state["fleet_rng"])
+        self._tls_learned = set(state["tls_learned"])
+        self._greylists = {
+            domain: None if payload is None else Greylist.fromstate(payload)
+            for domain, payload in state["greylists"].items()
+        }
 
     # -- public API ---------------------------------------------------------------
 

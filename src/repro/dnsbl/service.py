@@ -34,6 +34,11 @@ class DNSBLService:
     def add_listing(self, ip: str, window: Window) -> None:
         self._listings.setdefault(ip, []).append(window)
 
+    def purge_caches(self) -> None:
+        """Drop the per-IP interval cache (checkpoint save/restore, and
+        after interventions that rewrite listing windows in place)."""
+        self._ip_state.clear()
+
     def is_listed(self, ip: str, t: float) -> bool:
         if not fastpath.enabled():
             return any(w.contains(t) for w in self._listings.get(ip, ()))

@@ -79,6 +79,31 @@ class Resolver:
         # path skips both the f-string format and the labels() lookup.
         self._m_query_children: dict = {}
 
+    def purge_caches(self) -> None:
+        """Drop every cached zone state (checkpoint save/restore).
+
+        Entries rebuild on demand from the zones themselves, so purging is
+        always semantics-preserving — it only matters that a restored
+        resolver never carries another process's cache objects.
+        """
+        self._state_cache.clear()
+
+    def rebind_telemetry(self) -> None:
+        """Re-attach telemetry to *this process's* registry.
+
+        A resolver restored from a checkpoint carries detached instrument
+        copies pickled in another process; rebinding swaps them for live
+        ones (or the shared no-ops when :mod:`repro.obs` is disabled).
+        """
+        self._state_stats = fastpath.CacheStats("dns-state")
+        self._obs_on = obs_metrics.enabled()
+        self._m_queries = obs_metrics.counter(
+            "repro_dns_queries_total",
+            "DNS queries answered, by record type and resolution status",
+            label="result",
+        )
+        self._m_query_children = {}
+
     def register_zone(self, zone: Zone) -> None:
         key = zone.domain.lower()
         if key in self._zones:

@@ -62,3 +62,36 @@ class Greylist:
 
     def known_tuples(self) -> int:
         return len(self._tuples)
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def getstate(self) -> dict:
+        """JSON-encodable snapshot: configuration plus every tracked tuple.
+
+        Tuples are emitted in insertion order, so a restored greylist's
+        :meth:`getstate` is byte-identical to the original's — which is
+        what lets checkpoint round-trip tests compare payloads directly.
+        """
+        return {
+            "delay_s": self.delay_s,
+            "retention_s": self.retention_s,
+            "network_prefix": self.network_prefix,
+            "tuples": [
+                [client, sender, recipient, state.first_seen, state.passed]
+                for (client, sender, recipient), state in self._tuples.items()
+            ],
+        }
+
+    @classmethod
+    def fromstate(cls, state: dict) -> "Greylist":
+        """Rebuild a greylist (configuration and tuple store) from a payload."""
+        store = cls(
+            delay_s=float(state["delay_s"]),
+            retention_s=float(state["retention_s"]),
+            network_prefix=int(state["network_prefix"]),
+        )
+        for client, sender, recipient, first_seen, passed in state["tuples"]:
+            store._tuples[(client, sender, recipient)] = _TupleState(
+                first_seen=float(first_seen), passed=bool(passed)
+            )
+        return store

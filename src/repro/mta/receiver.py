@@ -133,6 +133,16 @@ class ReceiverMTA:
             label="verdict",
         )
 
+    def rebind_telemetry(self) -> None:
+        """Re-attach telemetry to this process's registry (an MTA restored
+        from a checkpoint carries detached instrument copies)."""
+        self._obs_on = obs_metrics.enabled()
+        self._m_verdicts = obs_metrics.counter(
+            "repro_receiver_verdicts_total",
+            "Receiver-MTA policy verdicts (accepted or rendered bounce type)",
+            label="verdict",
+        )
+
     def new_greylist(self) -> Greylist | None:
         """A fresh greylist store for this MTA's policy (``None`` when the
         policy doesn't greylist).

@@ -54,10 +54,16 @@ def atomic_write_text(path: str | Path, text: str) -> Path:
     fsync it, then ``os.replace`` (atomic on POSIX) and fsync the
     directory.  A crash at any point leaves either the old file or the
     new one — never a torn half-write."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_bytes(path: str | Path, payload: bytes) -> Path:
+    """Binary flavour of :func:`atomic_write_text` (same durability
+    discipline); checkpoint world snapshots are written through this."""
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        fh.write(text)
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
         fh.flush()
         os.fsync(fh.fileno())
     os.replace(tmp, path)

@@ -45,6 +45,46 @@ class RandomSource:
         """Return an independent stream derived from this one."""
         return RandomSource(derive_seed(self.seed, name), name=f"{self.name}/{name}")
 
+    # -- explicit state snapshot --------------------------------------------
+
+    def getstate(self) -> dict:
+        """Snapshot this stream's cursor as a JSON-encodable payload.
+
+        The payload identifies the stream (``seed``, ``name``) and carries
+        the underlying Mersenne Twister state verbatim.  ``child`` seeds
+        are derived from the *static* ``seed``, so restoring a cursor via
+        :meth:`setstate` never changes which children this source hands
+        out — only where its own draw sequence continues.
+        """
+        version, internal, gauss_next = self._rng.getstate()
+        return {
+            "seed": self.seed,
+            "name": self.name,
+            "cursor": [version, list(internal), gauss_next],
+        }
+
+    def setstate(self, state: dict) -> None:
+        """Restore a cursor captured by :meth:`getstate`.
+
+        The payload must belong to *this* stream: a ``seed`` or ``name``
+        mismatch raises :class:`ValueError` rather than silently splicing
+        one subsystem's draw sequence into another.
+        """
+        if state.get("seed") != self.seed or state.get("name") != self.name:
+            raise ValueError(
+                f"state for stream {state.get('name')!r} (seed {state.get('seed')!r}) "
+                f"cannot be restored into {self.name!r} (seed {self.seed})"
+            )
+        version, internal, gauss_next = state["cursor"]
+        self._rng.setstate((version, tuple(internal), gauss_next))
+
+    @classmethod
+    def fromstate(cls, state: dict) -> "RandomSource":
+        """Rebuild a stream (seed, name, and cursor) from a payload."""
+        source = cls(state["seed"], name=state["name"])
+        source.setstate(state)
+        return source
+
     # -- thin pass-throughs -------------------------------------------------
 
     def random(self) -> float:

@@ -133,6 +133,31 @@ class WorldModel:
     _status_cache: dict = field(default_factory=dict, repr=False, compare=False)
     _sender_dns_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
+    # -- checkpoint support ------------------------------------------------------
+
+    def purge_caches(self) -> None:
+        """Drop every fast-path cache reachable from the world.
+
+        Called before pickling a checkpoint and after restoring one: the
+        caches rebuild on demand (they are all identity/epoch/interval
+        guarded pure lookups), so purging never changes behaviour — it
+        keeps snapshots small and guarantees cached and ``--no-cache``
+        restores resume from the same bytes.
+        """
+        self._status_cache.clear()
+        self._sender_dns_cache.clear()
+        self.resolver.purge_caches()
+        self.dnsbl.purge_caches()
+
+    def rebind_runtime(self) -> None:
+        """Re-attach process-local runtime to a world restored from a
+        checkpoint: purge caches and rebind telemetry instruments to this
+        process's metrics registry."""
+        self.purge_caches()
+        self.resolver.rebind_telemetry()
+        for mta in self.receiver_mtas.values():
+            mta.rebind_telemetry()
+
     # -- samplers -------------------------------------------------------------
 
     def domain_sampler(self, rng: RandomSource) -> WeightedSampler[ReceiverDomain]:

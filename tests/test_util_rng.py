@@ -149,3 +149,51 @@ class TestZipfCdf:
         cdf = RandomSource._zipf_cdf(50, 1.1)
         assert all(a <= b for a, b in zip(cdf, cdf[1:]))
         assert math.isclose(cdf[-1], 1.0, rel_tol=1e-9)
+
+
+class TestExplicitState:
+    """getstate/setstate: the cursor round-trips and child derivation is
+    cursor-independent (checkpoints rely on both)."""
+
+    def test_roundtrip_resumes_identically(self):
+        rng = RandomSource(42, name="sim")
+        _ = [rng.random() for _ in range(17)]
+        state = rng.getstate()
+        expected = [rng.random() for _ in range(10)]
+
+        restored = RandomSource(42, name="sim")
+        restored.setstate(state)
+        assert [restored.random() for _ in range(10)] == expected
+
+    def test_fromstate_rebuilds_stream(self):
+        rng = RandomSource(7, name="sim/engine")
+        _ = rng.gauss(0, 1)
+        clone = RandomSource.fromstate(rng.getstate())
+        assert clone.seed == rng.seed and clone.name == rng.name
+        assert [clone.random() for _ in range(5)] == [rng.random() for _ in range(5)]
+
+    def test_state_is_json_serializable(self):
+        import json
+
+        rng = RandomSource(3, name="x")
+        _ = rng.random()
+        state = json.loads(json.dumps(rng.getstate()))
+        assert RandomSource.fromstate(state).random() == rng.random()
+
+    def test_mismatched_identity_rejected(self):
+        state = RandomSource(1, name="a").getstate()
+        with pytest.raises(ValueError):
+            RandomSource(2, name="a").setstate(state)
+        with pytest.raises(ValueError):
+            RandomSource(1, name="b").setstate(state)
+
+    def test_child_derivation_ignores_cursor(self):
+        """Restoring a parent cursor must not change what its children
+        yield — child streams derive from static (seed, name) only."""
+        a = RandomSource(42, name="sim")
+        before = a.child("engine/x").random()
+
+        b = RandomSource(42, name="sim")
+        _ = [b.random() for _ in range(100)]
+        b.setstate(RandomSource(42, name="sim").getstate())
+        assert b.child("engine/x").random() == before

@@ -1,5 +1,7 @@
 """Tests for world inspection and recovery-timing analysis."""
 
+import pytest
+
 
 from repro.analysis.degrees import recovery_timing
 from repro.world.inspect import (
@@ -58,3 +60,82 @@ class TestRecoveryTiming:
         timing = recovery_timing(DeliveryDataset([]))
         assert timing.n_recovered == 0
         assert timing.mean_hours == 0.0
+
+
+class TestStateDigest:
+    """The canonical deep digest: deterministic, mutation-sensitive, and
+    blind to rebuildable caches (it fingerprints checkpoints)."""
+
+    @pytest.fixture()
+    def small_world(self):
+        from repro import SimulationConfig
+        from repro.world.model import build_world
+
+        return build_world(SimulationConfig(scale=0.02, seed=13))
+
+    def test_deterministic_across_builds(self, small_world):
+        from repro import SimulationConfig
+        from repro.world.inspect import world_digest
+        from repro.world.model import build_world
+
+        other = build_world(SimulationConfig(scale=0.02, seed=13))
+        assert world_digest(small_world) == world_digest(other)
+
+    def test_different_seed_differs(self, small_world):
+        from repro import SimulationConfig
+        from repro.world.inspect import world_digest
+        from repro.world.model import build_world
+
+        other = build_world(SimulationConfig(scale=0.02, seed=14))
+        assert world_digest(small_world) != world_digest(other)
+
+    def test_mutation_sensitivity(self, small_world):
+        from repro.world.inspect import world_digest
+
+        baseline = world_digest(small_world)
+
+        mta = next(iter(small_world.receiver_mtas.values()))
+        original = mta.policy.enforces_auth
+        mta.policy.enforces_auth = not original
+        assert world_digest(small_world) != baseline
+        mta.policy.enforces_auth = original
+        assert world_digest(small_world) == baseline
+
+        zone = next(iter(small_world.resolver.all_zones()))
+        saved = zone.mx_error_windows
+        from repro.util.clock import Window
+
+        zone.mx_error_windows = saved + [Window(0.0, 1.0)]
+        assert world_digest(small_world) != baseline
+        zone.mx_error_windows = saved
+        assert world_digest(small_world) == baseline
+
+    def test_cache_and_laziness_independent(self, small_world):
+        from repro.world.inspect import world_digest
+
+        baseline = world_digest(small_world)
+        # Exercise lazily-built samplers and resolver/DNSBL caches.
+        _ = small_world.domain_sampler
+        for zone in list(small_world.resolver.all_zones())[:20]:
+            small_world.resolver.resolve_mx_host(zone.domain, 0.0)
+        assert world_digest(small_world) == baseline
+        small_world.purge_caches()
+        assert world_digest(small_world) == baseline
+
+    def test_pickle_round_trip_stable(self, small_world):
+        import pickle
+
+        from repro.world.inspect import world_digest
+
+        small_world.purge_caches()
+        clone = pickle.loads(pickle.dumps(small_world, protocol=4))
+        clone.rebind_runtime()
+        assert world_digest(clone) == world_digest(small_world)
+
+    def test_engine_state_changes_state_digest(self, small_world):
+        from repro.world.inspect import state_digest
+
+        a = state_digest(small_world, {"slice": {"status": "fresh"}})
+        b = state_digest(small_world, {"slice": {"status": "done"}})
+        assert a != b
+        assert a == state_digest(small_world, {"slice": {"status": "fresh"}})
