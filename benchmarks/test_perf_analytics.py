@@ -20,6 +20,7 @@ import pytest
 from repro.analytics.parallel import suite_from_shards
 from repro.analytics.suite import TableSuite
 from repro.stream.sink import ShardWriter
+from repro.util.provenance import bench_provenance
 
 _OUT = Path(__file__).resolve().parent.parent / "BENCH_analytics.json"
 
@@ -73,6 +74,7 @@ def measurements(shard_dir, dataset, world):
         "double_corpus_ratio": round(peak_2x / peak_1x, 4),
         "n_records_1x": n_1x,
         "n_records_2x": n_2x,
+        "provenance": bench_provenance(),
     }
     print(f"analytics observe: {out['throughput_rps']:,.0f} records/s "
           f"over {out['n_records']:,} records")

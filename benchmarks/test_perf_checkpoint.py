@@ -28,6 +28,7 @@ from repro.checkpoint import (
     save_checkpoint,
 )
 from repro.util.clock import DEFAULT_START
+from repro.util.provenance import bench_provenance
 from repro.world.model import build_world
 
 PERF_SCALE = 0.1
@@ -105,6 +106,7 @@ def timings(tmp_path_factory):
         "cold_replay_s": round(cold_s, 3),
         "warm_speedup": round(cold_s / warm_s, 3),
         "sizes_bytes": sizes,
+        "provenance": bench_provenance(),
     }
     _OUT.write_text(json.dumps(rows, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(rows, indent=2))

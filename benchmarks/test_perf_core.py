@@ -12,7 +12,11 @@ the timed pass) because steady-state throughput is what the caches are
 for — the EBRC's template-label table and exact-string LRU, the fused
 regex memos, and the resolver's interval cache all amortise across a
 run.  The reference timings take the best of ``REPEATS`` passes so a
-scheduler hiccup can't flatter the speedup.  See docs/PERFORMANCE.md.
+scheduler hiccup can't flatter the speedup.  The simulate floor is
+armed at 3x since the columnar batch engine landed (plan/execute
+delivery, chained traffic-stream merge, pure memos that survive cache
+resets); scale 0.08 keeps both sides long enough that the ratio is
+stable across alternating passes.  See docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -29,18 +33,19 @@ from repro.core import fastpath
 from repro.core.drain import Drain, mask_message
 from repro.core.ebrc import EBRC
 from repro.core.features import TfidfVectorizer
+from repro.util.provenance import bench_provenance
 
 _OUT = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
-#: End-to-end simulate config (kept small: it runs twice per mode).
-SIM_SCALE = 0.04
+#: End-to-end simulate config (kept modest: it runs twice per mode).
+SIM_SCALE = 0.08
 SIM_SEED = 11
 
 REPEATS = 3
 
 #: Acceptance floors (also enforced by the CI perf-smoke job).
 CLASSIFY_SPEEDUP_FLOOR = 3.0
-SIMULATE_SPEEDUP_FLOOR = 1.5
+SIMULATE_SPEEDUP_FLOOR = 3.0
 
 
 def _best_of(fn, repeats: int = REPEATS) -> tuple[float, object]:
@@ -213,6 +218,7 @@ def test_bench_artifact_written(results):
             "classify_many": CLASSIFY_SPEEDUP_FLOOR,
             "simulate": SIMULATE_SPEEDUP_FLOOR,
         },
+        "provenance": bench_provenance(),
         "results": results,
     }, indent=2) + "\n", encoding="utf-8")
     assert all(row["outputs_identical"] for row in results.values())

@@ -21,6 +21,7 @@ import pytest
 
 from repro import SimulationConfig
 from repro.parallel import run_parallel_simulation
+from repro.util.provenance import bench_provenance
 
 PERF_SCALE = 0.04
 PERF_SEED = 11
@@ -64,6 +65,7 @@ def timings():
         "runs": [rows[w] for w in WORKER_COUNTS],
         "speedup_4w": speedup_4w,
         "gate": gate,
+        "provenance": bench_provenance(),
     }, indent=2) + "\n", encoding="utf-8")
     return rows
 

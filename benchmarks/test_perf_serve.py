@@ -25,6 +25,7 @@ import pytest
 
 from repro.core.ebrc import EBRC
 from repro.serve import LoadConfig, ReproServer, ServeConfig, run_loadtest
+from repro.util.provenance import bench_provenance
 
 _CORES = multiprocessing.cpu_count()
 _OUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
@@ -94,6 +95,7 @@ def reports(artifact, corpus):
         "floor_msg_per_s": THROUGHPUT_FLOOR_MSG_S if gate == "armed" else None,
         "throughput": throughput.to_json_dict(),
         "saturation": saturation.to_json_dict(),
+        "provenance": bench_provenance(),
     }, indent=2) + "\n", encoding="utf-8")
     return {"throughput": throughput, "saturation": saturation}
 

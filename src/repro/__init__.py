@@ -36,7 +36,7 @@ from repro.core.taxonomy import (
     RootCause,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "SimulationConfig",

@@ -22,7 +22,7 @@ class DkimVerdict(str, Enum):
     NONE = "none"  # no record resolvable
 
 
-_PARSE_MEMO = fastpath.register(fastpath.LruMemo("dkim-parse", capacity=2048))
+_PARSE_MEMO = fastpath.register(fastpath.LruMemo("dkim-parse", capacity=2048, pure=True))
 
 
 def parse_dkim_record(text: str) -> bool:

@@ -36,7 +36,7 @@ class DmarcPolicy:
         return cls(policy="none")
 
 
-_PARSE_MEMO = fastpath.register(fastpath.LruMemo("dmarc-parse", capacity=2048))
+_PARSE_MEMO = fastpath.register(fastpath.LruMemo("dmarc-parse", capacity=2048, pure=True))
 
 
 def parse_dmarc(text: str) -> DmarcPolicy | None:

@@ -74,14 +74,18 @@ class _RecordingResolver:
 
 
 class _AuthEntry:
-    __slots__ = ("result", "start", "end", "guards")
+    __slots__ = ("result", "start", "end", "guards", "queried")
 
-    def __init__(self, result, start, end, guards) -> None:
+    def __init__(self, result, start, end, guards, queried=frozenset()) -> None:
         self.result = result
         self.start = start
         self.end = end
         #: tuple of (zone-or-None, token) pairs, one per consulted zone.
         self.guards = guards
+        #: the (domain, rtype) pairs the evaluation read — inherited by
+        #: any cached evaluation that reuses this one (SPF includes), so
+        #: the outer entry's guards cover the inner zones too.
+        self.queried = queried
 
 
 class AuthEvaluator:
@@ -98,6 +102,9 @@ class AuthEvaluator:
     def __init__(self, resolver: Resolver) -> None:
         self._resolver = resolver
         self._cache: dict[tuple[str, str], _AuthEntry] = {}
+        self._spf_cache: dict[tuple[str, str, int], _AuthEntry] = {}
+        self._dkim_cache: dict[str, _AuthEntry] = {}
+        self._dmarc_cache: dict[tuple, _AuthEntry] = {}
         self._stats = fastpath.CacheStats("auth-eval")
 
     def evaluate(self, sender_domain: str, client_ip: str, t: float) -> AuthResult:
@@ -113,19 +120,84 @@ class AuthEvaluator:
             self._stats.hit()
             return entry.result
         self._stats.miss()
+        # Only SPF reads the client IP; DKIM depends on the domain alone
+        # and DMARC on (domain, spf, dkim).  Evaluating the three through
+        # separate interval-guarded caches means a new proxy IP against a
+        # known domain redoes just the SPF walk, not the whole stack.
+        spf_e = self._spf_entry(sender_domain, client_ip, t, 0)
+        dkim_e = self._component(
+            self._dkim_cache, sender_domain, t,
+            lambda resolver: evaluate_dkim(sender_domain, resolver, t),
+        )
+        spf, dkim = spf_e.result, dkim_e.result
+        dmarc_e = self._component(
+            self._dmarc_cache, (sender_domain, spf, dkim), t,
+            lambda resolver: evaluate_dmarc(sender_domain, spf, dkim, resolver, t),
+        )
+        result = AuthResult(spf=spf, dkim=dkim, dmarc=dmarc_e.result)
+        start = max(spf_e.start, dkim_e.start, dmarc_e.start)
+        end = min(spf_e.end, dkim_e.end, dmarc_e.end)
+        # One guard per distinct zone: the components usually share the
+        # sender zone, and validating it once per hit is enough.
+        guards = []
+        seen = set()
+        for guard in spf_e.guards + dkim_e.guards + dmarc_e.guards:
+            marker = id(guard[0])
+            if marker not in seen:
+                seen.add(marker)
+                guards.append(guard)
+        self._cache[key] = _AuthEntry(result, start, end, tuple(guards))
+        return result
+
+    def _spf_entry(self, domain: str, client_ip: str, t: float, depth: int) -> _AuthEntry:
+        """SPF verdict cached per (domain, client IP, recursion depth).
+
+        The verdict for an ``include``-d zone is the same whichever outer
+        domain pulled it in, so the hook below routes the recursion back
+        through this cache: a provider record shared by every customer
+        domain is walked once per (IP, depth), and its consulted zones
+        propagate into each outer entry's guard set via ``queried``.
+        """
+
+        def compute(recording: _RecordingResolver) -> SpfVerdict:
+            def include(inner_domain: str, inner_depth: int) -> SpfVerdict:
+                inner = self._spf_entry(inner_domain, client_ip, t, inner_depth)
+                recording.queried |= inner.queried
+                return inner.result
+
+            return evaluate_spf(
+                domain, client_ip, recording, t, depth, _include=include
+            )
+
+        return self._component(self._spf_cache, (domain, client_ip, depth), t, compute)
+
+    def _component(self, cache: dict, key, t: float, compute) -> _AuthEntry:
+        entry = cache.get(key)
+        if (
+            entry is not None
+            and entry.start <= t < entry.end
+            and self._guards_valid(entry.guards)
+        ):
+            return entry
         recording = _RecordingResolver(self._resolver)
-        result = self._evaluate_impl(sender_domain, client_ip, recording, t)
+        result = compute(recording)
+        queried = frozenset(recording.queried)
         start, end = float("-inf"), float("inf")
         guards = []
-        for domain, rtype in recording.queried:
+        seen = set()
+        for domain, rtype in queried:
             s, e, zone, token = self._resolver.state_span(domain, rtype, t)
             if s > start:
                 start = s
             if e < end:
                 end = e
-            guards.append((zone, token))
-        self._cache[key] = _AuthEntry(result, start, end, tuple(guards))
-        return result
+            marker = id(zone)
+            if marker not in seen:
+                seen.add(marker)
+                guards.append((zone, token))
+        entry = _AuthEntry(result, start, end, tuple(guards), queried)
+        cache[key] = entry
+        return entry
 
     def _guards_valid(self, guards) -> bool:
         state_token = self._resolver.state_token

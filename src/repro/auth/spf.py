@@ -45,7 +45,9 @@ class SpfRecord:
         return any(m.kind == "all" for m in self.mechanisms)
 
 
-_PARSE_MEMO = fastpath.register(fastpath.LruMemo("spf-parse", capacity=2048))
+_PARSE_MEMO = fastpath.register(
+    fastpath.LruMemo("spf-parse", capacity=2048, pure=True)
+)
 
 
 def parse_spf(text: str) -> SpfRecord | None:
@@ -84,8 +86,31 @@ def _parse_spf_impl(text: str) -> SpfRecord | None:
     return SpfRecord(tuple(mechanisms))
 
 
+#: (ip, spec) -> bool; a plain bounded dict (not LruMemo — this hit
+#: path is hot enough that LRU reinsertion would outweigh the parse).
+_MATCH_MEMO: dict[tuple[str, str], bool] = {}
+_MATCH_CAP = 65536
+
+
 def _ip_matches(ip: str, spec: str) -> bool:
-    """Exact IPv4 or prefix match (``10.1.2.3`` or ``10.1.0.0/16``)."""
+    """Exact IPv4 or prefix match (``10.1.2.3`` or ``10.1.0.0/16``).
+
+    Pure string arithmetic over a tiny key space (the proxy fleet's IPs
+    against each record's prefixes), so the verdict is memoised per
+    ``(ip, spec)`` pair when the fast path is on.
+    """
+    if fastpath.enabled():
+        key = (ip, spec)
+        cached = _MATCH_MEMO.get(key)
+        if cached is None:
+            if len(_MATCH_MEMO) >= _MATCH_CAP:
+                _MATCH_MEMO.clear()
+            cached = _MATCH_MEMO[key] = _ip_matches_impl(ip, spec)
+        return cached
+    return _ip_matches_impl(ip, spec)
+
+
+def _ip_matches_impl(ip: str, spec: str) -> bool:
     if "/" not in spec:
         return ip == spec
     network, _, bits_s = spec.partition("/")
@@ -122,8 +147,16 @@ def evaluate_spf(
     resolver: Resolver,
     t: float,
     _depth: int = 0,
+    _include=None,
 ) -> SpfVerdict:
-    """Evaluate the sender domain's SPF record for ``client_ip`` at ``t``."""
+    """Evaluate the sender domain's SPF record for ``client_ip`` at ``t``.
+
+    ``_include`` (optional) replaces the direct recursion for ``include``
+    mechanisms with ``_include(inner_domain, inner_depth)``.  The auth
+    evaluator passes a memoising hook so shared include zones (every
+    customer domain including the same provider record) are walked once
+    per (zone, client IP, depth) instead of once per outer domain.
+    """
     if _depth > 10:  # RFC 7208 lookup limit → permerror
         return SpfVerdict.PERMERROR
     result = resolver.query(domain, RecordType.TXT_SPF, t)
@@ -138,7 +171,10 @@ def evaluate_spf(
         if mechanism.kind == "ip4":
             matched = _ip_matches(client_ip, mechanism.value)
         elif mechanism.kind == "include":
-            inner = evaluate_spf(mechanism.value, client_ip, resolver, t, _depth + 1)
+            if _include is not None:
+                inner = _include(mechanism.value, _depth + 1)
+            else:
+                inner = evaluate_spf(mechanism.value, client_ip, resolver, t, _depth + 1)
             matched = inner is SpfVerdict.PASS
         elif mechanism.kind in ("a", "mx"):
             rtype = RecordType.A if mechanism.kind == "a" else RecordType.MX

@@ -101,6 +101,13 @@ def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
         help="disable the fast-path caches (repro.core.fastpath); output "
              "is byte-identical either way — this exists for verification "
              "and benchmarking")
+    parser.add_argument(
+        "--no-columnar", action="store_true",
+        help="deliver email-by-email instead of through the columnar "
+             "batch engine (repro.delivery.columnar); output is "
+             "byte-identical either way — this exists so the batch "
+             "engine can be diffed independently of the caches "
+             "(--no-cache implies reference delivery already)")
 
 
 def _add_workers(parser: argparse.ArgumentParser) -> None:
@@ -1116,6 +1123,9 @@ def main(argv: list[str] | None = None) -> int:
         # Verification/benchmark mode: run every hot path on the reference
         # implementations.  Output is byte-identical either way.
         fastpath.disable()
+    no_columnar = getattr(args, "no_columnar", False)
+    if no_columnar:
+        fastpath.disable_columnar()
 
     live_obs = _wants_live_obs(args)
     tracer = None
@@ -1172,6 +1182,8 @@ def main(argv: list[str] | None = None) -> int:
             obs_metrics.reset()
             obs_profile.reset()
             reset_tracer()
+        if no_columnar:
+            fastpath.enable_columnar()
         if no_cache:
             fastpath.enable()
         elif live_obs:

@@ -28,6 +28,7 @@ invalidated by the owners of any mutable state they summarise (see
 from __future__ import annotations
 
 import re
+from bisect import bisect_right
 from typing import Any, Callable
 
 from repro.obs import metrics as obs_metrics
@@ -40,6 +41,9 @@ __all__ = [
     "enabled",
     "enable",
     "disable",
+    "columnar_enabled",
+    "enable_columnar",
+    "disable_columnar",
     "reset",
     "register",
     "mask_message_fast",
@@ -74,6 +78,38 @@ def disable() -> None:
     reset()
 
 
+_columnar = True
+
+
+def columnar_enabled() -> bool:
+    """Whether the columnar batch delivery engine may engage.
+
+    Columnar execution rides on the same differential-oracle switch as
+    the caches: it requires the fast path itself (``--no-cache`` implies
+    reference execution) and can additionally be vetoed on its own with
+    ``--no-columnar``, so the two accelerations can be diffed
+    independently.
+    """
+    return _enabled and _columnar
+
+
+def enable_columnar() -> None:
+    """Allow the columnar batch engine (default)."""
+    global _columnar
+    _columnar = True
+
+
+def disable_columnar() -> None:
+    """Keep per-email reference execution (``--no-columnar``).
+
+    Unlike :func:`disable` this does not clear any caches: columnar
+    execution holds no state of its own beyond engine-lifetime pure
+    plan rows, which die with their engines.
+    """
+    global _columnar
+    _columnar = False
+
+
 _REGISTRY: list[Any] = []
 
 
@@ -93,10 +129,15 @@ def reset() -> None:
     """Clear every registered cache and re-capture telemetry state.
 
     Call after ``repro.obs.metrics.enable()``/``disable()`` so the
-    module-level memos pick up (or drop) their counters.
+    module-level memos pick up (or drop) their counters.  Memos marked
+    ``pure`` keep their entries (a pure function of the exact key has
+    no staleness to flush); everything else drops its data.
     """
     for obj in _REGISTRY:
-        obj.clear()
+        if getattr(obj, "pure", False):
+            obj.stats.clear()
+        else:
+            obj.clear()
         obj.rebind()
 
 
@@ -155,14 +196,21 @@ class LruMemo:
     the key at the tail, so the head is always the least recently used.
     """
 
-    __slots__ = ("stats", "capacity", "data")
+    __slots__ = ("stats", "capacity", "data", "pure")
 
-    def __init__(self, name: str, capacity: int = _DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self, name: str, capacity: int = _DEFAULT_CAPACITY, pure: bool = False
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.stats = CacheStats(name)
         self.capacity = capacity
         self.data: dict[Any, Any] = {}
+        #: A pure memo caches a pure function of its exact key, so its
+        #: entries can never go stale; :func:`reset` keeps them (only
+        #: the stats restart), which is what lets a disable/enable
+        #: differential cycle re-enter the fast path warm.
+        self.pure = pure
 
     def get(self, key: Any) -> Any:
         value = self.data.pop(key, MISSING)
@@ -216,7 +264,7 @@ _FUSED_MASK = re.compile(
     r"|\b\d+\b"  # bare numbers
 )
 
-_mask_memo = register(LruMemo("mask"))
+_mask_memo = register(LruMemo("mask", pure=True))
 
 
 def _fused_mask(message: str) -> str:
@@ -270,7 +318,7 @@ _NORM_REPLACEMENTS = {
 _REPLY_RE = re.compile(r"^\s*(\d{3})[ \-]")
 _ENHANCED_RE = re.compile(r"\b([245])\.(\d{1,3})\.(\d{1,3})\b")
 
-_norm_memo = register(LruMemo("normalize"))
+_norm_memo = register(LruMemo("normalize", pure=True))
 
 
 def _norm_repl(m: re.Match) -> str:
@@ -306,6 +354,26 @@ def normalize_ndr_fast(text: str) -> str:
 _NEG_INF = float("-inf")
 _POS_INF = float("inf")
 
+#: Sorted window edges per windows-list, guarded the same way the
+#: resolver's state token guards zones: identity plus length.  Window
+#: lists only ever grow in place (registrar re-registration, fault
+#: injection append), so a length match means the edge set is current.
+_EDGE_CACHE: dict[int, tuple[object, int, list[float]]] = {}
+
+
+def _window_edges(windows) -> list[float]:
+    key = id(windows)
+    hit = _EDGE_CACHE.get(key)
+    if hit is not None and hit[0] is windows and hit[1] == len(windows):
+        return hit[2]
+    edges: list[float] = []
+    for w in windows:
+        edges.append(w.start)
+        edges.append(w.end)
+    edges.sort()
+    _EDGE_CACHE[key] = (windows, len(windows), edges)
+    return edges
+
 
 def stable_interval(
     t: float,
@@ -323,18 +391,17 @@ def stable_interval(
     start = _NEG_INF
     end = _POS_INF
     for windows in window_lists:
-        for w in windows:
-            b = w.start
-            if b <= t:
-                if b > start:
-                    start = b
-            elif b < end:
-                end = b
-            b = w.end
-            if b <= t:
-                if b > start:
-                    start = b
-            elif b < end:
+        if not windows:
+            continue
+        edges = _window_edges(windows)
+        index = bisect_right(edges, t)
+        if index:
+            b = edges[index - 1]
+            if b > start:
+                start = b
+        if index < len(edges):
+            b = edges[index]
+            if b < end:
                 end = b
     for b in points:
         if b is None:

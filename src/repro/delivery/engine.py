@@ -56,6 +56,21 @@ _GREYLIST_UNSET = object()
 #: Version of the :meth:`DeliveryEngine.state_snapshot` payload.
 ENGINE_STATE_VERSION = 1
 
+def _require_budget(budget: int) -> None:
+    """Reject non-positive attempt budgets with a clear error.
+
+    :class:`SimulationConfig` validates the budgets at construction, but
+    the config dataclass is mutable — without this guard a budget
+    mutated below 1 surfaces as an ``IndexError`` on an empty attempt
+    list deep inside delivery."""
+    if budget < 1:
+        raise ValueError(
+            f"attempt budget must be >= 1, got {budget}: spam_attempts and "
+            "max_attempts must not be lowered below 1 after "
+            "SimulationConfig validation"
+        )
+
+
 #: Bounce types that justify a full retry budget (see ``_retryable``).
 _RETRYABLE_TYPES = frozenset(
     t.value
@@ -129,6 +144,15 @@ class DeliveryEngine:
             "Scheduled backoff before a retry attempt (log-2 buckets)",
             min_bound=1.0,
         )
+        # Columnar batch execution (plan-backed first attempts).  Tracing
+        # samples emails with stateful side effects inside the loop, so a
+        # traced engine always runs the reference path; the executor also
+        # declines when numpy is unavailable.
+        self._batch = None
+        if fastpath.columnar_enabled() and self._tracer is None:
+            from repro.delivery.columnar import make_executor
+
+            self._batch = make_executor(self)
 
     # -- checkpoint support -------------------------------------------------------
 
@@ -172,14 +196,14 @@ class DeliveryEngine:
     def deliver(self, spec: EmailSpec) -> DeliveryRecord:
         world = self.world
         config = world.config
-        rng = self.rng
 
-        coremail_verdict = world.coremail_filter.classify(spec.spamminess, rng)
+        coremail_verdict = world.coremail_filter.classify(spec.spamminess, self.rng)
         email_flag = coremail_verdict.value
         if coremail_verdict is SpamVerdict.SPAM:
             budget = config.spam_attempts
         else:
             budget = config.max_attempts
+        _require_budget(budget)
 
         tracer = self._tracer
         span = None
@@ -194,10 +218,53 @@ class DeliveryEngine:
             )
 
         attempts: list[AttemptRecord] = []
-        t = spec.t
-        proxy: ProxyMTA | None = None
-        nonretryable_seen = 0
+        succeeded = self._run_attempts(spec, budget, attempts, spec.t, None, 0, span)
+        return self._finish_record(spec, email_flag, attempts, succeeded, span)
 
+    def deliver_all(self, specs: Iterable[EmailSpec]):
+        """Deliver a whole workload (any iterable, consumed lazily);
+        yields records in input order.
+
+        With the columnar switch on, specs are consumed in day-bounded
+        chunks: a vectorized prepass plans each chunk, then the
+        sequential executor replays the per-email draw sequence — the
+        record stream and every RNG cursor are byte-identical to the
+        per-email path (asserted in ``tests/test_columnar.py``)."""
+        batch = self._batch
+        if batch is not None:
+            yield from batch.deliver_stream(specs)
+            return
+        if not self._obs_on:
+            for spec in specs:
+                yield self.deliver(spec)
+            return
+        for spec in specs:
+            t0 = perf_counter()
+            record = self.deliver(spec)
+            obs_profile.add("delivery", perf_counter() - t0)
+            yield record
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _run_attempts(
+        self,
+        spec: EmailSpec,
+        budget: int,
+        attempts: list[AttemptRecord],
+        t: float,
+        proxy: ProxyMTA | None,
+        nonretryable_seen: int,
+        span=None,
+        succeeded: bool = False,
+    ) -> bool:
+        """The retry loop, runnable from a partial state.
+
+        ``deliver`` enters with an empty attempt list; the columnar
+        executor hands off here after its plan-backed first attempt
+        (``attempts`` holds the failed attempt, ``t`` the already-drawn
+        retry time).  Returns whether the final attempt succeeded."""
+        config = self.world.config
+        rng = self.rng
         while len(attempts) < budget:
             last_type = attempts[-1].truth_type if attempts else None
             proxy = self._pick_proxy(proxy, last_type)
@@ -229,7 +296,16 @@ class DeliveryEngine:
             t = attempt.t + rng.expovariate(1.0 / gap_mean)
             if self._obs_on:
                 self._m_retry_wait.observe(t - attempt.t)
+        return succeeded
 
+    def _finish_record(
+        self,
+        spec: EmailSpec,
+        email_flag: str,
+        attempts: list[AttemptRecord],
+        succeeded: bool,
+        span=None,
+    ) -> DeliveryRecord:
         record = DeliveryRecord(
             sender=spec.sender,
             receiver=spec.receiver,
@@ -257,23 +333,8 @@ class DeliveryEngine:
             if span is not None:
                 span.set(degree=degree, n_attempts=len(attempts))
                 span.end(record.end_time, status="ok" if succeeded else "error")
-                tracer.finish(span)
+                self._tracer.finish(span)
         return record
-
-    def deliver_all(self, specs: Iterable[EmailSpec]):
-        """Deliver a whole workload (any iterable, consumed lazily);
-        yields records in input order."""
-        if not self._obs_on:
-            for spec in specs:
-                yield self.deliver(spec)
-            return
-        for spec in specs:
-            t0 = perf_counter()
-            record = self.deliver(spec)
-            obs_profile.add("delivery", perf_counter() - t0)
-            yield record
-
-    # -- internals ---------------------------------------------------------------------
 
     def _pick_proxy(
         self, previous: ProxyMTA | None, last_type: str | None = None

@@ -120,6 +120,12 @@ class ProxySession:
     def pick_random(self) -> ProxyMTA:
         return self._sampler.draw()
 
+    def sampler_table(self) -> tuple[list[ProxyMTA], list[float], float]:
+        """``(proxies, cum_weights, total)`` of the weighted pick — the
+        exact :meth:`pick_random` arithmetic, for replayers (the columnar
+        delivery executor) that inline the draw.  Read-only."""
+        return self._sampler.table()
+
     def pick_different(self, previous: ProxyMTA) -> ProxyMTA:
         if len(self.proxies) == 1:
             return previous

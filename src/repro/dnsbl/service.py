@@ -11,6 +11,7 @@ chronically-abused proxies are listed most days, matching the paper's
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.core import fastpath
@@ -26,39 +27,51 @@ class DNSBLService:
     name: str = "zen.spamhaus.org"
     _listings: dict[str, list[Window]] = field(default_factory=dict)
     _domain_listings: dict[str, Window] = field(default_factory=dict)
-    # Fast-path interval cache: ip -> (start, end, listed, windows, n).
-    # Valid while t stays in [start, end) and the ip's window list is the
-    # same object with the same length (add_listing appends in place).
+    # Fast-path step-function cache: ip -> (windows, n, edges, states)
+    # where ``states[i]`` is the listed verdict on ``[edges[i],
+    # edges[i+1])`` (False before the first edge).  Valid while the ip's
+    # window list is the same object with the same length (add_listing
+    # appends in place), so a lookup is one bisect however often ``t``
+    # crosses listing boundaries.
     _ip_state: dict[str, tuple] = field(default_factory=dict, repr=False, compare=False)
 
     def add_listing(self, ip: str, window: Window) -> None:
         self._listings.setdefault(ip, []).append(window)
 
     def purge_caches(self) -> None:
-        """Drop the per-IP interval cache (checkpoint save/restore, and
+        """Drop the per-IP step cache (checkpoint save/restore, and
         after interventions that rewrite listing windows in place)."""
         self._ip_state.clear()
 
     def is_listed(self, ip: str, t: float) -> bool:
         if not fastpath.enabled():
             return any(w.contains(t) for w in self._listings.get(ip, ()))
-        entry = self._ip_state.get(ip)
         windows = self._listings.get(ip)
-        if (
-            entry is not None
-            and entry[0] <= t < entry[1]
-            and entry[3] is windows
-            and entry[4] == (0 if windows is None else len(windows))
-        ):
-            return entry[2]
         if windows is None:
-            entry = (float("-inf"), float("inf"), False, None, 0)
-        else:
-            start, end = fastpath.stable_interval(t, (windows,))
-            listed = any(w.contains(t) for w in windows)
-            entry = (start, end, listed, windows, len(windows))
-        self._ip_state[ip] = entry
-        return entry[2]
+            return False
+        entry = self._ip_state.get(ip)
+        if entry is None or entry[0] is not windows or entry[1] != len(windows):
+            # Coverage sweep: listed wherever >= 1 window overlaps t
+            # (windows are half-open, so +1 events sort before -1 events
+            # at the same edge and the boundary verdicts match contains).
+            events = sorted(
+                [(w.start, 0) for w in windows] + [(w.end, 1) for w in windows]
+            )
+            edges: list[float] = []
+            states: list[bool] = []
+            depth = 0
+            for edge, kind in events:
+                depth += 1 if kind == 0 else -1
+                listed = depth > 0
+                if edges and edges[-1] == edge:
+                    states[-1] = listed
+                elif not states or states[-1] != listed:
+                    edges.append(edge)
+                    states.append(listed)
+            entry = (windows, len(windows), edges, states)
+            self._ip_state[ip] = entry
+        index = bisect_right(entry[2], t)
+        return False if index == 0 else entry[3][index - 1]
 
     def listings(self, ip: str) -> list[Window]:
         return list(self._listings.get(ip, ()))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.core import fastpath
 from repro.dnssim.records import RecordType, ResolveResult, ResolveStatus
 from repro.dnssim.zone import Zone
@@ -246,6 +248,51 @@ class Resolver:
     def state_token(self, zone: Zone | None) -> object:
         """Current validation token for a zone (or the unknown-domain set)."""
         return self._registration_epoch if zone is None else zone.state_token()
+
+    # -- bulk lookup (columnar prepass) -------------------------------------------
+
+    def mx_state_span(
+        self, domain: str, t: float
+    ) -> tuple[bool, bool, bool, str | None, float, float, Zone | None, object]:
+        """RNG-free MX routing state at ``t`` with its validity interval.
+
+        Returns ``(registered, broken, ok, mx_host, start, end, zone,
+        token)``.  The columnar delivery planner snapshots this per
+        receiver domain and replays the transient-failure / broken-MX
+        coin flips itself in exactly the order of
+        :meth:`resolve_mx_host`; ``ok`` distinguishes an answerable MX
+        set from a registered-but-empty zone (NO_DATA), and the
+        ``zone``/``token`` pair lets the plan row be revalidated with
+        :meth:`state_token` on every reuse.
+        """
+        state = self._zone_state(domain.lower(), RecordType.MX, t)
+        ok = state.result is not None and state.result.ok
+        return (
+            state.registered,
+            state.broken,
+            ok,
+            state.mx_host,
+            state.start,
+            state.end,
+            state.zone,
+            state.token,
+        )
+
+    def mx_state_bulk(
+        self, domains: "Iterable[str]", t: float
+    ) -> dict[str, tuple[bool, bool, bool, str | None, float, float, Zone | None, object]]:
+        """:meth:`mx_state_span` over many domains at once."""
+        span = self.mx_state_span
+        return {domain: span(domain, t) for domain in domains}
+
+    def note_query(self, rtype: RecordType, status: "ResolveStatus") -> None:
+        """Count a query answered by an external replayer.
+
+        The columnar executor resolves MX state off plan rows instead of
+        calling :meth:`resolve_mx_host`; it reports the outcome here so
+        ``repro_dns_queries_total`` stays identical between modes."""
+        if self._obs_on:
+            self._count_query(rtype, status)
 
     def _answer_reference(
         self,

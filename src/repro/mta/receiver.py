@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import NamedTuple
 
 from repro.auth.evaluator import AuthFailureMode, AuthResult
 from repro.core.taxonomy import BounceType
@@ -99,6 +100,32 @@ RETRYABLE_TYPES = frozenset(
 _SHARED_GREYLIST = object()
 
 
+class GauntletProfile(NamedTuple):
+    """The RNG-free facts of one MTA's gauntlet, flattened for batching.
+
+    Everything :meth:`ReceiverMTA.evaluate` reads off the policy (but
+    never off the attempt) in the order the gauntlet reads it.  The
+    columnar delivery planner snapshots one profile per receiver domain
+    and evaluates the pure predicates (quota/size/gate comparisons) over
+    whole chunks; the stateful checks (greylist, DNSBL lookup, auth) and
+    every draw stay live in the executor.
+    """
+
+    tls_mandatory: bool
+    has_dnsbl: bool
+    uses_dnsbl: bool
+    dnsbl_adoption_ts: float
+    dnsbl_reject_probability: float
+    greylisting: bool
+    rate_limit_probability: float
+    enforces_auth: bool
+    max_recipients: int
+    max_message_bytes: int
+    recipient_rate_probability: float
+    spam_threshold: float
+    spam_noise_sigma: float
+
+
 class ReceiverMTA:
     """One receiver domain's incoming MTA."""
 
@@ -141,6 +168,28 @@ class ReceiverMTA:
             "repro_receiver_verdicts_total",
             "Receiver-MTA policy verdicts (accepted or rendered bounce type)",
             label="verdict",
+        )
+
+    def gauntlet_profile(self) -> GauntletProfile:
+        """Snapshot the gauntlet's RNG-free policy facts (see
+        :class:`GauntletProfile`).  Pure read; callers own revalidation
+        (the engine's frozen-world contract: policies don't mutate
+        within an engine's lifetime)."""
+        policy = self.policy
+        return GauntletProfile(
+            tls_mandatory=policy.tls is TLSRequirement.MANDATORY,
+            has_dnsbl=self.dnsbl is not None,
+            uses_dnsbl=policy.uses_dnsbl,
+            dnsbl_adoption_ts=policy.dnsbl_adoption_ts,
+            dnsbl_reject_probability=policy.dnsbl_reject_probability,
+            greylisting=policy.greylisting,
+            rate_limit_probability=policy.rate_limit_probability,
+            enforces_auth=policy.enforces_auth,
+            max_recipients=policy.max_recipients,
+            max_message_bytes=policy.max_message_bytes,
+            recipient_rate_probability=policy.recipient_rate_probability,
+            spam_threshold=self.spam_filter.threshold,
+            spam_noise_sigma=self.spam_filter.noise_sigma,
         )
 
     def new_greylist(self) -> Greylist | None:
@@ -254,6 +303,44 @@ class ReceiverMTA:
 
     # -- helpers ------------------------------------------------------------------
 
+    def render_reject(
+        self,
+        bounce_type: BounceType,
+        rng: RandomSource,
+        context: dict[str, str],
+        tag: str = "",
+    ) -> NDR:
+        """Render the NDR for a rejection decided outside :meth:`evaluate`.
+
+        The columnar executor inlines the gauntlet's predicates but must
+        render (and count) rejections exactly as the reference does: the
+        unknown-render roll, the T16 obfuscation, the ambiguity roll and
+        the verdict telemetry all live here, shared with :meth:`_reject`.
+        ``context`` must carry the same keys ``_reject`` builds.
+        """
+        if self.policy.unknown_render > 0 and rng.chance(self.policy.unknown_render):
+            ndr = self.bank.render_unknown(rng, self.dialect, context=context)
+            if self._obs_on:
+                self._m_verdicts.labels(BounceType.T16.value).inc()
+            return ndr
+        ndr = self.bank.render(
+            bounce_type,
+            self.dialect,
+            rng,
+            context=context,
+            ambiguity=self.policy.ambiguity,
+            tag=tag,
+        )
+        if self._obs_on:
+            self._m_verdicts.labels(bounce_type.value).inc()
+        return ndr
+
+    def note_accept(self) -> None:
+        """Count an acceptance decided outside :meth:`evaluate` (the
+        columnar executor's inlined gauntlet)."""
+        if self._obs_on:
+            self._m_verdicts.labels("accepted").inc()
+
     def _reject(
         self,
         bounce_type: BounceType,
@@ -263,30 +350,8 @@ class ReceiverMTA:
     ) -> Decision:
         user, domain = split_address(ctx.receiver_address)
         sender_domain = ctx.sender_address.rsplit("@", 1)[-1]
-        if self.policy.unknown_render > 0 and rng.chance(self.policy.unknown_render):
-            ndr = self.bank.render_unknown(
-                rng,
-                self.dialect,
-                context={
-                    "address": ctx.receiver_address,
-                    "user": user,
-                    "domain": self.domain,
-                    "sender_domain": sender_domain,
-                    "ip": ctx.proxy_ip,
-                    "mx": ctx.mx_host,
-                },
-            )
-            if self._obs_on:
-                self._m_verdicts.labels(BounceType.T16.value).inc()
-            return Decision(
-                accepted=False,
-                bounce_type=BounceType.T16,
-                ndr=ndr,
-                retryable=bounce_type in RETRYABLE_TYPES,
-            )
-        ndr = self.bank.render(
+        ndr = self.render_reject(
             bounce_type,
-            self.dialect,
             rng,
             context={
                 "address": ctx.receiver_address,
@@ -296,14 +361,14 @@ class ReceiverMTA:
                 "ip": ctx.proxy_ip,
                 "mx": ctx.mx_host,
             },
-            ambiguity=self.policy.ambiguity,
             tag=tag,
         )
-        if self._obs_on:
-            self._m_verdicts.labels(bounce_type.value).inc()
+        final_type = (
+            BounceType.T16 if ndr.truth_type == BounceType.T16.value else bounce_type
+        )
         return Decision(
             accepted=False,
-            bounce_type=bounce_type,
+            bounce_type=final_type,
             ndr=ndr,
             retryable=bounce_type in RETRYABLE_TYPES,
         )

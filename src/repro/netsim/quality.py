@@ -13,6 +13,8 @@ from other proxies (paper: HK→KH median 8.93 s vs ~79 s from elsewhere).
 
 from __future__ import annotations
 
+import math
+
 from repro.geo.countries import Country, country_by_code
 from repro.util.rng import RandomSource
 
@@ -119,6 +121,23 @@ class NetworkModel:
         median_ms *= retry_penalty
         value = rng.lognormal(median_ms, self.latency_sigma, cap=median_ms * 40.0)
         return max(int(value), 200)
+
+    def latency_plan(
+        self,
+        sender_country: str,
+        receiver_country: str,
+        retry_penalty: float = 1.0,
+    ) -> tuple[float, float]:
+        """``(log_median_ms, cap_ms)`` for a bit-exact replay of
+        :meth:`latency_ms`: draw ``exp(log_median + latency_sigma *
+        gauss(0, 1))``, truncate at ``cap_ms``, then ``max(int(·), 200)``.
+        The columnar executor caches this per (pair, penalty) so the hot
+        loop skips the country table walk."""
+        receiver = country_by_code(receiver_country)
+        median_ms = receiver.latency_median_s * 1000.0
+        median_ms *= PAIR_LATENCY_FACTORS.get((sender_country, receiver_country), 1.0)
+        median_ms *= retry_penalty
+        return math.log(median_ms), median_ms * 40.0
 
     def timeout_latency_ms(self, rng: RandomSource) -> int:
         """Latency recorded for an attempt that timed out (the SMTP

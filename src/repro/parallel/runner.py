@@ -234,6 +234,7 @@ def run_parallel_simulation(
     )
     root.mkdir(parents=True, exist_ok=True)
 
+    from repro.core import fastpath
     from repro.obs import metrics as obs_metrics
 
     options = {
@@ -241,6 +242,11 @@ def run_parallel_simulation(
         "compress": compress,
         "metrics": obs_metrics.enabled(),
         "analytics": analytics,
+        # Workers inherit the parent's columnar switch so a
+        # ``--no-columnar`` differential run exercises the reference
+        # delivery loop in every process.  Deliberately NOT part of the
+        # resume fingerprint: the record bytes are identical either way.
+        "columnar": fastpath.columnar_enabled(),
     }
 
     to_run = shipped

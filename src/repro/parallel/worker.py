@@ -97,6 +97,10 @@ def run_worker(
 
         if options.get("metrics"):
             obs_metrics.enable()
+        if not options.get("columnar", True):
+            from repro.core import fastpath
+
+            fastpath.disable_columnar()
         fault_plan = faults.active_plan()
         t0 = time.perf_counter()
         with obs_profile.stage("world-build"):

@@ -50,6 +50,5 @@ def run_simulation(
     """
     run = stream_simulation(config, extra_workloads)
     dataset = DeliveryDataset()
-    for record in run.records:
-        dataset.append(record)
+    dataset.extend(run.records)
     return SimulationResult(world=run.world, dataset=dataset)

@@ -16,6 +16,7 @@ condition the paper's classifier pipeline has to detect and exclude.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from enum import Enum
 from itertools import accumulate
@@ -321,21 +322,25 @@ STANDARD_TEMPLATES: dict[BounceType, str] = {
 
 _QID_ALPHABET = "0123456789ABCDEF"
 _VENDOR_CODES = ["1032", "2017", "440", "8121", "77", "1459"]
+_N_VENDORS = len(_VENDOR_CODES)
+
+
+_CONTEXT_PROTO = {
+    "address": "user@example.com",
+    "user": "user",
+    "domain": "example.com",
+    "sender_domain": "sender.example",
+    "ip": "10.0.0.1",
+    "mx": "mx1.example.com",
+    "seconds": "300",
+    "size": "28311552",
+    "limit": "26214400",
+    "count": "12",
+}
 
 
 def _default_context() -> dict[str, str]:
-    return {
-        "address": "user@example.com",
-        "user": "user",
-        "domain": "example.com",
-        "sender_domain": "sender.example",
-        "ip": "10.0.0.1",
-        "mx": "mx1.example.com",
-        "seconds": "300",
-        "size": "28311552",
-        "limit": "26214400",
-        "count": "12",
-    }
+    return dict(_CONTEXT_PROTO)
 
 
 class NDRTemplateBank:
@@ -386,7 +391,17 @@ class NDRTemplateBank:
         if context:
             ctx.update(context)
         ctx.setdefault("qid", self._queue_id(rng))
-        ctx.setdefault("vendor", rng.choice(_VENDOR_CODES))
+        if fastpath.enabled():
+            # rng.choice == seq[_randbelow(len(seq))], and _randbelow(6)
+            # is getrandbits(3) redrawn while >= 6; the draw happens
+            # unconditionally (setdefault evaluates its default eagerly).
+            getrandbits = rng._rng.getrandbits
+            v = getrandbits(3)
+            while v >= _N_VENDORS:
+                v = getrandbits(3)
+            ctx.setdefault("vendor", _VENDOR_CODES[v])
+        else:
+            ctx.setdefault("vendor", rng.choice(_VENDOR_CODES))
 
         if self.standardized:
             # §6.2 counterfactual: every receiver uses the standard
@@ -406,11 +421,16 @@ class NDRTemplateBank:
                 cum = list(accumulate(spec.weight for spec in pool))
                 entry = (pool, cum, cum[-1] + 0.0)
                 self._pool_cache[key] = entry
-            spec = rng.weighted_choice_cum(entry[0], entry[1], entry[2])
-        else:
-            pool = self._tagged_pool(bounce_type, dialect, tag)
-            weights = [spec.weight for spec in pool]
-            spec = rng.weighted_choice(pool, weights)
+            # weighted_choice_cum, inlined on the bound Random.
+            pool, cum, total = entry
+            if total <= 0.0:
+                raise ValueError("total of weights must be greater than zero")
+            u = rng._rng.random() * total
+            spec = pool[bisect_right(cum, u, 0, len(pool) - 1)]
+            return NDR(text=spec.text.format_map(ctx), truth_type=bounce_type.value)
+        pool = self._tagged_pool(bounce_type, dialect, tag)
+        weights = [spec.weight for spec in pool]
+        spec = rng.weighted_choice(pool, weights)
         return NDR(text=spec.text.format(**ctx), truth_type=bounce_type.value)
 
     def _tagged_pool(
@@ -463,6 +483,20 @@ class NDRTemplateBank:
 
     @staticmethod
     def _queue_id(rng: RandomSource) -> str:
+        if fastpath.enabled():
+            # Draw-identical inline of Random.choice: choice(seq) is
+            # seq[_randbelow(16)], and _randbelow(16) is getrandbits(5)
+            # redrawn while >= 16 (16.bit_length() == 5).
+            getrandbits = rng._rng.getrandbits
+            alphabet = _QID_ALPHABET
+            chars = []
+            append = chars.append
+            for _ in range(10):
+                value = getrandbits(5)
+                while value >= 16:
+                    value = getrandbits(5)
+                append(alphabet[value])
+            return "".join(chars)
         return "".join(rng.choice(_QID_ALPHABET) for _ in range(10))
 
 

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from itertools import chain
+from operator import attrgetter
 from typing import Callable, Iterable, Iterator
 
 from repro.delivery.engine import DeliveryEngine
@@ -93,7 +95,7 @@ def merge_spec_streams(
         iter(extra)
         for extra in materialize_extra_workloads(world, rng, extra_workloads)
     )
-    return heapq.merge(*streams, key=lambda s: s.t)
+    return heapq.merge(*streams, key=attrgetter("t"))
 
 
 def iter_slice_specs(
@@ -162,7 +164,10 @@ def merge_record_streams(
     stability resolves cross-slice ties by input position — which is why
     every consumer must pass streams in slice-plan order.
     """
-    return heapq.merge(*streams, key=lambda r: r.start_time)
+    streams = list(streams)
+    if len(streams) == 1:
+        return iter(streams[0])
+    return heapq.merge(*streams, key=attrgetter("start_time"))
 
 
 @dataclass
@@ -192,9 +197,25 @@ def stream_simulation(
     rng = RandomSource(config.seed, name="sim")
     extra_specs = materialize_extra_workloads(world, rng, extra_workloads)
     slices = plan_slices(config, n_extra=len(extra_specs))
-    records = merge_record_streams(
-        run_slice(world, rng, s, extra_specs) for s in slices
-    )
+    # Traffic slices are contiguous, disjoint day ranges at the head of
+    # the plan, so their record streams concatenate into one sorted
+    # stream: chaining them keeps the k-way heap at (1 + campaigns +
+    # extras) streams instead of one per day range.  Order is untouched —
+    # cross-slice ties are impossible between day-disjoint traffic
+    # slices, and the chain keeps the traffic stream in merge position 0,
+    # which is exactly where stability would resolve its ties anyway.
+    streams: list[Iterator[DeliveryRecord]] = []
+    traffic: list[Iterator[DeliveryRecord]] = []
+    for s in slices:
+        stream = run_slice(world, rng, s, extra_specs)
+        if s.kind == "traffic":
+            traffic.append(stream)
+        else:
+            streams.append(stream)
+    if traffic:
+        head = chain.from_iterable(traffic) if len(traffic) > 1 else traffic[0]
+        streams.insert(0, head)
+    records = merge_record_streams(streams)
     return StreamingSimulation(world=world, records=records)
 
 

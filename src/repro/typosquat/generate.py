@@ -81,7 +81,9 @@ def _emit(seen: set[str], out: list[TypoCandidate], text: str, kind: TypoKind, o
         out.append(TypoCandidate(text, kind, original))
 
 
-_TYPO_MEMO = fastpath.register(fastpath.LruMemo("label-typos", capacity=4096))
+_TYPO_MEMO = fastpath.register(
+    fastpath.LruMemo("label-typos", capacity=4096, pure=True)
+)
 
 
 def label_typos(label: str, allow_separators: bool = False) -> list[TypoCandidate]:
@@ -107,37 +109,57 @@ def _label_typos_impl(label: str, allow_separators: bool) -> list[TypoCandidate]
     label = label.lower()
     out: list[TypoCandidate] = []
     seen: set[str] = set()
+    seen_add = seen.add
+    append = out.append
+
+    # Every emitted candidate is the label with one character removed,
+    # inserted, or substituted, and every substitute below is itself in
+    # ``_ALLOWED`` — so when the source label is clean, the per-candidate
+    # character scan in ``_valid`` can collapse to the three C-level edge
+    # checks (nonempty, no edge hyphen, no "..").  A dirty label keeps
+    # the full scan: an edit may remove or replace the offending char.
+    clean = all(c in _ALLOWED for c in label)
+
+    def emit(text: str, kind: TypoKind) -> None:
+        if text != label and text not in seen:
+            if clean:
+                ok = bool(text) and text[0] != "-" and text[-1] != "-" and ".." not in text
+            else:
+                ok = _valid(text)
+            if ok:
+                seen_add(text)
+                append(TypoCandidate(text, kind, label))
 
     for i in range(len(label)):
         # omission
-        _emit(seen, out, label[:i] + label[i + 1 :], TypoKind.OMISSION, label)
+        emit(label[:i] + label[i + 1 :], TypoKind.OMISSION)
         ch = label[i]
         # repetition
-        _emit(seen, out, label[:i] + ch + label[i:], TypoKind.REPETITION, label)
+        emit(label[:i] + ch + label[i:], TypoKind.REPETITION)
         # transposition
         if i + 1 < len(label) and label[i] != label[i + 1]:
             swapped = label[:i] + label[i + 1] + label[i] + label[i + 2 :]
-            _emit(seen, out, swapped, TypoKind.TRANSPOSITION, label)
+            emit(swapped, TypoKind.TRANSPOSITION)
         # keyboard replacement / insertion
         for neighbor in _KEYBOARD_NEIGHBORS.get(ch, ""):
-            _emit(seen, out, label[:i] + neighbor + label[i + 1 :], TypoKind.REPLACEMENT, label)
-            _emit(seen, out, label[:i] + neighbor + label[i:], TypoKind.INSERTION, label)
+            emit(label[:i] + neighbor + label[i + 1 :], TypoKind.REPLACEMENT)
+            emit(label[:i] + neighbor + label[i:], TypoKind.INSERTION)
         # bitsquatting: flip each of the low 5 bits
         for bit in (1, 2, 4, 8, 16):
             flipped = chr(ord(ch) ^ bit)
             if flipped in _ALLOWED and flipped not in "-._":
-                _emit(seen, out, label[:i] + flipped + label[i + 1 :], TypoKind.BITSQUATTING, label)
+                emit(label[:i] + flipped + label[i + 1 :], TypoKind.BITSQUATTING)
         # homoglyph
         for glyph in _HOMOGLYPHS.get(ch, ""):
-            _emit(seen, out, label[:i] + glyph + label[i + 1 :], TypoKind.HOMOGLYPH, label)
+            emit(label[:i] + glyph + label[i + 1 :], TypoKind.HOMOGLYPH)
         # vowel swap
         if ch in _VOWELS:
             for vowel in _VOWELS:
                 if vowel != ch:
-                    _emit(seen, out, label[:i] + vowel + label[i + 1 :], TypoKind.VOWEL_SWAP, label)
+                    emit(label[:i] + vowel + label[i + 1 :], TypoKind.VOWEL_SWAP)
         # hyphenation (between characters, not at edges)
         if 0 < i < len(label):
-            _emit(seen, out, label[:i] + "-" + label[i:], TypoKind.HYPHENATION, label)
+            emit(label[:i] + "-" + label[i:], TypoKind.HYPHENATION)
 
     if allow_separators:
         # Separator confusion in usernames: "." <-> "_" <-> "-".
@@ -145,7 +167,7 @@ def _label_typos_impl(label: str, allow_separators: bool) -> list[TypoCandidate]
             if ch in "._-":
                 for other in "._-":
                     if other != ch:
-                        _emit(seen, out, label[:i] + other + label[i + 1 :], TypoKind.REPLACEMENT, label)
+                        emit(label[:i] + other + label[i + 1 :], TypoKind.REPLACEMENT)
     return out
 
 

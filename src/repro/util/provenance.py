@@ -1,0 +1,25 @@
+"""Machine provenance for benchmark artifacts.
+
+Every ``BENCH_*.json`` writer stamps its payload with the interpreter
+and host it ran on, so two artifacts can be compared knowing whether a
+speedup delta is code or hardware.  Kept dependency-free: everything
+comes from the standard library, and the repro version from the package
+itself.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+
+def bench_provenance() -> dict:
+    """Return the provenance block embedded in benchmark artifacts."""
+    from repro import __version__
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "repro_version": __version__,
+    }

@@ -255,6 +255,14 @@ class WeightedSampler(Generic[T]):
             index = len(self._items) - 1
         return self._items[index]
 
+    def table(self) -> tuple[list[T], list[float], float]:
+        """``(items, cum_weights, total)`` — the exact arithmetic of
+        :meth:`draw`, for replayers (the columnar delivery executor)
+        that must consume the same draw sequence without the method
+        dispatch.  The lists are the live internals: treat as read-only.
+        """
+        return self._items, self._cumulative, self._total
+
     def with_rng(self, rng: RandomSource) -> "WeightedSampler[T]":
         """A view over the same items/weights drawing from ``rng``.
 

@@ -57,9 +57,41 @@ def normalize_token(token: str) -> str:
 
 _EMAIL_RE = re.compile(r"^([^@\s]+)@([^@\s]+)$")
 
+#: Lazily bound by the first :func:`split_address` call —
+#: ``repro.core.fastpath`` imports this module, so the import cannot
+#: happen at module level.  The memo is a plain bounded dict rather
+#: than an LruMemo: the hit path here is hot enough that the LRU
+#: reinsertion would cost more than the regex it saves.
+_fastpath = None
+_SPLIT_MEMO: dict[str, tuple[str, str]] = {}
+_SPLIT_CAP = 65536
+
 
 def split_address(address: str) -> tuple[str, str]:
-    """Split ``user@domain`` into ``(user, domain)``; raises on malformed input."""
+    """Split ``user@domain`` into ``(user, domain)``; raises on malformed input.
+
+    Pure string work on heavily repeated inputs (contact books, retry
+    loops), so the result is memoised per address when the fast path is
+    on.  Malformed addresses raise before anything is cached.
+    """
+    global _fastpath
+    fp = _fastpath
+    if fp is None:
+        from repro.core import fastpath as fp
+
+        _fastpath = fp
+    if fp.enabled():
+        memo = _SPLIT_MEMO
+        value = memo.get(address)
+        if value is None:
+            if len(memo) >= _SPLIT_CAP:
+                memo.clear()
+            value = memo[address] = _split_address_impl(address)
+        return value
+    return _split_address_impl(address)
+
+
+def _split_address_impl(address: str) -> tuple[str, str]:
     m = _EMAIL_RE.match(address)
     if not m:
         raise ValueError(f"malformed email address: {address!r}")

@@ -154,6 +154,8 @@ class SimulationConfig:
             raise ValueError("need at least one proxy")
         if self.max_attempts < 1 or self.spam_attempts < 1:
             raise ValueError("attempt budgets must be >= 1")
+        if self.nonretryable_attempts < 1:
+            raise ValueError("nonretryable_attempts must be >= 1")
         if self.spam_attempts > self.max_attempts:
             raise ValueError("spam_attempts cannot exceed max_attempts")
         if self.proxy_policy not in ("random", "sticky"):

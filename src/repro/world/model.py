@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
+from typing import Iterable
 
 from repro.core import fastpath
 from repro.delivery.proxies import ProxyFleet
@@ -238,6 +239,52 @@ class WorldModel:
         )
         return _StatusEntry(status, start, end, rdomain, len(rdomain.mailboxes), box)
 
+    # -- bulk lookup (columnar prepass) --------------------------------------
+
+    def recipient_status_span(
+        self, address: str, t: float
+    ) -> tuple[RecipientStatus, float, float]:
+        """Recipient status plus its exact validity interval.
+
+        The columnar delivery planner snapshots one entry per unique
+        address per chunk and validates emails against the interval with
+        a vectorized comparison; the entry itself comes from (and feeds)
+        the same guarded cache :meth:`recipient_status` uses, so both
+        paths always agree.
+        """
+        entry = self._status_cache.get(address)
+        if entry is None or not entry.valid(self, t):
+            entry = self._build_status_entry(address, t)
+            self._status_cache[address] = entry
+        return entry.status, entry.start, entry.end
+
+    def recipient_status_bulk(
+        self, addresses: Iterable[str], t: float
+    ) -> list[RecipientStatus]:
+        """:meth:`recipient_status` over many addresses at once."""
+        span = self.recipient_status_span
+        return [span(address, t)[0] for address in addresses]
+
+    def sender_dns_broken_span(
+        self, domain: str, t: float
+    ) -> tuple[bool, float, float]:
+        """:meth:`sender_dns_broken` plus its validity interval (shares
+        the same token-guarded cache)."""
+        entry = self._sender_dns_cache.get(domain)
+        if entry is not None:
+            zone, token, start, end, value = entry
+            if start <= t < end and self.resolver.state_token(zone) == token:
+                return value, start, end
+        zone = self.resolver.zone(domain)
+        token = self.resolver.state_token(zone)
+        if zone is None:
+            value, start, end = False, float("-inf"), float("inf")
+        else:
+            value = zone.dns_broken_at(t)
+            start, end = fastpath.stable_interval(t, (zone.dns_error_windows,))
+        self._sender_dns_cache[domain] = (zone, token, start, end, value)
+        return value, start, end
+
     def sender_zone(self, domain: str) -> Zone | None:
         return self.resolver.zone(domain)
 
@@ -249,20 +296,7 @@ class WorldModel:
         if not fastpath.enabled():
             zone = self.resolver.zone(domain)
             return zone is not None and zone.dns_broken_at(t)
-        entry = self._sender_dns_cache.get(domain)
-        if entry is not None:
-            zone, token, start, end, value = entry
-            if start <= t < end and self.resolver.state_token(zone) == token:
-                return value
-        zone = self.resolver.zone(domain)
-        token = self.resolver.state_token(zone)
-        if zone is None:
-            value, start, end = False, float("-inf"), float("inf")
-        else:
-            value = zone.dns_broken_at(t)
-            start, end = fastpath.stable_interval(t, (zone.dns_error_windows,))
-        self._sender_dns_cache[domain] = (zone, token, start, end, value)
-        return value
+        return self.sender_dns_broken_span(domain, t)[0]
 
     def benign_sender_domains(self) -> list[SenderDomain]:
         return [d for d in self.sender_domains if d.kind is SenderKind.BENIGN]
