@@ -9,15 +9,25 @@ zone make the corresponding records unresolvable, which is exactly how
 the paper's 9K broken sender domains manifest.
 """
 
-from repro.auth.spf import SpfRecord, evaluate_spf, parse_spf
+from repro.auth.spf import (
+    SPF_LOOKUP_LIMIT,
+    SpfEvaluation,
+    SpfRecord,
+    evaluate_spf,
+    evaluate_spf_record,
+    parse_spf,
+)
 from repro.auth.dkim import evaluate_dkim
 from repro.auth.dmarc import DmarcPolicy, evaluate_dmarc, parse_dmarc
 from repro.auth.evaluator import AuthEvaluator, AuthResult, AuthFailureMode
 
 __all__ = [
+    "SPF_LOOKUP_LIMIT",
+    "SpfEvaluation",
     "SpfRecord",
     "parse_spf",
     "evaluate_spf",
+    "evaluate_spf_record",
     "evaluate_dkim",
     "DmarcPolicy",
     "parse_dmarc",

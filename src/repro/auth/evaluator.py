@@ -7,7 +7,13 @@ from enum import Enum
 
 from repro.auth.dkim import DkimVerdict, evaluate_dkim
 from repro.auth.dmarc import DmarcDisposition, evaluate_dmarc
-from repro.auth.spf import SpfVerdict, evaluate_spf
+from repro.auth.spf import (
+    SPF_LOOKUP_LIMIT,
+    SpfEvaluation,
+    SpfVerdict,
+    evaluate_spf,
+    evaluate_spf_record,
+)
 from repro.core import fastpath
 from repro.dnssim.records import RecordType
 from repro.dnssim.resolver import Resolver
@@ -102,7 +108,7 @@ class AuthEvaluator:
     def __init__(self, resolver: Resolver) -> None:
         self._resolver = resolver
         self._cache: dict[tuple[str, str], _AuthEntry] = {}
-        self._spf_cache: dict[tuple[str, str, int], _AuthEntry] = {}
+        self._spf_cache: dict[tuple[str, str], _AuthEntry] = {}
         self._dkim_cache: dict[str, _AuthEntry] = {}
         self._dmarc_cache: dict[tuple, _AuthEntry] = {}
         self._stats = fastpath.CacheStats("auth-eval")
@@ -124,12 +130,12 @@ class AuthEvaluator:
         # and DMARC on (domain, spf, dkim).  Evaluating the three through
         # separate interval-guarded caches means a new proxy IP against a
         # known domain redoes just the SPF walk, not the whole stack.
-        spf_e = self._spf_entry(sender_domain, client_ip, t, 0)
+        spf_e = self._spf_entry(sender_domain, client_ip, t, SPF_LOOKUP_LIMIT)
         dkim_e = self._component(
             self._dkim_cache, sender_domain, t,
             lambda resolver: evaluate_dkim(sender_domain, resolver, t),
         )
-        spf, dkim = spf_e.result, dkim_e.result
+        spf, dkim = spf_e.result.verdict, dkim_e.result
         dmarc_e = self._component(
             self._dmarc_cache, (sender_domain, spf, dkim), t,
             lambda resolver: evaluate_dmarc(sender_domain, spf, dkim, resolver, t),
@@ -149,27 +155,61 @@ class AuthEvaluator:
         self._cache[key] = _AuthEntry(result, start, end, tuple(guards))
         return result
 
-    def _spf_entry(self, domain: str, client_ip: str, t: float, depth: int) -> _AuthEntry:
-        """SPF verdict cached per (domain, client IP, recursion depth).
+    def _spf_entry(self, domain: str, client_ip: str, t: float, budget: int) -> _AuthEntry:
+        """SPF walk cached per (domain, client IP), gated by lookup budget.
 
-        The verdict for an ``include``-d zone is the same whichever outer
+        The walk for an ``include``-d zone is the same whichever outer
         domain pulled it in, so the hook below routes the recursion back
         through this cache: a provider record shared by every customer
-        domain is walked once per (IP, depth), and its consulted zones
-        propagate into each outer entry's guard set via ``queried``.
+        domain is walked once per IP, and its consulted zones propagate
+        into each outer entry's guard set via ``queried``.
+
+        RFC 7208 §4.6.4 threads a *remaining lookup budget* through the
+        recursion, so a cached :class:`SpfEvaluation` is only reusable
+        when the budget question it answered covers the one being asked:
+
+        * a completed walk that used ``lookups <= budget`` would proceed
+          identically with any such budget — reuse as-is;
+        * a completed walk that used more lookups than the caller has
+          left would have overrun — synthesize the overrun without
+          re-walking (a walk needing L lookups overruns at any budget
+          < L), sharing the cached validity interval and guards;
+        * an overrun walk answers every budget at or below the one it
+          overran at — but a caller with *more* headroom needs a fresh
+          walk, which replaces the cached one (its budget is strictly
+          larger, so it answers strictly more callers).
         """
+        key = (domain, client_ip)
+        entry = self._spf_cache.get(key)
+        if (
+            entry is not None
+            and entry.start <= t < entry.end
+            and self._guards_valid(entry.guards)
+        ):
+            ev: SpfEvaluation = entry.result
+            if not ev.overran:
+                if ev.lookups <= budget:
+                    return entry
+                synthetic = SpfEvaluation(SpfVerdict.PERMERROR, ev.lookups, True, budget)
+                return _AuthEntry(
+                    synthetic, entry.start, entry.end, entry.guards, entry.queried
+                )
+            if budget <= ev.budget:
+                return entry
 
-        def compute(recording: _RecordingResolver) -> SpfVerdict:
-            def include(inner_domain: str, inner_depth: int) -> SpfVerdict:
-                inner = self._spf_entry(inner_domain, client_ip, t, inner_depth)
-                recording.queried |= inner.queried
-                return inner.result
+        recording = _RecordingResolver(self._resolver)
 
-            return evaluate_spf(
-                domain, client_ip, recording, t, depth, _include=include
-            )
+        def include(inner_domain: str, remaining: int) -> SpfEvaluation:
+            inner = self._spf_entry(inner_domain, client_ip, t, remaining)
+            recording.queried |= inner.queried
+            return inner.result
 
-        return self._component(self._spf_cache, (domain, client_ip, depth), t, compute)
+        evaluation = evaluate_spf_record(
+            domain, client_ip, recording, t, budget, _include=include
+        )
+        entry = self._entry_from_recording(evaluation, recording, t)
+        self._spf_cache[key] = entry
+        return entry
 
     def _component(self, cache: dict, key, t: float, compute) -> _AuthEntry:
         entry = cache.get(key)
@@ -181,6 +221,14 @@ class AuthEvaluator:
             return entry
         recording = _RecordingResolver(self._resolver)
         result = compute(recording)
+        entry = self._entry_from_recording(result, recording, t)
+        cache[key] = entry
+        return entry
+
+    def _entry_from_recording(
+        self, result, recording: _RecordingResolver, t: float
+    ) -> _AuthEntry:
+        """Bound ``result``'s validity by the zone states the walk read."""
         queried = frozenset(recording.queried)
         start, end = float("-inf"), float("inf")
         guards = []
@@ -195,9 +243,7 @@ class AuthEvaluator:
             if marker not in seen:
                 seen.add(marker)
                 guards.append((zone, token))
-        entry = _AuthEntry(result, start, end, tuple(guards), queried)
-        cache[key] = entry
-        return entry
+        return _AuthEntry(result, start, end, tuple(guards), queried)
 
     def _guards_valid(self, guards) -> bool:
         state_token = self._resolver.state_token

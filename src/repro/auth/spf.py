@@ -10,10 +10,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import NamedTuple
 
 from repro.core import fastpath
 from repro.dnssim.records import RecordType
 from repro.dnssim.resolver import Resolver
+
+#: RFC 7208 §4.6.4: mechanisms that require DNS lookups (``include``,
+#: ``a``, ``mx``) are limited to 10 per evaluation — the whole recursive
+#: walk, not per record.  Exceeding the limit is a permanent error.
+SPF_LOOKUP_LIMIT = 10
 
 
 class SpfVerdict(str, Enum):
@@ -141,47 +147,109 @@ def _ipv4_int(ip: str) -> int:
     return value
 
 
+class SpfEvaluation(NamedTuple):
+    """Outcome of walking one SPF record (RFC 7208 check_host).
+
+    ``lookups`` counts the DNS-querying mechanisms consumed by this walk
+    including everything its ``include``s consumed; ``overran`` marks a
+    walk abandoned because it would exceed ``budget`` remaining lookups.
+    An overrun is PERMERROR at the top level, but a cached inner walk
+    records the budget it overran at so a caller with *more* headroom
+    knows to re-walk rather than reuse it.
+    """
+
+    verdict: SpfVerdict
+    lookups: int
+    overran: bool
+    budget: int
+
+
 def evaluate_spf(
     domain: str,
     client_ip: str,
     resolver: Resolver,
     t: float,
-    _depth: int = 0,
     _include=None,
 ) -> SpfVerdict:
     """Evaluate the sender domain's SPF record for ``client_ip`` at ``t``.
 
     ``_include`` (optional) replaces the direct recursion for ``include``
-    mechanisms with ``_include(inner_domain, inner_depth)``.  The auth
-    evaluator passes a memoising hook so shared include zones (every
-    customer domain including the same provider record) are walked once
-    per (zone, client IP, depth) instead of once per outer domain.
+    mechanisms with ``_include(inner_domain, remaining_budget)`` returning
+    an :class:`SpfEvaluation`.  The auth evaluator passes a memoising
+    hook so shared include zones (every customer domain including the
+    same provider record) are walked once per (zone, client IP) instead
+    of once per outer domain.
     """
-    if _depth > 10:  # RFC 7208 lookup limit → permerror
+    evaluation = evaluate_spf_record(
+        domain, client_ip, resolver, t, SPF_LOOKUP_LIMIT, _include=_include
+    )
+    if evaluation.overran:
         return SpfVerdict.PERMERROR
+    return evaluation.verdict
+
+
+def evaluate_spf_record(
+    domain: str,
+    client_ip: str,
+    resolver: Resolver,
+    t: float,
+    budget: int,
+    _include=None,
+) -> SpfEvaluation:
+    """Walk one record with ``budget`` DNS-querying mechanisms left.
+
+    Implements the RFC 7208 semantics the simulator's scenarios rely on:
+
+    * §4.6.4 — ``include``/``a``/``mx`` each consume one lookup from a
+      budget shared across the entire recursive evaluation; running out
+      aborts with ``overran`` (→ PERMERROR at the top level).
+    * §5.2 — an ``include`` whose inner result is ``none`` or
+      ``permerror`` makes the whole evaluation PERMERROR; ``pass``
+      matches; ``fail``/``softfail``/``neutral`` simply don't match.
+    * ``a:host`` / ``mx:domain`` query their explicit target when given,
+      falling back to the current domain for the bare forms.
+    """
     result = resolver.query(domain, RecordType.TXT_SPF, t)
     if not result.ok:
-        return SpfVerdict.NONE
+        return SpfEvaluation(SpfVerdict.NONE, 0, False, budget)
     record = parse_spf(result.records[0].value)
     if record is None:
-        return SpfVerdict.PERMERROR
+        return SpfEvaluation(SpfVerdict.PERMERROR, 0, False, budget)
 
+    used = 0
     for mechanism in record.mechanisms:
         matched = False
         if mechanism.kind == "ip4":
             matched = _ip_matches(client_ip, mechanism.value)
         elif mechanism.kind == "include":
+            if used >= budget:
+                return SpfEvaluation(SpfVerdict.PERMERROR, used, True, budget)
+            used += 1
+            remaining = budget - used
             if _include is not None:
-                inner = _include(mechanism.value, _depth + 1)
+                inner = _include(mechanism.value, remaining)
             else:
-                inner = evaluate_spf(mechanism.value, client_ip, resolver, t, _depth + 1)
-            matched = inner is SpfVerdict.PASS
+                inner = evaluate_spf_record(
+                    mechanism.value, client_ip, resolver, t, remaining
+                )
+            used += inner.lookups
+            if inner.overran:
+                return SpfEvaluation(SpfVerdict.PERMERROR, used, True, budget)
+            if inner.verdict in (SpfVerdict.NONE, SpfVerdict.PERMERROR):
+                # RFC 7208 §5.2: an unresolvable or malformed included
+                # record is a permanent error, not a non-match.
+                return SpfEvaluation(SpfVerdict.PERMERROR, used, False, budget)
+            matched = inner.verdict is SpfVerdict.PASS
         elif mechanism.kind in ("a", "mx"):
+            if used >= budget:
+                return SpfEvaluation(SpfVerdict.PERMERROR, used, True, budget)
+            used += 1
             rtype = RecordType.A if mechanism.kind == "a" else RecordType.MX
-            answer = resolver.query(domain, rtype, t)
+            target = mechanism.value or domain
+            answer = resolver.query(target, rtype, t)
             matched = any(r.value == client_ip for r in answer.records)
         elif mechanism.kind == "all":
             matched = True
         if matched:
-            return mechanism.qualifier
-    return SpfVerdict.NEUTRAL
+            return SpfEvaluation(mechanism.qualifier, used, False, budget)
+    return SpfEvaluation(SpfVerdict.NEUTRAL, used, False, budget)

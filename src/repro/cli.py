@@ -373,6 +373,25 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="emit the structured diff as JSON instead of tables")
     _add_quiet(p)
 
+    p = sub.add_parser("scenario", help="list, render, or run the scenario "
+                                        "packs (repro.scenario)")
+    p.add_argument("action", choices=("list", "show", "run"),
+                   help="list packs, show a pack's compiled ops, or run one")
+    p.add_argument("pack", nargs="?", default=None,
+                   help="pack name (see `repro scenario list`)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="override the pack's pinned scale")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the pack's pinned seed")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the delivery log as JSONL (default: "
+                        "<pack>.jsonl; '-' = don't write)")
+    p.add_argument("--no-report", action="store_true",
+                   help="skip the recovery analysis report")
+    _add_workers(p)
+    _add_cache_flag(p)
+    _add_quiet(p)
+
     sub.add_parser("version", help="print the package version")
     return parser
 
@@ -1076,6 +1095,70 @@ def _cmd_full_report(args) -> int:
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    from dataclasses import asdict
+
+    from repro.scenario import get_pack, list_packs, scenario_report
+    from repro.scenario.builder import ScenarioError
+
+    if args.action == "list":
+        for name, description in list_packs():
+            print(f"{name:16s} {description}")
+        return 0
+
+    if not args.pack:
+        print("scenario: pack name required (see `repro scenario list`)",
+              file=sys.stderr)
+        return 2
+    try:
+        compiled = get_pack(args.pack, scale=args.scale, seed=args.seed)
+    except ScenarioError as exc:
+        print(f"scenario: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "show":
+        config = compiled.config
+        print(f"pack: {compiled.name}")
+        print(f"  {compiled.description}")
+        print(f"base: scale={config.scale} seed={config.seed}")
+        print(f"ops ({len(config.scenario)}):")
+        for op in config.scenario:
+            fields = {k: v for k, v in asdict(op).items() if k != "kind"}
+            rendered = ", ".join(f"{k}={v!r}" for k, v in fields.items())
+            print(f"  {op.kind:14s} {rendered}")
+        return 0
+
+    workers = getattr(args, "workers", 1)
+    if getattr(args, "resume", False):
+        print("scenario: --resume is not supported here; use "
+              "`repro simulate` for resumable runs", file=sys.stderr)
+        return 2
+    _status(f"running pack {compiled.name!r} "
+            f"(scale={compiled.config.scale}, seed={compiled.config.seed}, "
+            f"workers={workers})")
+    if workers > 1:
+        from repro.parallel import run_parallel_simulation
+
+        with run_parallel_simulation(
+            compiled.config, workers=workers,
+            extra_workloads=list(compiled.workloads),
+        ) as run:
+            records = list(run.iter_records())
+        _status(f"parallel run: {run.workers} worker(s), "
+                f"{len(run.slices)} slice(s), {run.elapsed_s:.1f}s")
+    else:
+        records = list(compiled.run())
+    out = args.out if args.out is not None else f"{compiled.name}.jsonl"
+    if out != "-":
+        with open(out, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(record.to_json() + "\n")
+        _status(f"wrote {len(records):,} records -> {out}")
+    if not args.no_report:
+        print(scenario_report(compiled, records))
+    return 0
+
+
 def _cmd_version(args) -> int:
     print(f"repro-bounce {__version__}")
     return 0
@@ -1101,6 +1184,7 @@ _COMMANDS = {
     "world-info": _cmd_world_info,
     "compare": _cmd_compare,
     "full-report": _cmd_full_report,
+    "scenario": _cmd_scenario,
     "version": _cmd_version,
 }
 

@@ -164,6 +164,7 @@ class _DomainRow:
         "broken",
         "mx_ok",
         "mx_host",
+        "mx_all_down",
         "has_service",
         "mta",
         "ips",
@@ -261,7 +262,7 @@ class ColumnarExecutor:
 
     def _build_row(self, domain: str, t: float) -> _DomainRow:
         world = self._engine.world
-        (registered, broken, mx_ok, mx_host, start, end, zone, token) = (
+        (registered, broken, mx_ok, mx_host, mx_all_down, start, end, zone, token) = (
             world.resolver.mx_state_span(domain, t)
         )
         row = _DomainRow()
@@ -271,6 +272,7 @@ class ColumnarExecutor:
         row.broken = broken
         row.mx_ok = mx_ok
         row.mx_host = mx_host
+        row.mx_all_down = mx_all_down
         row.net = {}
         rdomain = world.receiver_domains.get(domain)
         row.has_service = rdomain is not None
@@ -602,7 +604,7 @@ class ColumnarExecutor:
                                 break
                 from_ip = proxy.ip
 
-                # Resolver.resolve_mx_host, replayed from the plan row.
+                # Resolver.mx_route, replayed from the plan row.
                 mx_host = None
                 if not row.registered:
                     status = _ST_NX
@@ -620,7 +622,22 @@ class ColumnarExecutor:
                 if obs_on:
                     note_query(_MX, status)
 
-                if mx_host is None:
+                if mx_host is None and status is _ST_OK:
+                    # DNS answered but every MX host is in an SMTP outage
+                    # window (row.mx_all_down): connects time out → T14.
+                    ndr = bank_render(
+                        _T14,
+                        sender_dialect,
+                        engine_rng,
+                        context=build_context(spec, proxy, f"mx1.{domain}"),
+                    )
+                    attempt = AttemptRecord(
+                        t, from_ip, "", ndr.text,
+                        # network.timeout_latency_ms: rng.uniform(290_000, 330_000)
+                        int(290_000.0 + 40_000.0 * rand()),
+                        ndr.truth_type, ndr.ambiguous,
+                    )
+                elif mx_host is None:
                     # Unroutable: T2 in the sender's own dialect.
                     ndr = bank_render(
                         _T2,

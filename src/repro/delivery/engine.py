@@ -367,8 +367,27 @@ class DeliveryEngine:
         receiver_domain = spec.receiver_domain
 
         # 1. route: resolve the receiver's MX.
-        mx_host = world.resolver.resolve_mx_host(receiver_domain, t, rng)
+        mx_host, mx_all_down = world.resolver.mx_route(receiver_domain, t, rng)
         if mx_host is None:
+            if mx_all_down:
+                # DNS answered, but every advertised MX host is inside an
+                # SMTP outage window (correlated backup-MX failure): the
+                # connection attempts time out, a retryable T14.
+                ndr = world.bank.render(
+                    BounceType.T14,
+                    _SENDER_DIALECT,
+                    rng,
+                    context=self._context(spec, proxy, f"mx1.{receiver_domain}"),
+                )
+                return AttemptRecord(
+                    t=t,
+                    from_ip=proxy.ip,
+                    to_ip="",
+                    result=ndr.text,
+                    latency_ms=world.network.timeout_latency_ms(rng),
+                    truth_type=ndr.truth_type,
+                    ambiguous=ndr.ambiguous,
+                ), None
             ndr = world.bank.render(
                 BounceType.T2,
                 _SENDER_DIALECT,

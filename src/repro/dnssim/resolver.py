@@ -29,9 +29,15 @@ class _ZoneState:
     exactly as without the cache.
     """
 
-    __slots__ = ("start", "end", "token", "zone", "registered", "broken", "result", "mx_host")
+    __slots__ = (
+        "start", "end", "token", "zone", "registered", "broken", "result",
+        "mx_host", "mx_all_down",
+    )
 
-    def __init__(self, start, end, token, zone, registered, broken, result, mx_host=None) -> None:
+    def __init__(
+        self, start, end, token, zone, registered, broken, result,
+        mx_host=None, mx_all_down=False,
+    ) -> None:
         self.start = start
         self.end = end
         self.token = token
@@ -41,9 +47,13 @@ class _ZoneState:
         self.registered = registered
         self.broken = broken
         self.result = result
-        #: preferred MX hostname precomputed from ``result`` (MX entries
-        #: only), so ``resolve_mx_host`` skips the per-call best-MX scan.
+        #: preferred *reachable* MX hostname precomputed from ``result``
+        #: (MX entries only), so ``resolve_mx_host`` skips the per-call
+        #: best-MX scan.  Hosts inside an SMTP outage window are skipped
+        #: (sender fail-over); ``mx_all_down`` distinguishes "every host
+        #: down" (connection timeouts) from "no MX published".
         self.mx_host = mx_host
+        self.mx_all_down = mx_all_down
 
 
 class Resolver:
@@ -208,6 +218,10 @@ class Resolver:
         points: tuple = ()
         if rtype is RecordType.MX:
             window_lists.append(zone.mx_error_windows)
+            if zone.mx_host_down_windows:
+                # Per-host outage edges change which host mx_route picks,
+                # so the stable interval must stop at each of them.
+                window_lists.extend(zone.mx_host_down_windows.values())
             points = (zone.mx_disabled_from,)
             broken = zone.mx_broken_at(t)
         elif rtype is RecordType.TXT_SPF:
@@ -225,13 +239,37 @@ class Resolver:
         registered = zone.registered_at(t)
         result = None
         mx_host = None
+        mx_all_down = False
         if registered and not broken:
             records = tuple(zone.records_of(rtype))
             result = ResolveResult(ResolveStatus.OK, records) if records else _NO_DATA
             if rtype is RecordType.MX and result.ok:
-                best = result.best_mx()
-                mx_host = best.value if best else None
-        return _ZoneState(start, end, token, zone, registered, broken, result, mx_host)
+                mx_host, mx_all_down = self._select_mx(zone, result, t)
+        return _ZoneState(
+            start, end, token, zone, registered, broken, result, mx_host, mx_all_down
+        )
+
+    @staticmethod
+    def _select_mx(
+        zone: Zone, result: ResolveResult, t: float
+    ) -> tuple[str | None, bool]:
+        """Preferred *reachable* MX host at ``t`` plus the all-down flag.
+
+        Without per-host outage windows this is exactly ``best_mx()``;
+        with them, the sender fails over to the lowest-priority host not
+        currently down (ties resolve to record order, matching
+        ``best_mx``'s stable ``min``).
+        """
+        if not zone.mx_host_down_windows:
+            best = result.best_mx()
+            return (best.value if best else None), False
+        up = [
+            r for r in result.records
+            if r.rtype is RecordType.MX and not zone.mx_host_down_at(r.value, t)
+        ]
+        if not up:
+            return None, True
+        return min(up, key=lambda r: r.priority).value, False
 
     def state_span(
         self, domain: str, rtype: RecordType, t: float
@@ -253,17 +291,19 @@ class Resolver:
 
     def mx_state_span(
         self, domain: str, t: float
-    ) -> tuple[bool, bool, bool, str | None, float, float, Zone | None, object]:
+    ) -> tuple[bool, bool, bool, str | None, bool, float, float, Zone | None, object]:
         """RNG-free MX routing state at ``t`` with its validity interval.
 
-        Returns ``(registered, broken, ok, mx_host, start, end, zone,
-        token)``.  The columnar delivery planner snapshots this per
-        receiver domain and replays the transient-failure / broken-MX
-        coin flips itself in exactly the order of
-        :meth:`resolve_mx_host`; ``ok`` distinguishes an answerable MX
-        set from a registered-but-empty zone (NO_DATA), and the
-        ``zone``/``token`` pair lets the plan row be revalidated with
-        :meth:`state_token` on every reuse.
+        Returns ``(registered, broken, ok, mx_host, all_down, start,
+        end, zone, token)``.  The columnar delivery planner snapshots
+        this per receiver domain and replays the transient-failure /
+        broken-MX coin flips itself in exactly the order of
+        :meth:`mx_route`; ``ok`` distinguishes an answerable MX set from
+        a registered-but-empty zone (NO_DATA), ``all_down`` marks an
+        answerable set whose every host is in an SMTP outage window
+        (``mx_host`` is then None), and the ``zone``/``token`` pair lets
+        the plan row be revalidated with :meth:`state_token` on every
+        reuse.
         """
         state = self._zone_state(domain.lower(), RecordType.MX, t)
         ok = state.result is not None and state.result.ok
@@ -272,6 +312,7 @@ class Resolver:
             state.broken,
             ok,
             state.mx_host,
+            state.mx_all_down,
             state.start,
             state.end,
             state.zone,
@@ -280,7 +321,10 @@ class Resolver:
 
     def mx_state_bulk(
         self, domains: "Iterable[str]", t: float
-    ) -> dict[str, tuple[bool, bool, bool, str | None, float, float, Zone | None, object]]:
+    ) -> dict[
+        str,
+        tuple[bool, bool, bool, str | None, bool, float, float, Zone | None, object],
+    ]:
         """:meth:`mx_state_span` over many domains at once."""
         span = self.mx_state_span
         return {domain: span(domain, t) for domain in domains}
@@ -328,7 +372,22 @@ class Resolver:
         return ResolveResult(ResolveStatus.OK, records)
 
     def resolve_mx_host(self, domain: str, t: float, rng: RandomSource | None = None) -> str | None:
-        """Convenience: preferred MX hostname, or None when unroutable."""
+        """Convenience: preferred reachable MX hostname, or None when
+        unroutable (for any reason — unresolvable and all-hosts-down
+        collapse together; :meth:`mx_route` keeps them apart)."""
+        return self.mx_route(domain, t, rng)[0]
+
+    def mx_route(
+        self, domain: str, t: float, rng: RandomSource | None = None
+    ) -> tuple[str | None, bool]:
+        """Route one delivery: ``(preferred reachable MX host, all_down)``.
+
+        The host is ``None`` when routing failed; ``all_down`` then
+        distinguishes "DNS answered but every advertised host is inside
+        an SMTP outage window" (the sender connects and times out → T14)
+        from "no usable MX answer at all" (→ T2).  Draw order matches
+        ``query(MX)`` exactly.
+        """
         if fastpath.enabled():
             # Same state lookup, rng draws, and telemetry as query(MX), but
             # the preferred host comes precomputed off the state entry
@@ -347,9 +406,11 @@ class Resolver:
                 result = state.result
             if self._obs_on:
                 self._count_query(RecordType.MX, result.status)
-            return state.mx_host if result.ok else None
+            if result.ok:
+                return state.mx_host, state.mx_all_down
+            return None, False
         result = self.query(domain, RecordType.MX, t, rng)
         if not result.ok:
-            return None
-        best = result.best_mx()
-        return best.value if best else None
+            return None, False
+        zone = self._zones.get(domain.lower())
+        return self._select_mx(zone, result, t)

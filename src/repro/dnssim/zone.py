@@ -41,6 +41,13 @@ class Zone:
     #: From this time on, MX records are not served (a new owner who
     #: deploys no mail service).  ``None`` = records always served.
     mx_disabled_from: float | None = None
+    #: Per-MX-host SMTP outage windows (hostname -> windows).  DNS still
+    #: serves the full record set; the *sender* fails over to the best
+    #: reachable host, so an outage on the preferred MX routes mail to a
+    #: backup, and an outage covering every host strands the message
+    #: (connection timeouts).  In-place mutation of an inner list must be
+    #: followed by :meth:`invalidate`.
+    mx_host_down_windows: dict[str, list[Window]] = field(default_factory=dict)
 
     #: Mutation epoch.  Bumped whenever zone state is (re)assigned so
     #: the resolver's interval cache can validate entries cheaply.
@@ -75,6 +82,11 @@ class Zone:
         if self.mx_disabled_from is not None and t >= self.mx_disabled_from:
             return True
         return any(w.contains(t) for w in self.mx_error_windows)
+
+    def mx_host_down_at(self, host: str, t: float) -> bool:
+        """Is this specific MX host inside an SMTP outage window at ``t``?"""
+        windows = self.mx_host_down_windows.get(host)
+        return windows is not None and any(w.contains(t) for w in windows)
 
     def auth_broken_at(self, t: float) -> bool:
         """Any authentication mechanism broken at ``t``."""

@@ -1,0 +1,33 @@
+"""Scenario DSL and campaign packs.
+
+* :mod:`repro.scenario.builder` — the chained, eagerly validating
+  :class:`ScenarioBuilder` DSL that compiles what-if experiments down to
+  a ``SimulationConfig`` + extra workloads (execution-mode parity for
+  free).
+* :mod:`repro.scenario.packs` — the shipped packs (``spf-epidemic``,
+  ``mx-failover``) behind ``repro scenario``.
+* :mod:`repro.scenario.report` — what EBRC and the sliding-window
+  monitors recover from a pack run, next to the ground truth.
+"""
+
+from repro.scenario.builder import (
+    CompiledScenario,
+    ReceiverBuilder,
+    ScenarioBuilder,
+    ScenarioError,
+    SenderBuilder,
+)
+from repro.scenario.packs import PACKS, get_pack, list_packs
+from repro.scenario.report import scenario_report
+
+__all__ = [
+    "CompiledScenario",
+    "PACKS",
+    "ReceiverBuilder",
+    "ScenarioBuilder",
+    "ScenarioError",
+    "SenderBuilder",
+    "get_pack",
+    "list_packs",
+    "scenario_report",
+]

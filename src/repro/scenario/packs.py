@@ -1,0 +1,144 @@
+"""Shipped scenario packs.
+
+Each pack is a factory returning a fully built :class:`ScenarioBuilder`;
+``repro scenario`` lists, renders, and runs them.  Packs pin their own
+seed and a small default scale so the golden fixtures in ``tests/data``
+stay byte-stable, while ``--scale``/``--seed`` overrides still work.
+
+**spf-epidemic** — the SPF half of the paper's §4.3 sender-side
+misconfiguration story, told through three deployment mistakes:
+
+* a broken include: the provider zone exists but publishes no SPF
+  record, so ``include:`` evaluates to NONE → PERMERROR (RFC 7208 §5.2);
+* an include loop: eleven provider zones each include the next in a
+  cycle, so evaluation overruns the 10-DNS-lookup budget → PERMERROR
+  (RFC 7208 §4.6.4);
+* a too-permissive record: ``v=spf1 +all`` authenticates *everyone* —
+  mail flows, but the report's audit flags the domain as spoofable.
+
+The misdeployed domains also drop DKIM (SPF-only deployment), so
+PERMERROR leaves no fallback and auth-enforcing receivers answer T3.
+
+**mx-failover** — the receiver-side mirror: preference-tiered MX fleets
+where a primary-only outage silently fails over to the backup tier
+(zero bounces, routing shifts), while a correlated blackout of every
+tier strands mail in connect timeouts (retryable T14 episodes the
+misconfiguration monitor should catch).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.scenario.builder import CompiledScenario, ScenarioBuilder
+from repro.world.overlay import ScenarioError
+
+__all__ = ["PACKS", "get_pack", "list_packs", "spf_epidemic", "mx_failover"]
+
+#: Fixtures and CI run the packs at this scale; ~3-4K records each.
+DEFAULT_SCALE = 0.05
+
+#: The include target that publishes no SPF record at all.
+BROKEN_PROVIDER = "spf.broken-provider.example"
+#: Stem of the 11-zone include cycle.
+LOOP_STEM = "loop.example"
+
+
+def spf_epidemic(scale: float | None = None, seed: int | None = None) -> ScenarioBuilder:
+    s = ScenarioBuilder(
+        "spf-epidemic",
+        scale=DEFAULT_SCALE if scale is None else scale,
+        seed=1107 if seed is None else seed,
+    ).describe(
+        "Three SPF misdeployments (broken include, include loop, +all) "
+        "mailing auth-enforcing receivers: RFC 7208 permerrors become "
+        "T3 bounces; +all delivers but is flagged spoofable."
+    )
+
+    # The broken provider: a live zone with no SPF record.
+    s.zone(BROKEN_PROVIDER)
+    # The include loop: 11 zones in a cycle — budget is 10.
+    loop_entry = s.include_chain(LOOP_STEM, length=11, loop=True)
+
+    broken = s.sender(0).spf(
+        f"v=spf1 include:{BROKEN_PROVIDER} -all", drop_dkim=True
+    )
+    looped = s.sender(1).spf(
+        f"v=spf1 include:{loop_entry} -all", drop_dkim=True
+    )
+    permissive = s.sender(2).spf("v=spf1 +all", drop_dkim=True)
+
+    strict_a = s.receiver(0).enforce_auth()
+    strict_b = s.receiver(2).enforce_auth()
+
+    # gmail.com / yahoo.com are auth-enforcing majors out of the box.
+    s.campaign("broken-include", sender=broken,
+               to=["gmail.com", "yahoo.com", strict_a],
+               per_day=10, days=(0, 60))
+    s.campaign("include-loop", sender=looped,
+               to=["gmail.com", "yahoo.com", strict_b],
+               per_day=10, days=(0, 60))
+    # Control arm: +all passes SPF everywhere, so this delivers — the
+    # misdeployment only shows up in the spoofability audit.
+    s.campaign("permissive-all", sender=permissive,
+               to=["gmail.com", strict_a],
+               per_day=6, days=(0, 60))
+    return s
+
+
+def mx_failover(scale: float | None = None, seed: int | None = None) -> ScenarioBuilder:
+    s = ScenarioBuilder(
+        "mx-failover",
+        scale=DEFAULT_SCALE if scale is None else scale,
+        seed=2203 if seed is None else seed,
+    ).describe(
+        "Preference-tiered MX fleets under outage: a primary-only outage "
+        "fails over to the backup tier with zero bounces, a correlated "
+        "blackout of every tier produces retryable T14 timeout episodes."
+    )
+
+    # Tiered fleet; primary down for a week (silent fail-over), then a
+    # three-day correlated blackout (every tier down -> T14).
+    tiered = (
+        s.receiver(1)
+        .mx(("mx1", 10), ("mx2", 20), ("backup", 30))
+        .outage("mx1", start_day=10, end_day=17)
+        .blackout(start_day=30, end_day=33)
+    )
+    # Two-tier fleet with only a blackout, later in the window.
+    paired = (
+        s.receiver(3)
+        .mx(("mx1", 10), ("backup", 40))
+        .blackout(start_day=45, end_day=47)
+    )
+
+    s.campaign("steady-tiered", sender=0, to=[tiered],
+               per_day=14, days=(0, 60))
+    s.campaign("steady-paired", sender=1, to=[paired],
+               per_day=10, days=(0, 60))
+    # Control arm to a healthy major: same senders, no outage exposure.
+    s.campaign("control-major", sender=0, to=["gmail.com"],
+               per_day=6, days=(0, 60))
+    return s
+
+
+PACKS: dict[str, Callable[..., ScenarioBuilder]] = {
+    "spf-epidemic": spf_epidemic,
+    "mx-failover": mx_failover,
+}
+
+
+def list_packs() -> list[tuple[str, str]]:
+    """``(name, description)`` for every shipped pack."""
+    return [(name, factory().description) for name, factory in sorted(PACKS.items())]
+
+
+def get_pack(
+    name: str, scale: float | None = None, seed: int | None = None
+) -> CompiledScenario:
+    factory = PACKS.get(name)
+    if factory is None:
+        raise ScenarioError(
+            f"unknown scenario pack {name!r} (have: {', '.join(sorted(PACKS))})"
+        )
+    return factory(scale=scale, seed=seed).compile()

@@ -1,0 +1,235 @@
+"""Scenario analysis: what the paper's detectors recover from a pack run.
+
+A scenario knows its ground truth (which ops broke what, which campaign
+each email belongs to).  This module asks the opposite question — the
+one the paper's operators face: given only the delivery log, what do the
+EBRC classifier and the sliding-window monitors see?
+
+The report has four layers:
+
+1. campaign outcomes straight from ground truth (delivery/bounce types);
+2. an SPF deployment audit replaying :func:`evaluate_spf_record` against
+   the scenario world — permerrors, lookup budgets, and a spoofability
+   probe from an off-fleet IP (``+all`` passes it; sane records don't);
+3. an MX availability timeline for every outage-carrying receiver;
+4. recovery: the online EBRC classifies the NDRs blind, and the
+   :class:`DeliverabilityMonitor` reports which scenario entities its
+   misconfiguration episodes actually flagged.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable
+
+from repro.auth.spf import SPF_LOOKUP_LIMIT, SpfVerdict, evaluate_spf_record
+from repro.core.taxonomy import BounceType
+from repro.delivery.records import DeliveryRecord
+from repro.scenario.builder import CompiledScenario
+from repro.stream.monitor import (
+    DeliverabilityMonitor,
+    MisconfigMonitor,
+    RecordClassifier,
+)
+from repro.stream.online import OnlineEBRC
+from repro.util.clock import DAY_SECONDS
+from repro.world.model import WorldModel, build_world
+from repro.world.overlay import (
+    CampaignOp,
+    MxOutageOp,
+    SenderSpfOp,
+    resolve_receiver,
+    resolve_sender,
+)
+
+__all__ = ["scenario_report"]
+
+#: TEST-NET-3 — never a fleet proxy, so a PASS from here means "anyone".
+_PROBE_IP = "203.0.113.99"
+
+
+def scenario_report(
+    compiled: CompiledScenario,
+    records: list[DeliveryRecord],
+    world: WorldModel | None = None,
+) -> str:
+    """Render the full text report for one finished pack run."""
+    if world is None:
+        world = build_world(compiled.config)
+    lines: list[str] = []
+    out = lines.append
+
+    scen = [r for r in records if "scenario" in r.truth_tags]
+    out(f"scenario: {compiled.name}")
+    if compiled.description:
+        out(f"  {compiled.description}")
+    out(f"records: {len(records):,} total, {len(scen):,} from scenario campaigns")
+    out("")
+
+    _campaign_section(out, compiled, scen)
+    _spf_audit_section(out, compiled, world)
+    _mx_timeline_section(out, compiled, world, records)
+    _recovery_section(out, compiled, world, records, scen)
+    return "\n".join(lines)
+
+
+# -- ground truth ----------------------------------------------------------------
+
+
+def _campaigns(compiled: CompiledScenario) -> list[CampaignOp]:
+    return [op for op in compiled.config.scenario if isinstance(op, CampaignOp)]
+
+
+def _truth_types(records: Iterable[DeliveryRecord]) -> Counter:
+    counts: Counter = Counter()
+    for record in records:
+        if record.delivered:
+            counts["delivered"] += 1
+        else:
+            final = record.final_attempt()
+            counts[final.truth_type or "dropped"] += 1
+    return counts
+
+
+def _campaign_section(out, compiled, scen) -> None:
+    out("campaign outcomes (ground truth)")
+    for op in _campaigns(compiled):
+        mine = [r for r in scen if op.name in r.truth_tags]
+        counts = _truth_types(mine)
+        total = sum(counts.values())
+        breakdown = ", ".join(
+            f"{key}={count}" for key, count in counts.most_common()
+        )
+        out(f"  {op.name:18s} {total:5d} emails: {breakdown}")
+    out("")
+
+
+# -- SPF audit -------------------------------------------------------------------
+
+
+def _spf_audit_section(out, compiled, world) -> None:
+    spf_ops = [op for op in compiled.config.scenario if isinstance(op, SenderSpfOp)]
+    if not spf_ops:
+        return
+    out("SPF deployment audit (replayed against the scenario world)")
+    resolver = world.resolver
+    clock = world.clock
+    t = (clock.start_ts + clock.end_ts) / 2.0
+    fleet_ip = sorted(world.fleet.ips)[0]
+    for op in spf_ops:
+        domain = resolve_sender(world, op.sender_index)
+        fleet = evaluate_spf_record(domain, fleet_ip, resolver, t, SPF_LOOKUP_LIMIT)
+        probe = evaluate_spf_record(domain, _PROBE_IP, resolver, t, SPF_LOOKUP_LIMIT)
+        flags = []
+        if fleet.overran or probe.overran:
+            flags.append(f"LOOKUP-LIMIT OVERRUN (> {SPF_LOOKUP_LIMIT})")
+        elif fleet.verdict is SpfVerdict.PERMERROR:
+            flags.append("PERMERROR")
+        if probe.verdict is SpfVerdict.PASS and not probe.overran:
+            flags.append("SPOOFABLE (+all-style: off-fleet probe IP passes)")
+        verdicts = (
+            f"fleet={fleet.verdict.name} probe={probe.verdict.name} "
+            f"lookups={max(fleet.lookups, probe.lookups)}/{SPF_LOOKUP_LIMIT}"
+        )
+        out(f"  {domain:28s} {verdicts}")
+        record = resolver.zone(domain)
+        spf_texts = [
+            r.value for r in (record.records if record else [])
+            if r.rtype.name == "TXT_SPF"
+        ]
+        out(f"    record: {spf_texts[0] if spf_texts else '(none)'}")
+        for flag in flags:
+            out(f"    !! {flag}")
+    out("")
+
+
+# -- MX timeline -----------------------------------------------------------------
+
+
+def _mx_timeline_section(out, compiled, world, records) -> None:
+    outage_ops = [op for op in compiled.config.scenario if isinstance(op, MxOutageOp)]
+    if not outage_ops:
+        return
+    out("MX availability timeline (campaign traffic, weekly, per outage receiver)")
+    clock = world.clock
+    by_domain: dict[str, list[MxOutageOp]] = defaultdict(list)
+    for op in outage_ops:
+        by_domain[resolve_receiver(world, op.receiver_index)].append(op)
+    for domain in sorted(by_domain):
+        windows = ", ".join(
+            f"{op.host} down d{op.start_day:g}-d{op.end_day:g}"
+            for op in by_domain[domain]
+        )
+        out(f"  {domain} ({windows})")
+        weekly: dict[int, Counter] = defaultdict(Counter)
+        for record in records:
+            if record.receiver_domain != domain or "scenario" not in record.truth_tags:
+                continue
+            week = int((record.start_time - clock.start_ts) // (7 * DAY_SECONDS))
+            weekly[week]["emails"] += 1
+            if record.delivered:
+                weekly[week]["ok"] += 1
+            elif record.final_attempt().truth_type == "T14":
+                weekly[week]["t14"] += 1
+        for week in sorted(weekly):
+            counts = weekly[week]
+            if not counts["emails"]:
+                continue
+            marker = "  <- outage" if counts["t14"] else ""
+            out(
+                f"    week {week:2d}: {counts['emails']:4d} sent, "
+                f"{counts['ok']:4d} delivered, {counts['t14']:3d} T14{marker}"
+            )
+    out("")
+
+
+# -- recovery --------------------------------------------------------------------
+
+
+def _recovery_section(out, compiled, world, records, scen) -> None:
+    out("blind recovery (online EBRC + deliverability monitors)")
+    classifier = RecordClassifier(OnlineEBRC())
+    # Watch connect timeouts by receiver on top of the stock T2/T3
+    # watches: MX blackouts surface as T14 episodes, not broken-MX DNS.
+    watch = dict(MisconfigMonitor.DEFAULT_WATCH)
+    watch[BounceType.T14] = "receiver_domain"
+    monitor = DeliverabilityMonitor(misconfig=MisconfigMonitor(watch=watch))
+    scenario_ids = {id(r) for r in scen}
+    recovered: Counter = Counter()
+    truth: Counter = Counter()
+    alerts = []
+    pairs = []
+    for record in records:
+        pairs.extend(classifier.feed(record))
+    pairs.extend(classifier.finalize())
+    for record, bounce_type in pairs:
+        alerts.extend(monitor.observe(record, bounce_type))
+        if id(record) in scenario_ids and record.bounced:
+            failure = record.first_failure()
+            truth[failure.truth_type or "?"] += 1
+            recovered[bounce_type.value if bounce_type else "unclassified"] += 1
+    out("  scenario bounces by truth type:     "
+        + ", ".join(f"{k}={v}" for k, v in truth.most_common()))
+    out("  scenario bounces as EBRC sees them: "
+        + ", ".join(f"{k}={v}" for k, v in recovered.most_common()))
+
+    # Which scenario entities did the misconfiguration monitor flag?
+    spf_domains = {
+        resolve_sender(world, op.sender_index)
+        for op in compiled.config.scenario if isinstance(op, SenderSpfOp)
+    }
+    mx_domains = {
+        resolve_receiver(world, op.receiver_index)
+        for op in compiled.config.scenario if isinstance(op, MxOutageOp)
+    }
+    watched = spf_domains | mx_domains
+    flagged = sorted({
+        a.subject for a in alerts
+        if a.kind == "misconfig" and not a.cleared and a.subject in watched
+    })
+    missed = sorted(watched - set(flagged))
+    out(f"  misconfig episodes on scenario entities: "
+        f"{', '.join(flagged) if flagged else '(none)'}")
+    if missed:
+        out(f"  not flagged: {', '.join(missed)}")
+    out(f"  monitor summary: {monitor.summary()}")

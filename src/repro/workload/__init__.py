@@ -6,10 +6,19 @@
   typo injection and stale-list behaviour.
 * :mod:`repro.workload.attackers` — username-guessing campaigns and
   leaked-list bulk spam (Section 4.2.1).
+* :mod:`repro.workload.campaigns` — scenario campaign traffic compiled
+  from :class:`repro.world.overlay.CampaignOp` entries.
 """
 
 from repro.workload.spec import EmailSpec
 from repro.workload.schedule import ArrivalSchedule
 from repro.workload.traffic import TrafficGenerator
+from repro.workload.campaigns import campaign_workload, scenario_workloads
 
-__all__ = ["EmailSpec", "ArrivalSchedule", "TrafficGenerator"]
+__all__ = [
+    "EmailSpec",
+    "ArrivalSchedule",
+    "TrafficGenerator",
+    "campaign_workload",
+    "scenario_workloads",
+]

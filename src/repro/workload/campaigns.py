@@ -1,0 +1,108 @@
+"""Scenario campaign traffic: :class:`CampaignOp` → extra workloads.
+
+A campaign is the traffic half of a scenario (see
+:mod:`repro.world.overlay`): a steady mail stream from one benign sender
+domain's real users to real mailboxes at chosen receivers.  It compiles
+to the existing extra-workload contract
+(``Callable[[WorldModel, RandomSource], Iterable[EmailSpec]]``), so the
+stream, parallel, and columnar runners all materialise it with the same
+named child stream — byte parity comes from the plumbing, not from this
+module.
+
+Campaigns target *real* mailbox usernames on purpose: the failures a
+scenario studies (SPF permerror bounces, MX outage timeouts) live at the
+domain/MTA layer, and unknown-user noise (T8) would dilute them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.util.clock import DAY_SECONDS
+from repro.util.rng import RandomSource
+from repro.workload.spec import EmailSpec
+from repro.world.overlay import CampaignOp, ScenarioError, resolve_receiver, resolve_sender
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.world.model import WorldModel
+
+#: Scenario campaign mail is short, templated notification-style mail.
+_SIZE_RANGE = (1_400, 26_000)
+
+
+def scenario_workloads(config) -> list:
+    """Extract the campaign workloads carried by ``config.scenario``.
+
+    Returns a list suitable for the ``extra_workloads`` argument of
+    :func:`repro.stream.runner.stream_simulation` and
+    :func:`repro.parallel.runner.run_parallel_simulation` — in op order,
+    so workload indices (and thus ``extra/{i}`` child streams) are stable.
+    """
+    return [
+        campaign_workload(op)
+        for op in getattr(config, "scenario", ())
+        if isinstance(op, CampaignOp)
+    ]
+
+
+def campaign_workload(op: CampaignOp):
+    """Compile one :class:`CampaignOp` into an extra-workload callable."""
+    op.validate()
+
+    def workload(world: "WorldModel", rng: RandomSource) -> Iterator[EmailSpec]:
+        return _generate(world, rng, op)
+
+    workload.__name__ = f"campaign_{op.name}"
+    return workload
+
+
+def _generate(
+    world: "WorldModel", rng: RandomSource, op: CampaignOp
+) -> Iterator[EmailSpec]:
+    sender_domain_name = resolve_sender(world, op.sender_index)
+    sender_domain = next(
+        d for d in world.sender_domains if d.name == sender_domain_name
+    )
+    senders = sorted(user.address for user in sender_domain.users)
+    if not senders:
+        raise ScenarioError(
+            f"campaign {op.name!r}: sender domain {sender_domain_name!r} has no users"
+        )
+
+    receiver_names: list[str] = []
+    for name in op.receiver_domains:
+        if name not in world.receiver_domains:
+            raise ScenarioError(
+                f"campaign {op.name!r}: unknown receiver domain {name!r}"
+            )
+        receiver_names.append(name)
+    for index in op.receiver_indices:
+        receiver_names.append(resolve_receiver(world, index))
+
+    # Real mailboxes only — domain-layer failures, not unknown-user noise.
+    targets: list[str] = []
+    for name in receiver_names:
+        usernames = sorted(world.receiver_domains[name].mailboxes)
+        if not usernames:
+            raise ScenarioError(
+                f"campaign {op.name!r}: receiver {name!r} has no mailboxes"
+            )
+        targets.extend(f"{username}@{name}" for username in usernames[:40])
+
+    clock = world.clock
+    tags = ("scenario", op.name)
+    first_day = max(0, op.start_day)
+    last_day = min(op.end_day, clock.n_days)
+    for day in range(first_day, last_day):
+        day_rng = rng.child(f"day/{day}")
+        day_start = clock.day_start(day)
+        for _ in range(op.per_day):
+            yield EmailSpec(
+                t=day_start + day_rng.uniform(0.0, DAY_SECONDS - 1.0),
+                sender=day_rng.choice(senders),
+                receiver=day_rng.choice(targets),
+                spamminess=op.spamminess,
+                size_bytes=int(day_rng.uniform(*_SIZE_RANGE)),
+                recipient_count=1,
+                tags=tags,
+            )

@@ -141,6 +141,12 @@ class SimulationConfig:
     ambiguity_tail: float = 0.10
     ambiguity_exchange: float = 0.55
 
+    # -- scenario overlay -------------------------------------------------------------------
+    #: Declarative world mutations + campaigns applied after ``build_world``
+    #: (see :mod:`repro.world.overlay`).  Carried on the config so parallel
+    #: workers replay them identically and ``config_digest`` covers them.
+    scenario: tuple = ()
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -179,8 +185,23 @@ class SimulationConfig:
             raise ValueError("emails_per_day must be positive")
         if self.greylist_network_prefix not in (24, 32):
             raise ValueError("greylist_network_prefix must be 24 or 32")
+        if self.retry_gap_mean_s <= 0:
+            raise ValueError("retry_gap_mean_s must be positive")
         if self.retry_backoff_multiplier < 1.0:
             raise ValueError("retry_backoff_multiplier must be >= 1.0")
+        for name in (
+            "n_guessing_campaigns", "guessed_usernames_per_campaign",
+            "n_bulk_spam_domains",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        # Scenario ops validate themselves (duck-typed to avoid importing
+        # repro.world.overlay here, which imports util modules freely).
+        for op in self.scenario:
+            op_validate = getattr(op, "validate", None)
+            if op_validate is None:
+                raise ValueError(f"scenario entries must be overlay ops, got {op!r}")
+            op_validate()
 
     def scaled(self, value: int | float) -> int:
         """Apply the global scale knob to a population size."""

@@ -378,6 +378,10 @@ def build_world(config: SimulationConfig) -> WorldModel:
     sender_builder.attach_contacts(world)
     # Seeded after contacts so deleted-account addresses are included.
     _seed_breach_corpus(config, rng.child("breach"), receiver_domains, breach)
+    if config.scenario:
+        from repro.world.overlay import apply_scenario
+
+        apply_scenario(world, config.scenario, rng.child("scenario"))
     return world
 
 

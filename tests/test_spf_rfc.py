@@ -1,0 +1,273 @@
+"""RFC 7208 conformance corpus for the SPF evaluator.
+
+Covers the three bugfixes of this change set:
+
+* §5.2 — an ``include`` whose inner evaluation is NONE or PERMERROR must
+  propagate PERMERROR (the old code treated both as "not matched");
+* §4.6.4 — a true DNS-lookup budget over include/a/mx shared across the
+  whole evaluation (the old code only bounded include *depth*);
+* ``a:host`` / ``mx:domain`` must query the *named* target, falling back
+  to the current domain only for the bare forms.
+
+Every behavioural case is asserted twice: through the static
+:func:`evaluate_spf` and through :class:`AuthEvaluator` with the
+fastpath caches on and off — the memoised path must be a pure
+optimisation.
+"""
+
+import pytest
+
+from repro.auth.evaluator import AuthEvaluator
+from repro.auth.spf import (
+    SPF_LOOKUP_LIMIT,
+    SpfVerdict,
+    evaluate_spf,
+    evaluate_spf_record,
+    parse_spf,
+)
+from repro.core import fastpath
+from repro.dnssim.records import RecordType
+from repro.dnssim.resolver import Resolver
+from repro.dnssim.zone import Zone
+from repro.util.clock import Window
+
+T = 100.0
+IP = "10.0.0.1"
+
+
+def zone(resolver: Resolver, domain: str, spf: str | None = None,
+         registered: bool = True, **records) -> Zone:
+    z = Zone(domain=domain)
+    if registered:
+        z.registrations = [Window(0.0, 1e12)]
+        z.registrants = ["r"]
+    if spf is not None:
+        z.add_record(RecordType.TXT_SPF, spf)
+    for rtype_name, values in records.items():
+        for value in values:
+            z.add_record(RecordType[rtype_name.upper()], value)
+    resolver.register_zone(z)
+    return z
+
+
+def fresh_resolver() -> Resolver:
+    return Resolver(transient_failure_rate=0.0)
+
+
+def spf_everyway(resolver: Resolver, domain: str) -> SpfVerdict:
+    """Static path, fastpath evaluator, and reference evaluator agree."""
+    static = evaluate_spf(domain, IP, resolver, T)
+    assert fastpath.enabled()
+    cached = AuthEvaluator(resolver).evaluate(domain, IP, T).spf
+    fastpath.disable()
+    try:
+        reference = AuthEvaluator(resolver).evaluate(domain, IP, T).spf
+    finally:
+        fastpath.enable()
+    assert static is cached is reference
+    return static
+
+
+class TestIncludePropagation:
+    """RFC 7208 §5.2: the include result-mapping table."""
+
+    def test_include_of_domain_without_spf_is_permerror(self):
+        resolver = fresh_resolver()
+        zone(resolver, "provider.example")  # registered, no TXT_SPF
+        zone(resolver, "s.example", "v=spf1 include:provider.example -all")
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.PERMERROR
+
+    def test_include_of_unregistered_domain_is_permerror(self):
+        resolver = fresh_resolver()
+        zone(resolver, "s.example", "v=spf1 include:ghost.example -all")
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.PERMERROR
+
+    def test_include_of_unparsable_record_is_permerror(self):
+        resolver = fresh_resolver()
+        zone(resolver, "provider.example", "v=spf1 bogus:thing -all")
+        zone(resolver, "s.example", "v=spf1 include:provider.example +all")
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.PERMERROR
+
+    def test_include_pass_matches_with_outer_qualifier(self):
+        resolver = fresh_resolver()
+        zone(resolver, "provider.example", f"v=spf1 ip4:{IP} -all")
+        zone(resolver, "s.example", "v=spf1 ~include:provider.example -all")
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.SOFTFAIL
+
+    @pytest.mark.parametrize("inner_all", ["-all", "~all", "?all"])
+    def test_include_nonmatch_falls_through(self, inner_all):
+        # FAIL / SOFTFAIL / NEUTRAL inside an include mean "not matched",
+        # NOT the inner verdict: evaluation continues with the next
+        # mechanism of the outer record.
+        resolver = fresh_resolver()
+        zone(resolver, "provider.example", f"v=spf1 ip4:99.9.9.9 {inner_all}")
+        zone(resolver, "s.example",
+             f"v=spf1 include:provider.example ip4:{IP} -all")
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.PASS
+
+
+class TestLookupBudget:
+    """RFC 7208 §4.6.4: 10 DNS lookups per evaluation, shared."""
+
+    def chain(self, resolver: Resolver, n: int) -> None:
+        """s.example -> c0 -> c1 -> ... -> c{n-1}, terminating in a PASS."""
+        zone(resolver, "s.example", "v=spf1 include:c0.example -all")
+        for i in range(n - 1):
+            zone(resolver, f"c{i}.example",
+                 f"v=spf1 include:c{i + 1}.example -all")
+        zone(resolver, f"c{n - 1}.example", f"v=spf1 ip4:{IP} -all")
+
+    def test_chain_inside_budget_passes(self):
+        resolver = fresh_resolver()
+        self.chain(resolver, SPF_LOOKUP_LIMIT)  # exactly 10 lookups
+        evaluation = evaluate_spf_record(
+            "s.example", IP, resolver, T, SPF_LOOKUP_LIMIT)
+        assert not evaluation.overran
+        assert evaluation.lookups == SPF_LOOKUP_LIMIT
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.PASS
+
+    def test_chain_over_budget_is_permerror(self):
+        resolver = fresh_resolver()
+        self.chain(resolver, SPF_LOOKUP_LIMIT + 1)  # needs an 11th lookup
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.PERMERROR
+
+    def test_include_loop_is_permerror_not_hang(self):
+        resolver = fresh_resolver()
+        zone(resolver, "a.example", "v=spf1 include:b.example -all")
+        zone(resolver, "b.example", "v=spf1 include:a.example -all")
+        assert spf_everyway(resolver, "a.example") is SpfVerdict.PERMERROR
+
+    def test_self_include_is_permerror(self):
+        resolver = fresh_resolver()
+        zone(resolver, "a.example", "v=spf1 include:a.example -all")
+        assert spf_everyway(resolver, "a.example") is SpfVerdict.PERMERROR
+
+    def test_a_and_mx_count_against_budget(self):
+        # 9 includes + a + mx = 11 lookups: the budget is shared across
+        # mechanism kinds, not per-kind.
+        resolver = fresh_resolver()
+        zone(resolver, "s.example", "v=spf1 include:c0.example -all")
+        for i in range(8):
+            zone(resolver, f"c{i}.example",
+                 f"v=spf1 include:c{i + 1}.example -all")
+        zone(resolver, "c8.example",
+             f"v=spf1 a:h.example mx:h.example ip4:{IP} -all")
+        zone(resolver, "h.example", a=["99.9.9.9"])
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.PERMERROR
+
+    def test_budget_overrun_is_exact_under_memoisation(self):
+        # The same inner domain evaluated under two different remaining
+        # budgets: big budget passes, small budget overruns — the
+        # evaluator's memo must not leak one answer into the other.
+        resolver = fresh_resolver()
+        for entry, hops in (("deep", 10), ("shallow", 2)):
+            names = [f"{entry}{i}.example" for i in range(hops)]
+            for i, name in enumerate(names[:-1]):
+                zone(resolver, name, f"v=spf1 include:{names[i + 1]} -all")
+            zone(resolver, names[-1], "v=spf1 include:shared.example -all")
+        zone(resolver, "shared.example", f"v=spf1 ip4:{IP} -all")
+        zone(resolver, "via-deep.example", "v=spf1 include:deep0.example -all")
+        zone(resolver, "via-shallow.example",
+             "v=spf1 include:shallow0.example -all")
+        evaluator = AuthEvaluator(resolver)
+        # deep: deep0..deep9 + shared = 11 lookups -> overrun;
+        # shallow: shallow0, shallow1, shared = 3 lookups -> fine.
+        assert evaluator.evaluate("via-deep.example", IP, T).spf \
+            is SpfVerdict.PERMERROR
+        assert evaluator.evaluate("via-shallow.example", IP, T).spf \
+            is SpfVerdict.PASS
+        # And in the other order, against a fresh memo.
+        evaluator2 = AuthEvaluator(resolver)
+        assert evaluator2.evaluate("via-shallow.example", IP, T).spf \
+            is SpfVerdict.PASS
+        assert evaluator2.evaluate("via-deep.example", IP, T).spf \
+            is SpfVerdict.PERMERROR
+
+
+class TestValuedAMx:
+    """``a:host`` / ``mx:domain`` query the named target."""
+
+    def test_a_with_value_queries_named_host(self):
+        resolver = fresh_resolver()
+        zone(resolver, "s.example", "v=spf1 a:web.example -all",
+             a=["99.9.9.9"])  # own A must NOT be consulted
+        zone(resolver, "web.example", a=[IP])
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.PASS
+
+    def test_bare_a_queries_own_domain(self):
+        resolver = fresh_resolver()
+        zone(resolver, "s.example", "v=spf1 a -all", a=[IP])
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.PASS
+
+    def test_mx_with_value_queries_named_domain(self):
+        resolver = fresh_resolver()
+        zone(resolver, "s.example", "v=spf1 mx:mail.example -all")
+        zone(resolver, "mail.example", mx=[IP])
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.PASS
+
+    def test_bare_mx_queries_own_domain(self):
+        resolver = fresh_resolver()
+        zone(resolver, "s.example", "v=spf1 mx -all", mx=[IP])
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.PASS
+
+    def test_a_nonmatch_falls_through(self):
+        resolver = fresh_resolver()
+        zone(resolver, "s.example", "v=spf1 a:web.example ~all")
+        zone(resolver, "web.example", a=["99.9.9.9"])
+        assert spf_everyway(resolver, "s.example") is SpfVerdict.SOFTFAIL
+
+
+class TestValuedParsing:
+    def test_valued_forms_parse(self):
+        record = parse_spf("v=spf1 a:web.example mx:mail.example -all")
+        assert [m.kind for m in record.mechanisms] == ["a", "mx", "all"]
+        assert record.mechanisms[0].value == "web.example"
+        assert record.mechanisms[1].value == "mail.example"
+
+    def test_bare_forms_parse_with_empty_value(self):
+        record = parse_spf("v=spf1 a mx ?all")
+        assert [m.kind for m in record.mechanisms] == ["a", "mx", "all"]
+        assert record.mechanisms[0].value == ""
+        assert record.mechanisms[1].value == ""
+
+    @pytest.mark.parametrize("bad", ["v=spf1 ip4:", "v=spf1 include:"])
+    def test_valueless_ip4_include_rejected(self, bad):
+        assert parse_spf(bad) is None
+
+
+class TestConfigValidation:
+    """Satellite regression: reject nonsense retry/attacker settings."""
+
+    def test_defaults_validate(self):
+        from repro.world.config import SimulationConfig
+
+        SimulationConfig()  # __post_init__ validates
+
+    @pytest.mark.parametrize("kwargs", [
+        {"retry_gap_mean_s": 0.0},
+        {"retry_gap_mean_s": -5.0},
+        {"retry_backoff_multiplier": 0.5},
+        {"n_guessing_campaigns": -1},
+        {"guessed_usernames_per_campaign": -3},
+        {"n_bulk_spam_domains": -2},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        from repro.world.config import SimulationConfig
+
+        with pytest.raises(ValueError):
+            SimulationConfig(**kwargs)
+
+    def test_scenario_entries_must_be_ops(self):
+        from repro.world.config import SimulationConfig
+
+        with pytest.raises(ValueError, match="overlay ops"):
+            SimulationConfig(scenario=("not-an-op",))
+
+    def test_scenario_ops_validate_through_config(self):
+        from repro.world.config import SimulationConfig
+        from repro.world.overlay import MxOutageOp, ScenarioError
+
+        with pytest.raises(ScenarioError):
+            SimulationConfig(
+                scenario=(MxOutageOp(0, "mx1", start_day=9, end_day=3),)
+            )
